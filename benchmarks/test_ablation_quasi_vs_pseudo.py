@@ -1,0 +1,70 @@
+"""Ablation: quasi-Monte-Carlo vs pseudo-random characterization.
+
+Chapter 4.2 motivates the low-discrepancy (quasi-MC) sweep: pseudo-random
+sampling "would result in an extremely large sample space ... and
+producing biased results".  This bench quantifies the claim on the
+multiplier's mean-error estimate: across seeds, the Sobol estimate at a
+small sample budget scatters far less around the large-sample truth than
+the pseudo-random estimate.
+"""
+
+import numpy as np
+
+from repro.core import MultiplierConfig, configurable_multiply
+
+from report import emit
+
+N_SMALL = 4096
+N_REFERENCE = 1 << 18
+SEEDS = range(12)
+CFG = MultiplierConfig("log", 0)
+
+
+def _mean_error(a, b):
+    exact = a.astype(np.float64) * b.astype(np.float64)
+    approx = configurable_multiply(a, b, CFG).astype(np.float64)
+    return float(np.abs((approx - exact) / exact).mean())
+
+
+def _sobol_estimate(n, seed):
+    from repro.erroranalysis import mantissa_inputs
+
+    a, b = mantissa_inputs(n, 2, seed=seed)
+    return _mean_error(a, b)
+
+
+def _pseudo_estimate(n, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.uniform(1, 2, n) * np.exp2(rng.integers(-4, 5, n))).astype(np.float32)
+    b = (rng.uniform(1, 2, n) * np.exp2(rng.integers(-4, 5, n))).astype(np.float32)
+    return _mean_error(a, b)
+
+
+def test_ablation_quasi_vs_pseudo(benchmark):
+    reference = _sobol_estimate(N_REFERENCE, 0)
+
+    def collect():
+        sobol = [_sobol_estimate(N_SMALL, s) for s in SEEDS]
+        pseudo = [_pseudo_estimate(N_SMALL, s) for s in SEEDS]
+        return sobol, pseudo
+
+    sobol, pseudo = benchmark(collect)
+    sobol_rmse = float(np.sqrt(np.mean([(v - reference) ** 2 for v in sobol])))
+    pseudo_rmse = float(np.sqrt(np.mean([(v - reference) ** 2 for v in pseudo])))
+
+    emit(
+        "Ablation — quasi-MC vs pseudo-random characterization",
+        [
+            f"reference mean error ({N_REFERENCE} samples): {reference:.5%}",
+            f"Sobol  @ {N_SMALL}: rmse across seeds = {sobol_rmse:.3e}",
+            f"pseudo @ {N_SMALL}: rmse across seeds = {pseudo_rmse:.3e}",
+            f"variance-reduction factor: {pseudo_rmse / max(sobol_rmse, 1e-30):.1f}x",
+        ],
+    )
+    benchmark.extra_info["reduction_factor"] = pseudo_rmse / max(sobol_rmse, 1e-30)
+
+    # The low-discrepancy sweep converges meaningfully faster.
+    assert sobol_rmse < pseudo_rmse
+    # Both estimate the same quantity.
+    assert abs(np.mean(sobol) - reference) < 0.01
+    assert abs(np.mean(pseudo) - reference) < 0.01

@@ -1,0 +1,120 @@
+"""Extensions: IHW x DVFS composition and the automatic multiplier tuner.
+
+Two of the paper's closing claims made runnable:
+
+- the abstract's "IHW is orthogonal to DVFS ... and can be combined": the
+  composed power savings beat either knob alone and IHW's share carries to
+  energy one-for-one (DVFS's does not — it stretches runtime);
+- Chapter 6's "automatic quality tuning model": the auto-tuner finds the
+  cheapest acceptable multiplier configuration for RayTracing in a handful
+  of evaluations.
+"""
+
+from repro.apps import raytrace
+from repro.core import IHWConfig
+from repro.framework import PowerQualityFramework
+from repro.gpu import DVFSPoint, combined_savings
+from repro.quality import MultiplierAutoTuner, mae, ssim
+
+from report import emit
+
+SIZE = 64
+
+
+def test_ext_dvfs_combination(benchmark):
+    from repro.apps import hotspot
+
+    fw = PowerQualityFramework(
+        run_app=lambda cfg: hotspot.run(cfg, 64, 64, 30), quality_metric=mae
+    )
+    ev = fw.evaluate(IHWConfig.all_imprecise())
+    ihw = ev.savings.system_savings
+
+    def compose():
+        return [combined_savings(ihw, DVFSPoint(f)) for f in (1.0, 0.9, 0.8, 0.7)]
+
+    reports = benchmark(compose)
+    lines = [r.format_row() for r in reports]
+    emit("Extension — HotSpot IHW savings composed with DVFS", lines)
+    benchmark.extra_info["combined_at_0.8"] = reports[2].power_savings
+
+    nominal, *scaled = reports
+    # At nominal frequency the combination is pure IHW with no slowdown.
+    assert nominal.power_savings == ihw and nominal.runtime_scale == 1.0
+    # Every scaled point beats IHW alone on power but costs runtime.
+    for r in scaled:
+        assert r.power_savings > ihw
+        assert r.runtime_scale > 1.0
+        # Energy savings sit between the power savings and IHW alone.
+        assert ihw < r.energy_savings < r.power_savings
+
+
+def test_ext_triple_composition_with_gating(benchmark):
+    """IHW x power gating x DVFS: all three knobs of the abstract."""
+    from repro.apps import hotspot
+    from repro.gpu import GPUPowerModel, gated_breakdown, simulate_kernel
+
+    fw = PowerQualityFramework(
+        run_app=lambda cfg: hotspot.run(cfg, 64, 64, 30), quality_metric=mae
+    )
+    ev = fw.evaluate(IHWConfig.all_imprecise())
+    ihw = ev.savings.system_savings
+
+    def compose():
+        model = GPUPowerModel()
+        counters = fw.reference.counters
+        timing = simulate_kernel(counters, model.config)
+        base = model.breakdown(counters, timing)
+        gated = gated_breakdown(counters, model=model, timing=timing)
+        gating = 1 - gated.total_w / base.total_w
+        steps = {
+            "IHW alone": ihw,
+            "+ power gating": 1 - (1 - ihw) * (1 - gating),
+        }
+        steps["+ DVFS f=0.85"] = 1 - (1 - steps["+ power gating"]) * DVFSPoint(
+            0.85
+        ).power_scale
+        return steps
+
+    steps = benchmark(compose)
+    lines = [f"{name:16s} power savings {value:7.2%}" for name, value in steps.items()]
+    emit("Extension — IHW x gating x DVFS on HotSpot", lines)
+    benchmark.extra_info["triple"] = steps["+ DVFS f=0.85"]
+
+    ordered = list(steps.values())
+    assert ordered == sorted(ordered)  # each knob adds savings
+    assert steps["+ DVFS f=0.85"] > 0.45  # the stacked total is substantial
+
+
+def test_ext_autotuner_raytrace(benchmark):
+    fw = PowerQualityFramework(
+        run_app=lambda cfg: raytrace.run(cfg, SIZE, SIZE, depth=1),
+        quality_metric=lambda out, ref: ssim(out, ref, data_range=1.0),
+    )
+
+    def tune():
+        tuner = MultiplierAutoTuner(
+            fw.quality_evaluator(), lambda q: q >= 0.8, max_truncation=22
+        )
+        return tuner.tune()
+
+    result = benchmark(tune)
+    emit(
+        "Extension — automatic multiplier tuning (RayTracing, SSIM >= 0.8)",
+        [
+            f"selected: {result.multiplier.name if result.multiplier else 'precise'}",
+            f"quality:  {result.quality:.3f}",
+            f"power:    {result.power_mw:.3f} mW "
+            f"(DWIP multiplier: 10.5 mW)",
+            f"evaluations: {result.evaluations}",
+        ],
+    )
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+    assert result.satisfied
+    assert result.quality >= 0.8
+    # Deep truncation found automatically, far cheaper than DWIP.
+    assert result.multiplier.truncation >= 5
+    assert result.power_mw < 2.0
+    # Binary search, not exhaustive sweep.
+    assert result.evaluations <= 14

@@ -1,0 +1,56 @@
+"""Extension: quadratic-approximation SFUs (future-work design point).
+
+The paper chose one-shot linear approximations for maximal power savings
+and names quadratic approximations as the accurate-but-expensive
+alternative.  This bench adds that point to the design space: on the
+rsqrt-sensitive RayTracing configuration, the quadratic SFUs recover most
+of the lost SSIM while still costing an order of magnitude less power than
+the Newton-Raphson DWIP units.
+"""
+
+from repro.apps import raytrace
+from repro.core import IHWConfig
+from repro.hardware import dw_rsqrt, ihw_rsqrt, quadratic_sfu
+from repro.quality import ssim
+
+from report import emit
+
+SIZE = 80
+
+
+def test_ext_quadratic_sfu(benchmark):
+    reference = raytrace.reference_run(SIZE, SIZE)
+    linear_cfg = IHWConfig.units("rcp", "add", "sqrt", "rsqrt")
+    quad_cfg = linear_cfg.with_sfu_mode("quadratic")
+
+    def run_pair():
+        return (
+            raytrace.run(linear_cfg, SIZE, SIZE),
+            raytrace.run(quad_cfg, SIZE, SIZE),
+        )
+
+    linear, quadratic = benchmark(run_pair)
+
+    s_lin = ssim(linear.output, reference.output, data_range=1.0)
+    s_quad = ssim(quadratic.output, reference.output, data_range=1.0)
+    p_lin = ihw_rsqrt(32).metrics().power_mw
+    p_quad = quadratic_sfu(32).metrics().power_mw
+    p_dw = dw_rsqrt(32).metrics().power_mw
+    emit(
+        "Extension — linear vs quadratic SFUs (RayTracing, rcp+add+sqrt+rsqrt)",
+        [
+            f"{'SFU mode':12s} {'SSIM':>7s} {'rsqrt power':>12s} {'vs DWIP':>8s}",
+            f"{'linear':12s} {s_lin:7.3f} {p_lin:9.3f} mW {p_dw / p_lin:7.1f}x",
+            f"{'quadratic':12s} {s_quad:7.3f} {p_quad:9.3f} mW {p_dw / p_quad:7.1f}x",
+            f"{'precise':12s} {1.0:7.3f} {p_dw:9.3f} mW {1.0:7.1f}x",
+        ],
+    )
+    benchmark.extra_info["ssim_linear"] = s_lin
+    benchmark.extra_info["ssim_quadratic"] = s_quad
+
+    # The quadratic point recovers most of the rsqrt quality loss...
+    assert s_quad > s_lin + 0.1
+    assert s_quad > 0.9
+    # ... at an intermediate power cost that still beats DWIP by >5x.
+    assert p_lin < p_quad < p_dw
+    assert p_dw / p_quad > 5

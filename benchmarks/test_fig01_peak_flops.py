@@ -1,0 +1,36 @@
+"""Figure 1: peak floating point throughput, CPU vs GPU.
+
+The paper motivates GPGPU with the widening peak-GFLOPS gap between a
+high-end CPU (~187 GFLOPS, Core i7 class) and NVIDIA GPUs (Fermi, then
+Kepler at ~1 TFLOPS double precision).  The simulated Fermi-class machine
+must land in the right decade and beat the CPU by an order of magnitude.
+"""
+
+from repro.gpu import FERMI_GTX480, GPUConfig
+
+from report import emit
+
+CPU_PEAK_GFLOPS = 187.0  # Intel Core i7-3900 class (paper Figure 1)
+KEPLER_LIKE = GPUConfig(
+    name="kepler-like", num_sms=15, fpu_lanes=192, clock_ghz=0.735
+)
+
+
+def test_fig01_peak_flops(benchmark):
+    fermi = benchmark(FERMI_GTX480.peak_gflops)
+    kepler = KEPLER_LIKE.peak_gflops()
+
+    emit(
+        "Figure 1 — peak GFLOPS, CPU vs GPU",
+        [
+            f"CPU (Core i7 class, paper):     {CPU_PEAK_GFLOPS:8.0f} GFLOPS",
+            f"Fermi-class simulated GPU:      {fermi:8.0f} GFLOPS",
+            f"Kepler-class simulated GPU:     {kepler:8.0f} GFLOPS",
+            f"GPU/CPU ratio (Fermi):          {fermi / CPU_PEAK_GFLOPS:8.1f}x",
+        ],
+    )
+    benchmark.extra_info["fermi_gflops"] = fermi
+    benchmark.extra_info["kepler_gflops"] = kepler
+
+    assert fermi > CPU_PEAK_GFLOPS * 3  # the paper's order-of-magnitude gap
+    assert kepler > fermi

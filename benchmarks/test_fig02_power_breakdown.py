@@ -1,0 +1,60 @@
+"""Figure 2: arithmetic power share of compute-intensive GPU benchmarks.
+
+The preliminary study behind the whole thesis: FPU + SFU power is a large
+share of total GPU power for compute-intensive Rodinia / ISPASS kernels
+(~27-38%, up to >70% counting all arithmetic-adjacent consumers), while the
+integer ALU draws under ~10%.  This bench regenerates the per-benchmark
+component breakdown from the GPUWattch-substitute power model.
+"""
+
+import pytest
+
+from repro.apps import cp, hotspot, raytrace, srad
+from repro.gpu import GPUPowerModel
+
+from report import emit
+
+PAPER_ARITH_SHARE = {"hotspot": 0.35, "srad": 0.27, "raytracing": 0.28}
+
+
+def _reference_runs():
+    return {
+        "hotspot": hotspot.reference_run(64, 64, 30),
+        "srad": srad.reference_run(64, 64, 30),
+        "raytracing": raytrace.reference_run(64, 64),
+        "cp": cp.reference_run(grid=48),
+    }
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    model = GPUPowerModel()
+    return {name: model.breakdown(r.counters) for name, r in _reference_runs().items()}
+
+
+def test_fig02_power_breakdown(benchmark, breakdowns):
+    model = GPUPowerModel()
+    hotspot_counters = hotspot.reference_run(64, 64, 30).counters
+    benchmark(model.breakdown, hotspot_counters)
+
+    lines = []
+    for name, bd in breakdowns.items():
+        paper = PAPER_ARITH_SHARE.get(name)
+        paper_s = f"(paper ~{paper:.0%})" if paper else ""
+        lines.append(
+            f"{name:12s} FPU {bd.fpu_share:6.1%}  SFU {bd.sfu_share:6.1%}  "
+            f"ALU {bd.share('ALU'):5.1%}  arith {bd.arithmetic_share:6.1%} {paper_s}"
+        )
+        benchmark.extra_info[f"{name}_arith_share"] = bd.arithmetic_share
+    emit("Figure 2 — arithmetic power share per benchmark", lines)
+
+    for name, bd in breakdowns.items():
+        assert 0.15 <= bd.arithmetic_share <= 0.55
+        assert bd.share("ALU") < 0.10  # integer unit under 10%
+
+
+def test_fig02_component_rows(benchmark, breakdowns):
+    bd = breakdowns["hotspot"]
+    benchmark(lambda: bd.format_rows())
+    emit("Figure 2 — HotSpot component detail", [bd.format_rows()])
+    assert bd.total_w > 10

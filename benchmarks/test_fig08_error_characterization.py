@@ -1,0 +1,42 @@
+"""Figure 8: quasi-Monte-Carlo error PMFs of the 32-bit IHW unit set.
+
+Regenerates the per-unit probability mass functions over ceil(log2 |ERR%|)
+bins.  The paper's qualitative findings checked here: the floating point
+adder and log2 are dominated by frequent small-magnitude (FSM) error; the
+other units pile probability toward (but never beyond) their Table-1
+maxima; the adder's unbounded near-cancellation case carries negligible
+probability above 8%.
+"""
+
+from repro.erroranalysis import UNIT_CHARACTERIZATIONS, characterize_unit
+
+from report import emit
+
+N = 1 << 17
+
+
+def test_fig08_error_characterization(benchmark):
+    pmfs = benchmark(
+        lambda: {
+            name: characterize_unit(name, N) for name in sorted(UNIT_CHARACTERIZATIONS)
+        }
+    )
+
+    lines = []
+    for name, pmf in pmfs.items():
+        lines.append(pmf.format_rows())
+        lines.append("")
+        benchmark.extra_info[f"{name}_dominant_bin"] = pmf.dominant_bin()
+    emit("Figure 8 — error PMFs of the 32-bit IHW units", lines)
+
+    # FSM units: dominant mass below the 1% bin.
+    assert pmfs["ifpadd"].dominant_bin() <= 0
+    assert pmfs["ilog2"].dominant_bin() <= 0
+    # Bounded units cluster toward larger magnitudes instead.
+    assert pmfs["ifpmul"].dominant_bin() >= 3
+    assert pmfs["irsqrt"].dominant_bin() >= 2
+    # Near-cancellation blowups are vanishingly rare (paper's observation).
+    assert pmfs["ifpadd"].probability_above(8.0) < 0.01
+    # Every unit errs on essentially every input (truncation designs).
+    for name in ("ifpmul", "ircp", "irsqrt"):
+        assert pmfs[name].error_rate > 0.95

@@ -1,0 +1,48 @@
+"""Figure 9: error PMFs of the accuracy-configurable FP multiplier.
+
+Regenerates the characterization of the log-path and full-path
+configurations under several truncation depths.  Checked shape properties:
+truncation shifts the probability mass rightward but the maximum stays
+below the analytic bound; the visible jump the paper calls out between 18
+and 19 truncated bits (log path) appears as a dominant-bin shift; the full
+path sits well left of the log path at equal truncation.
+"""
+
+from repro.erroranalysis import characterize_multiplier_config
+
+from report import emit
+
+N = 1 << 17
+
+CONFIGS = (
+    "fp_tr0", "fp_tr15", "fp_tr19",
+    "lp_tr0", "lp_tr15", "lp_tr17", "lp_tr18", "lp_tr19",
+)
+
+
+def test_fig09_multiplier_characterization(benchmark):
+    pmfs = benchmark(
+        lambda: {c: characterize_multiplier_config(c, N) for c in CONFIGS}
+    )
+
+    lines = []
+    for name, pmf in pmfs.items():
+        lines.append(
+            f"{name:8s} eps_max={pmf.stats.eps_max:7.3%} "
+            f"eps_mean={pmf.stats.eps_mean:7.3%} dominant bin 2^{pmf.dominant_bin()}%"
+        )
+        benchmark.extra_info[f"{name}_eps_max"] = pmf.stats.eps_max
+    emit("Figure 9 — configurable multiplier error PMFs", lines)
+
+    # Truncation moves mass right (never past the bound).
+    assert pmfs["lp_tr19"].dominant_bin() >= pmfs["lp_tr0"].dominant_bin()
+    assert pmfs["fp_tr19"].dominant_bin() >= pmfs["fp_tr0"].dominant_bin()
+    # The paper's 18 -> 19 bit step is where the top bin moves.
+    assert pmfs["lp_tr19"].dominant_bin() >= pmfs["lp_tr17"].dominant_bin()
+    # Full path is far more accurate than log path at equal truncation.
+    assert pmfs["fp_tr0"].stats.eps_max < 0.25 * pmfs["lp_tr0"].stats.eps_max
+    assert pmfs["fp_tr15"].stats.eps_mean < pmfs["lp_tr15"].stats.eps_mean
+    # Published anchors: lp_tr19 ~18% max error; fp_tr0 2.04%; lp_tr0 11.1%.
+    assert 0.12 <= pmfs["lp_tr19"].stats.eps_max <= 0.20
+    assert pmfs["fp_tr0"].stats.eps_max <= 1 / 49 + 1e-6
+    assert pmfs["lp_tr0"].stats.eps_max <= 1 / 9 + 1e-6

@@ -1,0 +1,66 @@
+"""Figures 10-11: the functional-verification step of the methodology.
+
+The paper's flow verifies the C++ functional models against VHDL hardware
+models through simulation before importing them into GPGPU-Sim.  This
+bench runs that co-simulation for every datapath with an independent
+HDL-level integer implementation: binary32 units must match bit for bit;
+the binary64 Mitchell paths (whose behavioral model evaluates in float64)
+must stay within 1 ULP of the integer reference.
+"""
+
+from repro.core import MultiplierConfig
+from repro.hdl import cosimulate
+
+from report import emit
+
+N = 3000
+
+FP32_UNITS = [
+    ("table1_mul", {}),
+    ("threshold_add", {"threshold": 3}),
+    ("threshold_add", {"threshold": 8}),
+    ("threshold_add", {"threshold": 27}),
+    ("mitchell_mul", {"config": MultiplierConfig("log", 0)}),
+    ("mitchell_mul", {"config": MultiplierConfig("full", 0)}),
+    ("mitchell_mul", {"config": MultiplierConfig("log", 19)}),
+    ("mitchell_mul", {"config": MultiplierConfig("full", 15)}),
+]
+
+#: Fixed-point SFU datapaths: quantized constants cost at most 1 ULP
+#: against the float64 behavioral coefficients.
+FP32_SFU_UNITS = [
+    ("linear_rcp", {}),
+    ("linear_rsqrt", {}),
+]
+
+FP64_UNITS = [
+    ("table1_mul", {}, 0),
+    ("threshold_add", {"threshold": 8}, 0),
+    ("mitchell_mul", {"config": MultiplierConfig("log", 0)}, 1),
+    ("mitchell_mul", {"config": MultiplierConfig("full", 0)}, 1),
+    ("mitchell_mul", {"config": MultiplierConfig("log", 48)}, 1),
+]
+
+
+def test_fig10_11_verification(benchmark):
+    def run_all():
+        results = []
+        for unit, kwargs in FP32_UNITS:
+            results.append((cosimulate(unit, 32, n_random=N, **kwargs), 0))
+        for unit, kwargs in FP32_SFU_UNITS:
+            results.append((cosimulate(unit, 32, n_random=N, **kwargs), 1))
+        for unit, kwargs, tol in FP64_UNITS:
+            results.append((cosimulate(unit, 64, n_random=N // 3, **kwargs), tol))
+        return results
+
+    results = benchmark(run_all)
+
+    lines = [r.summary() + f"  (tolerance {tol} ulp)" for r, tol in results]
+    emit("Figures 10-11 — functional verification (behavioral vs HDL-level)", lines)
+    benchmark.extra_info["total_vectors"] = sum(r.vectors for r, _ in results)
+
+    for result, tolerance in results:
+        assert result.within(tolerance), result.summary()
+    # Every binary32 integer datapath is bit-exact.
+    fp32_exact = [r for r, tol in results if "[32b" in r.unit and tol == 0]
+    assert all(r.passed for r in fp32_exact)

@@ -1,0 +1,98 @@
+"""Figure 14: the multiplier's power-quality tradeoff design space.
+
+For single and double precision, sweeps truncation across the log path, the
+full path, and the intuitive bit-truncation baseline, pairing each
+configuration's measured maximum error (quasi-MC) with its power reduction
+from the structural model.  Shape requirements from the paper:
+
+- log path fp32 reaches >25x reduction near 19 truncated bits at ~18% error,
+- fp64 log path reaches a larger factor (paper: 49x at 48 bits, ~18%),
+- intuitive truncation is far from Pareto-optimal: at comparable error its
+  reduction stays in single digits.
+"""
+
+import numpy as np
+
+from repro.core import MultiplierConfig
+from repro.erroranalysis import characterize_multiplier_config
+from repro.hardware import bt_fp_multiplier, dw_fp_multiplier, mitchell_fp_multiplier
+
+from report import emit
+
+N = 1 << 15
+
+
+def _sweep(bits, path, truncations):
+    dw_power = dw_fp_multiplier(bits).metrics().power_mw
+    dtype = np.float32 if bits == 32 else np.float64
+    rows = []
+    for tr in truncations:
+        cfg = MultiplierConfig(path, tr)
+        power = mitchell_fp_multiplier(bits, cfg).metrics().power_mw
+        pmf = characterize_multiplier_config(cfg, N, dtype=dtype)
+        rows.append((cfg.name, dw_power / power, pmf.stats.eps_max))
+    return rows
+
+
+def _sweep_bt(bits, truncations):
+    dw_power = dw_fp_multiplier(bits).metrics().power_mw
+    dtype = np.float32 if bits == 32 else np.float64
+    rows = []
+    for tr in truncations:
+        power = bt_fp_multiplier(bits, tr).metrics().power_mw
+        pmf = characterize_multiplier_config(f"bt_{tr}", N, dtype=dtype)
+        rows.append((f"bt_{tr}", dw_power / power, pmf.stats.eps_max))
+    return rows
+
+
+def test_fig14a_single_precision(benchmark):
+    def sweep():
+        return (
+            _sweep(32, "log", [0, 5, 10, 15, 19]),
+            _sweep(32, "full", [0, 10, 19]),
+            _sweep_bt(32, [10, 15, 19, 21]),
+        )
+
+    log_rows, full_rows, bt_rows = benchmark(sweep)
+    lines = [f"{'config':10s} {'reduction':>10s} {'eps_max':>9s}"]
+    for name, red, eps in log_rows + full_rows + bt_rows:
+        lines.append(f"{name:10s} {red:9.1f}x {eps:9.2%}")
+    emit("Figure 14(a) — 32-bit power-quality tradeoff", lines)
+
+    lp19 = dict((n, (r, e)) for n, r, e in log_rows)["lp_tr19"]
+    bt21 = dict((n, (r, e)) for n, r, e in bt_rows)["bt_21"]
+    benchmark.extra_info["lp_tr19_reduction"] = lp19[0]
+    # Paper: >25x at ~18% error for lp_tr19.
+    assert lp19[0] >= 20
+    assert 0.12 <= lp19[1] <= 0.20
+    # Paper: intuitive truncation only single-digit reduction near 21% error.
+    assert bt21[0] <= 8
+    # Pareto dominance of the proposed design at matched error levels.
+    assert lp19[0] > 3 * bt21[0]
+    # Reduction grows monotonically with truncation on both paths.
+    reductions = [r for _, r, _ in log_rows]
+    assert reductions == sorted(reductions)
+
+
+def test_fig14b_double_precision(benchmark):
+    def sweep():
+        return (
+            _sweep(64, "log", [0, 24, 40, 48]),
+            _sweep_bt(64, [40, 48]),
+        )
+
+    log_rows, bt_rows = benchmark(sweep)
+    lines = [f"{'config':10s} {'reduction':>10s} {'eps_max':>9s}"]
+    for name, red, eps in log_rows + bt_rows:
+        lines.append(f"{name:10s} {red:9.1f}x {eps:9.2%}")
+    emit("Figure 14(b) — 64-bit power-quality tradeoff", lines)
+
+    lp48 = dict((n, (r, e)) for n, r, e in log_rows)["lp_tr48"]
+    benchmark.extra_info["lp_tr48_reduction"] = lp48[0]
+    # Paper: 49x at ~18.07% error; our structural model gives a larger
+    # factor (the 53x53 array grows quadratically) with the same error.
+    assert lp48[0] >= 40
+    assert 0.12 <= lp48[1] <= 0.20
+    # Double precision factor exceeds the single precision one (paper: 26 -> 49).
+    fp32_rows = _sweep(32, "log", [19])
+    assert lp48[0] > fp32_rows[0][1]

@@ -1,0 +1,58 @@
+"""Figure 15 / Table 5 row 1: HotSpot with all IHW units enabled.
+
+Paper result: no perceptible quality degradation (MAE 0.05 K, MSE 0.003)
+with 32.06% system-level and 91.54% arithmetic power savings.  Shape
+checks: sub-Kelvin MAE on a ~60-85 C die map, hot spots co-located with the
+precise simulation, arithmetic savings near 90%, system savings in the
+high-20s to low-30s driven by a ~30-35% FPU+SFU share.
+"""
+
+import numpy as np
+
+from repro.apps import hotspot
+from repro.core import IHWConfig
+from repro.framework import PowerQualityFramework
+from repro.quality import mae, wed
+
+from report import emit
+
+ROWS, COLS, ITERS = 128, 128, 40
+
+
+def test_fig15_hotspot(benchmark):
+    fw = PowerQualityFramework(
+        run_app=lambda cfg: hotspot.run(cfg, ROWS, COLS, ITERS),
+        quality_metric=mae,
+    )
+    ev = benchmark(fw.evaluate, IHWConfig.all_imprecise())
+
+    ref = fw.reference.output
+    imp = ev.output
+    worst = wed(imp, ref)
+    share = fw.reference_breakdown.arithmetic_share
+    emit(
+        "Figure 15 / Table 5 — HotSpot, all IHW enabled",
+        [
+            f"grid {ROWS}x{COLS}, {ITERS} iterations",
+            f"MAE:             {ev.quality:8.3f} K   (paper: 0.05 K)",
+            f"WED:             {worst:8.3f} K",
+            f"temp range:      {ref.min():.1f} .. {ref.max():.1f} K",
+            f"FPU+SFU share:   {share:8.1%}   (paper Fig 2: ~35%)",
+            f"system savings:  {ev.savings.system_savings:8.2%}   (paper: 32.06%)",
+            f"arith savings:   {ev.savings.arithmetic_savings:8.2%}   (paper: 91.54%)",
+        ],
+    )
+    benchmark.extra_info["mae_kelvin"] = ev.quality
+    benchmark.extra_info["system_savings"] = ev.savings.system_savings
+    benchmark.extra_info["arith_savings"] = ev.savings.arithmetic_savings
+
+    # Quality: errors far below the die's temperature contrast.
+    assert ev.quality < 1.0
+    assert worst < 0.2 * (ref.max() - ref.min()) + 1.0
+    # Hot spots co-located.
+    ref_hot = ref >= np.percentile(ref, 99)
+    imp_hot = imp >= np.percentile(imp, 95)
+    assert imp_hot[ref_hot].all()
+    # Power: the Table-5 shape.
+    assert 0.85 <= ev.savings.arithmetic_savings <= 0.95
+    assert 0.24 <= ev.savings.system_savings <= 0.36

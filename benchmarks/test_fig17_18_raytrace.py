@@ -1,0 +1,83 @@
+"""Figures 17-18 / Table 5 rows 3-5: the RayTracing quality ladder.
+
+The application study's centerpiece: ray tracing is the multiplication-
+sensitive workload.  Paper ladder (SSIM @ system savings):
+
+- rcp, add, sqrt                          -> 0.95 @ 10.24%
+- rcp, add, sqrt, rsqrt                   -> 0.83 @ 11.50%
+- rcp, add, sqrt + Table-1 multiplier     -> image destroyed
+- rcp, add, sqrt + full-path multiplier   -> 0.85 @ 13.56%
+- rcp, add, sqrt + full-path, 15-bit trunc-> 0.79 @ 15.37%
+
+Shape requirements: the same quality ordering, the Table-1 multiplier far
+below the full-path multiplier, and savings increasing down the ladder.
+"""
+
+import pytest
+
+from repro.apps import raytrace
+from repro.core import IHWConfig
+from repro.framework import PowerQualityFramework
+from repro.quality import ssim
+
+from report import emit
+
+SIZE = 96
+
+LADDER = {
+    "rcp,add,sqrt": (IHWConfig.units("rcp", "add", "sqrt"), 0.95),
+    "rcp,add,sqrt,rsqrt": (IHWConfig.units("rcp", "add", "sqrt", "rsqrt"), 0.83),
+    "+table1 mul": (IHWConfig.units("rcp", "add", "sqrt", "mul"), None),
+    "+fp_tr0 mul": (
+        IHWConfig.units("rcp", "add", "sqrt").with_multiplier("mitchell", config="fp_tr0"),
+        0.85,
+    ),
+    "+fp_tr15 mul": (
+        IHWConfig.units("rcp", "add", "sqrt").with_multiplier("mitchell", config="fp_tr15"),
+        0.79,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return PowerQualityFramework(
+        run_app=lambda cfg: raytrace.run(cfg, SIZE, SIZE),
+        quality_metric=lambda out, ref: ssim(out, ref, data_range=1.0),
+    )
+
+
+def test_fig17_18_raytrace_ladder(benchmark, framework):
+    results = benchmark(
+        lambda: {name: framework.evaluate(cfg) for name, (cfg, _) in LADDER.items()}
+    )
+
+    lines = [f"{'configuration':22s} {'SSIM':>6s} {'paper':>6s} {'savings':>8s}"]
+    for name, ev in results.items():
+        paper = LADDER[name][1]
+        lines.append(
+            f"{name:22s} {ev.quality:6.3f} {paper if paper else 'ruin':>6} "
+            f"{ev.savings.system_savings:8.2%}"
+        )
+        benchmark.extra_info[f"{name}_ssim"] = ev.quality
+    emit("Figures 17-18 / Table 5 — RayTracing ladder", lines)
+
+    mild = results["rcp,add,sqrt"]
+    rsq = results["rcp,add,sqrt,rsqrt"]
+    table1 = results["+table1 mul"]
+    full = results["+fp_tr0 mul"]
+    tr15 = results["+fp_tr15 mul"]
+
+    # Quality ordering (Figure 17-18).
+    assert mild.quality > 0.9  # paper 0.95
+    assert rsq.quality < mild.quality  # rsqrt costs structure
+    assert table1.quality < full.quality - 0.15  # Table-1 mul destroys
+    assert full.quality > 0.75  # paper 0.85
+    assert tr15.quality < full.quality + 0.02  # truncation trades a bit more
+    # Savings ordering (Table 5): each added unit buys more power.
+    assert mild.savings.system_savings < rsq.savings.system_savings
+    assert rsq.savings.system_savings < full.savings.system_savings
+    assert full.savings.system_savings <= tr15.savings.system_savings + 1e-9
+    # Ray tracing saves far less than HotSpot/SRAD at acceptable quality —
+    # the paper's error-compounding point.
+    assert full.savings.arithmetic_savings < 0.95

@@ -1,0 +1,72 @@
+"""Figure 19: HotSpot under the accuracy-configurable multiplier.
+
+The paper replaces only the kernel's FP multiplications and sweeps the
+configuration space: the 26x-reduction log-path point (lp_tr19) produces a
+MAE around 1.2 K, while intuitive 22-bit truncation has ~8x larger MAE at
+only ~6x power reduction.  Shape requirements: the proposed multiplier's
+MAE is far below intuitive truncation at matched (or deeper) power
+reduction, and MAE grows monotonically with truncation.
+"""
+
+from repro.apps import hotspot
+from repro.core import IHWConfig
+from repro.hardware import HardwareLibrary
+from repro.quality import mae, wed
+
+from report import emit
+
+ROWS = COLS = 64
+ITERS = 40
+
+
+def _mitchell(name):
+    return IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+
+
+def _bt(bits):
+    return IHWConfig.units("mul").with_multiplier("truncated", truncation=bits)
+
+
+def test_fig19_hotspot_multiplier(benchmark):
+    reference = hotspot.reference_run(ROWS, COLS, ITERS)
+    configs = {
+        "fp_tr0": _mitchell("fp_tr0"),
+        "fp_tr15": _mitchell("fp_tr15"),
+        "lp_tr0": _mitchell("lp_tr0"),
+        "lp_tr15": _mitchell("lp_tr15"),
+        "lp_tr19": _mitchell("lp_tr19"),
+        "bt_15": _bt(15),
+        "bt_19": _bt(19),
+        "bt_22": _bt(22),
+    }
+
+    def sweep():
+        return {
+            name: hotspot.run(cfg, ROWS, COLS, ITERS) for name, cfg in configs.items()
+        }
+
+    results = benchmark(sweep)
+    lib = HardwareLibrary.paper_45nm()
+
+    lines = [f"{'config':8s} {'MAE (K)':>9s} {'WED (K)':>9s} {'power reduction':>16s}"]
+    metrics = {}
+    for name, result in results.items():
+        m = mae(result.output, reference.output)
+        w = wed(result.output, reference.output)
+        reduction = lib.dwip("mul").power_mw / lib.ihw("mul", configs[name]).power_mw
+        metrics[name] = (m, reduction)
+        lines.append(f"{name:8s} {m:9.4f} {w:9.4f} {reduction:15.1f}x")
+        benchmark.extra_info[f"{name}_mae"] = m
+    emit("Figure 19 — HotSpot power-quality with the configurable multiplier", lines)
+
+    # lp_tr19: deep power reduction with MAE around a Kelvin (paper 1.2 K).
+    assert metrics["lp_tr19"][0] < 4.0
+    assert metrics["lp_tr19"][1] >= 20
+    # Intuitive truncation: far worse MAE at far less reduction (paper 8x
+    # worse at 6x reduction).
+    assert metrics["bt_22"][0] > 1.5 * metrics["lp_tr19"][0]
+    assert metrics["bt_22"][1] < 0.4 * metrics["lp_tr19"][1]
+    # MAE monotone in truncation on the log path.
+    assert metrics["lp_tr0"][0] <= metrics["lp_tr15"][0] <= metrics["lp_tr19"][0]
+    # Full path beats log path at matched truncation.
+    assert metrics["fp_tr15"][0] < metrics["lp_tr15"][0]

@@ -1,0 +1,71 @@
+"""Figure 20: CP (Coulomb potential) power-quality tradeoff.
+
+The paper sweeps the multiplier configurations over the ion-placement
+kernel (with ~20% of multiplications kept precise for coordinates) and
+finds the proposed multiplier "has a consistently lower MAE and larger
+power reduction across all configurations" than intuitive truncation.
+"""
+
+from repro.apps import cp
+from repro.core import IHWConfig
+from repro.hardware import HardwareLibrary
+from repro.quality import mae, wed
+
+from report import emit
+
+GRID = 64
+
+
+def _mitchell(name):
+    return IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+
+
+def _bt(bits):
+    return IHWConfig.units("mul").with_multiplier("truncated", truncation=bits)
+
+
+def test_fig20_cp(benchmark):
+    reference = cp.reference_run(grid=GRID)
+    configs = {
+        "fp_tr0": _mitchell("fp_tr0"),
+        "fp_tr10": _mitchell("fp_tr10"),
+        "fp_tr15": _mitchell("fp_tr15"),
+        "lp_tr15": _mitchell("lp_tr15"),
+        "lp_tr19": _mitchell("lp_tr19"),
+        "bt_15": _bt(15),
+        "bt_19": _bt(19),
+        "bt_21": _bt(21),
+    }
+
+    results = benchmark(
+        lambda: {name: cp.run(cfg, grid=GRID) for name, cfg in configs.items()}
+    )
+    lib = HardwareLibrary.paper_45nm()
+
+    lines = [f"{'config':8s} {'MAE':>10s} {'WED':>10s} {'reduction':>10s}"]
+    metrics = {}
+    for name, result in results.items():
+        m = mae(result.output, reference.output)
+        w = wed(result.output, reference.output)
+        red = lib.dwip("mul").power_mw / lib.ihw("mul", configs[name]).power_mw
+        metrics[name] = (m, red)
+        lines.append(f"{name:8s} {m:10.5f} {w:10.5f} {red:9.1f}x")
+        benchmark.extra_info[f"{name}_mae"] = m
+    emit("Figure 20 — CP power-quality tradeoff", lines)
+
+    # Pareto dominance wherever the baseline tries to save real power: at
+    # every bt point beyond the shallowest, some proposed configuration has
+    # both lower MAE and a larger reduction.
+    assert metrics["fp_tr15"][0] < metrics["bt_19"][0]
+    assert metrics["fp_tr15"][1] > metrics["bt_19"][1]
+    assert metrics["lp_tr19"][0] < metrics["bt_21"][0]
+    assert metrics["lp_tr19"][1] > metrics["bt_21"][1]
+    # The baseline cannot reach deep reductions at all (Figure 14's point).
+    best_bt_reduction = max(metrics[n][1] for n in metrics if n.startswith("bt"))
+    assert metrics["lp_tr19"][1] > 3 * best_bt_reduction
+    # MAE grows with truncation within a path.
+    assert metrics["fp_tr0"][0] <= metrics["fp_tr10"][0] <= metrics["fp_tr15"][0]
+    # The ~20% precise coordinate muls keep even deep configs sane:
+    # MAE stays below ~20% of the field's dynamic range.
+    field_range = reference.output.max() - reference.output.min()
+    assert metrics["lp_tr19"][0] < 0.2 * field_range

@@ -1,0 +1,105 @@
+"""Figure 21: the double precision CPU studies — 179.art and 435.gromacs.
+
+(a) 179.art: vigilance (confidence of match) versus configuration.  Paper:
+    intuitive truncation drops abruptly as bits are truncated, while the
+    configurable multiplier degrades on a slow slope and keeps confidence
+    above 0.8 at its 26x-class power reduction.
+
+(b) 435.gromacs: average-potential-energy error % versus configuration
+    against SPEC's 1.25% acceptance line.  Paper: the configurable
+    multiplier's points mostly sit below the line; the study also notes the
+    log path can beat the full path "counter-intuitively" because MD is
+    chaotic — so only aggregate shapes are asserted here.
+"""
+
+import numpy as np
+
+from repro.apps import art, gromacs
+from repro.core import IHWConfig
+from repro.quality import error_percent
+
+from report import emit
+
+SPEC_TOLERANCE = 1.25  # percent
+
+
+def _mitchell(name):
+    return IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+
+
+def _bt(bits):
+    return IHWConfig.units("mul").with_multiplier("truncated", truncation=bits)
+
+
+def test_fig21a_art_vigilance(benchmark):
+    reference = art.reference_run()
+    configs = {
+        "fp_tr0": _mitchell("fp_tr0"),
+        "fp_tr44": _mitchell("fp_tr44"),
+        "fp_tr48": _mitchell("fp_tr48"),
+        "lp_tr44": _mitchell("lp_tr44"),
+        "lp_tr48": _mitchell("lp_tr48"),
+        "bt_44": _bt(44),
+        "bt_47": _bt(47),
+        "bt_49": _bt(49),
+        "bt_50": _bt(50),
+    }
+    results = benchmark(
+        lambda: {name: art.run(cfg) for name, cfg in configs.items()}
+    )
+
+    lines = [f"precise vigilance: {reference.output[2]:.4f}"]
+    vigilance = {}
+    for name, result in results.items():
+        obj, _loc, v = result.output
+        vigilance[name] = v
+        lines.append(f"{name:8s} vigilance={v:7.4f}  recognized={obj}")
+        benchmark.extra_info[f"{name}_vigilance"] = v
+    emit("Figure 21(a) — 179.art vigilance vs configuration", lines)
+
+    # Configurable multiplier: slow slope, > 0.8 even at deep truncation.
+    for name in ("fp_tr44", "fp_tr48", "lp_tr48"):
+        assert vigilance[name] > 0.8
+        assert results[name].output[0] == "helicopter"
+    # Intuitive truncation: abrupt drop at deep truncation.
+    assert vigilance["bt_50"] < vigilance["bt_44"] - 0.1
+    assert vigilance["fp_tr48"] > vigilance["bt_49"]
+
+
+def test_fig21b_gromacs_error(benchmark):
+    reference = gromacs.reference_run()
+    configs = {
+        "fp_tr0": _mitchell("fp_tr0"),
+        "fp_tr40": _mitchell("fp_tr40"),
+        "fp_tr44": _mitchell("fp_tr44"),
+        "lp_tr40": _mitchell("lp_tr40"),
+        "lp_tr44": _mitchell("lp_tr44"),
+        "lp_tr48": _mitchell("lp_tr48"),
+        "bt_40": _bt(40),
+        "bt_44": _bt(44),
+        "bt_47": _bt(47),
+        "bt_49": _bt(49),
+    }
+    results = benchmark(
+        lambda: {name: gromacs.run(cfg) for name, cfg in configs.items()}
+    )
+
+    errors = {
+        name: error_percent(r.output[0], reference.output[0])
+        for name, r in results.items()
+    }
+    lines = [f"SPEC acceptance line: {SPEC_TOLERANCE}%"]
+    for name, err in errors.items():
+        flag = "PASS" if err < SPEC_TOLERANCE else "FAIL"
+        lines.append(f"{name:8s} err={err:7.3f}%  {flag}")
+        benchmark.extra_info[f"{name}_err_pct"] = err
+    emit("Figure 21(b) — 435.gromacs error% vs configuration", lines)
+
+    # Most configurable-multiplier points pass the SPEC line.
+    mitchell_errs = [errors[n] for n in configs if not n.startswith("bt")]
+    assert np.mean([e < SPEC_TOLERANCE for e in mitchell_errs]) >= 0.5
+    # Moderate configurations are comfortably within tolerance.
+    assert errors["fp_tr40"] < SPEC_TOLERANCE
+    # Deep intuitive truncation fails badly.
+    assert errors["bt_49"] > SPEC_TOLERANCE
+    assert errors["bt_49"] > errors["bt_40"]

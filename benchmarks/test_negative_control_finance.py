@@ -1,0 +1,60 @@
+"""Negative control: the application class the paper scopes OUT.
+
+Chapter 1: financial models "require extremely high accuracies ... where a
+small error would result in millions of dollars difference."  This bench
+prices a 512-option book on every headline configuration and shows the
+contrast that justifies the power-QUALITY (not power-performance) framing:
+the same hardware that saves 30% on HotSpot at invisible quality cost
+mis-prices options by hundreds to thousands of basis points.
+"""
+
+import numpy as np
+
+from repro.apps import blackscholes as bs
+from repro.core import IHWConfig
+
+from report import emit
+
+TOLERANCE_BPS = 1.0
+
+CONFIGS = {
+    "add only (TH=8)": IHWConfig.units("add"),
+    "fp_tr0 mul only": IHWConfig.units("mul").with_multiplier(
+        "mitchell", config="fp_tr0"
+    ),
+    "quadratic SFUs only": IHWConfig.units("rcp", "sqrt", "log2").with_sfu_mode(
+        "quadratic"
+    ),
+    "all Table-1 units": IHWConfig.all_imprecise(),
+}
+
+
+def test_negative_control_finance(benchmark):
+    reference = bs.reference_run()
+
+    def run_all():
+        return {name: bs.run(cfg) for name, cfg in CONFIGS.items()}
+
+    results = benchmark(run_all)
+
+    lines = [
+        f"book: {len(reference.output)} European calls, "
+        f"value ${reference.output.sum():,.0f}",
+        f"tolerance: {TOLERANCE_BPS} bp",
+        f"{'configuration':22s} {'median bps':>11s} {'max $/option':>13s}",
+    ]
+    bps = {}
+    for name, result in results.items():
+        err = np.abs(result.output - reference.output)
+        median_bps = float(np.median(err / np.maximum(reference.output, 0.01) * 1e4))
+        bps[name] = median_bps
+        lines.append(f"{name:22s} {median_bps:11.1f} {err.max():13.4f}")
+        benchmark.extra_info[f"{name}_bps"] = median_bps
+    emit("Negative control — Black-Scholes repricing error", lines)
+
+    # Every configuration fails the tolerance — imprecise hardware is an
+    # application-selective technique.
+    for name, value in bps.items():
+        assert value > TOLERANCE_BPS, name
+    # Severity ordering follows the units' error magnitudes.
+    assert bps["all Table-1 units"] > bps["fp_tr0 mul only"] > bps["add only (TH=8)"]

@@ -1,0 +1,62 @@
+"""Table 6: CPU and GPU benchmark summary.
+
+Regenerates the benchmark census: platform, precision, floating point
+multiplication counts, and the fraction of multiplications routed through
+the accuracy-configurable multiplier.  Absolute counts scale with our
+laptop-size inputs (the paper ran full SPEC/Rodinia inputs), so the checked
+shape is the *fractions* column and the mul-dominance ordering.
+"""
+
+from repro.apps import art, cp, gromacs, hotspot, raytrace, sphinx, srad
+from repro.core import IHWConfig
+from repro.hardware import TABLE6_BENCHMARKS
+
+from report import emit
+
+
+def _mul_stats(result):
+    c = result.counters
+    total = c.op_count("mul")
+    precise = c.precise_count("mul")
+    return total, (total - precise) / total if total else 0.0
+
+
+def test_table6_benchmark_summary(benchmark):
+    cfg = IHWConfig.units("mul")
+
+    def run_all():
+        return {
+            "hotspot": hotspot.run(cfg, 64, 64, 30),
+            "cp": cp.run(cfg, grid=48),
+            "raytracing": raytrace.run(cfg, 64, 64),
+            "179.art": art.run(cfg),
+            "435.gromacs": gromacs.run(cfg),
+            "482.sphinx": sphinx.run(cfg),
+        }
+
+    results = benchmark(run_all)
+
+    lines = [
+        f"{'benchmark':14s} {'platform':>8s} {'precision':>10s} {'FP muls':>10s} "
+        f"{'imprecise%':>11s} {'paper%':>7s}"
+    ]
+    for name, result in results.items():
+        muls, fraction = _mul_stats(result)
+        platform, precision, paper_muls, paper_frac, _metric = TABLE6_BENCHMARKS[name]
+        lines.append(
+            f"{name:14s} {platform:>8s} {precision:>10s} {muls:>10,d} "
+            f"{fraction:>10.0%} {paper_frac:>6.0%}"
+        )
+        benchmark.extra_info[f"{name}_mul_fraction"] = fraction
+    lines.append("(srad runs entirely imprecise in the Table-5 study)")
+    emit("Table 6 — benchmark summary", lines)
+
+    # CP pins ~20% of its multiplications precise (coordinate computation).
+    _, cp_frac = _mul_stats(results["cp"])
+    assert 0.65 <= cp_frac <= 0.85
+    # Every other benchmark routes essentially all multiplications.
+    for name in ("hotspot", "179.art", "435.gromacs", "482.sphinx"):
+        _, frac = _mul_stats(results[name])
+        assert frac > 0.95
+    # Mul counts are nonzero everywhere and the CPU benchmarks dominate.
+    assert all(_mul_stats(r)[0] > 0 for r in results.values())

@@ -1,0 +1,62 @@
+"""Table 7: 482.sphinx3 quality of results — words recognized out of 25.
+
+Paper columns: intuitive truncation (bt_44..49), full path (fp_tr0..48),
+log path (lp_tr0..48).  Published shape: the full path misrecognizes at
+most one word across every configuration; the log path is the weakest
+(down to 21/25); intuitive truncation holds until ~49 truncated bits.
+"""
+
+from repro.apps import sphinx
+from repro.core import IHWConfig
+from repro.hardware import TABLE7_SPHINX
+from repro.quality import word_accuracy
+
+from report import emit
+
+
+def _mitchell(name):
+    return IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+
+
+def _bt(bits):
+    return IHWConfig.units("mul").with_multiplier("truncated", truncation=bits)
+
+
+CONFIGS = {
+    **{f"bt_{tr}": _bt(tr) for tr in (44, 45, 46, 47, 48, 49)},
+    **{f"fp_tr{tr}": _mitchell(f"fp_tr{tr}") for tr in (0, 44, 45, 46, 47, 48)},
+    **{f"lp_tr{tr}": _mitchell(f"lp_tr{tr}") for tr in (0, 44, 45, 46, 47, 48)},
+}
+
+
+def test_table7_sphinx(benchmark):
+    reference = sphinx.reference_run()
+    truth = reference.extras["truth"]
+    assert word_accuracy(reference.output, truth) == (25, 25)
+
+    results = benchmark(
+        lambda: {name: sphinx.run(cfg) for name, cfg in CONFIGS.items()}
+    )
+
+    scores = {
+        name: word_accuracy(r.output, truth)[0] for name, r in results.items()
+    }
+    lines = [f"{'config':8s} {'ours':>6s} {'paper':>6s}"]
+    for name, score in scores.items():
+        lines.append(f"{name:8s} {score:>4d}/25 {TABLE7_SPHINX.get(name, '-'):>4}/25")
+        benchmark.extra_info[f"{name}_correct"] = score
+    emit("Table 7 — 482.sphinx3 words recognized", lines)
+
+    fp_scores = [scores[n] for n in scores if n.startswith("fp")]
+    lp_scores = [scores[n] for n in scores if n.startswith("lp")]
+    bt_shallow = [scores[f"bt_{t}"] for t in (44, 45, 46, 47, 48)]
+
+    # Full path: at most one miss anywhere (paper: >= 24/25).
+    assert min(fp_scores) >= 24
+    # Log path never beats the full path and is the weakest family.
+    assert max(lp_scores) <= max(fp_scores)
+    assert min(lp_scores) <= min(fp_scores)
+    assert min(lp_scores) >= 20  # paper floor: 21
+    # Intuitive truncation holds up at shallow depths, dips at bt_49.
+    assert min(bt_shallow) >= 24
+    assert scores["bt_49"] <= min(bt_shallow)

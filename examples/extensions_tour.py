@@ -1,0 +1,79 @@
+"""Tour of the future-work extensions (Chapter 6 made runnable).
+
+1. Measured error-sensitivity analysis replaces the hand-picked tuning
+   order.
+2. The automatic multiplier tuner finds the cheapest acceptable
+   configuration by binary search.
+3. The dual-mode multiplier integrates a precise mode and prices its duty
+   cycle.
+4. Quadratic SFUs add a second accuracy point to the special functions.
+5. IHW composes with DVFS for further savings.
+
+Run:  python examples/extensions_tour.py
+"""
+
+import numpy as np
+
+from repro import IHWConfig, PowerQualityFramework
+from repro.apps import raytrace
+from repro.core import DualModeMultiplier, MultiplierConfig
+from repro.erroranalysis import analyze_sensitivity
+from repro.gpu import DVFSPoint, combined_savings
+from repro.hardware import dual_mode_fp_multiplier, dw_rsqrt, ihw_rsqrt, quadratic_sfu
+from repro.quality import MultiplierAutoTuner, ssim
+
+SIZE = 56
+
+
+def main():
+    framework = PowerQualityFramework(
+        run_app=lambda cfg: raytrace.run(cfg, SIZE, SIZE, depth=1),
+        quality_metric=lambda out, ref: ssim(out, ref, data_range=1.0),
+    )
+    evaluate = framework.quality_evaluator()
+
+    print("=== 1. Measured error sensitivity (replaces the hand ordering) ===")
+    report = analyze_sensitivity(
+        evaluate, units=("mul", "rsqrt", "add", "sqrt", "rcp")
+    )
+    print(report.format_rows())
+    print(f"disable order for the tuner: {report.ranking()}\n")
+
+    print("=== 2. Automatic multiplier tuning (SSIM >= 0.85) ===")
+    tuner = MultiplierAutoTuner(evaluate, lambda q: q >= 0.85, max_truncation=22)
+    result = tuner.tune()
+    print(f"selected {result.multiplier.name}: quality {result.quality:.3f}, "
+          f"{result.power_mw:.2f} mW, {result.evaluations} evaluations\n")
+
+    print("=== 3. Dual-mode multiplier (precise-mode integration) ===")
+    dm = DualModeMultiplier(MultiplierConfig("full", 0))
+    a = np.full(80, 1.75, dtype=np.float32)
+    dm.multiply(a, a)                      # shading work, imprecise
+    dm.multiply(a[:20], a[:20], precise=True)  # geometry setup, precise
+    hw = dual_mode_fp_multiplier(32).metrics()
+    blended = dm.average_power_mw(hw.power_mw, 1.11)
+    print(f"duty cycle {dm.duty_cycle:.0%} imprecise -> "
+          f"{blended:.2f} mW average (precise-mode unit: {hw.power_mw:.2f} mW)\n")
+
+    print("=== 4. Quadratic SFUs (second accuracy point) ===")
+    lin_cfg = IHWConfig.units("rcp", "rsqrt", "sqrt")
+    for label, cfg in (("linear", lin_cfg),
+                       ("quadratic", lin_cfg.with_sfu_mode("quadratic"))):
+        ev = framework.evaluate(cfg)
+        print(f"  {label:10s} SSIM={ev.quality:.3f}")
+    print(f"  rsqrt unit power: linear {ihw_rsqrt(32).metrics().power_mw:.2f} mW, "
+          f"quadratic {quadratic_sfu(32).metrics().power_mw:.2f} mW, "
+          f"DWIP {dw_rsqrt(32).metrics().power_mw:.2f} mW\n")
+
+    print("=== 5. IHW x DVFS composition ===")
+    ihw = framework.evaluate(
+        IHWConfig.units("rcp", "add", "sqrt").with_multiplier(
+            "mitchell", config="fp_tr0"
+        )
+    ).savings.system_savings
+    for f in (1.0, 0.9, 0.8):
+        print(" ", combined_savings(ihw, DVFSPoint(f)).format_row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Explore the configurable multiplier's power-quality design space (Fig 14).
+
+Sweeps the log path, full path, and intuitive-truncation baseline at single
+and double precision, pairing each configuration's measured maximum error
+(quasi-Monte-Carlo) with its power reduction from the structural 45 nm
+gate-level model — the full Figure-14 Pareto picture in text form.
+
+Run:  python examples/multiplier_design_space.py
+"""
+
+import numpy as np
+
+from repro.core import MultiplierConfig
+from repro.erroranalysis import characterize_multiplier_config
+from repro.hardware import bt_fp_multiplier, dw_fp_multiplier, mitchell_fp_multiplier
+
+N = 1 << 15
+
+
+def sweep(bits: int):
+    dtype = np.float32 if bits == 32 else np.float64
+    dw = dw_fp_multiplier(bits).metrics().power_mw
+    mantissa = 23 if bits == 32 else 52
+    truncations = [0, mantissa // 4, mantissa // 2, int(mantissa * 0.82)]
+
+    print(f"\n=== {bits}-bit design space (DW baseline: {dw:.2f} mW) ===")
+    print(f"{'config':10s} {'power mW':>9s} {'reduction':>10s} {'eps_max':>9s} "
+          f"{'eps_mean':>9s}")
+    for path in ("full", "log"):
+        for tr in truncations:
+            cfg = MultiplierConfig(path, tr)
+            power = mitchell_fp_multiplier(bits, cfg).metrics().power_mw
+            pmf = characterize_multiplier_config(cfg, N, dtype=dtype)
+            print(f"{cfg.name:10s} {power:9.3f} {dw / power:9.1f}x "
+                  f"{pmf.stats.eps_max:9.2%} {pmf.stats.eps_mean:9.2%}")
+    for tr in truncations[1:]:
+        power = bt_fp_multiplier(bits, tr).metrics().power_mw
+        pmf = characterize_multiplier_config(f"bt_{tr}", N, dtype=dtype)
+        print(f"{'bt_' + str(tr):10s} {power:9.3f} {dw / power:9.1f}x "
+              f"{pmf.stats.eps_max:9.2%} {pmf.stats.eps_mean:9.2%}")
+
+
+def main():
+    print("Accuracy-configurable FP multiplier: power vs maximum error")
+    print("(paper anchors: >25x at ~18% for lp_tr19 fp32; 49x for fp64; "
+          "intuitive truncation stuck in single digits)")
+    sweep(32)
+    sweep(64)
+    print("\nReading: at any error level the Mitchell paths deliver several")
+    print("times the power reduction of intuitive bit truncation — the")
+    print("paper's conclusion that conventional truncation is suboptimal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: the imprecise arithmetic units and the instrumented context.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ArithmeticContext,
+    IHWConfig,
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+)
+from repro.erroranalysis import characterize_unit
+
+
+def main():
+    print("=== Individual imprecise units ===")
+    a, b = np.float32(1.75), np.float32(1.75)
+    print(f"precise   1.75 * 1.75 = {float(a) * float(b)}")
+    print(f"Table-1   1.75 * 1.75 = {imprecise_multiply(a, b)}   (drops Ma*Mb)")
+    print(f"log path  1.75 * 1.75 = {configurable_multiply(a, b, MultiplierConfig('log'))}")
+    print(f"full path 1.75 * 1.75 = {configurable_multiply(a, b, MultiplierConfig('full'))}")
+    print()
+    print(f"threshold adder (TH=8):  1024 + 0.5   = "
+          f"{imprecise_add(np.float32(1024.0), np.float32(0.5))} "
+          "(exponent gap > TH: small operand vanishes)")
+    print(f"linear SFU reciprocal:   1/3          = "
+          f"{imprecise_reciprocal(np.float32(3.0)):.6f} (true {1/3:.6f})")
+    print(f"linear SFU rsqrt:        1/sqrt(2)    = "
+          f"{imprecise_rsqrt(np.float32(2.0)):.6f} (true {2**-0.5:.6f})")
+
+    print("\n=== Instrumented context: kernels run against a configuration ===")
+    config = IHWConfig.units("rcp", "add", "sqrt")  # the Figure-17(b) setting
+    ctx = ArithmeticContext(config)
+    x = ctx.array(np.linspace(0.5, 8.0, 8))
+    y = ctx.mul(x, x)          # mul unit disabled -> precise
+    z = ctx.rcp(ctx.sqrt(y))   # both imprecise
+    print(f"config: {config.describe()}")
+    print(f"x:          {np.asarray(x)}")
+    print(f"rcp(sqrt(x^2)) = {np.asarray(z)}")
+    print(f"performance counters: {ctx.op_counts()}  by class: {ctx.counts_by_class()}")
+
+    print("\n=== Error characterization (Figure 8 style) ===")
+    pmf = characterize_unit("ifpmul", n_samples=1 << 15)
+    print(pmf.format_rows())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Low Power GPGPU Computation with Imprecise Hardware".
+
+A behavioral-model reproduction of Hang Zhang's DAC-2014 / UVa-thesis work:
+imprecise floating point and special function units, their error analysis
+and characterization, a 45 nm hardware PPA model, a GPU timing/power
+substrate standing in for GPGPU-Sim + GPUWattch, the benchmark
+applications, and the power-quality tradeoff framework that ties them
+together.
+
+Quick start::
+
+    import numpy as np
+    from repro import IHWConfig, ArithmeticContext
+
+    ctx = ArithmeticContext(IHWConfig.all_imprecise())
+    product = ctx.mul(np.float32(1.75), np.float32(1.75))  # 2.5, not 3.0625
+
+See :mod:`repro.framework` for the end-to-end evaluation flow and
+``examples/`` for runnable scenarios.
+"""
+
+from .core import (
+    ArithmeticContext,
+    IHWConfig,
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_divide,
+    imprecise_fma,
+    imprecise_log2,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    imprecise_sqrt,
+    imprecise_subtract,
+    truncated_multiply,
+)
+from .framework import Evaluation, PowerQualityFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArithmeticContext",
+    "Evaluation",
+    "IHWConfig",
+    "MultiplierConfig",
+    "PowerQualityFramework",
+    "__version__",
+    "configurable_multiply",
+    "imprecise_add",
+    "imprecise_divide",
+    "imprecise_fma",
+    "imprecise_log2",
+    "imprecise_multiply",
+    "imprecise_reciprocal",
+    "imprecise_rsqrt",
+    "imprecise_sqrt",
+    "imprecise_subtract",
+    "truncated_multiply",
+]

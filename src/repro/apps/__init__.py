@@ -1,0 +1,37 @@
+"""Benchmark applications: the paper's GPU and CPU workloads.
+
+GPU (single precision, Rodinia / ISPASS / Parboil ports):
+
+- :mod:`repro.apps.hotspot` — die thermal simulation,
+- :mod:`repro.apps.srad` — speckle-reducing anisotropic diffusion,
+- :mod:`repro.apps.raytrace` — Whitted ray tracer,
+- :mod:`repro.apps.cp` — Coulomb potential lattice.
+
+Extension (the Figure-5 motivation, on this paper's FP units):
+
+- :mod:`repro.apps.dct` — JPEG-style 8x8 DCT codec,
+- :mod:`repro.apps.blackscholes` — option pricing (the negative control:
+  the financial workload Chapter 1 scopes *out* of imprecise hardware).
+
+CPU (double precision, SPEC substitutes):
+
+- :mod:`repro.apps.art` — ART-2 neural network recognizer (179.art),
+- :mod:`repro.apps.gromacs` — Lennard-Jones MD (435.gromacs),
+- :mod:`repro.apps.sphinx` — isolated-word recognizer (482.sphinx3).
+"""
+
+from . import art, blackscholes, cp, dct, gromacs, hotspot, raytrace, sphinx, srad
+from .base import AppResult
+
+__all__ = [
+    "AppResult",
+    "art",
+    "blackscholes",
+    "cp",
+    "dct",
+    "gromacs",
+    "hotspot",
+    "raytrace",
+    "sphinx",
+    "srad",
+]

@@ -1,0 +1,185 @@
+"""HotSpot processor thermal simulation (Rodinia benchmark port).
+
+HotSpot [Skadron et al., ISCA 2003] iteratively solves the die heat
+equation on a grid: each cell's temperature moves toward equilibrium with
+its four neighbors, the heat sink, and its own dissipated power.  The
+Rodinia CUDA kernel computes, per cell and time step,
+
+    T' = T + step/cap * ( P
+                          + (T_n + T_s - 2T) / Ry
+                          + (T_e + T_w - 2T) / Rx
+                          + (T_amb - T)      / Rz )
+
+The kernel is floating point add/mul dominated (the resistances are
+precomputed scalars), which is why the paper reports 91.5% arithmetic power
+savings and ~32% system savings with all IHW units on, at a mean absolute
+error of only ~0.05 K — the iteration averages the arithmetic errors out.
+
+The power map is a synthetic floor plan with a few high-power blocks
+("hot spots"), standing in for the Rodinia input traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IHWConfig
+
+from .base import AppResult, finish, make_context
+
+__all__ = ["default_power_map", "run", "reference_run"]
+
+# Physical constants from the Rodinia HotSpot configuration.
+_AMBIENT = 80.0 + 273.15  # interface temperature (K)
+_INITIAL = 60.0 + 273.15
+_CHIP_HEIGHT = 0.016  # m
+_CHIP_WIDTH = 0.016
+_T_CHIP = 0.0005  # die thickness (m)
+_CAP_FACTOR = 0.5
+_SPEC_HEAT = 1.75e6
+_K_SI = 100.0
+_MAX_PD = 3.0e6
+
+
+def default_power_map(rows: int, cols: int, seed: int = 7) -> np.ndarray:
+    """Synthetic floor plan power map: a few hot blocks on a cool die.
+
+    Block power scales with cell area so the total die power (and thus the
+    temperature range) is grid-size independent.
+    """
+    rng = np.random.default_rng(seed)
+    cell_scale = (64.0 / rows) * (64.0 / cols)
+    power = np.full((rows, cols), 0.5 * cell_scale, dtype=np.float32)
+    n_blocks = max(2, rows // 16)
+    for _ in range(n_blocks):
+        r0 = rng.integers(0, max(rows - rows // 6, 1))
+        c0 = rng.integers(0, max(cols - cols // 6, 1))
+        h = max(rows // 8, 2)
+        w = max(cols // 8, 2)
+        power[r0 : r0 + h, c0 : c0 + w] = rng.uniform(4.0, 9.0) * cell_scale
+    return power
+
+
+def _coefficients(rows: int, cols: int):
+    """Grid-dependent thermal RC constants (host-side precomputation)."""
+    grid_height = _CHIP_HEIGHT / rows
+    grid_width = _CHIP_WIDTH / cols
+    cap = _CAP_FACTOR * _SPEC_HEAT * _T_CHIP * grid_width * grid_height
+    rx = grid_width / (2.0 * _K_SI * _T_CHIP * grid_height)
+    ry = grid_height / (2.0 * _K_SI * _T_CHIP * grid_width)
+    rz = _T_CHIP / (_K_SI * grid_height * grid_width)
+    max_slope = _MAX_PD / (_SPEC_HEAT * _T_CHIP)
+    step = 0.001 / max_slope
+    return {
+        "step_div_cap": np.float32(step / cap),
+        "rx_inv": np.float32(1.0 / rx),
+        "ry_inv": np.float32(1.0 / ry),
+        "rz_inv": np.float32(1.0 / rz),
+    }
+
+
+def _pad_edges(t: np.ndarray) -> tuple:
+    """Neighbor views with edge replication (adiabatic die boundary)."""
+    north = np.vstack([t[:1, :], t[:-1, :]])
+    south = np.vstack([t[1:, :], t[-1:, :]])
+    west = np.hstack([t[:, :1], t[:, :-1]])
+    east = np.hstack([t[:, 1:], t[:, -1:]])
+    return north, south, east, west
+
+
+def initial_temperature(
+    rows: int, cols: int, power_map: np.ndarray, settle_iterations: int = 400
+) -> np.ndarray:
+    """Near-steady-state temperature map (the Rodinia ``temp.dat`` input).
+
+    Rodinia's HotSpot starts from a measured temperature trace and
+    simulates a transient on top of it; this computes the equivalent by
+    settling the precise update from a uniform die (host-side, precise).
+    Results are memoized per (grid, power map) since precise and imprecise
+    runs share the same starting trace.
+    """
+    key = (rows, cols, settle_iterations, power_map.tobytes())
+    cached = _INITIAL_CACHE.get(key)
+    if cached is not None:
+        return cached.copy()
+    coeff = _coefficients(rows, cols)
+    temp = np.full((rows, cols), _INITIAL, dtype=np.float64)
+    power = power_map.astype(np.float64)
+    for _ in range(settle_iterations):
+        north, south, east, west = _pad_edges(temp)
+        flux = (
+            power
+            + (north + south - 2.0 * temp) * float(coeff["ry_inv"])
+            + (east + west - 2.0 * temp) * float(coeff["rx_inv"])
+            + (_AMBIENT - temp) * float(coeff["rz_inv"])
+        )
+        temp = temp + float(coeff["step_div_cap"]) * flux
+    result = temp.astype(np.float32)
+    if len(_INITIAL_CACHE) > 8:
+        _INITIAL_CACHE.clear()
+    _INITIAL_CACHE[key] = result
+    return result.copy()
+
+
+_INITIAL_CACHE: dict = {}
+
+
+def run(
+    config: IHWConfig | None = None,
+    rows: int = 64,
+    cols: int = 64,
+    iterations: int = 40,
+    power_map: np.ndarray | None = None,
+    use_fma: bool = False,
+) -> AppResult:
+    """Simulate the die temperature field and return the final grid (K).
+
+    ``use_fma=True`` fuses the final scale-and-accumulate into the FMA unit
+    (``T' = fma(step/cap, total, T)``), the form the CUDA compiler emits
+    with mad contraction — an ablation of the imprecise FMA path.
+    """
+    if rows < 4 or cols < 4:
+        raise ValueError(f"grid too small: {rows}x{cols}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    ctx = make_context(config)
+    if power_map is None:
+        power_map = default_power_map(rows, cols)
+    if power_map.shape != (rows, cols):
+        raise ValueError(
+            f"power map shape {power_map.shape} does not match grid {rows}x{cols}"
+        )
+
+    coeff = _coefficients(rows, cols)
+    power = ctx.array(power_map)
+    temp = ctx.array(initial_temperature(rows, cols, power_map))
+    ambient = np.float32(_AMBIENT)
+
+    for _ in range(iterations):
+        north, south, east, west = _pad_edges(temp)
+        two_t = ctx.add(temp, temp)
+        flux_y = ctx.mul(coeff["ry_inv"], ctx.sub(ctx.add(north, south), two_t))
+        flux_x = ctx.mul(coeff["rx_inv"], ctx.sub(ctx.add(east, west), two_t))
+        flux_z = ctx.mul(coeff["rz_inv"], ctx.sub(ambient, temp))
+        total = ctx.add(ctx.add(power, flux_y), ctx.add(flux_x, flux_z))
+        if use_fma:
+            temp = ctx.fma(coeff["step_div_cap"], total, temp)
+        else:
+            temp = ctx.add(temp, ctx.mul(coeff["step_div_cap"], total))
+
+    cells = rows * cols
+    return finish(
+        "hotspot",
+        np.asarray(temp, dtype=np.float64),
+        ctx,
+        int_ops=3 * cells * iterations,  # index arithmetic
+        mem_ops=2 * cells * iterations,  # shared-memory tiled: ~2 global ops
+        ctrl_ops=cells * iterations // 8,
+        threads=cells,
+    )
+
+
+def reference_run(rows: int = 64, cols: int = 64, iterations: int = 40,
+                  power_map: np.ndarray | None = None) -> AppResult:
+    """The precise baseline execution."""
+    return run(None, rows=rows, cols=cols, iterations=iterations, power_map=power_map)

@@ -1,0 +1,194 @@
+"""482.sphinx3 — isolated-word speech recognition (SPEC2006 substitute).
+
+SPEC's 482.sphinx3 runs the CMU Sphinx-3 decoder; the paper scores 5 AN4
+audio streams containing 25 words total and counts the words recognized
+correctly under each multiplier configuration (Table 7).
+
+This port keeps the decoder's numerical core: acoustic scoring of cepstral
+feature frames against per-word Gaussian models.  Each vocabulary word has
+a deterministic prototype feature sequence (frames x coefficients); test
+utterances are noisy renditions; recognition picks the word whose
+diagonal-Gaussian log-likelihood (sum over frames of precision-weighted
+squared differences) is highest.  The vocabulary contains acoustically
+confusable word clusters, as AN4's short words are, so small arithmetic
+perturbations can flip the closest competitors — the effect Table 7
+measures.
+
+All scoring arithmetic is double precision through the instrumented context
+(the benchmark's 15.6 billion FP multiplications in Table 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IHWConfig
+
+from .base import AppResult, finish, make_context
+
+__all__ = ["VOCABULARY", "word_prototype", "make_utterances", "run", "reference_run"]
+
+_FRAMES = 12
+_COEFFS = 8
+
+#: 25-word test vocabulary in confusable clusters (digit-like short words).
+VOCABULARY = (
+    "one", "won", "wan",
+    "two", "too", "to",
+    "three", "tree",
+    "four", "for", "fore",
+    "five", "hive",
+    "six", "sick",
+    "seven", "heaven",
+    "eight", "ate",
+    "nine", "line",
+    "zero", "hero",
+    "oh", "owe",
+)
+
+_CLUSTERS = (
+    (0, 1, 2), (3, 4, 5), (6, 7), (8, 9, 10), (11, 12),
+    (13, 14), (15, 16), (17, 18), (19, 20), (21, 22), (23, 24),
+)
+
+
+def word_prototype(index: int) -> np.ndarray:
+    """Deterministic prototype features of vocabulary word ``index``.
+
+    Words in the same confusable cluster share a base pattern and differ by
+    a small deterministic offset, mirroring acoustically close words.
+    """
+    if not 0 <= index < len(VOCABULARY):
+        raise ValueError(f"word index out of range: {index}")
+    cluster = next(i for i, c in enumerate(_CLUSTERS) if index in c)
+    within = _CLUSTERS[cluster].index(index)
+    t = np.arange(_FRAMES)[:, None]
+    d = np.arange(_COEFFS)[None, :]
+    base = np.sin(0.35 * (cluster + 1) * t + 0.8 * d) + 0.5 * np.cos(
+        0.21 * (cluster + 2) * d * (t + 1)
+    )
+    rng = np.random.default_rng(1000 + cluster * 10 + within)
+    offset = rng.normal(0.0, 0.22, (_FRAMES, _COEFFS))
+    return (base + offset).astype(np.float64)
+
+
+#: Tokens spoken ambiguously: (word index, competitor index, relative score
+#: margin).  The features sit close to the decision boundary between the
+#: two word models — like AN4's genuinely confusable short words — with a
+#: controlled relative margin on the correct side, so arithmetic
+#: perturbations of increasing severity flip more of them.
+_BOUNDARY_TOKENS = (
+    (1, 0, 0.0008),
+    (4, 3, 0.0016),
+    (9, 8, 0.003),
+    (12, 11, 0.006),
+    (16, 15, 0.010),
+    (20, 19, 0.018),
+    (22, 21, 0.032),
+)
+
+_PRECISION_SEED = 77
+
+
+def model_precisions() -> np.ndarray:
+    """Diagonal Gaussian precisions shared by all word models."""
+    rng = np.random.default_rng(_PRECISION_SEED)
+    return rng.uniform(0.6, 1.6, (_FRAMES, _COEFFS))
+
+
+def _boundary_features(true_idx: int, other_idx: int, margin: float,
+                       rng) -> np.ndarray:
+    """A feature vector near the decision boundary between two words.
+
+    The token lies on the precision-weighted bisecting hyperplane plus a
+    large boundary-parallel utterance component (so the two competing
+    score computations see unrelated operand mantissas), then backs off
+    toward the true word by ``margin`` (relative to the true score).
+    """
+    a = word_prototype(true_idx).ravel()
+    b = word_prototype(other_idx).ravel()
+    p = model_precisions().ravel()
+    delta = b - a
+    w = rng.normal(0.0, 0.5, a.shape)
+    # Remove the p-weighted component of w along delta: f0 = midpoint + w
+    # then scores against a and b are equal.
+    w -= (p * w * delta).sum() / (p * delta * delta).sum() * delta
+    f0 = 0.5 * (a + b) + w
+    score_true = float((p * (f0 - a) ** 2).sum())
+    energy = float((p * delta * delta).sum())
+    # D(gamma) = sum p (f-b)^2 - sum p (f-a)^2 shifts by -2 gamma energy.
+    gamma = -margin * score_true / (2.0 * energy)
+    return (f0 + gamma * delta).reshape(_FRAMES, _COEFFS)
+
+
+def make_utterances(noise: float = 0.25, seed: int = 21) -> list:
+    """The 5 test streams (25 word tokens): (true index, features).
+
+    Most tokens are the word prototype plus sensor noise; the boundary
+    tokens are near-ambiguous renditions between two word models.
+    """
+    rng = np.random.default_rng(seed)
+    boundary = {w: (other, margin) for w, other, margin in _BOUNDARY_TOKENS}
+    utterances = []
+    for index in range(len(VOCABULARY)):
+        if index in boundary:
+            other, margin = boundary[index]
+            features = _boundary_features(index, other, margin, rng)
+        else:
+            features = word_prototype(index) + rng.normal(
+                0.0, noise, (_FRAMES, _COEFFS)
+            )
+        utterances.append((index, features))
+    return utterances
+
+
+def _log_likelihood(ctx, features, prototype, precision):
+    """Diagonal-Gaussian frame score: ``-sum(prec * (x - mu)^2)``."""
+    diff = ctx.sub(features.ravel(), prototype.ravel())
+    weighted = ctx.mul(ctx.mul(diff, diff), precision.ravel())
+    total = ctx.add(weighted[::2], weighted[1::2])
+    while total.size > 1:
+        if total.size % 2:
+            total = np.concatenate([total, [np.float64(0.0)]])
+        total = ctx.add(total[::2], total[1::2])
+    return -float(total[0])
+
+
+def run(
+    config: IHWConfig | None = None,
+    noise: float = 0.25,
+    seed: int = 21,
+) -> AppResult:
+    """Decode the 25 test words; output the recognized index list."""
+    ctx = make_context(config, dtype=np.float64)
+    prototypes = [ctx.array(word_prototype(i)) for i in range(len(VOCABULARY))]
+    precision = ctx.array(model_precisions())
+    utterances = make_utterances(noise=noise, seed=seed)
+
+    recognized = []
+    for _, features in utterances:
+        feats = ctx.array(features)
+        scores = [
+            _log_likelihood(ctx, feats, proto, precision) for proto in prototypes
+        ]
+        recognized.append(int(np.argmax(scores)))
+
+    truth = [index for index, _ in utterances]
+    n_tokens = len(utterances)
+    n_scores = n_tokens * len(VOCABULARY)
+    frame_ops = _FRAMES * _COEFFS
+    return finish(
+        "482.sphinx",
+        recognized,
+        ctx,
+        int_ops=n_scores * frame_ops // 2,
+        mem_ops=n_scores * frame_ops,
+        ctrl_ops=n_scores * 4,
+        threads=n_tokens,
+        extras={"truth": truth},
+    )
+
+
+def reference_run(**kwargs) -> AppResult:
+    """The precise baseline decode."""
+    return run(None, **kwargs)

@@ -1,0 +1,397 @@
+"""Command line interface: run the paper's experiments from a shell.
+
+Usage (after installation)::
+
+    python -m repro list
+    python -m repro info
+    python -m repro characterize ifpmul --samples 100000
+    python -m repro characterize lp_tr19 --samples 100000
+    python -m repro evaluate hotspot --config all --rows 96 --iterations 40
+    python -m repro evaluate raytracing --config rcp,add,sqrt --size 96
+    python -m repro sweep-multiplier --bits 32
+    python -m repro sensitivity raytracing --size 48
+
+Every command prints a plain-text report; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: Units accepted by ``--config`` beyond the unit-name list.
+_CONFIG_ALIASES = ("all", "precise")
+
+
+def _parse_config(spec: str, threshold: int, multiplier: str | None, sfu_mode: str):
+    from repro.core import IHWConfig
+
+    if spec == "all":
+        config = IHWConfig.all_imprecise(adder_threshold=threshold)
+    elif spec == "precise":
+        config = IHWConfig.precise()
+    else:
+        units = tuple(u.strip() for u in spec.split(",") if u.strip())
+        config = IHWConfig.units(*units, adder_threshold=threshold)
+    if multiplier:
+        if multiplier.startswith("bt_"):
+            config = config.with_multiplier(
+                "truncated", truncation=int(multiplier[3:])
+            )
+        else:
+            config = config.with_multiplier("mitchell", config=multiplier)
+    if sfu_mode != "linear":
+        config = config.with_sfu_mode(sfu_mode)
+    return config
+
+
+def _app_registry():
+    """App name -> (runner factory, default quality metric, metric name)."""
+    from repro.apps import cp, hotspot, raytrace, srad
+    from repro.quality import mae, ssim
+
+    def hotspot_runner(args):
+        return lambda cfg: hotspot.run(cfg, args.rows, args.rows, args.iterations)
+
+    def srad_runner(args):
+        return lambda cfg: srad.run(cfg, args.rows, args.rows, args.iterations)
+
+    def ray_runner(args):
+        return lambda cfg: raytrace.run(cfg, args.size, args.size)
+
+    def cp_runner(args):
+        return lambda cfg: cp.run(cfg, grid=args.size)
+
+    ssim_metric = lambda out, ref: ssim(out, ref, data_range=1.0)  # noqa: E731
+    return {
+        "hotspot": (hotspot_runner, mae, "MAE (K)"),
+        "srad": (srad_runner, mae, "MAE"),
+        "raytracing": (ray_runner, ssim_metric, "SSIM"),
+        "cp": (cp_runner, mae, "MAE"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_list(args, out) -> int:
+    from repro.framework import EXPERIMENTS
+
+    print(f"{'id':8s} {'bench':45s} title", file=out)
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.id:8s} {exp.bench:45s} {exp.title}", file=out)
+    print(f"\n{len(EXPERIMENTS)} experiments; run them with "
+          "`pytest benchmarks/ --benchmark-only -s`.", file=out)
+    return 0
+
+
+def cmd_info(args, out) -> int:
+    from repro import __version__
+    from repro.gpu import FERMI_GTX480
+    from repro.hardware import HardwareLibrary
+
+    print(f"repro {__version__} — Low Power GPGPU Computation with "
+          "Imprecise Hardware (DAC 2014)", file=out)
+    cfg = FERMI_GTX480
+    print(f"\nsimulated GPU: {cfg.num_sms} SMs x {cfg.fpu_lanes} lanes @ "
+          f"{cfg.clock_ghz} GHz ({cfg.peak_gflops():.0f} GFLOPS peak)", file=out)
+    print("\n45 nm hardware library (paper-calibrated):", file=out)
+    print(HardwareLibrary.paper_45nm().table(), file=out)
+    return 0
+
+
+def cmd_characterize(args, out) -> int:
+    from repro.erroranalysis import (
+        UNIT_CHARACTERIZATIONS,
+        characterize_multiplier_config,
+        characterize_unit,
+    )
+
+    dtype = np.float64 if args.double else np.float32
+    if args.unit in UNIT_CHARACTERIZATIONS:
+        pmf = characterize_unit(args.unit, args.samples, dtype=dtype)
+    else:
+        try:
+            pmf = characterize_multiplier_config(
+                args.unit, args.samples, dtype=dtype
+            )
+        except ValueError:
+            known = sorted(UNIT_CHARACTERIZATIONS) + ["lp_trN", "fp_trN", "bt_N"]
+            print(f"unknown unit {args.unit!r}; expected one of {known}",
+                  file=sys.stderr)
+            return 2
+    print(pmf.format_rows(), file=out)
+    print(f"\n{pmf.stats}", file=out)
+    return 0
+
+
+def cmd_evaluate(args, out) -> int:
+    from repro.framework import PowerQualityFramework
+
+    registry = _app_registry()
+    if args.app not in registry:
+        print(f"unknown app {args.app!r}; expected one of {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    runner_factory, metric, metric_name = registry[args.app]
+    try:
+        config = _parse_config(args.config, args.threshold, args.multiplier,
+                               args.sfu_mode)
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
+
+    framework = PowerQualityFramework(
+        run_app=runner_factory(args), quality_metric=metric
+    )
+    evaluation = framework.evaluate(config)
+    breakdown = framework.reference_breakdown
+    print(f"application: {args.app}", file=out)
+    print(f"configuration: {config.describe()}", file=out)
+    print(f"quality ({metric_name}): {evaluation.quality:.5g}", file=out)
+    print(f"FPU+SFU power share: {breakdown.arithmetic_share:.1%}", file=out)
+    print(evaluation.savings.format_row(), file=out)
+    return 0
+
+
+def cmd_sweep_multiplier(args, out) -> int:
+    from repro.core import MultiplierConfig
+    from repro.erroranalysis import characterize_multiplier_config
+    from repro.hardware import bt_fp_multiplier, dw_fp_multiplier, mitchell_fp_multiplier
+
+    bits = args.bits
+    dtype = np.float32 if bits == 32 else np.float64
+    mantissa = 23 if bits == 32 else 52
+    dw = dw_fp_multiplier(bits).metrics().power_mw
+    truncations = sorted({0, mantissa // 4, mantissa // 2, int(mantissa * 0.82)})
+
+    print(f"{'config':10s} {'power mW':>9s} {'reduction':>10s} {'eps_max':>9s}",
+          file=out)
+    for path in ("full", "log"):
+        for tr in truncations:
+            cfg = MultiplierConfig(path, tr)
+            power = mitchell_fp_multiplier(bits, cfg).metrics().power_mw
+            pmf = characterize_multiplier_config(cfg, args.samples, dtype=dtype)
+            print(f"{cfg.name:10s} {power:9.3f} {dw / power:9.1f}x "
+                  f"{pmf.stats.eps_max:9.2%}", file=out)
+    for tr in truncations[1:]:
+        power = bt_fp_multiplier(bits, tr).metrics().power_mw
+        pmf = characterize_multiplier_config(f"bt_{tr}", args.samples, dtype=dtype)
+        print(f"{'bt_' + str(tr):10s} {power:9.3f} {dw / power:9.1f}x "
+              f"{pmf.stats.eps_max:9.2%}", file=out)
+    return 0
+
+
+def cmd_verify(args, out) -> int:
+    from repro.core import MultiplierConfig
+    from repro.hdl import cosimulate
+
+    runs = [
+        ("table1_mul", {}, 0),
+        ("threshold_add", {"threshold": args.threshold}, 0),
+        ("mitchell_mul", {"config": MultiplierConfig("log", 0)}, 0),
+        ("mitchell_mul", {"config": MultiplierConfig("full", 0)}, 0),
+    ]
+    failures = 0
+    for unit, kwargs, tol in runs:
+        result = cosimulate(unit, args.bits, n_random=args.samples, **kwargs)
+        tolerance = tol if args.bits == 32 else max(tol, 1)
+        ok = result.within(tolerance)
+        failures += not ok
+        print(f"{result.summary()}  (tolerance {tolerance} ulp) "
+              f"{'OK' if ok else 'FAIL'}", file=out)
+    return 1 if failures else 0
+
+
+def cmd_stalls(args, out) -> int:
+    """Issue/stall breakdown of an application's representative window."""
+    from repro.gpu import profile_kernel_stalls
+
+    registry = _app_registry()
+    if args.app not in registry:
+        print(f"unknown app {args.app!r}; expected one of {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    runner_factory, _metric, _name = registry[args.app]
+    result = runner_factory(args)(None)
+    profile = profile_kernel_stalls(result.counters)
+    print(f"application: {args.app} (precise run, "
+          f"{result.counters.total_scalar_ops():,} scalar ops)", file=out)
+    print(profile.format_rows(), file=out)
+    return 0
+
+
+def cmd_sweep_app(args, out) -> int:
+    """Sweep multiplier configurations over a CPU benchmark (Fig 21/Table 7)."""
+    from repro.apps import art, gromacs, sphinx
+    from repro.core import IHWConfig
+    from repro.quality import error_percent, word_accuracy
+
+    apps = {"art": art, "gromacs": gromacs, "sphinx": sphinx}
+    if args.app not in apps:
+        print(f"unknown app {args.app!r}; expected one of {sorted(apps)}",
+              file=sys.stderr)
+        return 2
+    module = apps[args.app]
+    reference = module.reference_run()
+
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    print(f"application: {args.app} (precise reference computed)", file=out)
+    for name in configs:
+        try:
+            if name.startswith("bt_"):
+                cfg = IHWConfig.units("mul").with_multiplier(
+                    "truncated", truncation=int(name[3:])
+                )
+            else:
+                cfg = IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+        except ValueError as exc:
+            print(f"bad configuration {name!r}: {exc}", file=sys.stderr)
+            return 2
+        result = module.run(cfg)
+        if args.app == "art":
+            obj, _loc, vigilance = result.output
+            print(f"{name:10s} recognized={obj:12s} vigilance={vigilance:.4f}",
+                  file=out)
+        elif args.app == "gromacs":
+            err = error_percent(result.output[0], reference.output[0])
+            verdict = "PASS" if err < 1.25 else "FAIL"
+            print(f"{name:10s} energy err={err:7.3f}%  {verdict} (1.25% line)",
+                  file=out)
+        else:
+            correct, total = word_accuracy(result.output, reference.extras["truth"])
+            print(f"{name:10s} words recognized={correct}/{total}", file=out)
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.reporting import generate_report
+
+    text = generate_report(fast=args.fast)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_sensitivity(args, out) -> int:
+    from repro.erroranalysis import analyze_sensitivity
+    from repro.framework import PowerQualityFramework
+
+    registry = _app_registry()
+    if args.app not in registry:
+        print(f"unknown app {args.app!r}; expected one of {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    runner_factory, metric, metric_name = registry[args.app]
+    framework = PowerQualityFramework(
+        run_app=runner_factory(args), quality_metric=metric
+    )
+    higher_is_better = args.app == "raytracing"
+    report = analyze_sensitivity(
+        framework.quality_evaluator(), higher_is_better=higher_is_better
+    )
+    print(f"application: {args.app} (metric: {metric_name})", file=out)
+    print(report.format_rows(), file=out)
+    print(f"\nsuggested disable order: {', '.join(report.ranking())}", file=out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Imprecise-hardware GPGPU power-quality experiments (DAC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible tables and figures")
+    sub.add_parser("info", help="show the machine and hardware library")
+
+    p = sub.add_parser("characterize", help="error-characterize one unit")
+    p.add_argument("unit", help="unit (ifpmul, ircp, ...) or config (lp_tr19, bt_21)")
+    p.add_argument("--samples", type=int, default=1 << 17)
+    p.add_argument("--double", action="store_true", help="binary64 operands")
+
+    p = sub.add_parser("evaluate", help="power-quality evaluation of an app")
+    p.add_argument("app", help="hotspot | srad | raytracing | cp")
+    p.add_argument("--config", default="all",
+                   help="'all', 'precise', or comma-separated units")
+    p.add_argument("--multiplier", default=None,
+                   help="multiplier config: fp_trN / lp_trN / bt_N")
+    p.add_argument("--threshold", type=int, default=8, help="adder TH")
+    p.add_argument("--sfu-mode", default="linear", choices=("linear", "quadratic"))
+    p.add_argument("--rows", type=int, default=64, help="grid rows (hotspot/srad)")
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--size", type=int, default=64, help="image/grid size (ray/cp)")
+
+    p = sub.add_parser("sweep-multiplier", help="Figure-14 design-space sweep")
+    p.add_argument("--bits", type=int, default=32, choices=(32, 64))
+    p.add_argument("--samples", type=int, default=1 << 14)
+
+    p = sub.add_parser("sensitivity", help="per-unit quality sensitivity of an app")
+    p.add_argument("app", help="hotspot | srad | raytracing | cp")
+    p.add_argument("--rows", type=int, default=48)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--size", type=int, default=48)
+
+    p = sub.add_parser("verify", help="co-simulate behavioral vs HDL datapaths")
+    p.add_argument("--bits", type=int, default=32, choices=(32, 64))
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--threshold", type=int, default=8)
+
+    p = sub.add_parser("stalls", help="issue/stall breakdown of an app's kernel")
+    p.add_argument("app", help="hotspot | srad | raytracing | cp")
+    p.add_argument("--rows", type=int, default=48)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--size", type=int, default=48)
+
+    p = sub.add_parser(
+        "sweep-app", help="multiplier sweep over a CPU benchmark (Fig 21/Table 7)"
+    )
+    p.add_argument("app", help="art | gromacs | sphinx")
+    p.add_argument(
+        "--configs",
+        default="fp_tr0,fp_tr44,lp_tr44,bt_44,bt_49",
+        help="comma-separated configurations (fp_trN / lp_trN / bt_N)",
+    )
+
+    p = sub.add_parser("report", help="generate the full markdown report")
+    p.add_argument("--fast", action="store_true", help="smoke-test scale")
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "info": cmd_info,
+    "characterize": cmd_characterize,
+    "evaluate": cmd_evaluate,
+    "sweep-multiplier": cmd_sweep_multiplier,
+    "sensitivity": cmd_sensitivity,
+    "verify": cmd_verify,
+    "stalls": cmd_stalls,
+    "sweep-app": cmd_sweep_app,
+    "report": cmd_report,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

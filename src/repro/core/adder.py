@@ -1,0 +1,189 @@
+"""Imprecise floating point adder/subtractor with structural threshold ``TH``.
+
+The IEEE-754 adder aligns the smaller operand's mantissa with a full-width
+right shifter before the mantissa addition.  The imprecise adder replaces the
+27-bit shifter and adder with a ``TH``-bit shifter and a ``(TH+1)``-bit adder
+(Chapter 3.1):
+
+- if the exponent difference ``d`` exceeds ``TH``, the smaller operand's
+  mantissa is effectively zero and the result equals the larger operand;
+- otherwise the shifted mantissa keeps only its top ``TH`` fraction bits at
+  the scale of the larger exponent (equation (7): with ``TH = 3``, ``d = 1``,
+  ``b = 1.x1 x2 x3 x4 x5`` aligns to ``b' = 0.1 x1 x2 000``).
+
+Rounding circuits are removed (truncation) and subnormals flush to zero.
+The worst-case relative error for effective additions with ``TH = 8`` is
+below 0.785% (Chapter 4.1.1, cases a-c); effective subtractions of nearly
+equal operands (case d) have unbounded *relative* error but tiny absolute
+error.
+
+The emulation is an exact integer-datapath model.  Working precision is
+``mantissa_bits + TH`` bits in ``int64``, which supports the paper's full
+``TH`` range of [1, 27] for binary32 and ``TH`` up to 8 for binary64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floatops import FloatFormat, compose, decompose, format_for_dtype
+
+__all__ = [
+    "imprecise_add",
+    "imprecise_subtract",
+    "DEFAULT_THRESHOLD",
+    "max_threshold",
+]
+
+#: The paper's reference configuration (eps_max < 0.785% for additions).
+DEFAULT_THRESHOLD = 8
+
+
+def max_threshold(dtype) -> int:
+    """Largest supported ``TH`` for the given dtype in this emulation."""
+    fmt = format_for_dtype(dtype)
+    # int64 working mantissas: need mantissa_bits + TH + 2 bits of headroom,
+    # which allows the paper's full [1, 27] range for binary32 and TH <= 8
+    # for binary64.
+    return min(27, 62 - fmt.mantissa_bits - 2)
+
+
+def _special_add(a, b, fmt: FloatFormat):
+    """Mask and values for NaN/inf special cases of an addition."""
+    nan = np.isnan(a) | np.isnan(b)
+    # inf + (-inf) is NaN.
+    conflicting = np.isinf(a) & np.isinf(b) & (np.signbit(a) != np.signbit(b))
+    nan = nan | conflicting
+    inf = (np.isinf(a) | np.isinf(b)) & ~nan
+    inf_sign = np.where(np.isinf(a), np.signbit(a), np.signbit(b))
+    vals = np.where(
+        nan,
+        np.array(np.nan, fmt.dtype),
+        np.where(inf_sign, -np.inf, np.inf).astype(fmt.dtype),
+    )
+    return nan | inf, vals.astype(fmt.dtype)
+
+
+def imprecise_add(a, b, threshold: int = DEFAULT_THRESHOLD, dtype=np.float32) -> np.ndarray:
+    """Compute ``a + b`` with the imprecise threshold adder.
+
+    Parameters
+    ----------
+    a, b:
+        Array-like operands; converted to ``dtype``.
+    threshold:
+        Structural parameter ``TH`` in ``[1, max_threshold(dtype)]``.
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+    """
+    fmt = format_for_dtype(dtype)
+    if not 1 <= threshold <= max_threshold(dtype):
+        raise ValueError(
+            f"threshold must be in [1, {max_threshold(dtype)}] for {fmt.name}, "
+            f"got {threshold}"
+        )
+    a = np.asarray(a, dtype=fmt.dtype)
+    b = np.asarray(b, dtype=fmt.dtype)
+    a, b = np.broadcast_arrays(a, b)
+
+    sign_a, exp_a, frac_a = decompose(a, fmt)
+    sign_b, exp_b, frac_b = decompose(b, fmt)
+
+    # Subnormal inputs flush to zero.
+    a_zero = exp_a == 0
+    b_zero = exp_b == 0
+
+    special_mask, special_vals = _special_add(a, b, fmt)
+
+    # Swap so that operand "x" has the larger magnitude exponent (ties keep
+    # larger mantissa in "x" so the effective subtraction result sign is the
+    # sign of x).
+    exp_ai = exp_a.astype(np.int64)
+    exp_bi = exp_b.astype(np.int64)
+    frac_ai = frac_a.astype(np.int64)
+    frac_bi = frac_b.astype(np.int64)
+    a_larger = (exp_ai > exp_bi) | ((exp_ai == exp_bi) & (frac_ai >= frac_bi))
+
+    exp_x = np.where(a_larger, exp_ai, exp_bi)
+    exp_y = np.where(a_larger, exp_bi, exp_ai)
+    frac_x = np.where(a_larger, frac_ai, frac_bi)
+    frac_y = np.where(a_larger, frac_bi, frac_ai)
+    sign_x = np.where(a_larger, sign_a, sign_b)
+    sign_y = np.where(a_larger, sign_b, sign_a)
+    x_zero = np.where(a_larger, a_zero, b_zero)
+    y_zero = np.where(a_larger, b_zero, a_zero)
+
+    d = exp_x - exp_y
+
+    guard = threshold  # extra fraction bits below the ULP, scale 2^-(p+guard)
+    p = fmt.mantissa_bits
+    mant_x = (np.int64(fmt.implicit_one) + frac_x) << np.int64(guard)
+    mant_y = (np.int64(fmt.implicit_one) + frac_y) << np.int64(guard)
+
+    # Align: shift y right by d, then the TH-bit shifter keeps only fraction
+    # bits down to 2^-TH at the larger-exponent scale, i.e. zero everything
+    # below working bit (p + guard - TH).
+    shift = np.minimum(d, np.int64(p + guard + 1))
+    mant_y_aligned = mant_y >> shift
+    keep_cut = p + guard - threshold
+    if keep_cut > 0:
+        mant_y_aligned &= ~np.int64((1 << keep_cut) - 1)
+    # Exponent difference beyond TH zeroes the smaller operand entirely.
+    mant_y_aligned = np.where(d > threshold, np.int64(0), mant_y_aligned)
+
+    mant_x = np.where(x_zero, np.int64(0), mant_x)
+    mant_y_aligned = np.where(y_zero, np.int64(0), mant_y_aligned)
+
+    effective_sub = sign_x != sign_y
+    total = np.where(effective_sub, mant_x - mant_y_aligned, mant_x + mant_y_aligned)
+    sign_z = sign_x
+    # With |x| >= |y| the magnitude subtraction is non-negative except for the
+    # equal-exponent equal-fraction case which yields exactly zero.
+    total = np.abs(total)
+
+    # Normalize: find MSB position of total.
+    zero_total = total == 0
+    safe_total = np.where(zero_total, np.int64(1), total)
+    # MSB index via float64 exponent extraction; the float conversion can
+    # round a dense mantissa up across a power of two, so correct overshoot.
+    msb = (np.frexp(safe_total.astype(np.float64))[1] - 1).astype(np.int64)
+    msb = msb - ((safe_total >> msb) == 0)
+    # Normal position is p + guard (implicit one).
+    norm_shift = msb - np.int64(p + guard)
+    exp_z = exp_x + norm_shift
+
+    # Shift mantissa so MSB lands at bit p + guard, then truncate guard bits.
+    left = np.maximum(-norm_shift, 0).astype(np.int64)
+    right = np.maximum(norm_shift, 0).astype(np.int64)
+    mant_z = (safe_total << left) >> right
+    frac_z = (mant_z >> np.int64(guard)) & np.int64(fmt.mantissa_mask)
+
+    overflow = exp_z > fmt.max_exponent
+    underflow = (exp_z < 1) | zero_total  # subnormal results flush to zero
+
+    result = compose(
+        sign_z,
+        np.clip(exp_z, 0, fmt.exponent_mask).astype(fmt.uint),
+        frac_z.astype(fmt.uint),
+        fmt,
+    )
+    result = np.where(
+        overflow,
+        np.where(sign_z.astype(bool), -np.inf, np.inf).astype(fmt.dtype),
+        result,
+    )
+    signed_zero = np.where(
+        sign_z.astype(bool), np.array(-0.0, fmt.dtype), np.array(0.0, fmt.dtype)
+    )
+    result = np.where(underflow, signed_zero, result)
+    # Exact cancellation yields +0 as in IEEE round-to-nearest.
+    result = np.where(zero_total, np.array(0.0, fmt.dtype), result)
+    result = np.where(special_mask, special_vals, result)
+    return result.astype(fmt.dtype)
+
+
+def imprecise_subtract(a, b, threshold: int = DEFAULT_THRESHOLD, dtype=np.float32) -> np.ndarray:
+    """Compute ``a - b`` with the imprecise threshold adder."""
+    fmt = format_for_dtype(dtype)
+    b = np.asarray(b, dtype=fmt.dtype)
+    return imprecise_add(a, -b, threshold=threshold, dtype=dtype)

@@ -1,0 +1,163 @@
+"""Configuration of which imprecise hardware units are enabled.
+
+The evaluation framework (Figure 10) enables or disables each imprecise
+unit individually and exposes the tunable structural parameters: the
+adder threshold ``TH``, and the configurable multiplier's datapath and
+truncation.  :class:`IHWConfig` captures one such configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .adder import DEFAULT_THRESHOLD
+from .configurable import MultiplierConfig
+
+__all__ = ["IHWConfig", "UNIT_NAMES", "MULTIPLIER_MODES", "SFU_MODES"]
+
+#: Individually switchable imprecise units.
+UNIT_NAMES = ("add", "mul", "div", "rcp", "rsqrt", "sqrt", "log2", "fma")
+
+#: Selectable implementations of the imprecise multiplier:
+#: - ``table1``: the 1+Ma+Mb multiplier of Table 1 (25% eps_max),
+#: - ``mitchell``: the accuracy-configurable Mitchell multiplier
+#:   (``multiplier_config`` selects path and truncation),
+#: - ``truncated``: the intuitive bit-truncation baseline ``bt_N``
+#:   (``multiplier_truncation`` selects N).
+MULTIPLIER_MODES = ("table1", "mitchell", "truncated")
+
+#: Approximation order of the imprecise special function units.
+SFU_MODES = ("linear", "quadratic")
+
+
+@dataclass(frozen=True)
+class IHWConfig:
+    """One point in the imprecise hardware configuration space.
+
+    Attributes
+    ----------
+    enabled:
+        The set of unit names (from :data:`UNIT_NAMES`) replaced by their
+        imprecise implementation; everything else stays IEEE-precise.
+    adder_threshold:
+        Structural parameter ``TH`` of the imprecise adder.
+    multiplier_mode:
+        Which imprecise multiplier implements the ``mul`` unit
+        (see :data:`MULTIPLIER_MODES`).
+    multiplier_config:
+        Path/truncation of the Mitchell multiplier (``mitchell`` mode).
+    multiplier_truncation:
+        Truncated bits of the ``bt_N`` baseline (``truncated`` mode).
+    multiplier_bt_rounding:
+        Whether the ``bt_N`` baseline rounds (variable-correction style) or
+        plainly truncates the operand reduction.  The paper's "intuitive bit
+        truncation" is plain truncation (default False), whose systematic
+        bias is what makes the baseline degrade abruptly in the application
+        studies.
+    sfu_mode:
+        Approximation order of the imprecise SFUs: ``"linear"`` (Table 1,
+        default) or ``"quadratic"`` (the higher-accuracy extension point).
+    """
+
+    enabled: frozenset = field(default_factory=frozenset)
+    adder_threshold: int = DEFAULT_THRESHOLD
+    multiplier_mode: str = "table1"
+    multiplier_config: MultiplierConfig = field(default_factory=MultiplierConfig)
+    multiplier_truncation: int = 0
+    multiplier_bt_rounding: bool = False
+    sfu_mode: str = "linear"
+
+    def __post_init__(self):
+        enabled = frozenset(self.enabled)
+        unknown = enabled - set(UNIT_NAMES)
+        if unknown:
+            raise ValueError(f"unknown unit names: {sorted(unknown)}")
+        object.__setattr__(self, "enabled", enabled)
+        if self.multiplier_mode not in MULTIPLIER_MODES:
+            raise ValueError(
+                f"multiplier_mode must be one of {MULTIPLIER_MODES}, "
+                f"got {self.multiplier_mode!r}"
+            )
+        if self.sfu_mode not in SFU_MODES:
+            raise ValueError(
+                f"sfu_mode must be one of {SFU_MODES}, got {self.sfu_mode!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def precise(cls) -> "IHWConfig":
+        """The reference configuration: every unit IEEE-precise."""
+        return cls()
+
+    @classmethod
+    def all_imprecise(cls, adder_threshold: int = DEFAULT_THRESHOLD) -> "IHWConfig":
+        """All Table-1 units enabled (the HotSpot / SRAD study setting)."""
+        return cls(enabled=frozenset(UNIT_NAMES), adder_threshold=adder_threshold)
+
+    @classmethod
+    def units(cls, *names: str, **kwargs) -> "IHWConfig":
+        """Enable just the named units, e.g. ``IHWConfig.units("rcp", "add", "sqrt")``."""
+        return cls(enabled=frozenset(names), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Queries and functional updates
+    # ------------------------------------------------------------------
+    def is_enabled(self, unit: str) -> bool:
+        """Whether ``unit`` runs on imprecise hardware in this configuration."""
+        if unit not in UNIT_NAMES:
+            raise ValueError(f"unknown unit name: {unit!r}")
+        return unit in self.enabled
+
+    def with_units(self, *names: str) -> "IHWConfig":
+        """A copy with the named units additionally enabled."""
+        return dataclasses.replace(self, enabled=self.enabled | set(names))
+
+    def without_units(self, *names: str) -> "IHWConfig":
+        """A copy with the named units disabled (quality-tuning step)."""
+        return dataclasses.replace(self, enabled=self.enabled - set(names))
+
+    def with_multiplier(self, mode: str, **kwargs) -> "IHWConfig":
+        """A copy using multiplier ``mode`` and enabling the ``mul`` unit.
+
+        Keyword arguments: ``config`` (:class:`MultiplierConfig` or a
+        paper-style name such as ``"fp_tr0"``) for ``mitchell`` mode,
+        ``truncation`` for ``truncated`` mode.
+        """
+        updates = {"multiplier_mode": mode, "enabled": self.enabled | {"mul"}}
+        if "config" in kwargs:
+            cfg = kwargs.pop("config")
+            if isinstance(cfg, str):
+                cfg = MultiplierConfig.from_name(cfg)
+            updates["multiplier_config"] = cfg
+        if "truncation" in kwargs:
+            updates["multiplier_truncation"] = kwargs.pop("truncation")
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        return dataclasses.replace(self, **updates)
+
+    def with_sfu_mode(self, mode: str) -> "IHWConfig":
+        """A copy using the given SFU approximation order."""
+        return dataclasses.replace(self, sfu_mode=mode)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. for experiment logs."""
+        if not self.enabled:
+            return "precise"
+        parts = [",".join(sorted(self.enabled))]
+        if self.sfu_mode != "linear" and self.enabled & {
+            "rcp", "rsqrt", "sqrt", "log2", "div"
+        }:
+            parts.append(f"sfu={self.sfu_mode}")
+        if "add" in self.enabled or "fma" in self.enabled:
+            parts.append(f"TH={self.adder_threshold}")
+        if "mul" in self.enabled or "fma" in self.enabled:
+            if self.multiplier_mode == "mitchell":
+                parts.append(self.multiplier_config.name)
+            elif self.multiplier_mode == "truncated":
+                parts.append(f"bt_{self.multiplier_truncation}")
+            else:
+                parts.append("table1")
+        return " ".join(parts)

@@ -1,0 +1,175 @@
+"""Low-power accuracy-configurable FP multiplier based on Mitchell's algorithm.
+
+The multiplier (Chapter 3.2.2, Figure 7) replaces the mantissa multiplier of
+an IEEE-754 FP multiplier with a Mitchell-algorithm (MA) unit plus adders and
+supports two datapaths:
+
+- **log path** (``lp``): MA applied to the whole mantissa product
+  ``(1 + Ma) * (1 + Mb)``; equivalent to the intuitive replacement of the
+  mantissa multiplier by an MA multiplier.  Maximum error 11.11%.
+- **full path** (``fp``): the algebraic expansion
+  ``1 + Ma + Mb + MA(Ma, Mb)`` where only the small cross term ``Ma * Mb``
+  is approximated.  Maximum error 2.04% (Chapter 4.1.2).
+
+On top of either path, ``truncation`` low-order bits of each operand
+mantissa fraction feeding the MA unit are cut, widening the power-accuracy
+design space (configurations named ``lp_trN`` / ``fp_trN`` in the paper).
+
+As in the other imprecise units there is no rounding circuit (results are
+truncated) and subnormals flush to zero; infinities and NaNs are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .floatops import FloatFormat, compose, decompose, format_for_dtype
+from .mitchell import mitchell_mantissa_product
+from .multiplier import _special_results
+
+__all__ = [
+    "MultiplierConfig",
+    "configurable_multiply",
+    "FULL_PATH_MAX_ERROR",
+    "LOG_PATH_MAX_ERROR",
+]
+
+#: Analytic maximum relative error of the full path (Chapter 4.1.2).
+FULL_PATH_MAX_ERROR = 1.0 / 49.0
+#: Analytic maximum relative error of the log path (Mitchell's bound).
+LOG_PATH_MAX_ERROR = 1.0 / 9.0
+
+_PATH_NAMES = {"lp": "log", "fp": "full", "log": "log", "full": "full"}
+
+
+@dataclass(frozen=True)
+class MultiplierConfig:
+    """One accuracy configuration of the configurable FP multiplier.
+
+    Attributes
+    ----------
+    path:
+        ``"log"`` or ``"full"``.
+    truncation:
+        Number of low-order mantissa-fraction bits cut from each operand
+        before the MA unit (0 = full bit width).
+    """
+
+    path: str = "full"
+    truncation: int = 0
+
+    def __post_init__(self):
+        if self.path not in ("log", "full"):
+            raise ValueError(f"path must be 'log' or 'full', got {self.path!r}")
+        if self.truncation < 0:
+            raise ValueError(f"truncation must be >= 0, got {self.truncation}")
+
+    @classmethod
+    def from_name(cls, name: str) -> "MultiplierConfig":
+        """Parse a paper-style configuration name such as ``lp_tr19``.
+
+        ``lp_trN``/``log_trN`` select the log path, ``fp_trN``/``full_trN``
+        the full path; ``N`` is the truncation bit count.
+        """
+        try:
+            path_part, tr_part = name.split("_tr")
+            path = _PATH_NAMES[path_part]
+            truncation = int(tr_part)
+        except (ValueError, KeyError):
+            raise ValueError(
+                f"cannot parse multiplier configuration name {name!r}; "
+                "expected e.g. 'lp_tr19' or 'fp_tr0'"
+            ) from None
+        return cls(path=path, truncation=truncation)
+
+    @property
+    def name(self) -> str:
+        """Paper-style configuration name (``lp_trN`` / ``fp_trN``)."""
+        prefix = "lp" if self.path == "log" else "fp"
+        return f"{prefix}_tr{self.truncation}"
+
+
+def configurable_multiply(
+    a, b, config: MultiplierConfig = MultiplierConfig(), dtype=np.float32
+) -> np.ndarray:
+    """Multiply ``a * b`` with the accuracy-configurable FP multiplier.
+
+    Parameters
+    ----------
+    a, b:
+        Array-like operands; converted to ``dtype``.
+    config:
+        Datapath and truncation selection.
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+    """
+    fmt = format_for_dtype(dtype)
+    if config.truncation > fmt.mantissa_bits:
+        raise ValueError(
+            f"truncation {config.truncation} exceeds the {fmt.mantissa_bits}-bit "
+            f"mantissa of {fmt.name}"
+        )
+    a = np.asarray(a, dtype=fmt.dtype)
+    b = np.asarray(b, dtype=fmt.dtype)
+    a, b = np.broadcast_arrays(a, b)
+
+    sign_a, exp_a, frac_a = decompose(a, fmt)
+    sign_b, exp_b, frac_b = decompose(b, fmt)
+    sign_z = sign_a ^ sign_b
+
+    a_sub = (exp_a == 0) & (frac_a != 0)
+    b_sub = (exp_b == 0) & (frac_b != 0)
+    a_eff = np.where(a_sub, np.array(0.0, fmt.dtype), a)
+    b_eff = np.where(b_sub, np.array(0.0, fmt.dtype), b)
+    special_mask, special_vals = _special_results(a_eff, b_eff, sign_z, fmt)
+
+    # Operand truncation before the MA datapath.
+    if config.truncation:
+        cut = np.array(~((1 << config.truncation) - 1) & fmt.mantissa_mask, fmt.uint)
+        frac_a = frac_a & cut
+        frac_b = frac_b & cut
+
+    # Exact dyadic mantissa fractions in float64.
+    scale = float(fmt.implicit_one)
+    ma = frac_a.astype(np.float64) / scale
+    mb = frac_b.astype(np.float64) / scale
+
+    if config.path == "log":
+        mant_product = mitchell_mantissa_product(1.0 + ma, 1.0 + mb)
+    else:
+        mant_product = 1.0 + ma + mb + mitchell_mantissa_product(ma, mb)
+
+    carry = mant_product >= 2.0
+    mant_norm = np.where(carry, mant_product * 0.5, mant_product)
+    frac_z = np.floor((mant_norm - 1.0) * scale).astype(np.int64)
+    frac_z = np.clip(frac_z, 0, fmt.mantissa_mask)
+
+    exp_z = (
+        exp_a.astype(np.int64)
+        + exp_b.astype(np.int64)
+        - np.int64(fmt.bias)
+        + carry.astype(np.int64)
+    )
+    overflow = exp_z > fmt.max_exponent
+    underflow = exp_z < 1
+
+    result = compose(
+        sign_z,
+        np.clip(exp_z, 0, fmt.exponent_mask).astype(fmt.uint),
+        frac_z.astype(fmt.uint),
+        fmt,
+    )
+    result = np.where(
+        overflow,
+        np.where(sign_z.astype(bool), -np.inf, np.inf).astype(fmt.dtype),
+        result,
+    )
+    result = np.where(
+        underflow,
+        np.where(sign_z.astype(bool), np.array(-0.0, fmt.dtype), np.array(0.0, fmt.dtype)),
+        result,
+    )
+    result = np.where(special_mask, special_vals, result)
+    return result.astype(fmt.dtype)

@@ -1,0 +1,112 @@
+"""Dual-mode multiplier: the paper's first future-work item.
+
+Chapter 6: *"One limitation of the proposed floating point multiplier is
+that it is inherently imprecise.  Therefore, for applications that are
+partially error tolerant such as RayTracing, a 'precise' floating point
+multiplier may be required ... Some future work include integrating the
+'precise' mode into the floating point multiplier."*
+
+:class:`DualModeMultiplier` models that integration: one unit that carries
+both the IEEE mantissa array and the Mitchell datapath, with a per-call
+mode select.  The hardware cost model (see
+:func:`repro.hardware.units.dual_mode_fp_multiplier`) keeps both datapaths
+resident — the idle one burns leakage — so the unit's average power is a
+duty-cycle blend, which is exactly the quantity the power framework needs
+for partially error-tolerant kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .configurable import MultiplierConfig, configurable_multiply
+from .floatops import format_for_dtype
+
+__all__ = ["DualModeMultiplier"]
+
+
+@dataclass
+class DualModeMultiplier:
+    """A multiplier with runtime-selectable precise / imprecise modes.
+
+    Attributes
+    ----------
+    config:
+        The Mitchell configuration used in imprecise mode.
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+
+    The instance counts per-mode operations so the duty cycle (fraction of
+    operations run imprecisely) is available for power estimation.
+    """
+
+    config: MultiplierConfig = field(default_factory=MultiplierConfig)
+    dtype: type = np.float32
+
+    def __post_init__(self):
+        self._fmt = format_for_dtype(self.dtype)
+        self.precise_ops = 0
+        self.imprecise_ops = 0
+
+    def multiply(self, a, b, precise: bool = False) -> np.ndarray:
+        """Multiply in the selected mode (imprecise by default)."""
+        a = np.asarray(a, dtype=self._fmt.dtype)
+        b = np.asarray(b, dtype=self._fmt.dtype)
+        n = int(np.broadcast(a, b).size)
+        if precise:
+            self.precise_ops += n
+            return np.multiply(a, b, dtype=self._fmt.dtype)
+        self.imprecise_ops += n
+        return configurable_multiply(a, b, self.config, dtype=self._fmt.dtype)
+
+    def multiply_where(self, a, b, imprecise_mask) -> np.ndarray:
+        """Element-wise mode selection: imprecise where ``imprecise_mask``.
+
+        Models the per-warp mode flag a GPU integration would carry in the
+        instruction encoding.
+        """
+        a = np.asarray(a, dtype=self._fmt.dtype)
+        b = np.asarray(b, dtype=self._fmt.dtype)
+        mask = np.broadcast_to(np.asarray(imprecise_mask, dtype=bool),
+                               np.broadcast(a, b).shape)
+        imprecise = configurable_multiply(a, b, self.config, dtype=self._fmt.dtype)
+        precise = np.multiply(a, b, dtype=self._fmt.dtype)
+        self.imprecise_ops += int(mask.sum())
+        self.precise_ops += int(mask.size - mask.sum())
+        return np.where(mask, imprecise, precise).astype(self._fmt.dtype)
+
+    @property
+    def total_ops(self) -> int:
+        return self.precise_ops + self.imprecise_ops
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of operations executed on the imprecise datapath."""
+        if self.total_ops == 0:
+            return 0.0
+        return self.imprecise_ops / self.total_ops
+
+    def reset(self):
+        self.precise_ops = 0
+        self.imprecise_ops = 0
+
+    def average_power_mw(self, precise_power_mw: float, imprecise_power_mw: float,
+                         idle_leakage_fraction: float = 0.05) -> float:
+        """Duty-cycle-blended average power of the dual-mode unit.
+
+        While one datapath computes, the other burns
+        ``idle_leakage_fraction`` of its active power (the Figure-7 input
+        gating).
+        """
+        if not 0 <= idle_leakage_fraction <= 1:
+            raise ValueError(
+                f"idle_leakage_fraction must be in [0, 1], got {idle_leakage_fraction}"
+            )
+        d = self.duty_cycle
+        active = d * imprecise_power_mw + (1 - d) * precise_power_mw
+        idle = (
+            d * precise_power_mw + (1 - d) * imprecise_power_mw
+        ) * idle_leakage_fraction
+        return active + idle

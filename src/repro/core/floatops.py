@@ -1,0 +1,193 @@
+"""IEEE-754 bit-level utilities shared by every imprecise unit.
+
+The imprecise hardware units in this package are behavioral models of RTL
+datapaths.  They operate on the sign / exponent / mantissa fields of IEEE-754
+values directly, exactly as the hardware would, so the emulation is bit-exact
+for the integer-datapath units (the Table-1 adder and multiplier) and within
+one float64 ULP for the linear-approximation datapaths.
+
+Two format descriptors are provided, ``BINARY32`` and ``BINARY64``.  All
+functions are vectorized over NumPy arrays; scalars are accepted and returned
+as 0-d arrays by NumPy's usual broadcasting rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "format_for_dtype",
+    "decompose",
+    "compose",
+    "flush_subnormals",
+    "truncate_mantissa",
+    "is_special",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Static description of an IEEE-754 binary interchange format."""
+
+    name: str
+    dtype: np.dtype
+    uint: np.dtype
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (127 for binary32, 1023 for binary64)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def exponent_mask(self) -> int:
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def mantissa_mask(self) -> int:
+        return (1 << self.mantissa_bits) - 1
+
+    @property
+    def implicit_one(self) -> int:
+        """Integer weight of the implicit leading 1 of a normal mantissa."""
+        return 1 << self.mantissa_bits
+
+    @property
+    def sign_shift(self) -> int:
+        return self.exponent_bits + self.mantissa_bits
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest biased exponent of a *normal* number."""
+        return self.exponent_mask - 1
+
+
+BINARY16 = FloatFormat(
+    name="binary16",
+    dtype=np.dtype(np.float16),
+    uint=np.dtype(np.uint16),
+    exponent_bits=5,
+    mantissa_bits=10,
+)
+
+BINARY32 = FloatFormat(
+    name="binary32",
+    dtype=np.dtype(np.float32),
+    uint=np.dtype(np.uint32),
+    exponent_bits=8,
+    mantissa_bits=23,
+)
+
+BINARY64 = FloatFormat(
+    name="binary64",
+    dtype=np.dtype(np.float64),
+    uint=np.dtype(np.uint64),
+    exponent_bits=11,
+    mantissa_bits=52,
+)
+
+_FORMATS = {
+    BINARY16.dtype: BINARY16,
+    BINARY32.dtype: BINARY32,
+    BINARY64.dtype: BINARY64,
+}
+
+
+def format_for_dtype(dtype) -> FloatFormat:
+    """Return the :class:`FloatFormat` for ``dtype`` (float32 or float64)."""
+    dt = np.dtype(dtype)
+    try:
+        return _FORMATS[dt]
+    except KeyError:
+        raise TypeError(f"unsupported floating point dtype: {dt}") from None
+
+
+def decompose(x: np.ndarray, fmt: FloatFormat):
+    """Split ``x`` into (sign, biased exponent, mantissa fraction) fields.
+
+    Returns integer arrays of the format's unsigned type.  ``sign`` is 0/1,
+    ``exponent`` is the raw biased exponent field, and ``mantissa`` is the
+    fraction field without the implicit leading one.
+    """
+    x = np.asarray(x, dtype=fmt.dtype)
+    bits = x.view(fmt.uint)
+    sign = bits >> np.array(fmt.sign_shift, dtype=fmt.uint)
+    exponent = (bits >> np.array(fmt.mantissa_bits, dtype=fmt.uint)) & np.array(
+        fmt.exponent_mask, dtype=fmt.uint
+    )
+    mantissa = bits & np.array(fmt.mantissa_mask, dtype=fmt.uint)
+    return sign, exponent, mantissa
+
+
+def compose(sign, exponent, mantissa, fmt: FloatFormat) -> np.ndarray:
+    """Assemble IEEE-754 values from raw fields (inverse of :func:`decompose`)."""
+    sign = np.asarray(sign, dtype=fmt.uint)
+    exponent = np.asarray(exponent, dtype=fmt.uint)
+    mantissa = np.asarray(mantissa, dtype=fmt.uint)
+    bits = (
+        (sign << np.array(fmt.sign_shift, dtype=fmt.uint))
+        | (exponent << np.array(fmt.mantissa_bits, dtype=fmt.uint))
+        | (mantissa & np.array(fmt.mantissa_mask, dtype=fmt.uint))
+    )
+    return bits.view(fmt.dtype)
+
+
+def flush_subnormals(x: np.ndarray, fmt: FloatFormat | None = None) -> np.ndarray:
+    """Flush subnormal values to (signed) zero.
+
+    All imprecise units in the paper set subnormal numbers to zero so that the
+    hardware for handling them can be removed.
+    """
+    x = np.asarray(x)
+    if fmt is None:
+        fmt = format_for_dtype(x.dtype)
+    _, exponent, mantissa = decompose(x, fmt)
+    subnormal = (exponent == 0) & (mantissa != 0)
+    if not subnormal.any():
+        return x.astype(fmt.dtype, copy=False)
+    out = x.astype(fmt.dtype, copy=True)
+    out[subnormal] = np.where(np.signbit(out[subnormal]), -0.0, 0.0).astype(fmt.dtype)
+    return out
+
+
+def truncate_mantissa(x: np.ndarray, keep_bits: int, fmt: FloatFormat | None = None) -> np.ndarray:
+    """Zero all mantissa bits below the top ``keep_bits`` fraction bits.
+
+    This models hardware bit truncation of operand or result mantissas (no
+    rounding; magnitude truncation toward zero).  ``keep_bits`` may range from
+    0 (mantissa forced to the implicit 1) to ``fmt.mantissa_bits`` (identity).
+    NaN and infinity payloads are preserved.
+    """
+    x = np.asarray(x)
+    if fmt is None:
+        fmt = format_for_dtype(x.dtype)
+    if not 0 <= keep_bits <= fmt.mantissa_bits:
+        raise ValueError(
+            f"keep_bits must be in [0, {fmt.mantissa_bits}], got {keep_bits}"
+        )
+    if keep_bits == fmt.mantissa_bits:
+        return x.astype(fmt.dtype, copy=False)
+    drop = fmt.mantissa_bits - keep_bits
+    bits = x.astype(fmt.dtype, copy=False).view(fmt.uint)
+    mask = np.array(~((1 << drop) - 1) & ((1 << (fmt.sign_shift + 1)) - 1), dtype=fmt.uint)
+    truncated = bits & mask
+    _, exponent, mantissa = decompose(x, fmt)
+    special = exponent == fmt.exponent_mask
+    result = np.where(special, bits, truncated)
+    return result.view(fmt.dtype)
+
+
+def is_special(x: np.ndarray, fmt: FloatFormat | None = None) -> np.ndarray:
+    """Boolean mask of NaN / infinity values (raw exponent all ones)."""
+    x = np.asarray(x)
+    if fmt is None:
+        fmt = format_for_dtype(x.dtype)
+    _, exponent, _ = decompose(x, fmt)
+    return exponent == fmt.exponent_mask

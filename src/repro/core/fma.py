@@ -1,0 +1,31 @@
+"""Imprecise fused multiply-add: imprecise multiply feeding imprecise add.
+
+Table 1 lists ``y = a * b +/- c`` built from the imprecise multiplier and
+adder, so the error is the composition of both units (unbounded relative
+error in the near-cancellation subtraction case, like the adder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .adder import DEFAULT_THRESHOLD, imprecise_add
+from .multiplier import imprecise_multiply
+
+__all__ = ["imprecise_fma"]
+
+
+def imprecise_fma(a, b, c, threshold: int = DEFAULT_THRESHOLD, dtype=np.float32) -> np.ndarray:
+    """Compute ``a * b + c`` with the Table-1 imprecise multiplier and adder.
+
+    Parameters
+    ----------
+    a, b, c:
+        Array-like operands; converted to ``dtype``.
+    threshold:
+        The adder's structural parameter ``TH``.
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+    """
+    product = imprecise_multiply(a, b, dtype=dtype)
+    return imprecise_add(product, c, threshold=threshold, dtype=dtype)

@@ -1,0 +1,128 @@
+"""Table-1 imprecise floating point multiplier.
+
+The imprecise multiplication approximates the mantissa product
+
+    (1 + Ma) * (1 + Mb)  ~=  1 + Ma + Mb              (Ma + Mb <  1)
+                             (1 + Ma + Mb) / 2, e+1   (Ma + Mb >= 1)
+
+i.e. the cross term ``Ma * Mb`` is dropped, which replaces the 24x24-bit
+mantissa multiplier with a 25-bit adder (Chapter 3.1, equations (1)-(6)).
+The maximum relative error is ``Ma*Mb / ((1+Ma)(1+Mb)) -> 25%`` as both
+mantissa fractions approach 1.
+
+Properties carried over from the hardware design:
+
+- no rounding unit: the result mantissa is truncated,
+- subnormal inputs and outputs are flushed to zero,
+- infinities and NaNs are still handled,
+- the sign is the XOR of operand signs and the exponents add exactly.
+
+The mantissa datapath is emulated with integer arithmetic, so this model is
+bit-exact against the RTL it stands in for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floatops import FloatFormat, compose, decompose, format_for_dtype
+
+__all__ = ["imprecise_multiply", "IMPRECISE_MULTIPLY_MAX_ERROR"]
+
+#: Analytic maximum relative error magnitude of the Table-1 multiplier.
+IMPRECISE_MULTIPLY_MAX_ERROR = 0.25
+
+
+def _special_results(a, b, sign_z, fmt: FloatFormat):
+    """IEEE special-case results (NaN/inf/zero) for a multiplication."""
+    nan = np.isnan(a) | np.isnan(b)
+    inf = np.isinf(a) | np.isinf(b)
+    zero = (a == 0) | (b == 0)
+    # inf * 0 is NaN.
+    nan = nan | (inf & zero)
+    inf = inf & ~nan
+    zero = zero & ~nan & ~inf
+    sign = sign_z.astype(bool)
+    special = np.where(
+        nan,
+        np.array(np.nan, dtype=fmt.dtype),
+        np.where(
+            inf,
+            np.where(sign, -np.inf, np.inf).astype(fmt.dtype),
+            np.where(sign, np.array(-0.0, fmt.dtype), np.array(0.0, fmt.dtype)),
+        ),
+    )
+    return nan | inf | zero, special.astype(fmt.dtype)
+
+
+def imprecise_multiply(a, b, dtype=np.float32) -> np.ndarray:
+    """Multiply ``a * b`` with the Table-1 imprecise FP multiplier.
+
+    Parameters
+    ----------
+    a, b:
+        Array-like operands; converted to ``dtype``.
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The approximated product, same shape as the broadcast operands.
+    """
+    fmt = format_for_dtype(dtype)
+    a = np.asarray(a, dtype=fmt.dtype)
+    b = np.asarray(b, dtype=fmt.dtype)
+    a, b = np.broadcast_arrays(a, b)
+
+    sign_a, exp_a, frac_a = decompose(a, fmt)
+    sign_b, exp_b, frac_b = decompose(b, fmt)
+    sign_z = sign_a ^ sign_b
+
+    # Subnormal inputs are treated as zero by the hardware.
+    a_sub = (exp_a == 0) & (frac_a != 0)
+    b_sub = (exp_b == 0) & (frac_b != 0)
+    a_eff = np.where(a_sub, np.array(0.0, fmt.dtype), a)
+    b_eff = np.where(b_sub, np.array(0.0, fmt.dtype), b)
+
+    special_mask, special_vals = _special_results(a_eff, b_eff, sign_z, fmt)
+
+    # Mantissa datapath: frac sum fits in mantissa_bits + 1 bits.
+    frac_sum = frac_a.astype(np.uint64) + frac_b.astype(np.uint64)
+    carry = frac_sum >> np.uint64(fmt.mantissa_bits)  # 1 iff Ma + Mb >= 1
+    # (1 + Ma + Mb) normalized: when carry, shift right by one (truncate LSB).
+    frac_z = np.where(
+        carry.astype(bool),
+        # fraction of (1+Ma+Mb)/2 in [1, 1.5): (Ma+Mb-1)/2, LSB truncated
+        (frac_sum & np.uint64(fmt.mantissa_mask)) >> np.uint64(1),
+        frac_sum,
+    ) & np.uint64(fmt.mantissa_mask)
+
+    exp_z = (
+        exp_a.astype(np.int64)
+        + exp_b.astype(np.int64)
+        - np.int64(fmt.bias)
+        + carry.astype(np.int64)
+    )
+
+    overflow = exp_z > fmt.max_exponent
+    underflow = exp_z < 1  # subnormal results flush to zero
+
+    result = compose(
+        sign_z,
+        np.clip(exp_z, 0, fmt.exponent_mask).astype(fmt.uint),
+        frac_z.astype(fmt.uint),
+        fmt,
+    )
+    result = np.where(
+        overflow,
+        np.where(sign_z.astype(bool), -np.inf, np.inf).astype(fmt.dtype),
+        result,
+    )
+    result = np.where(
+        underflow,
+        np.where(sign_z.astype(bool), np.array(-0.0, fmt.dtype), np.array(0.0, fmt.dtype)),
+        result,
+    )
+    result = np.where(special_mask, special_vals, result)
+    return result.astype(fmt.dtype)

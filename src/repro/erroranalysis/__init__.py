@@ -1,0 +1,60 @@
+"""Error analysis and characterization of imprecise units (Chapter 4)."""
+
+from .bounds import (
+    adder_addition_bound,
+    adder_case_bound,
+    adder_subtraction_bound,
+    full_path_bound,
+    log_path_bound,
+    mitchell_pointwise_error,
+)
+from .characterize import (
+    DEFAULT_SAMPLES,
+    ErrorPMF,
+    UNIT_CHARACTERIZATIONS,
+    bin_errors,
+    characterize,
+    characterize_multiplier_config,
+    characterize_unit,
+)
+from .metrics import ErrorStats, error_stats, relative_errors, signed_error_moments
+from .propagation import (
+    ErrorEstimate,
+    Propagator,
+    Quantity,
+    WorstCasePropagator,
+    unit_moments,
+)
+from .sensitivity import SensitivityReport, UnitSensitivity, analyze_sensitivity
+from .quasirandom import mantissa_inputs, sobol_unit, uniform_inputs
+
+__all__ = [
+    "DEFAULT_SAMPLES",
+    "ErrorPMF",
+    "ErrorStats",
+    "UNIT_CHARACTERIZATIONS",
+    "adder_addition_bound",
+    "adder_case_bound",
+    "adder_subtraction_bound",
+    "bin_errors",
+    "characterize",
+    "characterize_multiplier_config",
+    "characterize_unit",
+    "error_stats",
+    "full_path_bound",
+    "log_path_bound",
+    "mantissa_inputs",
+    "mitchell_pointwise_error",
+    "SensitivityReport",
+    "UnitSensitivity",
+    "analyze_sensitivity",
+    "ErrorEstimate",
+    "Propagator",
+    "Quantity",
+    "WorstCasePropagator",
+    "relative_errors",
+    "signed_error_moments",
+    "unit_moments",
+    "sobol_unit",
+    "uniform_inputs",
+]

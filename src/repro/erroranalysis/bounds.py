@@ -1,0 +1,92 @@
+"""Analytic error bounds from Chapter 4.
+
+These closed-form bounds are the formal counterparts of the statistical
+characterization; the test suite verifies that the behavioral units never
+exceed them.
+
+Adder (Chapter 4.1.1), with exponent difference ``d`` and threshold ``TH``:
+
+- case (a) — addition, ``d >= TH``:    eps < 1 / (2^(TH-1) + 1)
+- case (b) — addition, ``0 < d < TH``: eps < 1 / 2^(TH+1) per the paper's
+  accounting (the truncated weight at the smaller operand's scale); this
+  module reports the conservative shifter-scale bound ``2^-TH``.
+- case (c) — subtraction, ``d >= TH``: eps < 1 / (2^(TH-1) - 1)
+- case (d) — subtraction, ``0 < d < TH``: unbounded relative error
+  (near-cancellation), tiny absolute error.
+
+Multiplier (Chapter 4.1.2): the full-path maximum is 1/49 ~= 2.04% for any
+``x_a + x_b`` regime; the log path inherits Mitchell's 1/9 bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import FULL_PATH_MAX_ERROR, LOG_PATH_MAX_ERROR
+
+__all__ = [
+    "adder_addition_bound",
+    "adder_subtraction_bound",
+    "adder_case_bound",
+    "full_path_bound",
+    "log_path_bound",
+    "mitchell_pointwise_error",
+]
+
+
+def adder_addition_bound(threshold: int) -> float:
+    """Worst-case relative error for effective additions (cases a and b)."""
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    zeroed = 1.0 / (2 ** (threshold - 1) + 1)  # case (a)
+    truncated = 2.0 ** -threshold  # case (b), shifter-scale accounting
+    return max(zeroed, truncated)
+
+
+def adder_subtraction_bound(threshold: int) -> float:
+    """Worst-case relative error for far-apart subtractions (case c)."""
+    if threshold < 2:
+        raise ValueError(f"threshold must be >= 2 for a finite bound, got {threshold}")
+    return 1.0 / (2 ** (threshold - 1) - 1)
+
+
+def adder_case_bound(threshold: int, exponent_difference: int, subtraction: bool) -> float:
+    """Bound for one (d, operation) regime; ``inf`` for case (d)."""
+    if exponent_difference < 0:
+        raise ValueError("exponent_difference must be non-negative")
+    if not subtraction:
+        return adder_addition_bound(threshold)
+    if exponent_difference >= threshold:
+        return adder_subtraction_bound(threshold)
+    return math.inf  # case (d): near-cancellation
+
+
+def full_path_bound(truncation: int = 0, mantissa_bits: int = 23) -> float:
+    """Full-path maximum error including operand truncation slack."""
+    if truncation < 0 or truncation > mantissa_bits:
+        raise ValueError(f"truncation out of range: {truncation}")
+    truncation_slack = 2.0 * (2.0 ** (truncation - mantissa_bits))
+    return FULL_PATH_MAX_ERROR + truncation_slack
+
+
+def log_path_bound(truncation: int = 0, mantissa_bits: int = 23) -> float:
+    """Log-path maximum error including operand truncation slack."""
+    if truncation < 0 or truncation > mantissa_bits:
+        raise ValueError(f"truncation out of range: {truncation}")
+    truncation_slack = 2.0 * (2.0 ** (truncation - mantissa_bits))
+    return LOG_PATH_MAX_ERROR + truncation_slack
+
+
+def mitchell_pointwise_error(x1: float, x2: float) -> float:
+    """Relative error of Mitchell's approximation at fraction point (x1, x2).
+
+    For operands ``2^k (1 + x)`` the error depends only on the fractions:
+    ``(1+x1)(1+x2)`` vs the piecewise-linear decode.  Useful for plotting the
+    error surface and locating the 1/9 worst case at ``x1 = x2 = 0.5``.
+    """
+    if not (0 <= x1 < 1 and 0 <= x2 < 1):
+        raise ValueError("fractions must lie in [0, 1)")
+    true = (1 + x1) * (1 + x2)
+    s = x1 + x2
+    approx = (1 + s) if s < 1 else 2 * s
+    return (true - approx) / true

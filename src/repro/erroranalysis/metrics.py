@@ -1,0 +1,94 @@
+"""Inherent quality metrics of imprecise arithmetic units.
+
+Chapter 4 uses the following context-free metrics to compare imprecise
+components:
+
+- ``eps_max`` — maximum relative error magnitude (the headline Table-1
+  figure),
+- mean relative error,
+- error rate — the fraction of inputs whose result differs from the exact
+  one at all,
+- MED / WED — mean and worst-case error *distance* (absolute difference),
+  after Han & Orshansky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorStats", "error_stats", "relative_errors", "signed_error_moments"]
+
+
+def relative_errors(approx, exact) -> np.ndarray:
+    """Relative error magnitudes ``|approx - exact| / |exact|``.
+
+    Entries where ``exact`` is zero or non-finite are dropped, matching the
+    paper's characterization over normal, non-zero results.
+    """
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    valid = np.isfinite(exact) & np.isfinite(approx) & (exact != 0)
+    return np.abs(approx[valid] - exact[valid]) / np.abs(exact[valid])
+
+
+def signed_error_moments(approx, exact) -> tuple:
+    """``(bias, variance)`` of the *signed* relative error.
+
+    The first two moments of ``(approx - exact) / exact`` over the finite,
+    non-zero-exact samples — the inputs to the first-order error
+    propagation calculus in :mod:`repro.erroranalysis.propagation`.
+    """
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    valid = np.isfinite(exact) & np.isfinite(approx) & (exact != 0)
+    if not valid.any():
+        raise ValueError("no finite sample pairs to evaluate")
+    rel = (approx[valid] - exact[valid]) / exact[valid]
+    return float(rel.mean()), float(rel.var())
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary error metrics of one imprecise unit configuration."""
+
+    eps_max: float
+    eps_mean: float
+    error_rate: float
+    med: float
+    wed: float
+    samples: int
+
+    def __str__(self):
+        return (
+            f"eps_max={self.eps_max:.4%} eps_mean={self.eps_mean:.4%} "
+            f"rate={self.error_rate:.4f} MED={self.med:.3e} WED={self.wed:.3e} "
+            f"(n={self.samples})"
+        )
+
+
+def error_stats(approx, exact) -> ErrorStats:
+    """Compute :class:`ErrorStats` for paired approximate/exact results."""
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    if approx.shape != exact.shape:
+        raise ValueError(
+            f"shape mismatch: approx {approx.shape} vs exact {exact.shape}"
+        )
+    valid = np.isfinite(exact) & np.isfinite(approx)
+    a = approx[valid]
+    e = exact[valid]
+    if a.size == 0:
+        raise ValueError("no finite sample pairs to evaluate")
+    distance = np.abs(a - e)
+    nonzero = e != 0
+    rel = distance[nonzero] / np.abs(e[nonzero])
+    return ErrorStats(
+        eps_max=float(rel.max()) if rel.size else 0.0,
+        eps_mean=float(rel.mean()) if rel.size else 0.0,
+        error_rate=float((distance > 0).mean()),
+        med=float(distance.mean()),
+        wed=float(distance.max()),
+        samples=int(a.size),
+    )

@@ -1,0 +1,395 @@
+"""First-order analytic error propagation through imprecise kernels.
+
+The paper builds its characterization on the analytic error-modeling
+framework of Huang, Lach & Robins (SELSE 2011, reference [13]).  This
+module implements that calculus for the reproduced units: each imprecise
+operation injects a signed relative error with measured moments
+``(bias, variance)``, and first-order propagation composes them through a
+computation:
+
+- ``z = x * y``:          ``1+bz = (1+bx)(1+by)(1+b_mul)``
+- ``z = x + y`` (same sign, magnitude weights wx, wy):
+                          ``1+bz = (1 + wx bx + wy by)(1+b_add)``
+- ``z = 1/x``:            ``1+bz = (1+b_rcp)/(1+bx)``
+- ``z = 1/sqrt(x)``:      ``1+bz = (1+b_rsqrt)/sqrt(1+bx)``
+- ``z = sqrt(x)``:        ``1+bz = (1+b_sqrt) sqrt(1+bx)``
+
+with the ``b_op`` injections measured by quasi-MC characterization and
+assumed independent across operations; variances add in quadrature with
+first-order sensitivities.  The validated predictions are the error
+*magnitude* and *spread* (within ~10% of Monte-Carlo on the paper's kernel
+shapes); bias signs through strongly nonlinear chains carry second-order
+and correlation effects outside the model.
+
+A :class:`Propagator` exposes the same method names as the runtime
+:class:`~repro.core.ArithmeticContext`, but operates on
+:class:`Quantity` objects carrying a representative magnitude and an
+:class:`ErrorEstimate` — so the *same kernel code* can be executed
+symbolically to predict its output error, which the tests validate against
+Monte-Carlo measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core import (
+    IHWConfig,
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_divide,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    imprecise_sqrt,
+    truncated_multiply,
+)
+
+from .metrics import signed_error_moments
+from .quasirandom import mantissa_inputs
+
+__all__ = [
+    "ErrorEstimate",
+    "Propagator",
+    "Quantity",
+    "WorstCasePropagator",
+    "unit_moments",
+]
+
+_MOMENT_SAMPLES = 1 << 15
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """First two moments of a quantity's signed relative error."""
+
+    bias: float = 0.0
+    variance: float = 0.0
+
+    def __post_init__(self):
+        if self.variance < 0:
+            raise ValueError(f"variance must be non-negative, got {self.variance}")
+
+    @property
+    def spread(self) -> float:
+        return math.sqrt(self.variance)
+
+    def expected_magnitude(self) -> float:
+        """E|relative error| under a normal approximation."""
+        sigma = self.spread
+        if sigma == 0:
+            return abs(self.bias)
+        mu = self.bias
+        # E|N(mu, sigma^2)| closed form.
+        return sigma * math.sqrt(2 / math.pi) * math.exp(
+            -(mu**2) / (2 * sigma**2)
+        ) + abs(mu) * math.erf(abs(mu) / (sigma * math.sqrt(2)))
+
+    def bound(self, k: float = 3.0) -> float:
+        """|bias| + k sigma — a high-confidence error envelope."""
+        return abs(self.bias) + k * self.spread
+
+    @staticmethod
+    def exact() -> "ErrorEstimate":
+        return ErrorEstimate(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A kernel value for symbolic execution: magnitude plus error moments."""
+
+    magnitude: float
+    error: ErrorEstimate = ErrorEstimate(0.0, 0.0)
+
+    def __post_init__(self):
+        if self.magnitude < 0:
+            raise ValueError(
+                f"magnitude is a scale, must be non-negative: {self.magnitude}"
+            )
+
+
+@lru_cache(maxsize=64)
+def _moments_cached(op: str, key: tuple) -> tuple:
+    """Measure one unit's signed error moments over a quasi-MC sweep."""
+    dtype = np.float32
+    if op in ("mul_table1", "mul_mitchell", "mul_bt", "add", "div"):
+        a, b = mantissa_inputs(_MOMENT_SAMPLES, 2, seed=3, dtype=dtype)
+        if op == "mul_table1":
+            approx = imprecise_multiply(a, b)
+            exact = a.astype(np.float64) * b.astype(np.float64)
+        elif op == "mul_mitchell":
+            cfg = MultiplierConfig(key[0], key[1])
+            approx = configurable_multiply(a, b, cfg)
+            exact = a.astype(np.float64) * b.astype(np.float64)
+        elif op == "mul_bt":
+            approx = truncated_multiply(a, b, key[0], rounding=key[1])
+            exact = a.astype(np.float64) * b.astype(np.float64)
+        elif op == "add":
+            approx = imprecise_add(a, b, threshold=key[0])
+            exact = a.astype(np.float64) + b.astype(np.float64)
+        else:
+            approx = imprecise_divide(a, b)
+            exact = a.astype(np.float64) / b.astype(np.float64)
+    else:
+        (x,) = mantissa_inputs(_MOMENT_SAMPLES, 1, seed=3, dtype=dtype)
+        if op == "rcp":
+            approx = imprecise_reciprocal(x)
+            exact = 1.0 / x.astype(np.float64)
+        elif op == "rsqrt":
+            approx = imprecise_rsqrt(x)
+            exact = 1.0 / np.sqrt(x.astype(np.float64))
+        elif op == "sqrt":
+            approx = imprecise_sqrt(x)
+            exact = np.sqrt(x.astype(np.float64))
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    return signed_error_moments(approx, exact)
+
+
+def unit_moments(op: str, config: IHWConfig) -> ErrorEstimate:
+    """Measured injection moments of ``op`` under ``config`` (cached).
+
+    Returns the exact estimate when the unit is disabled in ``config``.
+    """
+    switch = "add" if op == "sub" else op
+    if not config.is_enabled(switch):
+        return ErrorEstimate.exact()
+    if op in ("add", "sub"):
+        bias, var = _moments_cached("add", (config.adder_threshold,))
+    elif op == "mul":
+        if config.multiplier_mode == "table1":
+            bias, var = _moments_cached("mul_table1", ())
+        elif config.multiplier_mode == "mitchell":
+            c = config.multiplier_config
+            bias, var = _moments_cached("mul_mitchell", (c.path, c.truncation))
+        else:
+            bias, var = _moments_cached(
+                "mul_bt",
+                (config.multiplier_truncation, config.multiplier_bt_rounding),
+            )
+    elif op == "fma":
+        # The FMA is the Table-1 multiplier feeding the threshold adder;
+        # the product injection dominates and the adder's is independent.
+        mb, mv = _moments_cached("mul_table1", ())
+        ab, av = _moments_cached("add", (config.adder_threshold,))
+        bias = (1.0 + mb) * (1.0 + ab) - 1.0
+        var = mv + av
+    elif op in ("rcp", "rsqrt", "sqrt", "div"):
+        bias, var = _moments_cached(op, ())
+    else:
+        raise ValueError(f"unsupported op for propagation: {op!r}")
+    return ErrorEstimate(bias, var)
+
+
+class Propagator:
+    """Symbolic executor: ArithmeticContext's API over :class:`Quantity`.
+
+    Same-sign addition is assumed (the paper's kernels accumulate
+    magnitudes); near-cancellation subtractions are outside first-order
+    validity and raise.
+    """
+
+    def __init__(self, config: IHWConfig):
+        self.config = config
+
+    def quantity(self, magnitude: float) -> Quantity:
+        """An error-free input of the given scale."""
+        return Quantity(float(abs(magnitude)))
+
+    def _compose(self, op: str, carried_bias: float, carried_variance: float) -> tuple:
+        """Multiply the carried (1 + bias) by the op's injection.
+
+        Biases compose multiplicatively — exact for products, the right
+        first-order form everywhere else; variances add in quadrature.
+        """
+        inj = unit_moments(op, self.config)
+        bias = (1.0 + carried_bias) * (1.0 + inj.bias) - 1.0
+        return bias, carried_variance + inj.variance
+
+    def mul(self, a: Quantity, b: Quantity) -> Quantity:
+        carried = (1.0 + a.error.bias) * (1.0 + b.error.bias) - 1.0
+        bias, var = self._compose(
+            "mul", carried, a.error.variance + b.error.variance
+        )
+        return Quantity(a.magnitude * b.magnitude, ErrorEstimate(bias, var))
+
+    def add(self, a: Quantity, b: Quantity) -> Quantity:
+        total = a.magnitude + b.magnitude
+        if total == 0:
+            return Quantity(0.0)
+        wa = a.magnitude / total
+        wb = b.magnitude / total
+        bias, var = self._compose(
+            "add",
+            wa * a.error.bias + wb * b.error.bias,
+            wa**2 * a.error.variance + wb**2 * b.error.variance,
+        )
+        return Quantity(total, ErrorEstimate(bias, var))
+
+    def accumulate(self, terms) -> Quantity:
+        """Left-fold addition of a sequence of quantities."""
+        terms = list(terms)
+        if not terms:
+            raise ValueError("nothing to accumulate")
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = self.add(acc, term)
+        return acc
+
+    def rcp(self, x: Quantity) -> Quantity:
+        if x.magnitude == 0:
+            raise ValueError("reciprocal of a zero-scale quantity")
+        carried = 1.0 / (1.0 + x.error.bias) - 1.0
+        bias, var = self._compose("rcp", carried, x.error.variance)
+        return Quantity(1.0 / x.magnitude, ErrorEstimate(bias, var))
+
+    def rsqrt(self, x: Quantity) -> Quantity:
+        if x.magnitude == 0:
+            raise ValueError("rsqrt of a zero-scale quantity")
+        carried = (1.0 + x.error.bias) ** -0.5 - 1.0
+        bias, var = self._compose("rsqrt", carried, 0.25 * x.error.variance)
+        return Quantity(x.magnitude**-0.5, ErrorEstimate(bias, var))
+
+    def sqrt(self, x: Quantity) -> Quantity:
+        carried = math.sqrt(1.0 + x.error.bias) - 1.0
+        bias, var = self._compose("sqrt", carried, 0.25 * x.error.variance)
+        return Quantity(math.sqrt(x.magnitude), ErrorEstimate(bias, var))
+
+    def div(self, a: Quantity, b: Quantity) -> Quantity:
+        if b.magnitude == 0:
+            raise ValueError("division by a zero-scale quantity")
+        carried = (1.0 + a.error.bias) / (1.0 + b.error.bias) - 1.0
+        bias, var = self._compose(
+            "div", carried, a.error.variance + b.error.variance
+        )
+        return Quantity(a.magnitude / b.magnitude, ErrorEstimate(bias, var))
+
+
+#: Guaranteed per-op relative error bounds for worst-case propagation.
+_WORST_CASE_BOUNDS = {
+    "rcp": 0.0591,
+    "rsqrt": 0.1112,
+    "sqrt": 0.1112,
+    "div": 0.0601,
+}
+
+
+def _unit_worst_bound(op: str, config: IHWConfig) -> float:
+    """Guaranteed relative-error bound of one op under ``config``."""
+    from repro.core import (
+        FULL_PATH_MAX_ERROR,
+        IMPRECISE_MULTIPLY_MAX_ERROR,
+        LOG_PATH_MAX_ERROR,
+        truncation_max_error,
+    )
+
+    from .bounds import adder_addition_bound, full_path_bound, log_path_bound
+
+    switch = "add" if op == "sub" else op
+    if not config.is_enabled(switch):
+        return 0.0
+    if op in ("add", "sub"):
+        return adder_addition_bound(config.adder_threshold)
+    if op == "mul":
+        if config.multiplier_mode == "table1":
+            return IMPRECISE_MULTIPLY_MAX_ERROR
+        if config.multiplier_mode == "mitchell":
+            c = config.multiplier_config
+            bound_fn = log_path_bound if c.path == "log" else full_path_bound
+            # The truncation slack in bounds.py is loose; the measured
+            # maxima sit under bound(tr) for every studied configuration.
+            base = LOG_PATH_MAX_ERROR if c.path == "log" else FULL_PATH_MAX_ERROR
+            return max(base, min(bound_fn(c.truncation), 0.25))
+        return truncation_max_error(
+            config.multiplier_truncation, rounding=config.multiplier_bt_rounding
+        )
+    try:
+        return _WORST_CASE_BOUNDS[op]
+    except KeyError:
+        raise ValueError(f"unsupported op for worst-case propagation: {op!r}") from None
+
+
+class WorstCasePropagator:
+    """Interval companion of :class:`Propagator`: guaranteed error bounds.
+
+    Tracks a single symmetric relative bound ``B`` per quantity (the true
+    value lies within ``[v(1-B), v(1+B)]``) and composes the per-op
+    guaranteed maxima conservatively — same-sign additions only, like the
+    moments propagator.
+    """
+
+    def __init__(self, config: IHWConfig):
+        self.config = config
+
+    def quantity(self, magnitude: float, bound: float = 0.0) -> Quantity:
+        if bound < 0:
+            raise ValueError(f"bound must be non-negative, got {bound}")
+        return Quantity(float(abs(magnitude)), ErrorEstimate(bound, 0.0))
+
+    @staticmethod
+    def bound_of(q: Quantity) -> float:
+        """The guaranteed bound this propagator stores in ``error.bias``."""
+        return q.error.bias
+
+    def _apply(self, op: str, carried: float, magnitude: float) -> Quantity:
+        inj = _unit_worst_bound(op, self.config)
+        bound = (1.0 + carried) * (1.0 + inj) - 1.0
+        return Quantity(magnitude, ErrorEstimate(bound, 0.0))
+
+    def mul(self, a: Quantity, b: Quantity) -> Quantity:
+        carried = (1.0 + self.bound_of(a)) * (1.0 + self.bound_of(b)) - 1.0
+        return self._apply("mul", carried, a.magnitude * b.magnitude)
+
+    def add(self, a: Quantity, b: Quantity) -> Quantity:
+        total = a.magnitude + b.magnitude
+        if total == 0:
+            return Quantity(0.0)
+        carried = (
+            a.magnitude * self.bound_of(a) + b.magnitude * self.bound_of(b)
+        ) / total
+        return self._apply("add", carried, total)
+
+    def accumulate(self, terms) -> Quantity:
+        terms = list(terms)
+        if not terms:
+            raise ValueError("nothing to accumulate")
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = self.add(acc, term)
+        return acc
+
+    def rcp(self, x: Quantity) -> Quantity:
+        if x.magnitude == 0:
+            raise ValueError("reciprocal of a zero-scale quantity")
+        b = self.bound_of(x)
+        if b >= 1:
+            raise ValueError("input bound reaches 100%: reciprocal unbounded")
+        carried = 1.0 / (1.0 - b) - 1.0
+        return self._apply("rcp", carried, 1.0 / x.magnitude)
+
+    def rsqrt(self, x: Quantity) -> Quantity:
+        if x.magnitude == 0:
+            raise ValueError("rsqrt of a zero-scale quantity")
+        b = self.bound_of(x)
+        if b >= 1:
+            raise ValueError("input bound reaches 100%: rsqrt unbounded")
+        carried = (1.0 - b) ** -0.5 - 1.0
+        return self._apply("rsqrt", carried, x.magnitude**-0.5)
+
+    def sqrt(self, x: Quantity) -> Quantity:
+        carried = math.sqrt(1.0 + self.bound_of(x)) - 1.0
+        return self._apply("sqrt", carried, math.sqrt(x.magnitude))
+
+    def div(self, a: Quantity, b: Quantity) -> Quantity:
+        if b.magnitude == 0:
+            raise ValueError("division by a zero-scale quantity")
+        bb = self.bound_of(b)
+        if bb >= 1:
+            raise ValueError("divisor bound reaches 100%: quotient unbounded")
+        carried = (1.0 + self.bound_of(a)) / (1.0 - bb) - 1.0
+        return self._apply("div", carried, a.magnitude / b.magnitude)

@@ -1,0 +1,106 @@
+"""Application error-sensitivity analysis.
+
+Chapter 5's quality-tuning methodology consults each unit's
+"application-specific error sensitivity" when deciding what to disable.
+This module measures it directly: enable one imprecise unit at a time, run
+the application, and score the quality impact relative to the precise
+reference — producing the data-driven disable ordering the
+:class:`~repro.quality.QualityTuner` consumes (instead of its built-in
+paper-derived default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import IHWConfig, UNIT_NAMES
+
+__all__ = ["UnitSensitivity", "SensitivityReport", "analyze_sensitivity"]
+
+
+@dataclass(frozen=True)
+class UnitSensitivity:
+    """Quality impact of enabling one imprecise unit in isolation."""
+
+    unit: str
+    quality: float
+    degradation: float  # |quality - ideal| in the metric's own units
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Per-unit sensitivities of one application."""
+
+    entries: tuple
+    ideal_quality: float
+    higher_is_better: bool
+
+    def ranking(self) -> tuple:
+        """Unit names, most error-sensitive first (the tuner's order)."""
+        return tuple(
+            e.unit
+            for e in sorted(self.entries, key=lambda e: e.degradation, reverse=True)
+        )
+
+    def most_sensitive(self) -> str:
+        return self.ranking()[0]
+
+    def least_sensitive(self) -> str:
+        return self.ranking()[-1]
+
+    def degradation_of(self, unit: str) -> float:
+        for e in self.entries:
+            if e.unit == unit:
+                return e.degradation
+        raise ValueError(f"unit {unit!r} not in the report")
+
+    def format_rows(self) -> str:
+        lines = [f"ideal quality: {self.ideal_quality:.5g}"]
+        for e in sorted(self.entries, key=lambda e: e.degradation, reverse=True):
+            lines.append(
+                f"  {e.unit:6s} quality={e.quality:.5g} degradation={e.degradation:.5g}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_sensitivity(
+    evaluate: Callable[[IHWConfig], float],
+    units: tuple = UNIT_NAMES,
+    higher_is_better: bool = True,
+    base_config: IHWConfig | None = None,
+) -> SensitivityReport:
+    """Measure each unit's isolated quality impact.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(config) -> quality`` (e.g. from
+        :meth:`~repro.framework.PowerQualityFramework.quality_evaluator`).
+    units:
+        Units to probe (defaults to all eight).
+    higher_is_better:
+        Metric direction (True for SSIM/FOM/vigilance, False for MAE/err%).
+    base_config:
+        Configuration each probe starts from (default: fully precise);
+        structural parameters (TH, multiplier mode) are taken from it.
+    """
+    unknown = set(units) - set(UNIT_NAMES)
+    if unknown:
+        raise ValueError(f"unknown units: {sorted(unknown)}")
+    if not units:
+        raise ValueError("no units to analyze")
+    base = base_config if base_config is not None else IHWConfig.precise()
+    base = base.without_units(*UNIT_NAMES)
+
+    ideal = evaluate(base)
+    entries = []
+    for unit in units:
+        quality = evaluate(base.with_units(unit))
+        degradation = (ideal - quality) if higher_is_better else (quality - ideal)
+        entries.append(
+            UnitSensitivity(unit=unit, quality=quality, degradation=degradation)
+        )
+    return SensitivityReport(
+        entries=tuple(entries), ideal_quality=ideal, higher_is_better=higher_is_better
+    )

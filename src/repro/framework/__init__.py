@@ -1,0 +1,13 @@
+"""End-to-end power-quality evaluation framework and experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment, RAY_CONFIGS, table5_configurations
+from .tradeoff import Evaluation, PowerQualityFramework
+
+__all__ = [
+    "EXPERIMENTS",
+    "Evaluation",
+    "Experiment",
+    "PowerQualityFramework",
+    "RAY_CONFIGS",
+    "table5_configurations",
+]

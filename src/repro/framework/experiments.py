@@ -1,0 +1,171 @@
+"""Experiment registry: every table and figure in the evaluation.
+
+Maps each experiment to its paper reference, the modules that implement it,
+and the benchmark target that regenerates it.  High-level runners for the
+Table-5 / Figure-17 configuration sets live here so the test suite, the
+benchmarks, and the examples share a single definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import IHWConfig
+
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "table5_configurations",
+    "RAY_CONFIGS",
+]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table or figure of the paper's evaluation."""
+
+    id: str
+    title: str
+    paper_result: str
+    modules: tuple
+    bench: str
+
+
+EXPERIMENTS = {
+    e.id: e
+    for e in [
+        Experiment(
+            "fig1", "Peak GFLOPS, CPU vs GPU",
+            "GPU peak DP throughput ~1 TFLOPS vs ~0.19 TFLOPS CPU",
+            ("repro.gpu.isa",), "benchmarks/test_fig01_peak_flops.py",
+        ),
+        Experiment(
+            "fig2", "Arithmetic power share per benchmark",
+            "FPU+SFU ~= 27-38% of GPU power for compute-intensive kernels",
+            ("repro.gpu.power", "repro.apps"), "benchmarks/test_fig02_power_breakdown.py",
+        ),
+        Experiment(
+            "table1", "Imprecise function maximum errors",
+            "rcp 5.88%, rsqrt/sqrt 11.11%, mul 25%, add/log2 unbounded",
+            ("repro.core", "repro.erroranalysis"),
+            "benchmarks/test_table1_imprecise_functions.py",
+        ),
+        Experiment(
+            "fig8", "Error PMFs of the 32-bit IHW set",
+            "adder/log2 FSM-dominated; others bounded by Table-1 maxima",
+            ("repro.erroranalysis.characterize",),
+            "benchmarks/test_fig08_error_characterization.py",
+        ),
+        Experiment(
+            "fig9", "Error PMFs of the configurable multiplier",
+            "mass clusters right of the PMF as truncation grows, below the bound",
+            ("repro.core.configurable", "repro.erroranalysis"),
+            "benchmarks/test_fig09_multiplier_characterization.py",
+        ),
+        Experiment(
+            "fig10-11", "Functional verification flow",
+            "functional models verified against HDL-level models by simulation",
+            ("repro.hdl",), "benchmarks/test_fig10_11_verification.py",
+        ),
+        Experiment(
+            "table2", "Normalized non-functional metrics (32-bit IHW vs DWIP)",
+            "ifpmul 0.040 power / 0.218 latency; ifpadd 0.31 / 0.74; isqrt 1.16 power",
+            ("repro.hardware.units", "repro.hardware.library"),
+            "benchmarks/test_table2_nonfunctional_metrics.py",
+        ),
+        Experiment(
+            "table3", "25-bit adder vs 24x24 multiplier",
+            "0.24 vs 8.50 mW (~35x), 0.31 vs 0.93 ns (~3x)",
+            ("repro.hardware.blocks",), "benchmarks/test_table3_adder_vs_multiplier.py",
+        ),
+        Experiment(
+            "table4", "Configurable FP multiplier PPA",
+            "36.63 -> 17.93 mW (fp32), 119.9 -> 38.17 mW (fp64) at same latency",
+            ("repro.hardware.units",), "benchmarks/test_table4_fp_multiplier_metrics.py",
+        ),
+        Experiment(
+            "fig14", "Power-quality tradeoff of the multiplier",
+            ">25x at ~18% error (lp_tr19, fp32); 49x (fp64); bt only ~2.3-6x",
+            ("repro.hardware.library", "repro.core.configurable"),
+            "benchmarks/test_fig14_power_quality_tradeoff.py",
+        ),
+        Experiment(
+            "fig15", "HotSpot functional + power result",
+            "MAE 0.05 K, 32.06% system savings, 91.54% arithmetic savings",
+            ("repro.apps.hotspot", "repro.framework"),
+            "benchmarks/test_fig15_hotspot.py",
+        ),
+        Experiment(
+            "fig16", "SRAD functional + power result",
+            "Pratt FOM 0.20 -> 0.23, 24.23% system savings",
+            ("repro.apps.srad", "repro.framework"),
+            "benchmarks/test_fig16_srad.py",
+        ),
+        Experiment(
+            "fig17", "RayTracing quality ladder",
+            "SSIM 0.95 @ 10.24%; 0.83 @ 11.50%; mul destroys the image",
+            ("repro.apps.raytrace", "repro.framework"),
+            "benchmarks/test_fig17_18_raytrace.py",
+        ),
+        Experiment(
+            "fig18", "RayTracing with the improved multiplier",
+            "full path: SSIM 0.85 @ 13.56%; tr15: 0.79 @ 15.37%",
+            ("repro.apps.raytrace", "repro.core.configurable"),
+            "benchmarks/test_fig17_18_raytrace.py",
+        ),
+        Experiment(
+            "table5", "System-level power savings",
+            "hotspot 32.06/91.54; srad 24.23/90.68; ray 10.24-13.56/36-48",
+            ("repro.gpu.savings", "repro.framework"),
+            "benchmarks/test_table5_system_savings.py",
+        ),
+        Experiment(
+            "table6", "Benchmark summary",
+            "FP-mul counts and configurable-multiplier coverage per benchmark",
+            ("repro.apps",), "benchmarks/test_table6_benchmark_summary.py",
+        ),
+        Experiment(
+            "fig19", "HotSpot vs multiplier configuration",
+            "lp_tr19 MAE ~1.2 K at 26x; bt_22 ~8x worse MAE at only 6x",
+            ("repro.apps.hotspot",), "benchmarks/test_fig19_hotspot_multiplier.py",
+        ),
+        Experiment(
+            "fig20", "CP vs multiplier configuration",
+            "proposed multiplier: consistently lower MAE at larger reduction",
+            ("repro.apps.cp",), "benchmarks/test_fig20_cp.py",
+        ),
+        Experiment(
+            "fig21a", "179.art vigilance vs configuration",
+            "bt drops abruptly; configurable keeps confidence > 0.8 at 26x",
+            ("repro.apps.art",), "benchmarks/test_fig21_art_gromacs.py",
+        ),
+        Experiment(
+            "fig21b", "435.gromacs error% vs configuration",
+            "most configurable points below the 1.25% acceptance line",
+            ("repro.apps.gromacs",), "benchmarks/test_fig21_art_gromacs.py",
+        ),
+        Experiment(
+            "table7", "482.sphinx3 words recognized",
+            "fp path >= 24/25 everywhere; lp path down to 21; bt holds to 48 bits",
+            ("repro.apps.sphinx",), "benchmarks/test_table7_sphinx.py",
+        ),
+    ]
+}
+
+#: The Figure-17/18 and Table-5 RayTracing configuration ladder.
+RAY_CONFIGS = {
+    "ray_rcp_add_sqrt": IHWConfig.units("rcp", "add", "sqrt"),
+    "ray_rcp_add_sqrt_rsqrt": IHWConfig.units("rcp", "add", "sqrt", "rsqrt"),
+    "ray_rcp_add_sqrt_fpmul_fp": IHWConfig.units("rcp", "add", "sqrt").with_multiplier(
+        "mitchell", config="fp_tr0"
+    ),
+}
+
+
+def table5_configurations() -> dict:
+    """Application -> configuration for every Table-5 row."""
+    return {
+        "hotspot": IHWConfig.all_imprecise(),
+        "srad": IHWConfig.all_imprecise(),
+        **RAY_CONFIGS,
+    }

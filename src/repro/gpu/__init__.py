@@ -1,0 +1,44 @@
+"""GPU timing and power substrate (GPGPU-Sim / GPUWattch substitutes)."""
+
+from .counters import KernelCounters
+from .dvfs import CombinedReport, DVFSPoint, combined_savings, dvfs_power_scale
+from .gating import GatingPolicy, execution_unit_duty, gated_breakdown
+from .isa import FERMI_GTX480, GPUConfig, OP_CLASS_LATENCY, OpClass
+from .power import COMPONENTS, EnergyParams, GPUPowerModel, PowerBreakdown
+from .savings import SavingsReport, estimate_system_savings, pipeline_latency_ns
+from .simulator import (
+    KernelTiming,
+    StallProfile,
+    build_warp_stream,
+    profile_kernel_stalls,
+    simulate_kernel,
+    simulate_sm_window,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "EnergyParams",
+    "FERMI_GTX480",
+    "GPUConfig",
+    "GPUPowerModel",
+    "CombinedReport",
+    "DVFSPoint",
+    "KernelCounters",
+    "combined_savings",
+    "dvfs_power_scale",
+    "GatingPolicy",
+    "execution_unit_duty",
+    "gated_breakdown",
+    "KernelTiming",
+    "OP_CLASS_LATENCY",
+    "OpClass",
+    "PowerBreakdown",
+    "SavingsReport",
+    "build_warp_stream",
+    "estimate_system_savings",
+    "pipeline_latency_ns",
+    "StallProfile",
+    "profile_kernel_stalls",
+    "simulate_kernel",
+    "simulate_sm_window",
+]

@@ -1,0 +1,118 @@
+"""Performance counters: the interface between kernels and the power model.
+
+The paper's flow reads GPGPU-Sim performance counters into GPUWattch
+(`init_perf_acc()` in Figure 12).  Here a :class:`KernelCounters` object
+aggregates the scalar-operation counts an :class:`~repro.core.ArithmeticContext`
+collected, plus the memory / integer / control operation counts the kernel
+reports, into the per-class access counts both the timing simulator and the
+power model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import OP_UNIT_CLASS, ArithmeticContext
+
+from .isa import OpClass
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Access counts of one kernel execution.
+
+    ``arith`` holds scalar-op counts keyed ``(op, "precise" | "imprecise")``
+    exactly as the arithmetic context produces them; the remaining fields are
+    scalar counts of the non-arithmetic instruction classes.
+    """
+
+    name: str = "kernel"
+    arith: dict = field(default_factory=dict)
+    int_ops: int = 0
+    mem_ops: int = 0
+    ctrl_ops: int = 0
+    threads: int = 0
+
+    @classmethod
+    def from_context(
+        cls,
+        context: ArithmeticContext,
+        name: str = "kernel",
+        int_ops: int = 0,
+        mem_ops: int = 0,
+        ctrl_ops: int = 0,
+        threads: int = 0,
+    ) -> "KernelCounters":
+        """Snapshot a context's counters together with kernel-level counts."""
+        return cls(
+            name=name,
+            arith=dict(context.counts),
+            int_ops=int_ops,
+            mem_ops=mem_ops,
+            ctrl_ops=ctrl_ops,
+            threads=threads,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def op_counts(self) -> dict:
+        """Scalar arithmetic operations per op name (precise + imprecise)."""
+        totals: dict = {}
+        for (op, _), n in self.arith.items():
+            totals[op] = totals.get(op, 0) + n
+        return totals
+
+    def op_count(self, op: str) -> int:
+        return self.op_counts().get(op, 0)
+
+    def precise_count(self, op: str) -> int:
+        """Scalar ops of ``op`` pinned to the precise datapath."""
+        return self.arith.get((op, "precise"), 0)
+
+    def imprecise_count(self, op: str) -> int:
+        return self.arith.get((op, "imprecise"), 0)
+
+    def class_counts(self) -> dict:
+        """Scalar operation counts per :class:`OpClass`."""
+        counts = {cls: 0 for cls in OpClass}
+        for op, n in self.op_counts().items():
+            counts[OpClass[OP_UNIT_CLASS[op]]] += n
+        counts[OpClass.ALU] += self.int_ops
+        counts[OpClass.MEM] += self.mem_ops
+        counts[OpClass.CTRL] += self.ctrl_ops
+        return counts
+
+    def total_scalar_ops(self) -> int:
+        return sum(self.class_counts().values())
+
+    def warp_instruction_counts(self, warp_size: int = 32) -> dict:
+        """Warp-level instruction counts (scalar counts / warp width)."""
+        return {
+            cls: max(1, n // warp_size) if n else 0
+            for cls, n in self.class_counts().items()
+        }
+
+    def arithmetic_fraction(self) -> float:
+        """Share of scalar ops executing on the FPU or SFU."""
+        counts = self.class_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return (counts[OpClass.FPU] + counts[OpClass.SFU]) / total
+
+    def merged_with(self, other: "KernelCounters") -> "KernelCounters":
+        """Combine two kernel executions (e.g. multi-kernel applications)."""
+        arith = dict(self.arith)
+        for key, n in other.arith.items():
+            arith[key] = arith.get(key, 0) + n
+        return KernelCounters(
+            name=f"{self.name}+{other.name}",
+            arith=arith,
+            int_ops=self.int_ops + other.int_ops,
+            mem_ops=self.mem_ops + other.mem_ops,
+            ctrl_ops=self.ctrl_ops + other.ctrl_ops,
+            threads=max(self.threads, other.threads),
+        )

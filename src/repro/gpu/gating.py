@@ -1,0 +1,99 @@
+"""Power gating model: the abstract's third orthogonal knob.
+
+The paper: IHW "is orthogonal to DVFS, *power gating*, and other hardware
+or software power optimization techniques, and can be combined with these
+techniques to further reduce the power consumption".  This module models
+unit-level power gating of the execution units: a gated unit's share of
+static (leakage) power scales with its duty cycle plus a wake-up overhead,
+so kernels that use a unit rarely stop paying its leakage.
+
+Composed with IHW, gating attacks the *other* half of the unit cost: IHW
+shrinks the dynamic energy per operation; gating shrinks the leakage of
+the now mostly-idle precise units a partially-imprecise configuration
+leaves behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import KernelCounters
+from .isa import FERMI_GTX480, GPUConfig, OpClass
+from .power import GPUPowerModel, PowerBreakdown
+from .simulator import KernelTiming, simulate_kernel
+
+__all__ = ["GatingPolicy", "gated_breakdown", "execution_unit_duty"]
+
+#: Execution-unit share of total static power (McPAT-style apportionment).
+_STATIC_SHARE = {"FPU": 0.22, "SFU": 0.08, "ALU": 0.05}
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Unit-level power-gating parameters.
+
+    ``wake_overhead`` is the residual leakage fraction a gated unit still
+    burns (retention cells, wake-up energy amortized); ``gated_units`` are
+    the execution units under gating control.
+    """
+
+    wake_overhead: float = 0.10
+    gated_units: tuple = ("FPU", "SFU", "ALU")
+
+    def __post_init__(self):
+        if not 0 <= self.wake_overhead <= 1:
+            raise ValueError(
+                f"wake_overhead must be in [0, 1], got {self.wake_overhead}"
+            )
+        unknown = set(self.gated_units) - set(_STATIC_SHARE)
+        if unknown:
+            raise ValueError(f"cannot gate non-execution units: {sorted(unknown)}")
+
+
+def execution_unit_duty(
+    counters: KernelCounters,
+    timing: KernelTiming,
+    config: GPUConfig = FERMI_GTX480,
+) -> dict:
+    """Fraction of cycles each execution unit class is busy."""
+    cycles_total = timing.cycles * config.num_sms
+    if cycles_total <= 0:
+        raise ValueError("timing must cover at least one cycle")
+    cls = counters.class_counts()
+    lane_cycles = {
+        "FPU": cls[OpClass.FPU] / config.warp_size,  # one warp per cycle
+        "SFU": cls[OpClass.SFU] / config.sfu_lanes,  # serialized over 4 lanes
+        "ALU": cls[OpClass.ALU] / config.warp_size,
+    }
+    return {unit: min(1.0, busy / cycles_total) for unit, busy in lane_cycles.items()}
+
+
+def gated_breakdown(
+    counters: KernelCounters,
+    policy: GatingPolicy = GatingPolicy(),
+    model: GPUPowerModel | None = None,
+    timing: KernelTiming | None = None,
+) -> PowerBreakdown:
+    """Power breakdown with execution-unit power gating applied.
+
+    The gated fraction of each unit's static share is
+    ``(1 - duty) * (1 - wake_overhead)``; dynamic power is untouched (the
+    unit is awake whenever it computes).
+    """
+    model = model or GPUPowerModel()
+    if timing is None:
+        timing = simulate_kernel(counters, model.config)
+    base = model.breakdown(counters, timing)
+    duty = execution_unit_duty(counters, timing, model.config)
+
+    static = base.watts["Static"]
+    saved = 0.0
+    for unit in policy.gated_units:
+        unit_static = static * _STATIC_SHARE[unit]
+        saved += unit_static * (1.0 - duty[unit]) * (1.0 - policy.wake_overhead)
+
+    watts = dict(base.watts)
+    watts["Static"] = static - saved
+    return PowerBreakdown(
+        watts=watts, timing=timing, name=f"{counters.name}+gated"
+    )

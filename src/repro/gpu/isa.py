@@ -1,0 +1,68 @@
+"""Instruction taxonomy and machine configuration of the simulated GPU.
+
+The timing and power substrate models a Fermi-class GPU (the GTX480 that
+GPGPU-Sim + GPUWattch model in the paper): 15 streaming multiprocessors, 32
+warp lanes, 4 SFU lanes per SM, and a 700 MHz execution-pipeline clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["OpClass", "GPUConfig", "FERMI_GTX480", "OP_CLASS_LATENCY"]
+
+
+class OpClass(Enum):
+    """Executing unit class of a warp instruction."""
+
+    FPU = "FPU"  # single precision add/sub/mul/fma
+    SFU = "SFU"  # rcp/rsqrt/sqrt/log2/div (and transcendentals)
+    ALU = "ALU"  # integer / logic / address arithmetic
+    MEM = "MEM"  # global/shared loads and stores
+    CTRL = "CTRL"  # branches, sync
+
+
+#: Execution latency in cycles per warp instruction (Fermi-like).
+OP_CLASS_LATENCY = {
+    OpClass.FPU: 4,
+    OpClass.SFU: 8,
+    OpClass.ALU: 4,
+    OpClass.MEM: 400,  # average global-memory round trip
+    OpClass.CTRL: 2,
+}
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Static machine description for the timing and power models."""
+
+    name: str = "fermi"
+    num_sms: int = 15
+    warp_size: int = 32
+    max_resident_warps: int = 48
+    fpu_lanes: int = 32  # FPU instructions issue one warp per cycle
+    sfu_lanes: int = 4  # SFU instructions occupy warp_size/sfu_lanes cycles
+    lsu_lanes: int = 16
+    issue_width: int = 2
+    clock_ghz: float = 0.7
+    mem_latency: int = 400
+    mem_pipeline_depth: int = 192  # outstanding memory requests per SM
+    mem_dependence_distance: int = 4  # every Nth load stalls for the round trip
+
+    @property
+    def sfu_occupancy_cycles(self) -> int:
+        """Cycles an SFU warp instruction occupies the SFU pipeline."""
+        return max(1, self.warp_size // self.sfu_lanes)
+
+    @property
+    def lsu_occupancy_cycles(self) -> int:
+        return max(1, self.warp_size // self.lsu_lanes)
+
+    def peak_gflops(self, flops_per_op: int = 2) -> float:
+        """Peak single precision GFLOP/s (FMA counts two flops)."""
+        return self.num_sms * self.fpu_lanes * self.clock_ghz * flops_per_op
+
+
+#: The GTX480-like default the paper's Figure-2 numbers come from.
+FERMI_GTX480 = GPUConfig()

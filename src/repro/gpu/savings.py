@@ -1,0 +1,155 @@
+"""System-level power savings estimation — the Figure-12 algorithm.
+
+For every arithmetic op the kernel executed, the per-access energy of the
+IHW and the DWIP implementation is accumulated over the pipelined execution
+time (a continuously operating pipeline with no stalls, per Chapter 5.1),
+yielding average FPU and SFU power in both modes.  The percentage power
+improvements are then weighted by the FPU/SFU shares of total GPU power
+from the GPUWattch-style model:
+
+    sys_pwr_impr = fpu_share * avg_fpu_pwr_impr + sfu_share * avg_sfu_pwr_impr
+
+Operations the application pinned to the precise datapath (``precise=True``
+in the arithmetic context — e.g. CP's coordinate computations) execute on
+the DWIP unit in both modes and therefore dilute the improvement, exactly
+as in the paper's RayTracing rows of Table 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import IHWConfig, OP_UNIT_CLASS
+from repro.hardware import HardwareLibrary
+
+from .counters import KernelCounters
+
+__all__ = ["SavingsReport", "estimate_system_savings", "pipeline_latency_ns"]
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Output of the Figure-12 estimation."""
+
+    name: str
+    fpu_improvement: float  # fractional average-power improvement of the FPU
+    sfu_improvement: float
+    arithmetic_savings: float  # Table-5 "Arith. Power Savings"
+    system_savings: float  # Table-5 "Holistic Power Savings"
+    fpu_share: float
+    sfu_share: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.name:32s} holistic {self.system_savings:7.2%}   "
+            f"arith {self.arithmetic_savings:7.2%}   "
+            f"(FPU {self.fpu_improvement:.1%} x {self.fpu_share:.1%}, "
+            f"SFU {self.sfu_improvement:.1%} x {self.sfu_share:.1%})"
+        )
+
+
+def pipeline_latency_ns(accesses: int, unit_latency_ns: float, clock_ghz: float) -> float:
+    """Pipelined execution time of ``accesses`` back-to-back operations.
+
+    Figure 12: ``[acc - 1 + ceil(lat * f)] / f`` — the pipeline fills once
+    and then retires one operation per cycle.
+    """
+    if accesses <= 0:
+        return 0.0
+    cycles = accesses - 1 + math.ceil(unit_latency_ns * clock_ghz)
+    return cycles / clock_ghz
+
+
+def _accumulate(counters: KernelCounters, config: IHWConfig,
+                library: HardwareLibrary, clock_ghz: float) -> dict:
+    """Per-class (FPU/SFU) energy and latency totals for both modes."""
+    acc = {
+        cls: {"ihw_eng": 0.0, "dw_eng": 0.0, "ihw_lat": 0.0, "dw_lat": 0.0}
+        for cls in ("FPU", "SFU")
+    }
+    for op, total in counters.op_counts().items():
+        if total == 0:
+            continue
+        cls = OP_UNIT_CLASS[op]
+        dw = library.dwip(op)
+        precise = counters.precise_count(op)
+        imprecise = total - precise
+        ihw = library.metrics_for(op, config)
+
+        # DWIP mode runs everything on the precise unit.
+        dw_lat = pipeline_latency_ns(total, dw.latency_ns, clock_ghz)
+        acc[cls]["dw_eng"] += dw.power_mw * dw_lat
+        acc[cls]["dw_lat"] += dw_lat
+
+        # IHW mode: pinned-precise ops stay on the DWIP unit.
+        i_lat = pipeline_latency_ns(imprecise, ihw.latency_ns, clock_ghz)
+        p_lat = pipeline_latency_ns(precise, dw.latency_ns, clock_ghz)
+        acc[cls]["ihw_eng"] += ihw.power_mw * i_lat + dw.power_mw * p_lat
+        acc[cls]["ihw_lat"] += i_lat + p_lat
+    return acc
+
+
+def estimate_system_savings(
+    counters: KernelCounters,
+    config: IHWConfig,
+    fpu_share: float,
+    sfu_share: float,
+    library: HardwareLibrary | None = None,
+    clock_ghz: float = 0.7,
+    name: str | None = None,
+) -> SavingsReport:
+    """Run the Figure-12 algorithm for one kernel and configuration.
+
+    Parameters
+    ----------
+    counters:
+        Kernel access counts (from the instrumented arithmetic context).
+    config:
+        The IHW configuration whose savings are being estimated.
+    fpu_share, sfu_share:
+        Fractions of total GPU power drawn by the FPU/SFU, from
+        :class:`~repro.gpu.power.GPUPowerModel` (or the paper's Figure 2).
+    library:
+        Hardware metrics source; defaults to the paper-calibrated library.
+    clock_ghz:
+        Execution pipeline clock (700 MHz, as in GPUWattch).
+    """
+    if not 0 <= fpu_share <= 1 or not 0 <= sfu_share <= 1 or fpu_share + sfu_share > 1:
+        raise ValueError(
+            f"shares must be fractions summing to <= 1, got {fpu_share}, {sfu_share}"
+        )
+    if library is None:
+        library = HardwareLibrary.paper_45nm()
+
+    acc = _accumulate(counters, config, library, clock_ghz)
+
+    improvements = {}
+    for cls in ("FPU", "SFU"):
+        a = acc[cls]
+        if a["dw_lat"] == 0:
+            improvements[cls] = 0.0
+            continue
+        dw_pwr = a["dw_eng"] / a["dw_lat"]
+        ihw_pwr = a["ihw_eng"] / a["ihw_lat"] if a["ihw_lat"] else dw_pwr
+        improvements[cls] = abs(dw_pwr - ihw_pwr) / dw_pwr if dw_pwr else 0.0
+
+    total_dw_eng = acc["FPU"]["dw_eng"] + acc["SFU"]["dw_eng"]
+    total_ihw_eng = acc["FPU"]["ihw_eng"] + acc["SFU"]["ihw_eng"]
+    total_dw_lat = acc["FPU"]["dw_lat"] + acc["SFU"]["dw_lat"]
+    total_ihw_lat = acc["FPU"]["ihw_lat"] + acc["SFU"]["ihw_lat"]
+    if total_dw_lat > 0 and total_ihw_lat > 0:
+        arith = 1.0 - (total_ihw_eng / total_ihw_lat) / (total_dw_eng / total_dw_lat)
+    else:
+        arith = 0.0
+
+    system = fpu_share * improvements["FPU"] + sfu_share * improvements["SFU"]
+    return SavingsReport(
+        name=name or counters.name,
+        fpu_improvement=improvements["FPU"],
+        sfu_improvement=improvements["SFU"],
+        arithmetic_savings=arith,
+        system_savings=system,
+        fpu_share=fpu_share,
+        sfu_share=sfu_share,
+    )

@@ -1,0 +1,293 @@
+"""Cycle-level SM/warp timing simulator — the GPGPU-Sim substitute.
+
+The paper uses GPGPU-Sim's cycle-accurate Fermi model to obtain performance
+counters and kernel runtimes for GPUWattch.  This module reproduces that
+role with a sampling methodology standard in architecture studies:
+
+1. build a representative per-warp instruction stream from the kernel's
+   measured instruction mix (largest-remainder interleaving, so the stream
+   proportions match the counters exactly);
+2. simulate one SM cycle by cycle — a greedy round-robin scheduler issues up
+   to ``issue_width`` ready warps per cycle into unit pipelines with
+   realistic occupancies (FPU one warp/cycle, SFU ``warp_size/sfu_lanes``
+   cycles, memory with fixed latency and bounded outstanding requests);
+3. extrapolate the measured IPC to the kernel's full warp-instruction count
+   across all SMs.
+
+The simulated scheduler exhibits the first-order Fermi behaviors that matter
+for the power model: SFU serialization, latency hiding proportional to
+resident warps, and memory-bound stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import KernelCounters
+from .isa import FERMI_GTX480, GPUConfig, OP_CLASS_LATENCY, OpClass
+
+__all__ = [
+    "KernelTiming",
+    "StallProfile",
+    "build_warp_stream",
+    "profile_kernel_stalls",
+    "simulate_kernel",
+    "simulate_sm_window",
+]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing summary of one kernel on the simulated GPU."""
+
+    cycles: int
+    time_s: float
+    ipc_per_sm: float
+    warp_instructions: int
+    occupancy: float
+
+    @property
+    def time_ns(self) -> float:
+        return self.time_s * 1e9
+
+
+def build_warp_stream(mix: dict, length: int) -> list:
+    """A ``length``-instruction stream matching the class proportions of ``mix``.
+
+    Largest-remainder apportionment followed by even interleaving, so short
+    windows still carry every class that appears in the kernel.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("instruction mix is empty")
+
+    quotas = {cls: mix[cls] * length / total for cls in mix if mix[cls] > 0}
+    counts = {cls: int(q) for cls, q in quotas.items()}
+    if length >= len(quotas):
+        # Rare classes must not vanish from short windows: a dropped MEM or
+        # SFU class would hide its latency/occupancy entirely.
+        for cls in counts:
+            counts[cls] = max(counts[cls], 1)
+    while sum(counts.values()) > length:
+        biggest = max(counts, key=lambda c: counts[c])
+        counts[biggest] -= 1
+    leftover = length - sum(counts.values())
+    for cls in sorted(quotas, key=lambda c: quotas[c] - counts[c], reverse=True):
+        if leftover <= 0:
+            break
+        counts[cls] += 1
+        leftover -= 1
+
+    # Interleave classes by spreading each class evenly over the window.
+    slots = [None] * length
+    order = sorted(counts, key=lambda c: counts[c], reverse=True)
+    position = 0.0
+    for cls in order:
+        n = counts[cls]
+        if n == 0:
+            continue
+        stride = length / n
+        offset = position % 1.0
+        for i in range(n):
+            idx = int(offset + i * stride) % length
+            while slots[idx] is not None:
+                idx = (idx + 1) % length
+            slots[idx] = cls
+        position += 0.618  # golden-ratio offset de-synchronizes the classes
+    return slots
+
+
+@dataclass
+class StallProfile:
+    """Per-cycle issue accounting of one SM window simulation.
+
+    Every (cycle, issue slot) either issues an instruction or is charged to
+    the first reason the scheduler could not fill it:
+
+    - ``dependency`` — every remaining warp waits on its own latency,
+    - ``fpu_port`` / ``sfu_port`` / ``lsu_port`` — ready warps existed but
+      the unit pipeline was occupied,
+    - ``mem_bandwidth`` — the outstanding-request window was full,
+    - ``drained`` — no instructions left to issue.
+    """
+
+    issued: int = 0
+    dependency: int = 0
+    fpu_port: int = 0
+    sfu_port: int = 0
+    lsu_port: int = 0
+    mem_bandwidth: int = 0
+    drained: int = 0
+
+    @property
+    def total_slots(self) -> int:
+        return (
+            self.issued + self.dependency + self.fpu_port + self.sfu_port
+            + self.lsu_port + self.mem_bandwidth + self.drained
+        )
+
+    def fractions(self) -> dict:
+        """Slot shares per category (sums to 1)."""
+        total = max(self.total_slots, 1)
+        return {
+            name: getattr(self, name) / total
+            for name in (
+                "issued", "dependency", "fpu_port", "sfu_port", "lsu_port",
+                "mem_bandwidth", "drained",
+            )
+        }
+
+    def format_rows(self) -> str:
+        lines = []
+        for name, frac in self.fractions().items():
+            lines.append(f"  {name:14s} {frac:6.1%} {'#' * int(round(frac * 40))}")
+        return "\n".join(lines)
+
+
+def simulate_sm_window(
+    mix: dict,
+    config: GPUConfig = FERMI_GTX480,
+    resident_warps: int = 32,
+    window: int = 64,
+    profile: StallProfile | None = None,
+) -> tuple:
+    """Simulate one SM draining ``resident_warps`` warps of ``window`` instructions.
+
+    Returns ``(cycles, instructions_issued)``; pass a :class:`StallProfile`
+    to additionally collect per-slot issue/stall accounting.
+    """
+    if resident_warps < 1:
+        raise ValueError("need at least one resident warp")
+    stream = build_warp_stream(mix, window)
+    pc = [0] * resident_warps
+    ready = [0] * resident_warps
+    fpu_free = 0
+    sfu_free = 0
+    lsu_free = 0
+    outstanding_mem = []
+
+    issued = 0
+    cycle = 0
+    rr = 0  # round-robin pointer
+    total_instr = resident_warps * window
+    max_cycles = total_instr * (config.mem_latency + 16)
+
+    while issued < total_instr and cycle < max_cycles:
+        outstanding_mem = [c for c in outstanding_mem if c > cycle]
+        slots = config.issue_width
+        blocked_reasons = set()
+        for k in range(resident_warps):
+            if slots == 0:
+                break
+            w = (rr + k) % resident_warps
+            if pc[w] >= window:
+                continue
+            if ready[w] > cycle:
+                blocked_reasons.add("dependency")
+                continue
+            op = stream[pc[w]]
+            if op is OpClass.FPU or op is OpClass.ALU or op is OpClass.CTRL:
+                if fpu_free > cycle:
+                    blocked_reasons.add("fpu_port")
+                    continue
+                fpu_free = cycle + 1
+            elif op is OpClass.SFU:
+                if sfu_free > cycle:
+                    blocked_reasons.add("sfu_port")
+                    continue
+                sfu_free = cycle + config.sfu_occupancy_cycles
+            else:  # MEM
+                if len(outstanding_mem) >= config.mem_pipeline_depth:
+                    blocked_reasons.add("mem_bandwidth")
+                    continue
+                if lsu_free > cycle:
+                    blocked_reasons.add("lsu_port")
+                    continue
+                lsu_free = cycle + config.lsu_occupancy_cycles
+                outstanding_mem.append(cycle + config.mem_latency)
+                # Loads are non-blocking: the warp stalls for the full round
+                # trip only at its next true dependence (modeled as every
+                # mem_dependence_distance-th access); otherwise it proceeds
+                # after the LSU pipeline.
+                if pc[w] % config.mem_dependence_distance == 0:
+                    ready[w] = cycle + config.mem_latency
+                else:
+                    ready[w] = cycle + config.lsu_occupancy_cycles + 4
+                pc[w] += 1
+                issued += 1
+                slots -= 1
+                if profile is not None:
+                    profile.issued += 1
+                continue
+            ready[w] = cycle + OP_CLASS_LATENCY[op]
+            pc[w] += 1
+            issued += 1
+            slots -= 1
+            if profile is not None:
+                profile.issued += 1
+        if profile is not None and slots > 0:
+            # Charge the unfilled slots to the dominant blocking reason.
+            if not any(pc[w] < window for w in range(resident_warps)):
+                reason = "drained"
+            elif "fpu_port" in blocked_reasons:
+                reason = "fpu_port"
+            elif "sfu_port" in blocked_reasons:
+                reason = "sfu_port"
+            elif "mem_bandwidth" in blocked_reasons:
+                reason = "mem_bandwidth"
+            elif "lsu_port" in blocked_reasons:
+                reason = "lsu_port"
+            else:
+                reason = "dependency"
+            setattr(profile, reason, getattr(profile, reason) + slots)
+        rr = (rr + 1) % resident_warps
+        cycle += 1
+    return cycle, issued
+
+
+def profile_kernel_stalls(
+    counters: KernelCounters,
+    config: GPUConfig = FERMI_GTX480,
+    resident_warps: int = 32,
+    window: int = 64,
+) -> StallProfile:
+    """Issue/stall breakdown of a kernel's representative window."""
+    warp_counts = counters.warp_instruction_counts(config.warp_size)
+    if sum(warp_counts.values()) == 0:
+        raise ValueError(f"kernel {counters.name!r} issued no instructions")
+    warps = max(1, counters.threads // config.warp_size)
+    resident = max(1, min(resident_warps, warps, config.max_resident_warps))
+    profile = StallProfile()
+    simulate_sm_window(warp_counts, config, resident, window, profile=profile)
+    return profile
+
+
+def simulate_kernel(
+    counters: KernelCounters,
+    config: GPUConfig = FERMI_GTX480,
+    resident_warps: int = 32,
+    window: int = 64,
+) -> KernelTiming:
+    """Extrapolate a window simulation to the kernel's full instruction count."""
+    warp_counts = counters.warp_instruction_counts(config.warp_size)
+    total_warp_instr = sum(warp_counts.values())
+    if total_warp_instr == 0:
+        raise ValueError(f"kernel {counters.name!r} issued no instructions")
+
+    warps = max(1, counters.threads // config.warp_size)
+    resident = max(1, min(resident_warps, warps, config.max_resident_warps))
+    cycles_window, issued = simulate_sm_window(warp_counts, config, resident, window)
+    ipc = issued / cycles_window
+
+    per_sm_instr = total_warp_instr / config.num_sms
+    cycles = int(per_sm_instr / ipc) + 1
+    time_s = cycles / (config.clock_ghz * 1e9)
+    return KernelTiming(
+        cycles=cycles,
+        time_s=time_s,
+        ipc_per_sm=ipc,
+        warp_instructions=total_warp_instr,
+        occupancy=resident / config.max_resident_warps,
+    )

@@ -1,0 +1,186 @@
+"""Block-level PPA primitives for the analytic hardware model.
+
+Each builder returns a :class:`Block` describing one datapath block:
+NAND2-equivalent gate count, critical path in gate delays, and an activity
+factor (relative switching density under random inputs).  Blocks compose by
+summation of power/area and summation of path delays along a named critical
+chain — exactly the granularity the paper's Figure-11 synthesis flow reports
+at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .gates import GATE_AREA_UM2, GATE_DELAY_NS, GATE_POWER_MW, LEAKAGE_FRACTION
+
+__all__ = [
+    "Block",
+    "adder",
+    "ripple_adder",
+    "carry_save_adder",
+    "array_multiplier",
+    "barrel_shifter",
+    "priority_encoder",
+    "leading_one_detector",
+    "decoder",
+    "rounding_unit",
+    "mux",
+    "constant_multiplier",
+    "logic",
+]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One datapath block in the gate-level model."""
+
+    name: str
+    gate_equivalents: float
+    path_gates: float
+    activity: float = 1.0
+    idle: bool = False  # idle blocks burn only leakage (Figure-7 gating)
+
+    @property
+    def power_mw(self) -> float:
+        """Average power under continuous random-vector operation."""
+        dynamic = self.gate_equivalents * self.activity * GATE_POWER_MW
+        leakage = self.gate_equivalents * GATE_POWER_MW * LEAKAGE_FRACTION
+        return leakage if self.idle else dynamic + leakage
+
+    @property
+    def delay_ns(self) -> float:
+        return self.path_gates * GATE_DELAY_NS
+
+    @property
+    def area_um2(self) -> float:
+        return self.gate_equivalents * GATE_AREA_UM2
+
+    def idled(self) -> "Block":
+        """A copy of this block with inputs muxed to constants (leakage only)."""
+        return Block(self.name, self.gate_equivalents, self.path_gates, self.activity, True)
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def adder(bits: int, name: str = "adder") -> Block:
+    """Fast (carry-lookahead class) two-operand adder."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 7 * bits, 2 * _log2ceil(bits) + 6, activity=1.0)
+
+
+def ripple_adder(bits: int, name: str = "ripple_adder") -> Block:
+    """Area-minimal ripple-carry adder (long critical path)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 6 * bits, 2 * bits + 2, activity=1.0)
+
+
+def carry_save_adder(bits: int, operands: int = 3, name: str = "csa") -> Block:
+    """Carry-save adder tree reducing ``operands`` inputs plus final CPA."""
+    if bits < 1 or operands < 2:
+        raise ValueError("need bits >= 1 and operands >= 2")
+    levels = max(1, math.ceil(math.log2(operands / 2 + 1)))
+    csa_ge = 5 * bits * (operands - 2)
+    final = adder(bits)
+    return Block(
+        name,
+        csa_ge + final.gate_equivalents,
+        2 * levels + final.path_gates,
+        activity=1.1,
+    )
+
+
+def array_multiplier(n: int, m: int | None = None, name: str = "multiplier") -> Block:
+    """n x m array multiplier (partial products + CSA array + final CPA)."""
+    m = n if m is None else m
+    if n < 1 or m < 1:
+        raise ValueError("multiplier dimensions must be >= 1")
+    # Array multipliers glitch: high effective activity.
+    return Block(name, 7 * n * m, n + m, activity=1.55)
+
+
+def truncated_array_multiplier(n: int, m: int, truncated_columns: int,
+                               name: str = "trunc_multiplier") -> Block:
+    """Array multiplier with the ``truncated_columns`` LSB columns removed."""
+    if truncated_columns < 0 or truncated_columns > n + m:
+        raise ValueError("truncated_columns out of range")
+    full = 7 * n * m
+    # Removing the k LSB columns removes ~k^2/2 of the n*m partial products
+    # (for k <= min(n, m)); beyond that the saving saturates linearly.
+    k = truncated_columns
+    removed_pp = min(k * (k + 1) / 2, n * m * 0.9)
+    ge = max(full - 7 * removed_pp, 7 * max(n + m - k, 2))
+    return Block(name, ge, max(n + m - k, 6), activity=1.55)
+
+
+def barrel_shifter(bits: int, name: str = "barrel_shifter") -> Block:
+    """Full barrel shifter (log-depth mux stages)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    stages = _log2ceil(bits)
+    return Block(name, 3 * bits * stages, stages + 1, activity=0.7)
+
+
+def priority_encoder(bits: int, name: str = "priority_encoder") -> Block:
+    """Priority encoder (the low-power LOD replacement in Figure 7)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 2 * bits, _log2ceil(bits) + 2, activity=0.5)
+
+
+def leading_one_detector(bits: int, name: str = "lod") -> Block:
+    """Classic LOD tree (Figure 6)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 3 * bits, _log2ceil(bits) + 3, activity=0.5)
+
+
+def decoder(bits: int, name: str = "decoder") -> Block:
+    """Log-to-binary decode stage of the Mitchell datapath."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 2 * bits, _log2ceil(bits), activity=0.5)
+
+
+def rounding_unit(bits: int, name: str = "rounding") -> Block:
+    """IEEE-754 rounding: 4 modes, guard/round/sticky, increment, renorm.
+
+    Sized so rounding is ~17% of the DW FP multiplier's power, matching the
+    paper's "up to 18%" citation.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return Block(name, 40 * bits, 8, activity=1.35)
+
+
+def mux(bits: int, ways: int = 2, name: str = "mux") -> Block:
+    """``ways``-to-1 multiplexer over a ``bits``-wide bus."""
+    if bits < 1 or ways < 2:
+        raise ValueError("need bits >= 1 and ways >= 2")
+    return Block(name, 1.4 * bits * (ways - 1), _log2ceil(ways), activity=0.7)
+
+
+def constant_multiplier(bits: int, digits: int = 4, name: str = "const_mult") -> Block:
+    """Multiplication by a fixed coefficient (CSD shift-add network).
+
+    ``digits`` is the number of non-zero signed digits of the coefficient —
+    each contributes one shifted addend to a small adder tree (the linear
+    SFU coefficients 1.882 / 1.1911 / 0.9846 need 4-5 digits).
+    """
+    if bits < 1 or digits < 1:
+        raise ValueError("need bits >= 1 and digits >= 1")
+    tree = carry_save_adder(bits + digits, operands=digits + 1)
+    return Block(name, tree.gate_equivalents, tree.path_gates, activity=1.0)
+
+
+def logic(gate_equivalents: float, path_gates: float = 2,
+          activity: float = 0.5, name: str = "logic") -> Block:
+    """Free-form control / flag / exception logic."""
+    if gate_equivalents < 0:
+        raise ValueError("gate_equivalents must be non-negative")
+    return Block(name, gate_equivalents, path_gates, activity)

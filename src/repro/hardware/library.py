@@ -1,0 +1,188 @@
+"""Per-operation hardware metrics library consumed by the power framework.
+
+The Figure-12 savings algorithm needs, for every arithmetic op, the
+synthesized (power, latency) of the executing unit in both the DWIP
+(IEEE-754 baseline) and the IHW implementation.  :class:`HardwareLibrary`
+provides that matrix from either source:
+
+- ``HardwareLibrary.paper_45nm()`` — the paper's measured numbers
+  (Table 2 ratios applied to the DWIP absolute baselines), the default for
+  reproducing Tables 5-7;
+- ``HardwareLibrary.analytic(bits)`` — the structural gate-level model in
+  :mod:`repro.hardware.units`, used for sweeps the paper does not tabulate
+  (e.g. every truncation point of Figure 14) and for cross-validation.
+
+Multiplier variants (``table1`` / ``mitchell`` / ``truncated``) resolve to
+configuration-specific metrics; the Mitchell and truncated variants always
+come from the structural model, scaled into the library's DWIP-absolute
+frame so the two sources compose consistently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IHWConfig, MultiplierConfig
+
+from . import units as U
+from .paper_data import DWIP_ABSOLUTE, TABLE2_NORMALIZED, UnitMetrics
+
+__all__ = ["HardwareLibrary", "OPS"]
+
+#: Operations with a (DWIP, IHW) implementation pair.
+OPS = ("add", "sub", "mul", "fma", "div", "rcp", "rsqrt", "sqrt", "log2")
+
+#: Table-2 unit name for each op.
+_TABLE2_NAME = {
+    "add": "ifpadd",
+    "sub": "ifpadd",
+    "mul": "ifpmul",
+    "fma": "ifma",
+    "div": "ifpdiv",
+    "rcp": "ircp",
+    "rsqrt": "irsqrt",
+    "sqrt": "isqrt",
+    "log2": "ilog2",
+}
+
+_ANALYTIC_DW = {
+    "add": U.dw_fp_adder,
+    "sub": U.dw_fp_adder,
+    "mul": U.dw_fp_multiplier,
+    "fma": U.dw_fma,
+    "div": U.dw_fp_divider,
+    "rcp": U.dw_reciprocal,
+    "rsqrt": U.dw_rsqrt,
+    "sqrt": U.dw_sqrt,
+    "log2": U.dw_log2,
+}
+
+_ANALYTIC_IHW = {
+    "add": U.ihw_fp_adder,
+    "sub": U.ihw_fp_adder,
+    "mul": U.ihw_fp_multiplier_table1,
+    "fma": U.ihw_fma,
+    "div": U.ihw_fp_divider,
+    "rcp": U.ihw_reciprocal,
+    "rsqrt": U.ihw_rsqrt,
+    "sqrt": U.ihw_sqrt,
+    "log2": U.ihw_log2,
+}
+
+
+class HardwareLibrary:
+    """Per-op (power, latency) matrix for DWIP and IHW implementations."""
+
+    def __init__(self, dwip: dict, ihw: dict, bits: int = 32, source: str = "paper"):
+        missing = set(OPS) - set(dwip) | set(OPS) - set(ihw)
+        if missing:
+            raise ValueError(f"library is missing ops: {sorted(missing)}")
+        self._dwip = dict(dwip)
+        self._ihw = dict(ihw)
+        self.bits = bits
+        self.source = source
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_45nm(cls, bits: int = 32) -> "HardwareLibrary":
+        """Library from the paper's reported measurements (Tables 2/3)."""
+        dwip = {op: DWIP_ABSOLUTE[op].derived() for op in OPS}
+        ihw = {}
+        for op in OPS:
+            ratio = TABLE2_NORMALIZED[_TABLE2_NAME[op]]
+            base = DWIP_ABSOLUTE[op]
+            ihw[op] = UnitMetrics(
+                power_mw=base.power_mw * ratio.power_mw,
+                latency_ns=base.latency_ns * ratio.latency_ns,
+            ).derived()
+        return cls(dwip, ihw, bits=bits, source="paper")
+
+    @classmethod
+    def analytic(cls, bits: int = 32) -> "HardwareLibrary":
+        """Library from the structural gate-level model."""
+        dwip = {op: _ANALYTIC_DW[op](bits).metrics() for op in OPS}
+        ihw = {op: _ANALYTIC_IHW[op](bits).metrics() for op in OPS}
+        return cls(dwip, ihw, bits=bits, source="analytic")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def dwip(self, op: str) -> UnitMetrics:
+        """Metrics of the IEEE-754 (DesignWare) implementation of ``op``."""
+        self._check(op)
+        return self._dwip[op]
+
+    def ihw(self, op: str, config: IHWConfig | None = None) -> UnitMetrics:
+        """Metrics of the imprecise implementation of ``op``.
+
+        For ``mul`` the result depends on the configured multiplier mode:
+        ``table1`` uses the library's stored entry, while ``mitchell`` and
+        ``truncated`` come from the structural model scaled into this
+        library's DWIP frame.
+        """
+        self._check(op)
+        if op != "mul" or config is None or config.multiplier_mode == "table1":
+            return self._ihw[op]
+        if config.multiplier_mode == "mitchell":
+            return self.multiplier_metrics(config.multiplier_config)
+        return self.bt_multiplier_metrics(config.multiplier_truncation)
+
+    def metrics_for(self, op: str, config: IHWConfig) -> UnitMetrics:
+        """Metrics of ``op`` under ``config`` (DWIP when the unit is off)."""
+        unit_switch = "add" if op == "sub" else op
+        if config.is_enabled(unit_switch):
+            return self.ihw(op, config)
+        return self.dwip(op)
+
+    def _scaled_from_analytic(self, design: U.UnitDesign) -> UnitMetrics:
+        """Map an analytic multiplier design into this library's frame."""
+        analytic_dw = U.dw_fp_multiplier(self.bits).metrics()
+        base = self._dwip["mul"]
+        return UnitMetrics(
+            power_mw=base.power_mw * design.metrics().power_mw / analytic_dw.power_mw,
+            latency_ns=(
+                base.latency_ns * design.metrics().latency_ns / analytic_dw.latency_ns
+            ),
+        ).derived()
+
+    def multiplier_metrics(self, config: MultiplierConfig) -> UnitMetrics:
+        """Metrics of the Mitchell multiplier at one configuration."""
+        return self._scaled_from_analytic(U.mitchell_fp_multiplier(self.bits, config))
+
+    def bt_multiplier_metrics(self, truncation: int) -> UnitMetrics:
+        """Metrics of the intuitive truncation baseline ``bt_N``."""
+        return self._scaled_from_analytic(U.bt_fp_multiplier(self.bits, truncation))
+
+    def power_reduction(self, op: str, config: IHWConfig | None = None) -> float:
+        """DWIP/IHW power ratio for ``op`` (e.g. ~25x for the multiplier)."""
+        return self.dwip(op).power_mw / self.ihw(op, config).power_mw
+
+    def table(self) -> str:
+        """Text rendering of the full matrix (a Table-2 style report)."""
+        rows = [
+            f"{'op':6s} {'DW mW':>8s} {'DW ns':>6s} {'IHW mW':>8s} {'IHW ns':>7s} "
+            f"{'P ratio':>8s} {'L ratio':>8s}"
+        ]
+        for op in OPS:
+            d, i = self.dwip(op), self._ihw[op]
+            rows.append(
+                f"{op:6s} {d.power_mw:8.2f} {d.latency_ns:6.2f} {i.power_mw:8.3f} "
+                f"{i.latency_ns:7.3f} {i.power_mw / d.power_mw:8.3f} "
+                f"{i.latency_ns / d.latency_ns:8.3f}"
+            )
+        return "\n".join(rows)
+
+    def _check(self, op: str):
+        if op not in self._dwip:
+            raise ValueError(f"unknown op {op!r}; expected one of {OPS}")
+
+
+def truncation_power_sweep(path: str, truncations, bits: int = 32) -> np.ndarray:
+    """Power (mW, analytic frame) across a truncation sweep (Figure 14)."""
+    powers = []
+    for tr in truncations:
+        design = U.mitchell_fp_multiplier(bits, MultiplierConfig(path, int(tr)))
+        powers.append(design.metrics().power_mw)
+    return np.asarray(powers)

@@ -1,0 +1,103 @@
+"""Synthesis-flow facade: the Figure-11 Design Compiler step as an API.
+
+The paper's top-down flow synthesizes each unit against a timing target,
+reports power/area/slack, and stores the results in a matrix for the
+system-level power evaluation.  :func:`synthesize` reproduces that report
+for any :class:`~repro.hardware.units.UnitDesign`: timing closure against a
+clock target (with an optional pipelining transform that splits the
+critical chain into stages), the per-block power breakdown, and the
+pass/fail slack — the artifacts a designer reads off a DC run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .paper_data import UnitMetrics
+from .units import UnitDesign
+
+__all__ = ["SynthesisReport", "synthesize", "pipeline_stages_required"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """One unit's synthesis outcome against a clock target."""
+
+    design: str
+    clock_ns: float
+    latency_ns: float
+    slack_ns: float
+    pipeline_stages: int
+    power_mw: float
+    area_um2: float
+    block_power: tuple  # ((block name, mW), ...) sorted descending
+
+    @property
+    def timing_met(self) -> bool:
+        return self.slack_ns >= 0
+
+    @property
+    def metrics(self) -> UnitMetrics:
+        return UnitMetrics(
+            power_mw=self.power_mw,
+            latency_ns=self.pipeline_stages * self.clock_ns,
+            area=self.area_um2,
+        ).derived()
+
+    def format_report(self) -> str:
+        status = "MET" if self.timing_met else "VIOLATED"
+        lines = [
+            f"design {self.design}: clock {self.clock_ns:.3f} ns, "
+            f"{self.pipeline_stages} stage(s), slack {self.slack_ns:+.3f} ns [{status}]",
+            f"  power {self.power_mw:.3f} mW, area {self.area_um2:.0f} um^2",
+        ]
+        for name, mw in self.block_power[:8]:
+            lines.append(f"    {name:22s} {mw:8.3f} mW ({mw / self.power_mw:5.1%})")
+        return "\n".join(lines)
+
+
+def pipeline_stages_required(design: UnitDesign, clock_ns: float) -> int:
+    """Stages needed to close timing (balanced cuts of the critical chain)."""
+    if clock_ns <= 0:
+        raise ValueError(f"clock_ns must be positive, got {clock_ns}")
+    return max(1, math.ceil(design.latency_ns / clock_ns))
+
+
+#: Per-stage register overhead as a fraction of combinational power.
+_REGISTER_POWER_FRACTION = 0.06
+
+
+def synthesize(design: UnitDesign, clock_ns: float = 1.43) -> SynthesisReport:
+    """Synthesize ``design`` against ``clock_ns`` (default: 700 MHz).
+
+    Single-stage designs whose critical chain fits the clock report
+    positive slack; longer chains are pipelined (each added stage costs
+    register power).  The block power breakdown mirrors a DC power report.
+    """
+    stages = pipeline_stages_required(design, clock_ns)
+    per_stage = design.latency_ns / stages
+    slack = clock_ns - per_stage
+
+    register_overhead = design.power_mw * _REGISTER_POWER_FRACTION * (stages - 1)
+    power = design.power_mw + register_overhead
+
+    blocks = sorted(
+        ((blk.name, blk.power_mw) for blk in design.blocks),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    if stages > 1:
+        blocks = [("pipeline_registers", register_overhead)] + blocks
+        blocks.sort(key=lambda item: item[1], reverse=True)
+
+    return SynthesisReport(
+        design=design.name,
+        clock_ns=clock_ns,
+        latency_ns=design.latency_ns,
+        slack_ns=slack,
+        pipeline_stages=stages,
+        power_mw=power,
+        area_um2=design.area_um2,
+        block_power=tuple(blocks),
+    )

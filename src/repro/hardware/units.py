@@ -1,0 +1,462 @@
+"""Structural PPA models of every DWIP baseline and IHW unit.
+
+Each function assembles a :class:`UnitDesign` from the block primitives in
+:mod:`repro.hardware.blocks` — the reproduction's stand-in for the paper's
+VHDL + Design Compiler + HSIM flow (Figure 11).  Power is the sum of block
+powers (idle blocks burn leakage only, modeling the Figure-7 input muxing);
+latency is the sum of delays along the critical chain; area is total GE.
+
+The model's three process constants are calibrated once against Table 3
+(see :mod:`repro.hardware.gates`); everything else follows from structure.
+The test suite checks the resulting IHW/DWIP *ratios* against Table 2 bands
+and the truncation sweeps against the Figure-14 shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core import MultiplierConfig
+
+from . import blocks as B
+from .paper_data import UnitMetrics
+
+__all__ = [
+    "UnitDesign",
+    "dw_fp_adder",
+    "ihw_fp_adder",
+    "dw_fp_multiplier",
+    "ihw_fp_multiplier_table1",
+    "mitchell_fp_multiplier",
+    "quadratic_sfu",
+    "dual_mode_fp_multiplier",
+    "bt_fp_multiplier",
+    "dw_fp_divider",
+    "dw_reciprocal",
+    "dw_rsqrt",
+    "dw_sqrt",
+    "dw_log2",
+    "dw_fma",
+    "ihw_reciprocal",
+    "ihw_rsqrt",
+    "ihw_sqrt",
+    "ihw_log2",
+    "ihw_fp_divider",
+    "ihw_fma",
+    "mantissa_bits_for",
+]
+
+
+def mantissa_bits_for(bits: int) -> int:
+    """Mantissa width including the implicit one (11/24/53 for fp16/32/64)."""
+    if bits == 16:
+        return 11
+    if bits == 32:
+        return 24
+    if bits == 64:
+        return 53
+    raise ValueError(f"bits must be 16, 32, or 64, got {bits}")
+
+
+def _exp_bits_for(bits: int) -> int:
+    return {16: 5, 32: 8, 64: 11}[bits]
+
+
+@dataclass(frozen=True)
+class UnitDesign:
+    """A unit as a bag of blocks plus its critical chain."""
+
+    name: str
+    blocks: tuple
+    critical_chain: tuple  # block names whose delays sum to the latency
+
+    def block(self, name: str) -> B.Block:
+        for blk in self.blocks:
+            if blk.name == name:
+                return blk
+        raise KeyError(f"{self.name} has no block named {name!r}")
+
+    @property
+    def power_mw(self) -> float:
+        return sum(blk.power_mw for blk in self.blocks)
+
+    @property
+    def latency_ns(self) -> float:
+        by_name = {blk.name: blk for blk in self.blocks}
+        missing = [n for n in self.critical_chain if n not in by_name]
+        if missing:
+            raise KeyError(f"{self.name}: critical chain references {missing}")
+        return sum(by_name[n].delay_ns for n in self.critical_chain)
+
+    @property
+    def area_um2(self) -> float:
+        return sum(blk.area_um2 for blk in self.blocks)
+
+    def metrics(self) -> UnitMetrics:
+        """Power/latency/area plus derived energy and EDP."""
+        return UnitMetrics(
+            power_mw=self.power_mw,
+            latency_ns=self.latency_ns,
+            area=self.area_um2,
+        ).derived()
+
+
+# ----------------------------------------------------------------------
+# Adders
+# ----------------------------------------------------------------------
+def dw_fp_adder(bits: int = 32) -> UnitDesign:
+    """IEEE-754 compliant FP adder (27-bit alignment path for fp32)."""
+    p = mantissa_bits_for(bits)
+    wide = p + 3  # guard/round/sticky
+    parts = (
+        B.logic(14 * _exp_bits_for(bits), path_gates=6, name="swap_compare"),
+        B.barrel_shifter(wide, name="align_shifter"),
+        B.adder(wide, name="mantissa_adder"),
+        B.leading_one_detector(wide, name="norm_lod"),
+        B.barrel_shifter(wide, name="norm_shifter"),
+        B.rounding_unit(p // 2, name="rounding"),
+        B.logic(80, name="flags"),
+    )
+    chain = ("swap_compare", "align_shifter", "mantissa_adder", "norm_lod",
+             "norm_shifter", "rounding")
+    return UnitDesign(f"DW_fp_add_{bits}", parts, chain)
+
+
+def ihw_fp_adder(bits: int = 32, threshold: int = 8) -> UnitDesign:
+    """Imprecise threshold adder: TH-bit shifter, (TH+1)-bit adder, no rounding."""
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    p = mantissa_bits_for(bits)
+    th = threshold
+    parts = (
+        B.logic(14 * _exp_bits_for(bits), path_gates=6, name="swap_compare"),
+        B.barrel_shifter(th, name="align_shifter"),
+        B.adder(min(th + 1 + p // 4, p + 1), name="mantissa_adder"),
+        B.leading_one_detector(th + 2, name="norm_lod"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(60, name="flags"),
+    )
+    chain = ("swap_compare", "align_shifter", "mantissa_adder", "norm_lod", "norm_mux")
+    return UnitDesign(f"ifpadd_{bits}_th{th}", parts, chain)
+
+
+# ----------------------------------------------------------------------
+# Multipliers
+# ----------------------------------------------------------------------
+def dw_fp_multiplier(bits: int = 32) -> UnitDesign:
+    """IEEE-754 compliant FP multiplier with full mantissa array + rounding."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.array_multiplier(p, p, name="mantissa_multiplier"),
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.rounding_unit(p, name="rounding"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(150, name="flags"),
+    )
+    chain = ("mantissa_multiplier", "rounding", "norm_mux")
+    return UnitDesign(f"DW_fp_mult_{bits}", parts, chain)
+
+
+def ihw_fp_multiplier_table1(bits: int = 32) -> UnitDesign:
+    """Table-1 multiplier: the mantissa array becomes a (p+1)-bit adder."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.adder(p + 1, name="mantissa_adder"),
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(100, name="flags"),
+    )
+    chain = ("mantissa_adder", "norm_mux")
+    return UnitDesign(f"ifpmul_{bits}", parts, chain)
+
+
+def mitchell_fp_multiplier(
+    bits: int = 32, config: MultiplierConfig = MultiplierConfig()
+) -> UnitDesign:
+    """Figure-7 accuracy-configurable multiplier at one configuration.
+
+    Truncation narrows the entire MA datapath (encoders, adders, decoder)
+    to ``w = p - truncation`` bits.  In log-path mode Add1 and Add3 idle
+    (inputs muxed to 0: leakage only); in full-path mode all three adders
+    switch.
+    """
+    p = mantissa_bits_for(bits)
+    if config.truncation >= p:
+        raise ValueError(f"truncation {config.truncation} leaves no datapath")
+    w = p - config.truncation
+
+    add1 = B.adder(w + 1, name="add1")
+    add3 = B.adder(w + 2, name="add3")
+    if config.path == "log":
+        add1 = add1.idled()
+        add3 = add3.idled()
+    parts = (
+        B.priority_encoder(w, name="encoder_a"),
+        B.priority_encoder(w, name="encoder_b"),
+        B.mux(w, 2, name="operand_mux"),
+        add1,
+        B.adder(w + 1, name="add2"),  # the MA log-domain adder
+        B.decoder(w, name="decoder"),
+        add3,
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(100, name="flags"),
+    )
+    if config.path == "log":
+        chain = ("encoder_a", "operand_mux", "add2", "decoder", "norm_mux")
+    else:
+        chain = ("encoder_a", "operand_mux", "add2", "decoder", "add3", "norm_mux")
+    return UnitDesign(f"mitchell_{bits}_{config.name}", parts, chain)
+
+
+def bt_fp_multiplier(bits: int = 32, truncation: int = 0) -> UnitDesign:
+    """Intuitive bit truncation baseline: smaller array, IEEE shell kept."""
+    p = mantissa_bits_for(bits)
+    if not 0 <= truncation < p:
+        raise ValueError(f"truncation out of range: {truncation}")
+    w = p - truncation
+    parts = (
+        B.array_multiplier(w, w, name="mantissa_multiplier"),
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.rounding_unit(p, name="rounding"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(150, name="flags"),
+    )
+    chain = ("mantissa_multiplier", "rounding", "norm_mux")
+    return UnitDesign(f"bt_mult_{bits}_tr{truncation}", parts, chain)
+
+
+# ----------------------------------------------------------------------
+# Special function units — DWIP baselines (Newton-Raphson / table driven)
+# ----------------------------------------------------------------------
+def _nr_iteration(p: int, index: int) -> tuple:
+    """One Newton-Raphson iteration: a mantissa multiply and a subtract."""
+    return (
+        B.array_multiplier(p + 2, p + 2, name=f"nr_mult_{index}"),
+        B.adder(p + 2, name=f"nr_add_{index}"),
+    )
+
+
+def dw_fp_divider(bits: int = 32) -> UnitDesign:
+    """NR-based divider: table seed, two iterations, final multiply, round."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.logic(900, path_gates=4, activity=0.6, name="seed_table"),
+        *_nr_iteration(p, 0),
+        *_nr_iteration(p, 1),
+        B.array_multiplier(p, p, name="final_multiplier"),
+        B.rounding_unit(p, name="rounding"),
+        B.logic(150, name="flags"),
+    )
+    chain = ("seed_table", "nr_mult_0", "nr_add_0", "nr_mult_1", "nr_add_1",
+             "final_multiplier", "rounding")
+    return UnitDesign(f"DW_fp_div_{bits}", parts, chain)
+
+
+def dw_reciprocal(bits: int = 32) -> UnitDesign:
+    """NR reciprocal: table seed plus two iterations."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.logic(900, path_gates=4, activity=0.6, name="seed_table"),
+        *_nr_iteration(p, 0),
+        *_nr_iteration(p, 1),
+        B.rounding_unit(p, name="rounding"),
+        B.logic(120, name="flags"),
+    )
+    chain = ("seed_table", "nr_mult_0", "nr_add_0", "nr_mult_1", "nr_add_1", "rounding")
+    return UnitDesign(f"DW_rcp_{bits}", parts, chain)
+
+
+def dw_rsqrt(bits: int = 32) -> UnitDesign:
+    """NR inverse square root: seed plus two (heavier) iterations."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.logic(1100, path_gates=4, activity=0.6, name="seed_table"),
+        *_nr_iteration(p, 0),
+        *_nr_iteration(p, 1),
+        B.rounding_unit(p, name="rounding"),
+        B.logic(120, name="flags"),
+    )
+    chain = ("seed_table", "nr_mult_0", "nr_add_0", "nr_mult_1", "nr_add_1", "rounding")
+    return UnitDesign(f"DW_rsqrt_{bits}", parts, chain)
+
+
+def dw_sqrt(bits: int = 32) -> UnitDesign:
+    """Square root: seed plus a single NR iteration and a back-multiply."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.logic(900, path_gates=4, activity=0.6, name="seed_table"),
+        *_nr_iteration(p, 0),
+        B.rounding_unit(p, name="rounding"),
+        B.logic(120, name="flags"),
+    )
+    chain = ("seed_table", "nr_mult_0", "nr_add_0", "rounding")
+    return UnitDesign(f"DW_sqrt_{bits}", parts, chain)
+
+
+def dw_log2(bits: int = 32) -> UnitDesign:
+    """Table-driven log2 (Tang-style): tables plus polynomial multiplies."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.logic(1400, path_gates=5, activity=0.6, name="tables"),
+        B.array_multiplier(p, p // 2, name="poly_mult_0"),
+        B.array_multiplier(p, p // 2, name="poly_mult_1"),
+        B.adder(p + 2, name="poly_add"),
+        B.rounding_unit(p, name="rounding"),
+    )
+    chain = ("tables", "poly_mult_0", "poly_add", "rounding")
+    return UnitDesign(f"DW_log2_{bits}", parts, chain)
+
+
+def dw_fma(bits: int = 32) -> UnitDesign:
+    """Fused multiply-add: multiplier array + wide aligned adder + round."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.array_multiplier(p, p, name="mantissa_multiplier"),
+        B.barrel_shifter(2 * p + 3, name="align_shifter"),
+        B.adder(2 * p + 3, name="sum_adder"),
+        B.leading_one_detector(2 * p + 3, name="norm_lod"),
+        B.barrel_shifter(2 * p + 3, name="norm_shifter"),
+        B.rounding_unit(p, name="rounding"),
+        B.logic(180, name="flags"),
+    )
+    chain = ("mantissa_multiplier", "sum_adder", "norm_lod", "norm_shifter", "rounding")
+    return UnitDesign(f"DW_fma_{bits}", parts, chain)
+
+
+# ----------------------------------------------------------------------
+# Special function units — IHW linear approximations (Table 1)
+# ----------------------------------------------------------------------
+def _linear_sfu(bits: int, name: str, extra: tuple = (), chain_extra: tuple = ()) -> UnitDesign:
+    """Shared shape of the linear SFUs: constant multiply + add, no rounding."""
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.constant_multiplier(p, digits=5, name="coeff_mult"),
+        B.adder(p + 2, name="intercept_add"),
+        B.logic(60, name="range_reduction"),  # exponent rewrite + alignment
+        B.logic(80, name="flags"),
+        *extra,
+    )
+    chain = ("range_reduction", "coeff_mult", "intercept_add", *chain_extra)
+    return UnitDesign(name, parts, chain)
+
+
+def ihw_reciprocal(bits: int = 32) -> UnitDesign:
+    """y = 2.823 - 1.882 x on [0.5, 1)."""
+    return _linear_sfu(bits, f"ircp_{bits}")
+
+
+def ihw_rsqrt(bits: int = 32) -> UnitDesign:
+    """y = 2.08 - 1.1911 x with parity-muxed coefficients."""
+    p = mantissa_bits_for(bits)
+    return _linear_sfu(
+        bits, f"irsqrt_{bits}", extra=(B.mux(p, 2, name="parity_mux"),)
+    )
+
+
+def ihw_sqrt(bits: int = 32) -> UnitDesign:
+    """y = x (2.08 - 1.1911 x): the linear stage feeds a full multiply.
+
+    The extra mantissa multiplier is why Table 2 reports isqrt at ~1.16x the
+    DWIP power (slightly worse) but far better latency and EDP.
+    """
+    p = mantissa_bits_for(bits)
+    return _linear_sfu(
+        bits,
+        f"isqrt_{bits}",
+        extra=(B.array_multiplier(p, p, name="back_multiplier"),),
+        chain_extra=("back_multiplier",),
+    )
+
+
+def ihw_log2(bits: int = 32) -> UnitDesign:
+    """y = exp + 0.9846 m - 0.9196: linear stage plus exponent splice."""
+    p = mantissa_bits_for(bits)
+    return _linear_sfu(
+        bits, f"ilog2_{bits}",
+        extra=(B.adder(p // 2, name="exponent_splice"),),
+        chain_extra=("exponent_splice",),
+    )
+
+
+def ihw_fp_divider(bits: int = 32) -> UnitDesign:
+    """a * lin_rcp(b): the linear reciprocal feeding a mantissa multiplier."""
+    p = mantissa_bits_for(bits)
+    return _linear_sfu(
+        bits,
+        f"ifpdiv_{bits}",
+        extra=(B.array_multiplier(p, p, name="product_multiplier"),),
+        chain_extra=("product_multiplier",),
+    )
+
+
+def quadratic_sfu(bits: int = 32, name: str = "quadratic_sfu") -> UnitDesign:
+    """Quadratic-approximation SFU (the extension accuracy point).
+
+    Evaluates ``c0 + x (c1 + c2 x)`` in Horner form: two constant
+    multipliers and two adders plus the shared range-reduction logic —
+    roughly twice the linear SFU's power, still far below the NR-iteration
+    DWIP units.
+    """
+    p = mantissa_bits_for(bits)
+    parts = (
+        B.constant_multiplier(p, digits=5, name="coeff_mult_1"),
+        B.constant_multiplier(p, digits=5, name="coeff_mult_2"),
+        B.adder(p + 2, name="horner_add_1"),
+        B.adder(p + 2, name="horner_add_2"),
+        B.logic(60, name="range_reduction"),
+        B.logic(80, name="flags"),
+    )
+    chain = ("range_reduction", "coeff_mult_1", "horner_add_1",
+             "coeff_mult_2", "horner_add_2")
+    return UnitDesign(f"{name}_{bits}", parts, chain)
+
+
+def dual_mode_fp_multiplier(
+    bits: int = 32, config: MultiplierConfig = MultiplierConfig()
+) -> UnitDesign:
+    """Dual-mode multiplier: IEEE array + Mitchell datapath, mode-muxed.
+
+    The future-work integration of a precise mode (Chapter 6).  Both
+    datapaths are resident; this design reports the *precise-mode* power
+    (array switching, Mitchell idle), the worst of the two duty points —
+    blend with :meth:`repro.core.DualModeMultiplier.average_power_mw`.
+    """
+    p = mantissa_bits_for(bits)
+    w = p - config.truncation
+    mitchell = (
+        B.priority_encoder(w, name="encoder_a").idled(),
+        B.priority_encoder(w, name="encoder_b").idled(),
+        B.adder(w + 1, name="add1").idled(),
+        B.adder(w + 1, name="add2").idled(),
+        B.adder(w + 2, name="add3").idled(),
+        B.decoder(w, name="decoder").idled(),
+    )
+    parts = (
+        B.array_multiplier(p, p, name="mantissa_multiplier"),
+        *mitchell,
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.rounding_unit(p, name="rounding"),
+        B.mux(p, 3, name="mode_mux"),
+        B.logic(150, name="flags"),
+    )
+    chain = ("mantissa_multiplier", "rounding", "mode_mux")
+    return UnitDesign(f"dualmode_{bits}_{config.name}", parts, chain)
+
+
+def ihw_fma(bits: int = 32, threshold: int = 8) -> UnitDesign:
+    """Imprecise FMA: the Table-1 multiplier feeding the threshold adder."""
+    p = mantissa_bits_for(bits)
+    th = threshold
+    parts = (
+        B.adder(p + 1, name="mantissa_adder"),  # the imprecise multiply
+        B.adder(_exp_bits_for(bits) + 2, name="exponent_adder"),
+        B.barrel_shifter(th, name="align_shifter"),
+        B.adder(min(th + 1 + p // 4, p + 1), name="sum_adder"),
+        B.leading_one_detector(th + 2, name="norm_lod"),
+        B.mux(p, 2, name="norm_mux"),
+        B.logic(120, name="flags"),
+    )
+    chain = ("mantissa_adder", "align_shifter", "sum_adder", "norm_lod", "norm_mux")
+    return UnitDesign(f"ifma_{bits}_th{th}", parts, chain)

@@ -1,0 +1,56 @@
+"""HDL-level bit-true datapath models and the co-simulation harness.
+
+Reproduces the paper's functional-verification step (Figure 10/11): every
+imprecise datapath has an independent scalar integer implementation here,
+cross-checked against the vectorized behavioral models in
+:mod:`repro.core`.
+"""
+
+from .bitvector import (
+    FieldsF32,
+    FieldsF64,
+    bits_of,
+    check_width,
+    leading_one_position,
+    mask,
+    pack_float,
+    shift_right_truncate,
+    unpack_float,
+)
+from .datapaths import (
+    fields_for,
+    rtl_mitchell_multiply,
+    rtl_table1_multiply,
+    rtl_threshold_add,
+)
+from .sfu_datapaths import (
+    COEFF_FRACTION_BITS,
+    fixed_point_coefficient,
+    rtl_linear_reciprocal,
+    rtl_linear_rsqrt,
+)
+from .verify import Mismatch, VerificationResult, corner_values, cosimulate
+
+__all__ = [
+    "FieldsF32",
+    "FieldsF64",
+    "Mismatch",
+    "VerificationResult",
+    "bits_of",
+    "check_width",
+    "corner_values",
+    "cosimulate",
+    "fields_for",
+    "leading_one_position",
+    "mask",
+    "pack_float",
+    "COEFF_FRACTION_BITS",
+    "fixed_point_coefficient",
+    "rtl_linear_reciprocal",
+    "rtl_linear_rsqrt",
+    "rtl_mitchell_multiply",
+    "rtl_table1_multiply",
+    "rtl_threshold_add",
+    "shift_right_truncate",
+    "unpack_float",
+]

@@ -1,0 +1,110 @@
+"""Bit-true scalar primitives for the HDL-level datapath models.
+
+The paper verifies its C++ functional models against VHDL hardware models
+through simulation (Figure 10: "The correctness of the functional models
+was verified against hardware models written in VHDL").  The
+:mod:`repro.hdl` package reproduces that flow: every imprecise unit has a
+second, independent implementation written the way the RTL computes — pure
+integer operations on explicit bit fields, one operand at a time — and a
+co-simulation harness checks the two against each other.
+
+This module provides the width-checked integer helpers those models use.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_width",
+    "bits_of",
+    "leading_one_position",
+    "shift_right_truncate",
+    "mask",
+    "FieldsF32",
+    "FieldsF64",
+    "unpack_float",
+    "pack_float",
+]
+
+import struct
+from dataclasses import dataclass
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def check_width(value: int, width: int, name: str = "value") -> int:
+    """Assert ``value`` fits in ``width`` unsigned bits and return it."""
+    if not 0 <= value <= mask(width):
+        raise ValueError(f"{name}={value} does not fit in {width} bits")
+    return value
+
+
+def bits_of(value: int) -> int:
+    """Number of significant bits (0 for 0)."""
+    return value.bit_length()
+
+
+def leading_one_position(value: int, width: int) -> int:
+    """Index of the MSB set bit (the LOD output); -1 for zero input."""
+    check_width(value, width)
+    return value.bit_length() - 1
+
+
+def shift_right_truncate(value: int, amount: int) -> int:
+    """Logical right shift (bits fall off the end — magnitude truncation)."""
+    if amount < 0:
+        raise ValueError(f"shift amount must be non-negative, got {amount}")
+    return value >> amount
+
+
+@dataclass(frozen=True)
+class _FloatFields:
+    """IEEE-754 field layout used by the scalar pack/unpack helpers."""
+
+    exponent_bits: int
+    mantissa_bits: int
+    struct_code: str
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def exponent_mask(self) -> int:
+        return mask(self.exponent_bits)
+
+    @property
+    def mantissa_mask(self) -> int:
+        return mask(self.mantissa_bits)
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+
+FieldsF32 = _FloatFields(8, 23, "f")
+FieldsF64 = _FloatFields(11, 52, "d")
+
+
+def unpack_float(value: float, fields: _FloatFields) -> tuple:
+    """``(sign, biased_exponent, fraction)`` integer fields of ``value``."""
+    code = "<I" if fields is FieldsF32 else "<Q"
+    raw = struct.unpack(code, struct.pack("<" + fields.struct_code, value))[0]
+    sign = raw >> (fields.total_bits - 1)
+    exponent = (raw >> fields.mantissa_bits) & fields.exponent_mask
+    fraction = raw & fields.mantissa_mask
+    return sign, exponent, fraction
+
+
+def pack_float(sign: int, exponent: int, fraction: int, fields: _FloatFields) -> float:
+    """Assemble a float from integer fields (inverse of :func:`unpack_float`)."""
+    check_width(sign, 1, "sign")
+    check_width(exponent, fields.exponent_bits, "exponent")
+    check_width(fraction, fields.mantissa_bits, "fraction")
+    raw = (sign << (fields.total_bits - 1)) | (exponent << fields.mantissa_bits) | fraction
+    code = "<I" if fields is FieldsF32 else "<Q"
+    return struct.unpack("<" + fields.struct_code, struct.pack(code, raw))[0]

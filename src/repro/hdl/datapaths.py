@@ -1,0 +1,248 @@
+"""Scalar, bit-true HDL-level models of the imprecise datapaths.
+
+Each function processes ONE operand pair the way the RTL would: unpack the
+IEEE fields, run explicit integer datapath steps (shift, add, detect,
+decode), repack.  No floating point appears anywhere inside a datapath.
+
+These models are deliberately independent of :mod:`repro.core` (they share
+nothing but the IEEE layout constants) so the co-simulation in
+:mod:`repro.hdl.verify` is a genuine cross-check of two implementations,
+mirroring the paper's C++-vs-VHDL verification step.
+
+Supported: the Table-1 multiplier, the threshold adder, and the
+accuracy-configurable Mitchell multiplier (both paths, any truncation) at
+binary32 and binary64.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bitvector import (
+    FieldsF32,
+    FieldsF64,
+    leading_one_position,
+    mask,
+    pack_float,
+    unpack_float,
+)
+
+__all__ = [
+    "rtl_table1_multiply",
+    "rtl_threshold_add",
+    "rtl_mitchell_multiply",
+    "fields_for",
+]
+
+
+def fields_for(bits: int):
+    if bits == 32:
+        return FieldsF32
+    if bits == 64:
+        return FieldsF64
+    raise ValueError(f"bits must be 32 or 64, got {bits}")
+
+
+def _is_nan(exponent: int, fraction: int, fields) -> bool:
+    return exponent == fields.exponent_mask and fraction != 0
+
+
+def _is_inf(exponent: int, fraction: int, fields) -> bool:
+    return exponent == fields.exponent_mask and fraction == 0
+
+
+def _is_zero_or_subnormal(exponent: int) -> bool:
+    return exponent == 0
+
+
+def _pack_result(sign: int, exponent: int, fraction: int, fields) -> float:
+    """Pack with overflow-to-inf and underflow-flush handling."""
+    if exponent >= fields.exponent_mask:
+        return pack_float(sign, fields.exponent_mask, 0, fields)  # inf
+    if exponent < 1:
+        return pack_float(sign, 0, 0, fields)  # flush to signed zero
+    return pack_float(sign, exponent, fraction, fields)
+
+
+# ----------------------------------------------------------------------
+# Table-1 multiplier (equations 1-6)
+# ----------------------------------------------------------------------
+def rtl_table1_multiply(a: float, b: float, bits: int = 32) -> float:
+    """One Table-1 imprecise multiplication, bit for bit."""
+    fields = fields_for(bits)
+    sa, ea, fa = unpack_float(a, fields)
+    sb, eb, fb = unpack_float(b, fields)
+    sz = sa ^ sb
+
+    a_nan = _is_nan(ea, fa, fields)
+    b_nan = _is_nan(eb, fb, fields)
+    a_inf = _is_inf(ea, fa, fields)
+    b_inf = _is_inf(eb, fb, fields)
+    a_zero = _is_zero_or_subnormal(ea)
+    b_zero = _is_zero_or_subnormal(eb)
+
+    if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
+        return pack_float(0, fields.exponent_mask, 1, fields)  # qNaN
+    if a_inf or b_inf:
+        return pack_float(sz, fields.exponent_mask, 0, fields)
+    if a_zero or b_zero:
+        return pack_float(sz, 0, 0, fields)
+
+    # Mantissa datapath: (p+1)-bit adder replaces the array multiplier.
+    p = fields.mantissa_bits
+    frac_sum = fa + fb
+    carry = frac_sum >> p
+    if carry:
+        fz = (frac_sum & mask(p)) >> 1
+    else:
+        fz = frac_sum
+    ez = ea + eb - fields.bias + carry
+    return _pack_result(sz, ez, fz, fields)
+
+
+# ----------------------------------------------------------------------
+# Threshold adder (Chapter 3.1)
+# ----------------------------------------------------------------------
+def rtl_threshold_add(a: float, b: float, threshold: int = 8, bits: int = 32) -> float:
+    """One imprecise threshold addition, bit for bit."""
+    fields = fields_for(bits)
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    sa, ea, fa = unpack_float(a, fields)
+    sb, eb, fb = unpack_float(b, fields)
+
+    a_nan = _is_nan(ea, fa, fields)
+    b_nan = _is_nan(eb, fb, fields)
+    a_inf = _is_inf(ea, fa, fields)
+    b_inf = _is_inf(eb, fb, fields)
+    if a_nan or b_nan or (a_inf and b_inf and sa != sb):
+        return pack_float(0, fields.exponent_mask, 1, fields)
+    if a_inf:
+        return pack_float(sa, fields.exponent_mask, 0, fields)
+    if b_inf:
+        return pack_float(sb, fields.exponent_mask, 0, fields)
+
+    # Compare-and-swap so (ex, fx) is the larger magnitude.
+    if (ea, fa) >= (eb, fb):
+        sx, ex, fx = sa, ea, fa
+        sy, ey, fy = sb, eb, fb
+    else:
+        sx, ex, fx = sb, eb, fb
+        sy, ey, fy = sa, ea, fa
+
+    p = fields.mantissa_bits
+    guard = threshold
+    implicit = 1 << p
+    mant_x = ((implicit | fx) << guard) if ex != 0 else 0
+    mant_y = ((implicit | fy) << guard) if ey != 0 else 0
+
+    d = ex - ey
+    if d > threshold or ey == 0:
+        mant_y_aligned = 0
+    else:
+        mant_y_aligned = mant_y >> d
+        keep_cut = p + guard - threshold
+        if keep_cut > 0:
+            mant_y_aligned &= ~mask(keep_cut)
+
+    if sx != sy:
+        total = mant_x - mant_y_aligned
+    else:
+        total = mant_x + mant_y_aligned
+    sz = sx
+    total = abs(total)
+
+    if total == 0:
+        return pack_float(0, 0, 0, fields)
+
+    msb = total.bit_length() - 1
+    norm_shift = msb - (p + guard)
+    ez = ex + norm_shift
+    if norm_shift >= 0:
+        mant_z = total >> norm_shift
+    else:
+        mant_z = total << (-norm_shift)
+    fz = (mant_z >> guard) & mask(p)
+    return _pack_result(sz, ez, fz, fields)
+
+
+# ----------------------------------------------------------------------
+# Accuracy-configurable Mitchell multiplier (Figure 7)
+# ----------------------------------------------------------------------
+def _mitchell_int(m1: int, m2: int, width: int) -> int:
+    """Integer Mitchell approximation of ``m1 * m2`` (both ``width`` bits).
+
+    Returns the approximate product at scale ``2^(2*(width-1))`` relative
+    to operands scaled by ``2^(width-1)`` — i.e. plain integer semantics.
+    """
+    if m1 == 0 or m2 == 0:
+        return 0
+    k1 = leading_one_position(m1, width + 1)
+    k2 = leading_one_position(m2, width + 1)
+    f1 = m1 - (1 << k1)
+    f2 = m2 - (1 << k2)
+    x_sum_scaled = (f1 << k2) + (f2 << k1)  # (x1 + x2) * 2^(k1+k2)
+    unit = 1 << (k1 + k2)
+    if x_sum_scaled >= unit:
+        return x_sum_scaled << 1
+    return unit + x_sum_scaled
+
+
+def rtl_mitchell_multiply(
+    a: float, b: float, path: str = "full", truncation: int = 0, bits: int = 32
+) -> float:
+    """One configurable-multiplier operation, bit for bit.
+
+    The mantissa product is assembled entirely in integers at scale
+    ``2^(2p)`` (p = mantissa bits), so the model is exact at any precision
+    — it is the reference the float64 behavioral model is validated
+    against.
+    """
+    if path not in ("log", "full"):
+        raise ValueError(f"path must be 'log' or 'full', got {path}")
+    fields = fields_for(bits)
+    p = fields.mantissa_bits
+    if not 0 <= truncation < p:
+        raise ValueError(f"truncation out of range: {truncation}")
+
+    sa, ea, fa = unpack_float(a, fields)
+    sb, eb, fb = unpack_float(b, fields)
+    sz = sa ^ sb
+
+    a_nan = _is_nan(ea, fa, fields)
+    b_nan = _is_nan(eb, fb, fields)
+    a_inf = _is_inf(ea, fa, fields)
+    b_inf = _is_inf(eb, fb, fields)
+    a_zero = _is_zero_or_subnormal(ea)
+    b_zero = _is_zero_or_subnormal(eb)
+    if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
+        return pack_float(0, fields.exponent_mask, 1, fields)
+    if a_inf or b_inf:
+        return pack_float(sz, fields.exponent_mask, 0, fields)
+    if a_zero or b_zero:
+        return pack_float(sz, 0, 0, fields)
+
+    if truncation:
+        cut = ~mask(truncation)
+        fa &= cut
+        fb &= cut
+
+    implicit = 1 << p
+    if path == "log":
+        # MA over the whole mantissas (1.f form), product at scale 2^(2p).
+        product = _mitchell_int(implicit | fa, implicit | fb, p + 1)
+    else:
+        # 1 + Ma + Mb at scale 2^(2p), plus MA(Ma, Mb) at scale 2^(2p).
+        base = (implicit + fa + fb) << p
+        product = base + _mitchell_int(fa, fb, p)
+
+    # Normalize: product is in [2^(2p), 2^(2p+2)).
+    two_p = 1 << (2 * p)
+    if product >= (two_p << 1):
+        carry = 1
+        fz = (product - (two_p << 1)) >> (p + 1)
+    else:
+        carry = 0
+        fz = (product - two_p) >> p
+    ez = ea + eb - fields.bias + carry
+    return _pack_result(sz, ez, fz & mask(p), fields)

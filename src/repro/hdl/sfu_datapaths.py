@@ -1,0 +1,131 @@
+"""HDL-level fixed-point models of the linear SFUs.
+
+The behavioral SFUs (:mod:`repro.core.special`) evaluate the Table-1 linear
+approximations in float64.  Real hardware carries the coefficients in
+finite fixed-point form and evaluates the polynomial with an integer
+constant-multiplier and adder.  These models do exactly that — coefficient
+and datapath widths are explicit parameters — so the co-simulation
+quantifies how far the float64 behavioral models sit from a realizable
+datapath (within ~1 output ULP at 28 fractional coefficient bits).
+"""
+
+from __future__ import annotations
+
+from .bitvector import mask, pack_float, unpack_float
+from .datapaths import fields_for
+
+__all__ = [
+    "COEFF_FRACTION_BITS",
+    "fixed_point_coefficient",
+    "rtl_linear_reciprocal",
+    "rtl_linear_rsqrt",
+]
+
+#: Default fractional bits of the hardware coefficient constants.
+COEFF_FRACTION_BITS = 28
+
+# Table-1 coefficient constants (see repro.core.special).
+_RCP_C0, _RCP_C1 = 2.823, 1.882  # y = c0 - c1 x
+_RSQRT_C0, _RSQRT_C1 = 2.08, 1.1911
+_SQRT1_2 = 0.7071067811865476
+
+
+def fixed_point_coefficient(value: float, fraction_bits: int = COEFF_FRACTION_BITS) -> int:
+    """Quantize a coefficient to ``fraction_bits`` fractional bits."""
+    if fraction_bits < 1:
+        raise ValueError(f"fraction_bits must be >= 1, got {fraction_bits}")
+    if value < 0:
+        raise ValueError("coefficients are stored as magnitudes")
+    return round(value * (1 << fraction_bits))
+
+
+def _evaluate_linear(
+    c0: int, c1: int, x_frac: int, x_bits: int, fraction_bits: int
+) -> int:
+    """``c0 - c1 * x`` in fixed point; result at ``fraction_bits`` scale.
+
+    ``x`` is an unsigned fraction with ``x_bits`` fractional bits in
+    [0.5, 1) (the reduced operand).  The constant multiply keeps full
+    precision and the product is truncated back to ``fraction_bits``.
+    """
+    product = c1 * x_frac  # scale 2^-(fraction_bits + x_bits)
+    product >>= x_bits  # truncate to coefficient scale
+    result = c0 - product
+    if result < 0:
+        raise ArithmeticError("linear SFU result underflowed; bad reduction")
+    return result
+
+
+def _result_to_float(sign: int, value: int, scale_exp: int, fraction_bits: int,
+                     fields) -> float:
+    """Normalize a positive fixed-point value * 2^scale_exp into the format."""
+    if value == 0:
+        return pack_float(sign, 0, 0, fields)
+    msb = value.bit_length() - 1
+    exponent_unbiased = msb - fraction_bits + scale_exp
+    # Extract the top mantissa_bits fraction bits below the leading one.
+    p = fields.mantissa_bits
+    if msb >= p:
+        frac = (value >> (msb - p)) & mask(p)
+    else:
+        frac = (value << (p - msb)) & mask(p)
+    biased = exponent_unbiased + fields.bias
+    if biased >= fields.exponent_mask:
+        return pack_float(sign, fields.exponent_mask, 0, fields)
+    if biased < 1:
+        return pack_float(sign, 0, 0, fields)
+    return pack_float(sign, biased, frac, fields)
+
+
+def rtl_linear_reciprocal(
+    x: float, bits: int = 32, fraction_bits: int = COEFF_FRACTION_BITS
+) -> float:
+    """One linear-SFU reciprocal, evaluated in fixed point."""
+    fields = fields_for(bits)
+    sign, exponent, fraction = unpack_float(x, fields)
+    if exponent == fields.exponent_mask:
+        if fraction:
+            return pack_float(0, fields.exponent_mask, 1, fields)  # NaN
+        return pack_float(sign, 0, 0, fields)  # 1/inf = 0
+    if exponent == 0:  # zero or flushed subnormal
+        return pack_float(sign, fields.exponent_mask, 0, fields)  # inf
+
+    p = fields.mantissa_bits
+    # Reduced operand xr = (1 + M)/2 in [0.5, 1) with p+1 fractional bits.
+    xr = (1 << p) | fraction  # value * 2^-(p+1)
+    c0 = fixed_point_coefficient(_RCP_C0, fraction_bits)
+    c1 = fixed_point_coefficient(_RCP_C1, fraction_bits)
+    lin = _evaluate_linear(c0, c1, xr, p + 1, fraction_bits)
+    e_unbiased = exponent - fields.bias
+    return _result_to_float(sign, lin, -(e_unbiased + 1), fraction_bits, fields)
+
+
+def rtl_linear_rsqrt(
+    x: float, bits: int = 32, fraction_bits: int = COEFF_FRACTION_BITS
+) -> float:
+    """One linear-SFU inverse square root, evaluated in fixed point."""
+    fields = fields_for(bits)
+    sign, exponent, fraction = unpack_float(x, fields)
+    if sign and (exponent or fraction):
+        return pack_float(0, fields.exponent_mask, 1, fields)  # NaN
+    if exponent == fields.exponent_mask:
+        if fraction:
+            return pack_float(0, fields.exponent_mask, 1, fields)
+        return pack_float(0, 0, 0, fields)  # rsqrt(inf) = 0
+    if exponent == 0:
+        return pack_float(0, fields.exponent_mask, 0, fields)  # inf
+
+    p = fields.mantissa_bits
+    xr = (1 << p) | fraction
+    c0 = fixed_point_coefficient(_RSQRT_C0, fraction_bits)
+    c1 = fixed_point_coefficient(_RSQRT_C1, fraction_bits)
+    lin = _evaluate_linear(c0, c1, xr, p + 1, fraction_bits)
+
+    e1 = exponent - fields.bias + 1
+    q = e1 >> 1 if e1 >= 0 else -((-e1 + 1) >> 1)
+    r = e1 - 2 * q
+    if r:
+        # Odd parity: fold 1/sqrt(2) in as a second constant multiply.
+        scale = fixed_point_coefficient(_SQRT1_2, fraction_bits)
+        lin = (lin * scale) >> fraction_bits
+    return _result_to_float(0, lin, -q, fraction_bits, fields)

@@ -1,0 +1,165 @@
+"""Co-simulation harness: behavioral models vs HDL-level datapaths.
+
+Reproduces the Figure-10/11 verification step ("the correctness of the
+functional models was verified against hardware models ... through
+simulation"): drive both implementations with the same vectors — corner
+cases plus a low-discrepancy random sweep — and report every mismatch in
+ULPs of the result format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import (
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+)
+from repro.erroranalysis import mantissa_inputs
+
+from .datapaths import rtl_mitchell_multiply, rtl_table1_multiply, rtl_threshold_add
+from .sfu_datapaths import rtl_linear_reciprocal, rtl_linear_rsqrt
+
+__all__ = ["Mismatch", "VerificationResult", "corner_values", "cosimulate"]
+
+
+def corner_values(dtype=np.float32) -> np.ndarray:
+    """The corner vectors every co-simulation includes."""
+    finfo = np.finfo(dtype)
+    values = [
+        0.0, -0.0, 1.0, -1.0, 2.0, 0.5, 1.5, 1.75, 1.9999999,
+        float(finfo.tiny), -float(finfo.tiny), float(finfo.max), -float(finfo.max),
+        float(finfo.tiny) * 0.5,  # subnormal
+        np.inf, -np.inf, np.nan,
+        3.0, -3.0, 1.0 / 3.0, 255.0, 256.0, 257.0,
+    ]
+    return np.array(values, dtype=dtype)
+
+
+def _ulp_distance(x: float, y: float, dtype) -> int:
+    """Distance in representable steps; 0 for bit-identical or both-NaN."""
+    a = np.array(x, dtype=dtype)
+    b = np.array(y, dtype=dtype)
+    if np.isnan(a) and np.isnan(b):
+        return 0
+    uint = np.uint32 if dtype == np.float32 else np.uint64
+    ia = int(a.view(uint))
+    ib = int(b.view(uint))
+    width = 32 if dtype == np.float32 else 64
+    sign_bit = 1 << (width - 1)
+    # Map to a monotone integer line (two's-complement style for floats).
+    ia = ia - sign_bit if ia >= sign_bit else ia + sign_bit
+    ib = ib - sign_bit if ib >= sign_bit else ib + sign_bit
+    return abs(ia - ib)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreeing vector."""
+
+    operands: tuple
+    behavioral: float
+    rtl: float
+    ulps: int
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one co-simulation run."""
+
+    unit: str
+    vectors: int
+    mismatches: list = field(default_factory=list)
+    max_ulps: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    def within(self, ulp_tolerance: int) -> bool:
+        return self.max_ulps <= ulp_tolerance
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"{len(self.mismatches)} mismatches"
+        return f"{self.unit}: {self.vectors} vectors, max {self.max_ulps} ulp — {status}"
+
+
+def _unit_pair(unit: str, bits: int, threshold: int, config: MultiplierConfig | None):
+    dtype = np.float32 if bits == 32 else np.float64
+    if unit == "table1_mul":
+        return (
+            lambda a, b: float(imprecise_multiply(dtype(a), dtype(b), dtype=dtype)),
+            lambda a, b: rtl_table1_multiply(a, b, bits),
+        )
+    if unit == "threshold_add":
+        return (
+            lambda a, b: float(
+                imprecise_add(dtype(a), dtype(b), threshold=threshold, dtype=dtype)
+            ),
+            lambda a, b: rtl_threshold_add(a, b, threshold=threshold, bits=bits),
+        )
+    if unit == "mitchell_mul":
+        cfg = config if config is not None else MultiplierConfig()
+        return (
+            lambda a, b: float(configurable_multiply(dtype(a), dtype(b), cfg, dtype=dtype)),
+            lambda a, b: rtl_mitchell_multiply(
+                a, b, path=cfg.path, truncation=cfg.truncation, bits=bits
+            ),
+        )
+    if unit == "linear_rcp":
+        # Unary unit: the second operand is ignored.
+        return (
+            lambda a, b: float(imprecise_reciprocal(dtype(a), dtype=dtype)),
+            lambda a, b: rtl_linear_reciprocal(a, bits=bits),
+        )
+    if unit == "linear_rsqrt":
+        return (
+            lambda a, b: float(imprecise_rsqrt(dtype(a), dtype=dtype)),
+            lambda a, b: rtl_linear_rsqrt(a, bits=bits),
+        )
+    raise ValueError(
+        f"unknown unit {unit!r}; expected table1_mul, threshold_add, "
+        "mitchell_mul, linear_rcp, or linear_rsqrt"
+    )
+
+
+def cosimulate(
+    unit: str,
+    bits: int = 32,
+    n_random: int = 2000,
+    threshold: int = 8,
+    config: MultiplierConfig | None = None,
+    seed: int = 0,
+    max_recorded: int = 20,
+) -> VerificationResult:
+    """Run the co-simulation for one unit and return the mismatch report."""
+    dtype = np.float32 if bits == 32 else np.float64
+    behavioral, rtl = _unit_pair(unit, bits, threshold, config)
+
+    corners = corner_values(dtype)
+    pairs = [(float(a), float(b)) for a in corners for b in corners]
+    if n_random > 0:
+        ra, rb = mantissa_inputs(n_random, 2, exponent_range=(-6, 6), seed=seed,
+                                 dtype=dtype)
+        signs = np.where(np.arange(n_random) % 2 == 0, 1.0, -1.0)
+        pairs += list(zip((ra * signs).tolist(), rb.tolist()))
+
+    label = f"{unit}[{bits}b" + (f",{config.name}" if config else "") + "]"
+    result = VerificationResult(unit=label, vectors=len(pairs))
+    for a, b in pairs:
+        out_beh = behavioral(a, b)
+        out_rtl = rtl(a, b)
+        ulps = _ulp_distance(out_beh, out_rtl, dtype)
+        if ulps:
+            result.max_ulps = max(result.max_ulps, ulps)
+            if len(result.mismatches) < max_recorded:
+                result.mismatches.append(
+                    Mismatch((a, b), out_beh, out_rtl, ulps)
+                )
+    return result

@@ -1,0 +1,37 @@
+"""Application-level quality metrics and the Figure-10 tuning loop."""
+
+from .metrics import (
+    error_percent,
+    mae,
+    mse,
+    pratt_fom,
+    psnr,
+    rmse,
+    ssim,
+    wed,
+    word_accuracy,
+)
+from .autotuner import AutoTuneResult, MultiplierAutoTuner
+from .pareto import DesignPoint, dominates, family_dominates, pareto_front
+from .tuning import QualityTuner, TuningResult, TuningStep
+
+__all__ = [
+    "AutoTuneResult",
+    "DesignPoint",
+    "MultiplierAutoTuner",
+    "QualityTuner",
+    "TuningResult",
+    "TuningStep",
+    "dominates",
+    "error_percent",
+    "family_dominates",
+    "mae",
+    "mse",
+    "pareto_front",
+    "pratt_fom",
+    "psnr",
+    "rmse",
+    "ssim",
+    "wed",
+    "word_accuracy",
+]

@@ -1,0 +1,132 @@
+"""Automatic multiplier-configuration tuner — the paper's second
+future-work item ("developing an automatic quality tuning model").
+
+Given an application and a quality constraint, finds the lowest-power
+accuracy configuration of the Mitchell multiplier that still satisfies the
+constraint: for each datapath (full, then log — ordered by decreasing
+accuracy), binary-search the deepest acceptable truncation, then pick the
+configuration with the smallest modeled power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import IHWConfig, MultiplierConfig
+from repro.hardware import HardwareLibrary
+
+__all__ = ["AutoTuneResult", "MultiplierAutoTuner"]
+
+
+@dataclass(frozen=True)
+class AutoTuneResult:
+    """Outcome of an automatic multiplier tuning run."""
+
+    config: IHWConfig
+    multiplier: MultiplierConfig | None  # None: no imprecise point satisfied
+    quality: float
+    power_mw: float
+    evaluations: int
+
+    @property
+    def satisfied(self) -> bool:
+        return self.multiplier is not None
+
+
+class MultiplierAutoTuner:
+    """Search the multiplier design space for the cheapest acceptable point.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(config) -> quality``.
+    constraint:
+        ``constraint(quality) -> bool``.
+    base_config:
+        Units other than the multiplier (default: only the multiplier
+        imprecise); the tuner swaps the multiplier configuration in.
+    library:
+        Power source for ranking configurations (default paper library).
+    max_truncation:
+        Deepest truncation probed (defaults to 22 for fp32-scale mantissas;
+        pass 51 for double precision studies).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[IHWConfig], float],
+        constraint: Callable[[float], bool],
+        base_config: IHWConfig | None = None,
+        library: HardwareLibrary | None = None,
+        max_truncation: int = 22,
+    ):
+        if max_truncation < 0:
+            raise ValueError(f"max_truncation must be >= 0, got {max_truncation}")
+        self._evaluate = evaluate
+        self._constraint = constraint
+        self._base = base_config if base_config is not None else IHWConfig.precise()
+        self._library = library or HardwareLibrary.paper_45nm()
+        self._max_truncation = max_truncation
+        self._evaluations = 0
+
+    def _probe(self, mult: MultiplierConfig) -> tuple:
+        config = self._base.with_multiplier("mitchell", config=mult)
+        quality = self._evaluate(config)
+        self._evaluations += 1
+        return config, quality, bool(self._constraint(quality))
+
+    def _deepest_acceptable(self, path: str):
+        """Largest acceptable truncation on ``path`` via binary search.
+
+        Quality is treated as monotone in truncation (the characterization
+        shows mean error grows with truncation); the search returns the
+        deepest passing configuration, or None if even tr=0 fails.
+        """
+        base = MultiplierConfig(path, 0)
+        config, quality, ok = self._probe(base)
+        if not ok:
+            return None
+        best = (base, config, quality)
+        lo, hi = 0, self._max_truncation
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            mult = MultiplierConfig(path, mid)
+            config, quality, ok = self._probe(mult)
+            if ok:
+                best = (mult, config, quality)
+                lo = mid
+            else:
+                hi = mid - 1
+        return best
+
+    def tune(self) -> AutoTuneResult:
+        """Find the lowest-power acceptable configuration across both paths."""
+        candidates = []
+        for path in ("full", "log"):
+            found = self._deepest_acceptable(path)
+            if found is not None:
+                mult, config, quality = found
+                power = self._library.multiplier_metrics(mult).power_mw
+                candidates.append((power, mult, config, quality))
+
+        if not candidates:
+            precise = self._base.without_units("mul")
+            quality = self._evaluate(precise)
+            self._evaluations += 1
+            return AutoTuneResult(
+                config=precise,
+                multiplier=None,
+                quality=quality,
+                power_mw=self._library.dwip("mul").power_mw,
+                evaluations=self._evaluations,
+            )
+
+        power, mult, config, quality = min(candidates, key=lambda c: c[0])
+        return AutoTuneResult(
+            config=config,
+            multiplier=mult,
+            quality=quality,
+            power_mw=power,
+            evaluations=self._evaluations,
+        )

@@ -1,0 +1,156 @@
+"""Application-specific quality metrics used in the evaluation.
+
+Each benchmark in Chapter 5 is scored with its own figure of merit:
+
+- HotSpot / CP: mean absolute error (MAE) and worst error distance (WED)
+- SRAD: Pratt's figure of merit over binary edge maps
+- RayTracing: structural similarity (SSIM, Wang et al. 2004)
+- 179.art: vigilance (confidence of match)
+- 435.gromacs: output error percentage against the reference
+- 482.sphinx3: number of words correctly recognized
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "mae",
+    "mse",
+    "rmse",
+    "wed",
+    "psnr",
+    "error_percent",
+    "ssim",
+    "pratt_fom",
+    "word_accuracy",
+]
+
+
+def _pair(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def mae(result, reference) -> float:
+    """Mean absolute error (HotSpot's figure of merit, in Kelvin there)."""
+    a, b = _pair(result, reference)
+    return float(np.abs(a - b).mean())
+
+
+def mse(result, reference) -> float:
+    """Mean squared error."""
+    a, b = _pair(result, reference)
+    return float(((a - b) ** 2).mean())
+
+
+def rmse(result, reference) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(result, reference)))
+
+
+def wed(result, reference) -> float:
+    """Worst error distance: the maximum absolute deviation."""
+    a, b = _pair(result, reference)
+    return float(np.abs(a - b).max())
+
+
+def psnr(result, reference, data_range: float | None = None) -> float:
+    """Peak signal-to-noise ratio in dB."""
+    a, b = _pair(result, reference)
+    err = mse(a, b)
+    if err == 0:
+        return float("inf")
+    if data_range is None:
+        data_range = float(b.max() - b.min()) or 1.0
+    return float(10.0 * np.log10(data_range**2 / err))
+
+
+def error_percent(result, reference) -> float:
+    """Relative error of scalar outputs in percent (the gromacs metric)."""
+    reference = float(np.asarray(reference))
+    if reference == 0:
+        raise ValueError("reference output is zero; error percent undefined")
+    return abs(float(np.asarray(result)) - reference) / abs(reference) * 100.0
+
+
+def ssim(
+    result,
+    reference,
+    data_range: float | None = None,
+    window: int = 8,
+    k1: float = 0.01,
+    k2: float = 0.03,
+) -> float:
+    """Mean structural similarity index over uniform local windows.
+
+    Follows Wang et al. (2004) with a ``window x window`` uniform filter —
+    the metric the RayTracing study uses (1.0 = identical structure).
+    """
+    a, b = _pair(result, reference)
+    if a.ndim != 2:
+        raise ValueError(f"SSIM expects 2-D images, got shape {a.shape}")
+    if window < 2 or window > min(a.shape):
+        raise ValueError(f"window {window} invalid for image of shape {a.shape}")
+    if data_range is None:
+        data_range = float(max(b.max() - b.min(), 1e-12))
+
+    c1 = (k1 * data_range) ** 2
+    c2 = (k2 * data_range) ** 2
+
+    size = (window, window)
+    mu_a = ndimage.uniform_filter(a, size)
+    mu_b = ndimage.uniform_filter(b, size)
+    mu_aa = ndimage.uniform_filter(a * a, size)
+    mu_bb = ndimage.uniform_filter(b * b, size)
+    mu_ab = ndimage.uniform_filter(a * b, size)
+
+    var_a = mu_aa - mu_a * mu_a
+    var_b = mu_bb - mu_b * mu_b
+    cov = mu_ab - mu_a * mu_b
+
+    numerator = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    denominator = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    # Crop the half-window border where the uniform filter wraps content.
+    h = window // 2
+    ssim_map = numerator[h:-h, h:-h] / denominator[h:-h, h:-h]
+    return float(ssim_map.mean())
+
+
+def pratt_fom(detected_edges, ideal_edges, alpha: float = 1.0 / 9.0) -> float:
+    """Pratt's figure of merit between binary edge maps (0 to 1, 1 = ideal).
+
+    ``FOM = (1 / max(Nd, Ni)) * sum_i 1 / (1 + alpha * d_i^2)`` where ``d_i``
+    is each detected edge pixel's distance to the nearest ideal edge pixel —
+    the SRAD study's segmentation quality metric.
+    """
+    detected = np.asarray(detected_edges, dtype=bool)
+    ideal = np.asarray(ideal_edges, dtype=bool)
+    if detected.shape != ideal.shape:
+        raise ValueError(f"shape mismatch: {detected.shape} vs {ideal.shape}")
+    n_detected = int(detected.sum())
+    n_ideal = int(ideal.sum())
+    if n_ideal == 0:
+        raise ValueError("ideal edge map is empty")
+    if n_detected == 0:
+        return 0.0
+    # Distance from every pixel to the nearest ideal edge pixel.
+    distance = ndimage.distance_transform_edt(~ideal)
+    scores = 1.0 / (1.0 + alpha * distance[detected] ** 2)
+    return float(scores.sum() / max(n_detected, n_ideal))
+
+
+def word_accuracy(recognized, reference) -> tuple:
+    """Words correctly recognized: returns ``(correct, total)`` (sphinx metric)."""
+    recognized = list(recognized)
+    reference = list(reference)
+    if len(recognized) != len(reference):
+        raise ValueError(
+            f"transcript length mismatch: {len(recognized)} vs {len(reference)}"
+        )
+    correct = sum(1 for r, t in zip(recognized, reference) if r == t)
+    return correct, len(reference)

@@ -1,0 +1,105 @@
+"""Iterative quality tuning — the feedback loop of Figure 10.
+
+The methodology: run the application imprecisely, compare against the
+precise reference with the application-specific quality metric, and if the
+fidelity constraint is not met, disable imprecise components (in order of
+application-specific error sensitivity, guided by the characterization) or
+tighten structural parameters, then re-evaluate.  The loop completes once
+the constraint is satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import IHWConfig
+
+__all__ = ["TuningResult", "TuningStep", "QualityTuner"]
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    """One evaluated configuration in the tuning trajectory."""
+
+    config: IHWConfig
+    quality: float
+    satisfied: bool
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    config: IHWConfig
+    quality: float
+    satisfied: bool
+    steps: list = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.steps)
+
+
+class QualityTuner:
+    """Searches the IHW configuration space until quality is acceptable.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(config) -> float`` runs the application under ``config``
+        against the precise reference and returns the quality score.
+    constraint:
+        ``constraint(quality) -> bool`` — the fidelity predicate (e.g.
+        ``lambda ssim: ssim >= 0.9``).
+    sensitivity_order:
+        Unit names most-error-sensitive first — the order in which imprecise
+        units are disabled when the constraint fails.  Defaults to the
+        paper's observed ordering (multiplication errors compound worst in
+        the studied kernels, the adder least).
+    """
+
+    DEFAULT_SENSITIVITY = ("mul", "fma", "rsqrt", "div", "log2", "sqrt", "rcp", "add")
+
+    def __init__(
+        self,
+        evaluate: Callable[[IHWConfig], float],
+        constraint: Callable[[float], bool],
+        sensitivity_order: tuple = DEFAULT_SENSITIVITY,
+    ):
+        unknown = set(sensitivity_order) - set(IHWConfig.all_imprecise().enabled)
+        if unknown:
+            raise ValueError(f"unknown units in sensitivity order: {sorted(unknown)}")
+        self._evaluate = evaluate
+        self._constraint = constraint
+        self._sensitivity = tuple(sensitivity_order)
+
+    def tune(self, start: IHWConfig | None = None, max_iterations: int = 16) -> TuningResult:
+        """Run the Figure-10 loop from ``start`` (default: all units on).
+
+        Each failing iteration disables the next most-sensitive enabled
+        unit.  Returns the first satisfying configuration, or the precise
+        fallback if every imprecise unit had to be disabled.
+        """
+        config = start if start is not None else IHWConfig.all_imprecise()
+        steps = []
+        for _ in range(max_iterations):
+            quality = self._evaluate(config)
+            ok = bool(self._constraint(quality))
+            steps.append(TuningStep(config=config, quality=quality, satisfied=ok))
+            if ok:
+                return TuningResult(config=config, quality=quality, satisfied=True, steps=steps)
+            disabled = self._disable_next(config)
+            if disabled is None:
+                return TuningResult(config=config, quality=quality, satisfied=False, steps=steps)
+            config = disabled
+        last = steps[-1]
+        return TuningResult(
+            config=last.config, quality=last.quality, satisfied=last.satisfied, steps=steps
+        )
+
+    def _disable_next(self, config: IHWConfig) -> IHWConfig | None:
+        for unit in self._sensitivity:
+            if config.is_enabled(unit):
+                return config.without_units(unit)
+        return None

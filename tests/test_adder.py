@@ -1,0 +1,190 @@
+"""Tests for the imprecise threshold FP adder (Chapter 3.1 / 4.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_THRESHOLD,
+    imprecise_add,
+    imprecise_subtract,
+    max_threshold,
+)
+
+finite32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=-2.0**99,
+    max_value=2.0**99,
+)
+
+
+class TestBasics:
+    def test_exact_when_exponents_equal(self):
+        # d = 0 <= TH and no bits shifted out: exact apart from truncation.
+        out = imprecise_add(np.float32(1.5), np.float32(1.25))
+        assert out == np.float32(2.75)
+
+    def test_zero_identity(self):
+        x = np.array([1.5, -3.25, 100.0], dtype=np.float32)
+        np.testing.assert_array_equal(imprecise_add(x, np.float32(0.0)), x)
+        np.testing.assert_array_equal(imprecise_add(np.float32(0.0), x), x)
+
+    def test_large_exponent_difference_absorbs_small_operand(self):
+        # d = 20 > TH = 8: the small operand vanishes entirely.
+        out = imprecise_add(np.float32(1024.0), np.float32(1024.0 * 2.0**-20))
+        assert out == np.float32(1024.0)
+
+    def test_equation_7_example(self):
+        # TH = 3, d = 1, b = 1.11111 * 2^(expa-1): b' keeps bits x1 x2 only.
+        a = np.float32(2.0)  # expa = 1
+        b = np.float32(1.96875)  # 1.11111b * 2^0
+        out = imprecise_add(a, b, threshold=3)
+        # b' = 0.111b * 2^1 = 1.75, sum = 3.75
+        assert out == np.float32(3.75)
+
+    def test_exact_cancellation_gives_zero(self):
+        out = imprecise_add(np.float32(1.5), np.float32(-1.5))
+        assert out == 0.0 and not np.signbit(out)
+
+    def test_commutative(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-10, 10, 1000).astype(np.float32)
+        b = rng.uniform(-10, 10, 1000).astype(np.float32)
+        np.testing.assert_array_equal(
+            imprecise_add(a, b), imprecise_add(b, a)
+        )
+
+    def test_subtract_matches_add_of_negation(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(-10, 10, 1000).astype(np.float32)
+        b = rng.uniform(-10, 10, 1000).astype(np.float32)
+        np.testing.assert_array_equal(
+            imprecise_subtract(a, b), imprecise_add(a, -b)
+        )
+
+
+class TestSpecialCases:
+    def test_nan_propagates(self):
+        assert np.isnan(imprecise_add(np.float32(np.nan), np.float32(1.0)))
+
+    def test_inf_plus_finite(self):
+        assert np.isposinf(imprecise_add(np.float32(np.inf), np.float32(-5.0)))
+        assert np.isneginf(imprecise_add(np.float32(-np.inf), np.float32(5.0)))
+
+    def test_inf_minus_inf_is_nan(self):
+        assert np.isnan(imprecise_add(np.float32(np.inf), np.float32(-np.inf)))
+
+    def test_inf_plus_inf(self):
+        assert np.isposinf(imprecise_add(np.float32(np.inf), np.float32(np.inf)))
+
+    def test_overflow_to_inf(self):
+        big = np.float32(3e38)
+        assert np.isposinf(imprecise_add(big, big))
+
+    def test_subnormal_result_flushes(self):
+        tiny = np.float32(np.finfo(np.float32).tiny)
+        # 1.5*tiny - tiny = 0.5*tiny is subnormal and must flush to zero.
+        out = imprecise_add(np.float32(1.5) * tiny, -tiny)
+        assert out == 0.0
+
+    def test_subnormal_inputs_treated_as_zero(self):
+        sub = np.float32(1e-45)
+        out = imprecise_add(sub, np.float32(1.0))
+        assert out == 1.0
+
+
+class TestThresholdValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError):
+            imprecise_add(np.float32(1.0), np.float32(1.0), threshold=0)
+
+    def test_rejects_above_max(self):
+        with pytest.raises(ValueError):
+            imprecise_add(np.float32(1.0), np.float32(1.0), threshold=28)
+
+    def test_max_threshold_values(self):
+        assert max_threshold(np.float32) == 27
+        assert 1 <= max_threshold(np.float64) <= 27
+
+    def test_float64_supported(self):
+        out = imprecise_add(np.float64(1.5), np.float64(2.5), threshold=8, dtype=np.float64)
+        assert out == 4.0
+
+
+class TestErrorBounds:
+    """The Chapter 4.1.1 analytic bounds, cases (a)-(c)."""
+
+    @pytest.mark.parametrize("th", [4, 8, 12])
+    def test_effective_addition_bound(self, th):
+        # Cases (a) and (b): same-sign operands, eps_max < 1/(2^(TH-1)+1).
+        rng = np.random.default_rng(5)
+        a = rng.uniform(1e-3, 1e3, 50000).astype(np.float32)
+        b = rng.uniform(1e-3, 1e3, 50000).astype(np.float32)
+        out = imprecise_add(a, b, threshold=th).astype(np.float64)
+        true = a.astype(np.float64) + b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        # Bound: truncation loss (2^-TH at the larger scale) plus the
+        # zeroed-operand case (< 1/(2^(TH-1)+1)), plus result truncation.
+        assert rel.max() <= 1.0 / (2 ** (th - 1) + 1) + 2.0 ** -23
+
+    @pytest.mark.parametrize("th", [8, 12])
+    def test_far_apart_subtraction_bound(self, th):
+        # Case (c): opposite signs with d >= TH, eps_max < 1/(2^(TH-1)-1).
+        rng = np.random.default_rng(6)
+        a = rng.uniform(1.0, 2.0, 20000).astype(np.float32) * 2.0**20
+        b = -rng.uniform(1.0, 2.0, 20000).astype(np.float32)
+        out = imprecise_add(a, b, threshold=th).astype(np.float64)
+        true = a.astype(np.float64) + b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        assert rel.max() <= 1.0 / (2 ** (th - 1) - 1)
+
+    def test_close_subtraction_small_absolute_error(self):
+        # Case (d): relative error explodes but the absolute error is tiny
+        # relative to the operands' magnitude.
+        a = np.float32(1.0000001)
+        b = np.float32(-1.0)
+        out = imprecise_add(a, b, threshold=8)
+        assert abs(float(out) - (float(a) + float(b))) < 2.0**-8 * float(a)
+
+    def test_larger_threshold_never_less_accurate_on_average(self):
+        rng = np.random.default_rng(8)
+        a = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        true = a.astype(np.float64) + b.astype(np.float64)
+        errors = []
+        for th in (2, 8, 16, 27):
+            out = imprecise_add(a, b, threshold=th).astype(np.float64)
+            errors.append(np.abs((out - true) / true).mean())
+        assert errors == sorted(errors, reverse=True)
+
+    @given(finite32, finite32, st.integers(1, 27))
+    @settings(max_examples=400, deadline=None)
+    def test_effective_addition_bound_hypothesis(self, a, b, th):
+        if (a >= 0) != (b >= 0):
+            return
+        a32, b32 = np.float32(a), np.float32(b)
+        out = imprecise_add(a32, b32, threshold=th)
+        true = float(a32) + float(b32)
+        if true == 0 or not np.isfinite(true) or np.isinf(out):
+            return
+        if abs(true) < 4 * float(np.finfo(np.float32).tiny):
+            return
+        rel = abs((float(out) - true) / true)
+        assert rel <= 2.0 ** -(th - 1) + 2.0 ** -22
+
+    @given(finite32, finite32)
+    @settings(max_examples=300, deadline=None)
+    def test_result_magnitude_never_exceeds_exact(self, a, b):
+        # Truncation everywhere: |result| <= |exact sum| for same signs.
+        if (a >= 0) != (b >= 0):
+            return
+        a32, b32 = np.float32(a), np.float32(b)
+        out = imprecise_add(a32, b32)
+        true = float(a32) + float(b32)
+        if not np.isfinite(true) or np.isinf(out):
+            return
+        assert abs(float(out)) <= abs(true) + 1e-45

@@ -1,0 +1,164 @@
+"""Tests for the CPU benchmark substitutes (179.art, 435.gromacs, 482.sphinx3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import art, gromacs, sphinx
+from repro.core import IHWConfig
+from repro.quality import error_percent, word_accuracy
+
+
+def mitchell(name: str) -> IHWConfig:
+    return IHWConfig.units("mul").with_multiplier("mitchell", config=name)
+
+
+def truncated(bits: int) -> IHWConfig:
+    return IHWConfig.units("mul").with_multiplier("truncated", truncation=bits)
+
+
+class TestArt:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return art.reference_run()
+
+    def test_recognizes_correct_object_and_location(self, reference):
+        name, location, vigilance = reference.output
+        assert name == "helicopter"
+        assert location == (20, 12)
+        assert vigilance > 0.9
+
+    def test_recognizes_airplane_too(self):
+        result = art.reference_run(target="airplane")
+        assert result.output[0] == "airplane"
+
+    def test_multiplication_dominated(self, reference):
+        counts = reference.op_counts
+        assert counts["mul"] / sum(counts.values()) > 0.6  # Table 6: 89%
+
+    def test_configurable_multiplier_keeps_vigilance(self, reference):
+        # Figure 21a: the proposed multiplier keeps confidence > 0.8 even
+        # at deep truncation.
+        for cfg in ("fp_tr44", "fp_tr48", "lp_tr48"):
+            result = art.run(mitchell(cfg))
+            assert result.output[0] == "helicopter"
+            assert result.output[2] > 0.8
+
+    def test_intuitive_truncation_drops_abruptly(self, reference):
+        # Figure 21a: bt vigilance falls off a cliff at deep truncation.
+        v_shallow = art.run(truncated(44)).output[2]
+        v_deep = art.run(truncated(50)).output[2]
+        assert v_deep < v_shallow - 0.1
+
+    def test_proposed_beats_truncation_at_matched_depth(self):
+        v_fp = art.run(mitchell("fp_tr48")).output[2]
+        v_bt = art.run(truncated(49)).output[2]
+        assert v_fp > v_bt
+
+    def test_scene_validation(self):
+        with pytest.raises(ValueError):
+            art.make_scene("submarine")
+        with pytest.raises(ValueError):
+            art.make_scene("airplane", size=20, location=(18, 18))
+        with pytest.raises(ValueError):
+            art.run(None, stride=0)
+
+    def test_templates_distinct(self):
+        t = art.make_templates()
+        assert not np.array_equal(t["airplane"], t["helicopter"])
+
+
+class TestGromacs:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return gromacs.reference_run()
+
+    def test_liquid_has_negative_potential(self, reference):
+        avg_pot, avg_temp = reference.output
+        assert avg_pot < 0  # bound LJ fluid
+        assert avg_temp > 0
+
+    def test_deterministic(self, reference):
+        again = gromacs.reference_run()
+        assert again.output == reference.output
+
+    def test_full_path_within_spec_tolerance(self, reference):
+        # Figure 21b: configurable-multiplier points sit below the 1.25%
+        # line at moderate truncation.
+        result = gromacs.run(mitchell("fp_tr40"))
+        assert error_percent(result.output[0], reference.output[0]) < 1.25
+
+    def test_deep_intuitive_truncation_fails_spec(self, reference):
+        result = gromacs.run(truncated(49))
+        assert error_percent(result.output[0], reference.output[0]) > 1.25
+
+    def test_error_generally_grows_with_bt_truncation(self, reference):
+        errs = [
+            error_percent(gromacs.run(truncated(tr)).output[0], reference.output[0])
+            for tr in (40, 46, 49)
+        ]
+        assert errs[-1] > errs[0]
+
+    def test_energy_conservation_precise(self):
+        # Without a thermostat the precise trajectory must not blow up.
+        result = gromacs.reference_run(steps=80)
+        assert abs(result.output[0]) < 50
+        assert result.output[1] < 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gromacs.run(None, steps=1)
+        with pytest.raises(ValueError):
+            gromacs.run(None, dt=0.0)
+        with pytest.raises(ValueError):
+            gromacs.initial_lattice(1)
+
+    def test_lattice_properties(self):
+        pos, vel, box = gromacs.initial_lattice(3)
+        assert pos.shape == (27, 3)
+        assert np.abs(vel.mean(axis=0)).max() < 1e-12  # zero net momentum
+        assert box > 0
+
+
+class TestSphinx:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return sphinx.reference_run()
+
+    def test_precise_recognizes_all_25(self, reference):
+        correct, total = word_accuracy(reference.output, reference.extras["truth"])
+        assert (correct, total) == (25, 25)
+
+    def test_vocabulary_size(self):
+        assert len(sphinx.VOCABULARY) == 25
+
+    def test_prototypes_deterministic_and_distinct(self):
+        a = sphinx.word_prototype(0)
+        b = sphinx.word_prototype(0)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(sphinx.word_prototype(0), sphinx.word_prototype(3))
+
+    def test_full_path_stays_high(self, reference):
+        # Table 7: fp configurations recognize >= 24/25.
+        truth = reference.extras["truth"]
+        for cfg in ("fp_tr0", "fp_tr44", "fp_tr48"):
+            correct, _ = word_accuracy(sphinx.run(mitchell(cfg)).output, truth)
+            assert correct >= 24
+
+    def test_log_path_worse_than_full_path(self, reference):
+        truth = reference.extras["truth"]
+        lp, _ = word_accuracy(sphinx.run(mitchell("lp_tr44")).output, truth)
+        fp, _ = word_accuracy(sphinx.run(mitchell("fp_tr44")).output, truth)
+        assert lp <= fp
+        assert lp >= 20  # Table 7 floor is 21
+
+    def test_boundary_tokens_flip_first(self, reference):
+        # Misrecognitions land on the engineered confusable tokens.
+        truth = reference.extras["truth"]
+        out = sphinx.run(mitchell("lp_tr44")).output
+        wrong = {t for t, r in zip(truth, out) if t != r}
+        boundary = {w for w, _, _ in sphinx._BOUNDARY_TOKENS}
+        assert wrong <= boundary
+
+    def test_word_prototype_validation(self):
+        with pytest.raises(ValueError):
+            sphinx.word_prototype(99)

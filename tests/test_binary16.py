@@ -1,0 +1,138 @@
+"""Tests for the binary16 (half precision) extension.
+
+The behavioral datapaths are format-parametric, so the imprecise units
+work at half precision unchanged — the accuracy knob future GPUs expose.
+All Table-1 / Mitchell error bounds must hold at fp16 too (plus the
+format's own quantization).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArithmeticContext,
+    BINARY16,
+    FULL_PATH_MAX_ERROR,
+    IHWConfig,
+    IMPRECISE_MULTIPLY_MAX_ERROR,
+    LOG_PATH_MAX_ERROR,
+    MultiplierConfig,
+    RECIPROCAL_MAX_ERROR,
+    compose,
+    configurable_multiply,
+    decompose,
+    flush_subnormals,
+    format_for_dtype,
+    imprecise_add,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    truncate_mantissa,
+)
+
+FP16_ULP_SLACK = 2.0**-9  # one half-precision mantissa step
+
+
+@pytest.fixture
+def operands():
+    rng = np.random.default_rng(60)
+    a = rng.uniform(-100, 100, 20000).astype(np.float16)
+    b = rng.uniform(-100, 100, 20000).astype(np.float16)
+    return a, b
+
+
+class TestFormat:
+    def test_constants(self):
+        assert BINARY16.bias == 15
+        assert BINARY16.mantissa_bits == 10
+        assert BINARY16.exponent_mask == 0x1F
+        assert format_for_dtype(np.float16) is BINARY16
+
+    def test_decompose_compose_roundtrip(self):
+        rng = np.random.default_rng(61)
+        x = rng.standard_normal(2000).astype(np.float16) * 100
+        out = compose(*decompose(x, BINARY16), BINARY16)
+        np.testing.assert_array_equal(out.view(np.uint16), x.view(np.uint16))
+
+    def test_flush_subnormals(self):
+        sub = np.array([6e-8], dtype=np.float16)  # subnormal fp16
+        assert flush_subnormals(sub)[0] == 0.0
+
+    def test_truncate_mantissa(self):
+        out = truncate_mantissa(np.array([1.75], np.float16), 1)
+        assert out[0] == np.float16(1.5)
+
+
+class TestUnitsAtHalfPrecision:
+    def test_table1_multiplier_bound(self, operands):
+        a, b = operands
+        true = a.astype(np.float64) * b.astype(np.float64)
+        out = imprecise_multiply(a, b, dtype=np.float16).astype(np.float64)
+        rel = np.abs(out / true - 1)
+        assert rel.max() <= IMPRECISE_MULTIPLY_MAX_ERROR + FP16_ULP_SLACK
+
+    def test_table1_worst_case_value(self):
+        out = imprecise_multiply(np.float16(1.75), np.float16(1.75), dtype=np.float16)
+        assert out == np.float16(2.5)
+
+    def test_configurable_paths_bounds(self, operands):
+        a, b = operands
+        true = a.astype(np.float64) * b.astype(np.float64)
+        full = configurable_multiply(
+            a, b, MultiplierConfig("full", 0), dtype=np.float16
+        ).astype(np.float64)
+        log = configurable_multiply(
+            a, b, MultiplierConfig("log", 0), dtype=np.float16
+        ).astype(np.float64)
+        assert np.abs(full / true - 1).max() <= FULL_PATH_MAX_ERROR + FP16_ULP_SLACK
+        assert np.abs(log / true - 1).max() <= LOG_PATH_MAX_ERROR + FP16_ULP_SLACK
+
+    def test_truncation_supported(self, operands):
+        a, b = operands
+        out = configurable_multiply(a, b, MultiplierConfig("log", 6), dtype=np.float16)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        emax = np.abs(out.astype(np.float64) / true - 1).max()
+        assert 0.11 <= emax <= 0.20  # the lp_tr19-equivalent band at fp16
+
+    def test_adder_bound(self, operands):
+        a, b = operands
+        same_sign = np.sign(a) == np.sign(b)
+        out = imprecise_add(a, b, threshold=4, dtype=np.float16).astype(np.float64)
+        true = a.astype(np.float64) + b.astype(np.float64)
+        keep = same_sign & (true != 0)
+        rel = np.abs((out[keep] - true[keep]) / true[keep])
+        assert rel.max() <= 2.0**-3 + FP16_ULP_SLACK
+
+    def test_reciprocal_bound(self):
+        rng = np.random.default_rng(62)
+        x = rng.uniform(0.01, 100, 10000).astype(np.float16)
+        out = imprecise_reciprocal(x, dtype=np.float16).astype(np.float64)
+        rel = np.abs(out * x.astype(np.float64) - 1)
+        assert rel.max() <= RECIPROCAL_MAX_ERROR + 2 * FP16_ULP_SLACK
+
+    def test_rsqrt_runs(self):
+        out = imprecise_rsqrt(np.float16(4.0), dtype=np.float16)
+        assert float(out) == pytest.approx(0.5, rel=0.12)
+
+    def test_specials(self):
+        assert np.isnan(imprecise_multiply(np.float16(np.inf), np.float16(0), dtype=np.float16))
+        assert np.isposinf(
+            imprecise_add(np.float16(np.inf), np.float16(1), dtype=np.float16)
+        )
+
+    def test_overflow_to_inf(self):
+        big = np.float16(60000.0)
+        assert np.isposinf(imprecise_multiply(big, big, dtype=np.float16))
+
+
+class TestContextAtHalfPrecision:
+    def test_context_accepts_float16(self):
+        ctx = ArithmeticContext(IHWConfig.all_imprecise(), dtype=np.float16)
+        out = ctx.mul(np.float16(1.75), np.float16(1.75))
+        assert out.dtype == np.float16
+        assert float(out) == 2.5
+
+    def test_counts(self):
+        ctx = ArithmeticContext(dtype=np.float16)
+        ctx.add(np.ones(7, np.float16), np.ones(7, np.float16))
+        assert ctx.op_counts()["add"] == 7

@@ -1,0 +1,93 @@
+"""Tests for the Black-Scholes negative-control application."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.apps import blackscholes as bs
+from repro.core import IHWConfig
+
+
+def closed_form(book):
+    s, k, v, r, t = (
+        book[x].astype(np.float64) for x in ("spot", "strike", "vol", "rate", "expiry")
+    )
+    d1 = (np.log(s / k) + (r + v * v / 2) * t) / (v * np.sqrt(t))
+    d2 = d1 - v * np.sqrt(t)
+    return s * norm.cdf(d1) - k * np.exp(-r * t) * norm.cdf(d2)
+
+
+class TestPricer:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return bs.reference_run()
+
+    def test_matches_closed_form(self, reference):
+        exact = closed_form(bs.option_book())
+        # The A&S erf polynomial is good to ~3e-3 dollars on this book.
+        assert np.abs(reference.output - exact).max() < 0.01
+
+    def test_prices_nonnegative(self, reference):
+        assert (reference.output >= 0).all()
+
+    def test_intrinsic_value_lower_bound(self, reference):
+        book = bs.option_book()
+        intrinsic = np.maximum(
+            book["spot"].astype(np.float64) - book["strike"].astype(np.float64), 0.0
+        )
+        # Calls are worth at least (discounted) intrinsic value; allow the
+        # erf-approximation slack.
+        assert (reference.output >= intrinsic * 0.97 - 0.05).all()
+
+    def test_deterministic(self, reference):
+        again = bs.reference_run()
+        np.testing.assert_array_equal(again.output, reference.output)
+
+    def test_uses_every_unit_class(self, reference):
+        counts = reference.op_counts
+        for op in ("mul", "add", "sub", "div", "rcp", "sqrt", "log2"):
+            assert counts.get(op, 0) > 0, op
+
+    def test_book_validation(self):
+        with pytest.raises(ValueError):
+            bs.option_book(0)
+
+
+class TestNegativeControl:
+    """Chapter 1's scoping claim: finance cannot tolerate these units."""
+
+    TOLERANCE_BPS = 1.0  # one basis point of repricing error
+
+    def _median_bps(self, config):
+        ref = bs.reference_run()
+        result = bs.run(config)
+        err = np.abs(result.output - ref.output)
+        return float(np.median(err / np.maximum(ref.output, 0.01) * 1e4))
+
+    def test_all_imprecise_fails_by_orders_of_magnitude(self):
+        assert self._median_bps(IHWConfig.all_imprecise()) > 1000 * self.TOLERANCE_BPS
+
+    def test_even_best_multiplier_fails(self):
+        cfg = IHWConfig.units("mul").with_multiplier("mitchell", config="fp_tr0")
+        assert self._median_bps(cfg) > 10 * self.TOLERANCE_BPS
+
+    def test_even_adder_alone_fails(self):
+        assert self._median_bps(IHWConfig.units("add")) > self.TOLERANCE_BPS
+
+    def test_dollar_errors_are_material(self):
+        ref = bs.reference_run()
+        imp = bs.run(IHWConfig.all_imprecise())
+        worst = np.abs(imp.output - ref.output).max()
+        assert worst > 1.0  # dollars per option — "millions" at book scale
+
+    def test_error_tolerant_contrast(self):
+        # The same hardware that breaks finance passes HotSpot: the
+        # application-selectivity the paper's Figure 3 describes.
+        from repro.apps import hotspot
+        from repro.quality import mae
+
+        ref = hotspot.reference_run(32, 32, 20)
+        imp = hotspot.run(IHWConfig.all_imprecise(), 32, 32, 20)
+        relative_thermal = mae(imp.output, ref.output) / float(np.mean(ref.output))
+        assert relative_thermal < 0.01  # well under 1% of the die temperature
+        assert self._median_bps(IHWConfig.all_imprecise()) / 1e4 > relative_thermal

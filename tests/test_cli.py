@@ -1,0 +1,192 @@
+"""Tests for the command line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for exp_id in ("fig2", "table5", "fig14", "table7"):
+            assert exp_id in text
+
+    def test_mentions_bench_paths(self):
+        _, text = run_cli("list")
+        assert "benchmarks/" in text
+
+
+class TestInfo:
+    def test_shows_machine_and_library(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "GFLOPS" in text
+        assert "mul" in text and "P ratio" in text
+
+
+class TestCharacterize:
+    def test_unit_by_name(self):
+        code, text = run_cli("characterize", "ifpmul", "--samples", "4096")
+        assert code == 0
+        assert "eps_max" in text
+        assert "error rate" in text
+
+    def test_multiplier_config(self):
+        code, text = run_cli("characterize", "fp_tr0", "--samples", "4096")
+        assert code == 0
+        assert "eps_max" in text
+
+    def test_bt_config(self):
+        code, text = run_cli("characterize", "bt_19", "--samples", "4096")
+        assert code == 0
+
+    def test_double_precision(self):
+        code, text = run_cli(
+            "characterize", "lp_tr44", "--samples", "4096", "--double"
+        )
+        assert code == 0
+
+    def test_unknown_unit_exit_code(self):
+        code, _ = run_cli("characterize", "bogus_unit", "--samples", "256")
+        assert code == 2
+
+
+class TestEvaluate:
+    def test_hotspot_all(self):
+        code, text = run_cli(
+            "evaluate", "hotspot", "--rows", "32", "--iterations", "10"
+        )
+        assert code == 0
+        assert "holistic" in text
+        assert "MAE" in text
+
+    def test_raytracing_with_multiplier(self):
+        code, text = run_cli(
+            "evaluate", "raytracing", "--config", "rcp,add,sqrt",
+            "--multiplier", "fp_tr0", "--size", "32",
+        )
+        assert code == 0
+        assert "SSIM" in text
+        assert "fp_tr0" in text
+
+    def test_precise_config(self):
+        code, text = run_cli(
+            "evaluate", "hotspot", "--config", "precise", "--rows", "16",
+            "--iterations", "5",
+        )
+        assert code == 0
+        assert "precise" in text
+
+    def test_bt_multiplier(self):
+        code, text = run_cli(
+            "evaluate", "cp", "--config", "precise", "--multiplier", "bt_19",
+            "--size", "16",
+        )
+        assert code == 0
+        assert "bt_19" in text
+
+    def test_quadratic_sfu_mode(self):
+        code, text = run_cli(
+            "evaluate", "raytracing", "--config", "rsqrt",
+            "--sfu-mode", "quadratic", "--size", "32",
+        )
+        assert code == 0
+        assert "quadratic" in text
+
+    def test_unknown_app(self):
+        code, _ = run_cli("evaluate", "doom", "--rows", "16")
+        assert code == 2
+
+    def test_bad_config_units(self):
+        code, _ = run_cli("evaluate", "hotspot", "--config", "warp,drive")
+        assert code == 2
+
+
+class TestSweepMultiplier:
+    def test_fp32_sweep(self):
+        code, text = run_cli("sweep-multiplier", "--samples", "2048")
+        assert code == 0
+        assert "fp_tr0" in text and "lp_tr" in text and "bt_" in text
+
+    def test_fp64_sweep(self):
+        code, text = run_cli("sweep-multiplier", "--bits", "64", "--samples", "2048")
+        assert code == 0
+        assert "lp_tr" in text
+
+
+class TestSensitivity:
+    def test_cp_sensitivity(self):
+        code, text = run_cli("sensitivity", "cp", "--size", "24")
+        assert code == 0
+        assert "disable order" in text
+        # CP is rsqrt/mul dominated; one of them must rank first.
+        first = text.rsplit("disable order:", 1)[1].split(",")[0].strip()
+        assert first in ("mul", "rsqrt")
+
+    def test_unknown_app(self):
+        code, _ = run_cli("sensitivity", "doom")
+        assert code == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSweepApp:
+    def test_sphinx_sweep(self):
+        code, text = run_cli("sweep-app", "sphinx", "--configs", "fp_tr44,bt_49")
+        assert code == 0
+        assert "words recognized=" in text
+        assert "fp_tr44" in text and "bt_49" in text
+
+    def test_gromacs_sweep_mentions_spec_line(self):
+        code, text = run_cli("sweep-app", "gromacs", "--configs", "fp_tr40")
+        assert code == 0
+        assert "1.25% line" in text
+
+    def test_art_sweep(self):
+        code, text = run_cli("sweep-app", "art", "--configs", "fp_tr44")
+        assert code == 0
+        assert "vigilance=" in text
+
+    def test_unknown_app(self):
+        code, _ = run_cli("sweep-app", "doom")
+        assert code == 2
+
+    def test_bad_config(self):
+        code, _ = run_cli("sweep-app", "art", "--configs", "zz_tr1")
+        assert code == 2
+
+
+class TestVerifyCommand:
+    def test_fp32_verify_passes(self):
+        code, text = run_cli("verify", "--samples", "200")
+        assert code == 0
+        assert "OK" in text and "FAIL" not in text
+
+    def test_fp64_verify_within_tolerance(self):
+        code, text = run_cli("verify", "--bits", "64", "--samples", "100")
+        assert code == 0
+
+
+class TestStallsCommand:
+    def test_hotspot_stalls(self):
+        code, text = run_cli("stalls", "hotspot", "--rows", "24",
+                             "--iterations", "5")
+        assert code == 0
+        assert "issued" in text and "dependency" in text
+
+    def test_unknown_app(self):
+        code, _ = run_cli("stalls", "doom")
+        assert code == 2

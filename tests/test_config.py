@@ -1,0 +1,97 @@
+"""Tests for IHWConfig, the imprecise-hardware configuration object."""
+
+import pytest
+
+from repro.core import IHWConfig, MultiplierConfig, UNIT_NAMES
+
+
+class TestConstruction:
+    def test_precise_default(self):
+        cfg = IHWConfig.precise()
+        assert not cfg.enabled
+        assert all(not cfg.is_enabled(u) for u in UNIT_NAMES)
+        assert cfg.describe() == "precise"
+
+    def test_all_imprecise(self):
+        cfg = IHWConfig.all_imprecise()
+        assert all(cfg.is_enabled(u) for u in UNIT_NAMES)
+        assert cfg.adder_threshold == 8
+
+    def test_units_constructor(self):
+        cfg = IHWConfig.units("rcp", "add", "sqrt")
+        assert cfg.is_enabled("rcp") and cfg.is_enabled("add") and cfg.is_enabled("sqrt")
+        assert not cfg.is_enabled("mul")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            IHWConfig(enabled=frozenset({"frobnicate"}))
+
+    def test_rejects_unknown_multiplier_mode(self):
+        with pytest.raises(ValueError):
+            IHWConfig(multiplier_mode="exotic")
+
+    def test_is_enabled_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            IHWConfig.precise().is_enabled("nonsense")
+
+    def test_frozen(self):
+        cfg = IHWConfig.precise()
+        with pytest.raises(Exception):
+            cfg.adder_threshold = 4
+
+    def test_hashable(self):
+        assert len({IHWConfig.precise(), IHWConfig.all_imprecise()}) == 2
+
+
+class TestFunctionalUpdates:
+    def test_with_units(self):
+        cfg = IHWConfig.units("rcp").with_units("sqrt")
+        assert cfg.is_enabled("sqrt") and cfg.is_enabled("rcp")
+
+    def test_without_units(self):
+        cfg = IHWConfig.all_imprecise().without_units("mul", "fma")
+        assert not cfg.is_enabled("mul") and not cfg.is_enabled("fma")
+        assert cfg.is_enabled("add")
+
+    def test_with_multiplier_mitchell_by_name(self):
+        cfg = IHWConfig.precise().with_multiplier("mitchell", config="lp_tr19")
+        assert cfg.is_enabled("mul")
+        assert cfg.multiplier_mode == "mitchell"
+        assert cfg.multiplier_config == MultiplierConfig("log", 19)
+
+    def test_with_multiplier_mitchell_by_object(self):
+        cfg = IHWConfig.precise().with_multiplier(
+            "mitchell", config=MultiplierConfig("full", 5)
+        )
+        assert cfg.multiplier_config.truncation == 5
+
+    def test_with_multiplier_truncated(self):
+        cfg = IHWConfig.precise().with_multiplier("truncated", truncation=21)
+        assert cfg.multiplier_mode == "truncated"
+        assert cfg.multiplier_truncation == 21
+
+    def test_with_multiplier_rejects_unknown_kwargs(self):
+        with pytest.raises(TypeError):
+            IHWConfig.precise().with_multiplier("table1", bogus=1)
+
+    def test_updates_do_not_mutate_original(self):
+        base = IHWConfig.units("rcp")
+        base.with_units("sqrt")
+        assert not base.is_enabled("sqrt")
+
+
+class TestDescribe:
+    def test_describe_mentions_threshold(self):
+        assert "TH=8" in IHWConfig.units("add").describe()
+
+    def test_describe_mentions_multiplier_config(self):
+        cfg = IHWConfig.precise().with_multiplier("mitchell", config="fp_tr0")
+        assert "fp_tr0" in cfg.describe()
+
+    def test_describe_mentions_bt(self):
+        cfg = IHWConfig.precise().with_multiplier("truncated", truncation=21)
+        assert "bt_21" in cfg.describe()
+
+    def test_describe_table1(self):
+        cfg = IHWConfig.units("mul")
+        assert "table1" in cfg.describe()

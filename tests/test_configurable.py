@@ -1,0 +1,180 @@
+"""Tests for the accuracy-configurable Mitchell FP multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FULL_PATH_MAX_ERROR,
+    LOG_PATH_MAX_ERROR,
+    MultiplierConfig,
+    configurable_multiply,
+)
+
+
+def rel_error(approx, a, b):
+    true = np.asarray(a, np.float64) * np.asarray(b, np.float64)
+    return np.abs((np.asarray(approx, np.float64) - true) / true)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = MultiplierConfig()
+        assert cfg.path == "full"
+        assert cfg.truncation == 0
+
+    def test_name_roundtrip(self):
+        for name in ("lp_tr19", "fp_tr0", "lp_tr0", "fp_tr48"):
+            assert MultiplierConfig.from_name(name).name == name
+
+    def test_from_name_aliases(self):
+        assert MultiplierConfig.from_name("log_tr5").path == "log"
+        assert MultiplierConfig.from_name("full_tr5").path == "full"
+
+    def test_rejects_bad_path(self):
+        with pytest.raises(ValueError):
+            MultiplierConfig(path="middle")
+
+    def test_rejects_negative_truncation(self):
+        with pytest.raises(ValueError):
+            MultiplierConfig(truncation=-1)
+
+    def test_rejects_unparseable_name(self):
+        with pytest.raises(ValueError):
+            MultiplierConfig.from_name("nonsense")
+        with pytest.raises(ValueError):
+            MultiplierConfig.from_name("xp_tr3")
+
+    def test_rejects_truncation_beyond_mantissa(self):
+        with pytest.raises(ValueError):
+            configurable_multiply(
+                np.float32(1), np.float32(1), MultiplierConfig("log", 24)
+            )
+
+
+class TestErrorBounds:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_full_path_2_percent(self, dtype):
+        rng = np.random.default_rng(20)
+        a = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        b = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        out = configurable_multiply(a, b, MultiplierConfig("full", 0), dtype=dtype)
+        assert rel_error(out, a, b).max() <= FULL_PATH_MAX_ERROR + 1e-6
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_log_path_11_percent(self, dtype):
+        rng = np.random.default_rng(21)
+        a = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        b = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        out = configurable_multiply(a, b, MultiplierConfig("log", 0), dtype=dtype)
+        assert rel_error(out, a, b).max() <= LOG_PATH_MAX_ERROR + 1e-6
+
+    def test_full_path_more_accurate_than_log_path(self):
+        rng = np.random.default_rng(22)
+        a = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        e_full = rel_error(configurable_multiply(a, b, MultiplierConfig("full")), a, b)
+        e_log = rel_error(configurable_multiply(a, b, MultiplierConfig("log")), a, b)
+        assert e_full.mean() < e_log.mean()
+        assert e_full.max() < e_log.max()
+
+    def test_error_grows_with_truncation(self):
+        rng = np.random.default_rng(23)
+        a = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        means = []
+        for tr in (0, 8, 15, 19, 22):
+            out = configurable_multiply(a, b, MultiplierConfig("log", tr))
+            means.append(rel_error(out, a, b).mean())
+        assert means == sorted(means)
+
+    def test_lp_tr19_matches_paper_band(self):
+        # The paper reports ~18% max error for 19-bit truncated log path.
+        rng = np.random.default_rng(24)
+        a = rng.uniform(0.1, 100, 200000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 200000).astype(np.float32)
+        out = configurable_multiply(a, b, MultiplierConfig("log", 19))
+        emax = rel_error(out, a, b).max()
+        assert 0.12 <= emax <= 0.20
+
+    def test_lp_tr48_double_matches_paper_band(self):
+        # The paper reports ~18.07% max error for 48-bit truncated fp64.
+        rng = np.random.default_rng(25)
+        a = rng.uniform(0.1, 100, 200000)
+        b = rng.uniform(0.1, 100, 200000)
+        out = configurable_multiply(a, b, MultiplierConfig("log", 48), dtype=np.float64)
+        emax = rel_error(out, a, b).max()
+        assert 0.12 <= emax <= 0.20
+
+
+class TestSpecialCases:
+    @pytest.mark.parametrize("path", ["log", "full"])
+    def test_identity_with_one(self, path):
+        x = np.array([1.25, -3.5, 1000.0], dtype=np.float32)
+        out = configurable_multiply(x, np.float32(1.0), MultiplierConfig(path))
+        np.testing.assert_array_equal(out, x)
+
+    @pytest.mark.parametrize("path", ["log", "full"])
+    def test_powers_of_two_exact(self, path):
+        out = configurable_multiply(
+            np.float32(0.5), np.float32(256.0), MultiplierConfig(path)
+        )
+        assert out == 128.0
+
+    def test_zero(self):
+        assert configurable_multiply(np.float32(0.0), np.float32(9.0)) == 0.0
+
+    def test_inf_and_nan(self):
+        assert np.isposinf(configurable_multiply(np.float32(np.inf), np.float32(2.0)))
+        assert np.isnan(configurable_multiply(np.float32(np.inf), np.float32(0.0)))
+        assert np.isnan(configurable_multiply(np.float32(np.nan), np.float32(1.0)))
+
+    def test_subnormals_flush(self):
+        out = configurable_multiply(np.float32(1e-45), np.float32(2.0))
+        assert out == 0.0
+
+    def test_overflow(self):
+        big = np.float32(1e38)
+        assert np.isposinf(configurable_multiply(big, big))
+
+    def test_sign(self):
+        out = configurable_multiply(np.float32(-1.5), np.float32(2.5))
+        assert out < 0
+
+
+finite32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=-2.0**49,
+    max_value=2.0**49,
+)
+
+
+class TestProperties:
+    @given(finite32, finite32, st.sampled_from(["log", "full"]), st.integers(0, 22))
+    @settings(max_examples=300, deadline=None)
+    def test_error_never_exceeds_path_bound_plus_truncation(self, a, b, path, tr):
+        a32, b32 = np.float32(a), np.float32(b)
+        out = configurable_multiply(a32, b32, MultiplierConfig(path, tr))
+        true = float(a32) * float(b32)
+        if true == 0 or not np.isfinite(true) or np.isinf(out):
+            return
+        if abs(true) < 4 * float(np.finfo(np.float32).tiny):
+            return
+        rel = abs((float(out) - true) / true)
+        path_bound = LOG_PATH_MAX_ERROR if path == "log" else FULL_PATH_MAX_ERROR
+        # Truncating tr bits of each operand costs at most 2*2^(tr-23) extra.
+        bound = path_bound + 2.0 ** (tr - 22) + 2.0 ** -21
+        assert rel <= bound
+
+    @given(finite32, finite32, st.sampled_from(["log", "full"]))
+    @settings(max_examples=200, deadline=None)
+    def test_commutative(self, a, b, path):
+        a32, b32 = np.float32(a), np.float32(b)
+        cfg = MultiplierConfig(path)
+        x = configurable_multiply(a32, b32, cfg)
+        y = configurable_multiply(b32, a32, cfg)
+        np.testing.assert_array_equal(np.asarray(x), np.asarray(y))

@@ -1,0 +1,146 @@
+"""Tests for the instrumented ArithmeticContext."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArithmeticContext, IHWConfig, OP_UNIT_CLASS
+
+
+class TestPreciseDispatch:
+    def test_precise_matches_numpy(self):
+        ctx = ArithmeticContext()
+        a = np.array([1.5, -2.25], dtype=np.float32)
+        b = np.array([0.5, 4.0], dtype=np.float32)
+        np.testing.assert_array_equal(ctx.add(a, b), a + b)
+        np.testing.assert_array_equal(ctx.sub(a, b), a - b)
+        np.testing.assert_array_equal(ctx.mul(a, b), a * b)
+        np.testing.assert_array_equal(ctx.div(a, b), a / b)
+
+    def test_precise_special_functions(self):
+        ctx = ArithmeticContext()
+        x = np.array([4.0, 9.0], dtype=np.float32)
+        np.testing.assert_allclose(ctx.sqrt(x), [2.0, 3.0])
+        np.testing.assert_allclose(ctx.rsqrt(x), [0.5, 1.0 / 3.0], rtol=1e-6)
+        np.testing.assert_allclose(ctx.rcp(x), [0.25, 1.0 / 9.0], rtol=1e-6)
+        np.testing.assert_allclose(ctx.log2(x), [2.0, np.log2(9.0)], rtol=1e-6)
+
+    def test_fma_precise(self):
+        ctx = ArithmeticContext()
+        out = ctx.fma(np.float32(2.0), np.float32(3.0), np.float32(1.0))
+        assert out == 7.0
+
+
+class TestImpreciseDispatch:
+    def test_imprecise_mul_differs(self):
+        ctx = ArithmeticContext(IHWConfig.units("mul"))
+        out = ctx.mul(np.float32(1.75), np.float32(1.75))
+        assert out == np.float32(2.5)
+
+    def test_disabled_units_stay_precise(self):
+        ctx = ArithmeticContext(IHWConfig.units("mul"))
+        out = ctx.add(np.float32(1.75), np.float32(1.75))
+        assert out == np.float32(3.5)
+
+    def test_precise_flag_overrides(self):
+        ctx = ArithmeticContext(IHWConfig.units("mul"))
+        out = ctx.mul(np.float32(1.75), np.float32(1.75), precise=True)
+        assert out == np.float32(3.0625)
+
+    def test_mitchell_multiplier_mode(self):
+        cfg = IHWConfig.precise().with_multiplier("mitchell", config="fp_tr0")
+        ctx = ArithmeticContext(cfg)
+        a = np.float32(1.3)
+        b = np.float32(2.7)
+        out = float(ctx.mul(a, b))
+        assert out == pytest.approx(float(a) * float(b), rel=0.021)
+
+    def test_truncated_multiplier_mode(self):
+        cfg = IHWConfig.precise().with_multiplier("truncated", truncation=21)
+        ctx = ArithmeticContext(cfg)
+        a = np.float32(1.3)
+        b = np.float32(2.7)
+        out = float(ctx.mul(a, b))
+        assert out == pytest.approx(float(a) * float(b), rel=0.25)
+        assert out != float(a) * float(b)
+
+    def test_imprecise_add_threshold_respected(self):
+        cfg = IHWConfig.units("add", adder_threshold=2)
+        ctx = ArithmeticContext(cfg)
+        out = ctx.add(np.float32(1024.0), np.float32(64.0))  # d = 4 > 2
+        assert out == np.float32(1024.0)
+
+    def test_sub_uses_adder_switch(self):
+        ctx = ArithmeticContext(IHWConfig.units("add", adder_threshold=2))
+        out = ctx.sub(np.float32(1024.0), np.float32(64.0))
+        assert out == np.float32(1024.0)
+
+
+class TestCounting:
+    def test_counts_scalar_ops(self):
+        ctx = ArithmeticContext()
+        a = np.ones(10, dtype=np.float32)
+        ctx.add(a, a)
+        ctx.mul(a, a)
+        ctx.mul(a, a)
+        counts = ctx.op_counts()
+        assert counts["add"] == 10
+        assert counts["mul"] == 20
+
+    def test_counts_by_class(self):
+        ctx = ArithmeticContext()
+        a = np.ones(5, dtype=np.float32)
+        ctx.add(a, a)
+        ctx.rsqrt(a)
+        ctx.div(a, a)
+        by_class = ctx.counts_by_class()
+        assert by_class["FPU"] == 5
+        assert by_class["SFU"] == 10
+
+    def test_precise_and_imprecise_counted_separately(self):
+        ctx = ArithmeticContext(IHWConfig.units("mul"))
+        a = np.ones(4, dtype=np.float32)
+        ctx.mul(a, a)
+        ctx.mul(a, a, precise=True)
+        assert ctx.counts[("mul", "imprecise")] == 4
+        assert ctx.counts[("mul", "precise")] == 4
+
+    def test_reset(self):
+        ctx = ArithmeticContext()
+        ctx.add(np.ones(3, dtype=np.float32), 1.0)
+        ctx.reset_counts()
+        assert not ctx.counts
+
+    def test_broadcast_counts_result_size(self):
+        ctx = ArithmeticContext()
+        a = np.ones((3, 1), dtype=np.float32)
+        b = np.ones((1, 4), dtype=np.float32)
+        ctx.mul(a, b)
+        assert ctx.op_counts()["mul"] == 12
+
+    def test_unit_class_table_complete(self):
+        assert set(OP_UNIT_CLASS.values()) == {"FPU", "SFU"}
+        assert "fma" in OP_UNIT_CLASS and "log2" in OP_UNIT_CLASS
+
+
+class TestDtype:
+    def test_float64_context(self):
+        ctx = ArithmeticContext(dtype=np.float64)
+        out = ctx.mul(1.0, 2.0)
+        assert out.dtype == np.float64
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(TypeError):
+            ArithmeticContext(dtype=np.int32)
+
+    def test_array_helper(self):
+        ctx = ArithmeticContext()
+        assert ctx.array([1, 2]).dtype == np.float32
+
+
+class TestDot3:
+    def test_matches_reference(self):
+        ctx = ArithmeticContext()
+        out = ctx.dot3(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert float(out) == 32.0
+        counts = ctx.op_counts()
+        assert counts["mul"] == 3 and counts["add"] == 2

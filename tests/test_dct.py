@@ -1,0 +1,84 @@
+"""Tests for the JPEG-style DCT codec extension app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import dct
+from repro.core import IHWConfig
+from repro.quality import psnr
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        basis = dct.dct_basis().astype(np.float64)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(8), atol=1e-6)
+
+    def test_dc_row_constant(self):
+        basis = dct.dct_basis()
+        assert np.allclose(basis[0], basis[0, 0])
+
+
+class TestImage:
+    def test_range_and_shape(self):
+        img = dct.test_image(64)
+        assert img.shape == (64, 64)
+        assert img.min() >= 0 and img.max() <= 255
+
+    def test_rejects_non_block_size(self):
+        with pytest.raises(ValueError):
+            dct.test_image(60)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(dct.test_image(32), dct.test_image(32))
+
+
+class TestCodec:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return dct.reference_run(64)
+
+    def test_precise_codec_reconstructs(self, reference):
+        original = dct.test_image(64).astype(np.float64)
+        # Quantization loss only: a healthy JPEG-quality PSNR.
+        assert psnr(reference.output, original, data_range=255) > 28
+
+    def test_zero_quantization_near_lossless(self):
+        result = dct.run(None, 64, quality=0.01)
+        original = dct.test_image(64).astype(np.float64)
+        assert psnr(result.output, original, data_range=255) > 45
+
+    def test_coarser_quantization_hurts(self):
+        original = dct.test_image(64).astype(np.float64)
+        fine = dct.run(None, 64, quality=0.5)
+        coarse = dct.run(None, 64, quality=4.0)
+        assert psnr(coarse.output, original, data_range=255) < psnr(
+            fine.output, original, data_range=255
+        )
+
+    def test_full_path_error_below_quantization_loss(self, reference):
+        cfg = IHWConfig.units("add").with_multiplier("mitchell", config="fp_tr0")
+        result = dct.run(cfg, 64)
+        original = dct.test_image(64).astype(np.float64)
+        arith_psnr = psnr(result.output, reference.output, data_range=255)
+        codec_psnr = psnr(reference.output, original, data_range=255)
+        assert arith_psnr > codec_psnr  # the Figure-5 'negligible loss' story
+
+    def test_table1_multiplier_visible_damage(self, reference):
+        result = dct.run(IHWConfig.units("mul", "add"), 64)
+        assert psnr(result.output, reference.output, data_range=255) < 28
+
+    def test_mul_add_balanced_workload(self, reference):
+        counts = reference.op_counts
+        assert counts["mul"] > 0 and counts["add"] > 0
+        ratio = counts["mul"] / counts["add"]
+        assert 0.8 <= ratio <= 1.5  # MAC structure
+
+    def test_output_in_pixel_range(self):
+        result = dct.run(IHWConfig.units("mul", "add"), 32)
+        assert result.output.min() >= 0 and result.output.max() <= 255
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dct.run(None, quality=0.0)
+        with pytest.raises(ValueError):
+            dct.run(None, image=np.zeros((60, 60), np.float32))

@@ -1,0 +1,96 @@
+"""Documentation integrity: every referenced path and module must exist."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.framework import EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "DESIGN.md",
+    ROOT / "EXPERIMENTS.md",
+    ROOT / "docs" / "ARCHITECTURE.md",
+    ROOT / "docs" / "UNITS.md",
+    ROOT / "docs" / "PAPER_MAP.md",
+]
+
+_BENCH_RE = re.compile(r"benchmarks/(?:test_[a-z0-9_]+\.py)")
+_MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+_TEST_FILE_RE = re.compile(r"tests/(?:test_[a-z0-9_]+\.py)")
+
+
+class TestDocFilesExist:
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+    def test_doc_present_and_substantial(self, doc):
+        assert doc.exists(), doc
+        assert len(doc.read_text()) > 500
+
+    def test_required_root_files(self):
+        for name in ("LICENSE", "CITATION.cff", "CHANGELOG.md", "pyproject.toml",
+                     "setup.py", "README.md"):
+            assert (ROOT / name).exists(), name
+
+
+class TestReferencedPathsExist:
+    def _referenced(self, pattern):
+        refs = set()
+        for doc in DOCS:
+            refs.update(pattern.findall(doc.read_text()))
+        return refs
+
+    def test_bench_paths_exist(self):
+        for ref in self._referenced(_BENCH_RE):
+            assert (ROOT / ref).exists(), f"doc references missing {ref}"
+
+    def test_test_paths_exist(self):
+        for ref in self._referenced(_TEST_FILE_RE):
+            assert (ROOT / ref).exists(), f"doc references missing {ref}"
+
+    def test_modules_importable(self):
+        for ref in self._referenced(_MODULE_RE):
+            module = ref
+            # Strip trailing attribute references (repro.core.config.IHWConfig).
+            while module:
+                try:
+                    importlib.import_module(module)
+                    break
+                except ModuleNotFoundError:
+                    if "." not in module:
+                        pytest.fail(f"doc references unimportable {ref}")
+                    module = module.rsplit(".", 1)[0]
+
+
+class TestExperimentRegistryConsistent:
+    def test_every_registered_bench_exists(self):
+        for exp in EXPERIMENTS.values():
+            assert (ROOT / exp.bench).exists(), exp.id
+
+    def test_every_registered_module_importable(self):
+        for exp in EXPERIMENTS.values():
+            for module in exp.modules:
+                importlib.import_module(module)
+
+    def test_every_table_figure_bench_is_registered(self):
+        registered = {exp.bench.rsplit("/", 1)[1] for exp in EXPERIMENTS.values()}
+        on_disk = {
+            p.name
+            for p in (ROOT / "benchmarks").glob("test_*.py")
+            if p.name.startswith(("test_fig", "test_table"))
+        }
+        assert on_disk <= registered, on_disk - registered
+
+
+class TestExperimentsDocCoversAll:
+    def test_experiments_md_mentions_every_table_and_figure(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for heading in (
+            "Figure 1", "Figure 2", "Table 1", "Figures 8-9", "Table 2",
+            "Table 3", "Table 4", "Figure 14", "Figure 15", "Figure 16",
+            "Figures 17-18", "Table 5", "Table 6", "Figure 19", "Figure 20",
+            "Figure 21(a)", "Figure 21(b)", "Table 7",
+        ):
+            assert heading in text, heading

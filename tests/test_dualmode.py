@@ -1,0 +1,106 @@
+"""Tests for the dual-mode multiplier (future-work precise-mode integration)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DualModeMultiplier, MultiplierConfig
+from repro.hardware import dual_mode_fp_multiplier, dw_fp_multiplier
+
+
+class TestDualModeMultiplier:
+    def test_precise_mode_exact(self):
+        dm = DualModeMultiplier()
+        out = dm.multiply(np.float32(1.75), np.float32(1.75), precise=True)
+        assert float(out) == 1.75 * 1.75
+
+    def test_imprecise_mode_approximate(self):
+        dm = DualModeMultiplier(MultiplierConfig("log", 0))
+        out = dm.multiply(np.float32(1.75), np.float32(1.75))
+        assert float(out) != 1.75 * 1.75
+        assert float(out) == pytest.approx(1.75 * 1.75, rel=0.12)
+
+    def test_duty_cycle_tracking(self):
+        dm = DualModeMultiplier()
+        a = np.ones(10, dtype=np.float32)
+        dm.multiply(a, a)  # 10 imprecise
+        dm.multiply(a, a, precise=True)  # 10 precise
+        dm.multiply(a, a, precise=True)  # 10 precise
+        assert dm.total_ops == 30
+        assert dm.duty_cycle == pytest.approx(1 / 3)
+
+    def test_zero_ops_duty_cycle(self):
+        assert DualModeMultiplier().duty_cycle == 0.0
+
+    def test_reset(self):
+        dm = DualModeMultiplier()
+        dm.multiply(np.float32(2), np.float32(2))
+        dm.reset()
+        assert dm.total_ops == 0
+
+    def test_multiply_where(self):
+        dm = DualModeMultiplier(MultiplierConfig("log", 0))
+        a = np.full(4, 1.75, dtype=np.float32)
+        mask = np.array([True, False, True, False])
+        out = dm.multiply_where(a, a, mask)
+        exact = np.float32(1.75 * 1.75)
+        assert out[1] == exact and out[3] == exact
+        assert out[0] != exact and out[2] != exact
+        assert dm.duty_cycle == pytest.approx(0.5)
+
+    def test_multiply_where_broadcast_mask(self):
+        dm = DualModeMultiplier()
+        a = np.ones((2, 3), dtype=np.float32)
+        out = dm.multiply_where(a, a, True)
+        assert out.shape == (2, 3)
+        assert dm.imprecise_ops == 6
+
+    def test_float64(self):
+        dm = DualModeMultiplier(dtype=np.float64)
+        out = dm.multiply(1.5, 1.5, precise=True)
+        assert out.dtype == np.float64
+
+    def test_average_power_blend(self):
+        dm = DualModeMultiplier()
+        a = np.ones(8, dtype=np.float32)
+        dm.multiply(a, a)  # full imprecise duty
+        blended = dm.average_power_mw(36.63, 1.41)
+        # Duty 1.0: imprecise active + precise leakage.
+        assert blended == pytest.approx(1.41 + 0.05 * 36.63)
+
+    def test_average_power_precise_duty(self):
+        dm = DualModeMultiplier()
+        dm.multiply(np.float32(1), np.float32(1), precise=True)
+        blended = dm.average_power_mw(36.63, 1.41)
+        assert blended == pytest.approx(36.63 + 0.05 * 1.41)
+
+    def test_average_power_validation(self):
+        dm = DualModeMultiplier()
+        with pytest.raises(ValueError):
+            dm.average_power_mw(10.0, 1.0, idle_leakage_fraction=2.0)
+
+
+class TestDualModeHardware:
+    def test_precise_mode_power_near_dwip(self):
+        # The resident Mitchell datapath adds only leakage + the mode mux.
+        dual = dual_mode_fp_multiplier(32).metrics()
+        dw = dw_fp_multiplier(32).metrics()
+        assert dw.power_mw <= dual.power_mw <= 1.15 * dw.power_mw
+
+    def test_duty_cycle_blend_saves_power(self):
+        dual = dual_mode_fp_multiplier(32).metrics()
+        dm = DualModeMultiplier()
+        a = np.ones(80, dtype=np.float32)
+        dm.multiply(a, a)  # 80 imprecise
+        dm.multiply(np.ones(20, dtype=np.float32), np.ones(20, dtype=np.float32),
+                    precise=True)
+        blended = dm.average_power_mw(dual.power_mw, 1.41)
+        assert blended < 0.5 * dual.power_mw  # 80% duty saves over half
+
+    def test_dual_mode_area_exceeds_either(self):
+        from repro.hardware import mitchell_fp_multiplier
+
+        dual = dual_mode_fp_multiplier(32).metrics()
+        dw = dw_fp_multiplier(32).metrics()
+        mit = mitchell_fp_multiplier(32).metrics()
+        assert dual.area > dw.area
+        assert dual.area > mit.area

@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples execute fully in CI time; the slower studies are
+imported and checked for a callable ``main`` so breakage is still caught.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py"]
+SLOW = [
+    "hotspot_power_quality.py",
+    "raytrace_quality_tuning.py",
+    "multiplier_design_space.py",
+    "extensions_tour.py",
+]
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 3
+        assert "quickstart.py" in scripts
+
+    @pytest.mark.parametrize("name", FAST + SLOW)
+    def test_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("name", FAST + SLOW)
+    def test_docstring_present(self, name):
+        module = _load(name)
+        assert module.__doc__ and "Run:" in module.__doc__
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST)
+    def test_runs_clean(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert len(result.stdout) > 200

@@ -1,0 +1,181 @@
+"""Unit tests for IEEE-754 bit-level utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BINARY32,
+    BINARY64,
+    compose,
+    decompose,
+    flush_subnormals,
+    format_for_dtype,
+    is_special,
+    truncate_mantissa,
+)
+
+FORMATS = [BINARY32, BINARY64]
+
+
+class TestFloatFormat:
+    def test_binary32_constants(self):
+        assert BINARY32.bias == 127
+        assert BINARY32.mantissa_bits == 23
+        assert BINARY32.exponent_mask == 0xFF
+        assert BINARY32.implicit_one == 1 << 23
+        assert BINARY32.sign_shift == 31
+        assert BINARY32.max_exponent == 254
+
+    def test_binary64_constants(self):
+        assert BINARY64.bias == 1023
+        assert BINARY64.mantissa_bits == 52
+        assert BINARY64.exponent_mask == 0x7FF
+        assert BINARY64.sign_shift == 63
+
+    def test_format_for_dtype(self):
+        assert format_for_dtype(np.float32) is BINARY32
+        assert format_for_dtype(np.float64) is BINARY64
+        assert format_for_dtype("float32") is BINARY32
+
+    def test_format_for_dtype_rejects_others(self):
+        with pytest.raises(TypeError):
+            format_for_dtype(np.int32)
+        with pytest.raises(TypeError):
+            format_for_dtype(np.complex64)
+
+
+class TestDecomposeCompose:
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_one(self, fmt):
+        sign, exp, mant = decompose(np.array(1.0, fmt.dtype), fmt)
+        assert sign == 0
+        assert exp == fmt.bias
+        assert mant == 0
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_negative_half(self, fmt):
+        sign, exp, mant = decompose(np.array(-0.5, fmt.dtype), fmt)
+        assert sign == 1
+        assert exp == fmt.bias - 1
+        assert mant == 0
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_mantissa_of_1_5(self, fmt):
+        _, _, mant = decompose(np.array(1.5, fmt.dtype), fmt)
+        assert mant == fmt.implicit_one >> 1
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_roundtrip_array(self, fmt):
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal(1000).astype(fmt.dtype) * 1e3
+        out = compose(*decompose(x, fmt), fmt)
+        np.testing.assert_array_equal(out, x)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_roundtrip_specials(self, fmt):
+        x = np.array([np.inf, -np.inf, 0.0, -0.0], dtype=fmt.dtype)
+        out = compose(*decompose(x, fmt), fmt)
+        np.testing.assert_array_equal(out.view(fmt.uint), x.view(fmt.uint))
+
+    @given(st.floats(width=32, allow_nan=False))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_hypothesis_f32(self, value):
+        x = np.float32(value)
+        out = compose(*decompose(x, BINARY32), BINARY32)
+        assert out.view(np.uint32) == np.float32(x).view(np.uint32)
+
+    @given(st.floats(allow_nan=False))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_hypothesis_f64(self, value):
+        x = np.float64(value)
+        out = compose(*decompose(x, BINARY64), BINARY64)
+        assert out.view(np.uint64) == np.float64(x).view(np.uint64)
+
+
+class TestFlushSubnormals:
+    def test_positive_subnormal_to_zero(self):
+        x = np.array([1e-45, 1.0], dtype=np.float32)
+        out = flush_subnormals(x)
+        assert out[0] == 0.0 and not np.signbit(out[0])
+        assert out[1] == 1.0
+
+    def test_negative_subnormal_to_negative_zero(self):
+        x = np.array([-1e-45], dtype=np.float32)
+        out = flush_subnormals(x)
+        assert out[0] == 0.0 and np.signbit(out[0])
+
+    def test_normals_unchanged(self):
+        x = np.array([1.5, -2.25, 1e38, np.finfo(np.float32).tiny], dtype=np.float32)
+        np.testing.assert_array_equal(flush_subnormals(x), x)
+
+    def test_specials_unchanged(self):
+        x = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        out = flush_subnormals(x)
+        assert np.isinf(out[0]) and np.isinf(out[1]) and np.isnan(out[2])
+
+    def test_float64_subnormal(self):
+        x = np.array([5e-324, 1.0])
+        out = flush_subnormals(x)
+        assert out[0] == 0.0 and out[1] == 1.0
+
+    def test_no_copy_when_clean(self):
+        x = np.array([1.0, 2.0], dtype=np.float32)
+        assert flush_subnormals(x) is x
+
+
+class TestTruncateMantissa:
+    def test_identity_at_full_width(self):
+        x = np.array([1.2345678], dtype=np.float32)
+        np.testing.assert_array_equal(truncate_mantissa(x, 23), x)
+
+    def test_keep_zero_forces_power_of_two(self):
+        x = np.array([1.999, 3.7, -5.5], dtype=np.float32)
+        out = truncate_mantissa(x, 0)
+        np.testing.assert_array_equal(out, [1.0, 2.0, -4.0])
+
+    def test_truncation_toward_zero(self):
+        x = np.array([1.75], dtype=np.float32)
+        out = truncate_mantissa(x, 1)  # keep one fraction bit
+        assert out[0] == 1.5
+
+    def test_magnitude_never_increases(self):
+        rng = np.random.default_rng(7)
+        x = (rng.standard_normal(500) * 100).astype(np.float32)
+        for keep in (0, 5, 12, 20):
+            out = truncate_mantissa(x, keep)
+            assert (np.abs(out) <= np.abs(x)).all()
+
+    def test_specials_preserved(self):
+        x = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        out = truncate_mantissa(x, 3)
+        assert np.isposinf(out[0]) and np.isneginf(out[1]) and np.isnan(out[2])
+
+    def test_rejects_out_of_range(self):
+        x = np.array([1.0], dtype=np.float32)
+        with pytest.raises(ValueError):
+            truncate_mantissa(x, 24)
+        with pytest.raises(ValueError):
+            truncate_mantissa(x, -1)
+
+    @given(st.floats(width=32, allow_nan=False, allow_infinity=False), st.integers(0, 23))
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bound(self, value, keep):
+        x = np.float32(value)
+        if x == 0 or not np.isfinite(x):
+            return
+        out = truncate_mantissa(np.array([x]), keep)[0]
+        if x != 0 and np.abs(x) >= np.finfo(np.float32).tiny:
+            rel = abs((float(out) - float(x)) / float(x))
+            assert rel < 2.0 ** -keep if keep else rel < 1.0
+
+
+class TestIsSpecial:
+    def test_detects_inf_and_nan(self):
+        x = np.array([1.0, np.inf, -np.inf, np.nan, 0.0], dtype=np.float32)
+        np.testing.assert_array_equal(is_special(x), [False, True, True, True, False])
+
+    def test_float64(self):
+        x = np.array([np.nan, 1e308])
+        np.testing.assert_array_equal(is_special(x), [True, False])

@@ -1,0 +1,138 @@
+"""Tests for the power-gating model and its composition with IHW."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArithmeticContext, IHWConfig
+from repro.gpu import (
+    GPUPowerModel,
+    GatingPolicy,
+    KernelCounters,
+    execution_unit_duty,
+    gated_breakdown,
+    simulate_kernel,
+)
+
+
+def make_counters(fpu=50000, sfu=2000, alu=8000, mem=6000, threads=3200):
+    ctx = ArithmeticContext()
+    if fpu:
+        ctx.add(np.ones(fpu, dtype=np.float32), 1.0)
+    if sfu:
+        ctx.rsqrt(np.ones(sfu, dtype=np.float32))
+    return KernelCounters.from_context(
+        ctx, "test", int_ops=alu, mem_ops=mem, threads=threads
+    )
+
+
+class TestDuty:
+    def test_duties_in_unit_interval(self):
+        c = make_counters()
+        t = simulate_kernel(c)
+        duty = execution_unit_duty(c, t)
+        for unit, d in duty.items():
+            assert 0.0 <= d <= 1.0
+
+    def test_sfu_light_kernel_low_sfu_duty(self):
+        c = make_counters(fpu=100000, sfu=100)
+        t = simulate_kernel(c)
+        duty = execution_unit_duty(c, t)
+        assert duty["SFU"] < 0.05
+        assert duty["FPU"] > duty["SFU"]
+
+    def test_zero_cycles_rejected(self):
+        from repro.gpu import KernelTiming
+
+        c = make_counters()
+        bad = KernelTiming(cycles=0, time_s=0.0, ipc_per_sm=0.0,
+                           warp_instructions=0, occupancy=0.0)
+        with pytest.raises(ValueError):
+            execution_unit_duty(c, bad)
+
+
+class TestGatingPolicy:
+    def test_defaults(self):
+        policy = GatingPolicy()
+        assert policy.wake_overhead == pytest.approx(0.10)
+        assert set(policy.gated_units) == {"FPU", "SFU", "ALU"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingPolicy(wake_overhead=1.5)
+        with pytest.raises(ValueError):
+            GatingPolicy(gated_units=("DRAM",))
+
+
+class TestGatedBreakdown:
+    def test_gating_saves_static_power(self):
+        c = make_counters(fpu=30000, sfu=500)
+        model = GPUPowerModel()
+        t = simulate_kernel(c)
+        base = model.breakdown(c, t)
+        gated = gated_breakdown(c, model=model, timing=t)
+        assert gated.total_w < base.total_w
+        assert gated.watts["Static"] < base.watts["Static"]
+
+    def test_dynamic_power_untouched(self):
+        c = make_counters()
+        model = GPUPowerModel()
+        t = simulate_kernel(c)
+        base = model.breakdown(c, t)
+        gated = gated_breakdown(c, model=model, timing=t)
+        for comp in ("FPU", "SFU", "ALU", "DRAM"):
+            assert gated.watts[comp] == base.watts[comp]
+
+    def test_idle_sfu_gates_deeper(self):
+        # Gating ONLY the SFU: a kernel with no SFU work saves the full
+        # SFU static share, a serialization-bound SFU kernel almost none.
+        policy = GatingPolicy(gated_units=("SFU",))
+        no_sfu = make_counters(fpu=50000, sfu=0)
+        heavy_sfu = make_counters(fpu=50000, sfu=50000)
+        model = GPUPowerModel()
+        t1 = simulate_kernel(no_sfu)
+        t2 = simulate_kernel(heavy_sfu)
+        s1 = model.breakdown(no_sfu, t1).watts["Static"] - gated_breakdown(
+            no_sfu, policy, model=model, timing=t1
+        ).watts["Static"]
+        s2 = model.breakdown(heavy_sfu, t2).watts["Static"] - gated_breakdown(
+            heavy_sfu, policy, model=model, timing=t2
+        ).watts["Static"]
+        assert s1 > 5 * s2
+
+    def test_wake_overhead_limits_savings(self):
+        c = make_counters()
+        t = simulate_kernel(c)
+        cheap = gated_breakdown(c, GatingPolicy(wake_overhead=0.0), timing=t)
+        lossy = gated_breakdown(c, GatingPolicy(wake_overhead=0.5), timing=t)
+        assert cheap.total_w < lossy.total_w
+
+    def test_restricted_units(self):
+        c = make_counters(sfu=0)
+        t = simulate_kernel(c)
+        all_units = gated_breakdown(c, GatingPolicy(), timing=t)
+        sfu_only = gated_breakdown(c, GatingPolicy(gated_units=("SFU",)), timing=t)
+        assert all_units.watts["Static"] <= sfu_only.watts["Static"]
+
+
+class TestIHWComposition:
+    def test_ihw_plus_gating_beats_either(self):
+        """The abstract's claim: the knobs compose."""
+        from repro.apps import hotspot
+        from repro.gpu import estimate_system_savings
+
+        ref = hotspot.reference_run(32, 32, 20)
+        imp = hotspot.run(IHWConfig.all_imprecise(), 32, 32, 20)
+        model = GPUPowerModel()
+        t = simulate_kernel(ref.counters)
+        base = model.breakdown(ref.counters, t)
+        gated = gated_breakdown(ref.counters, model=model, timing=t)
+        gating_only = 1 - gated.total_w / base.total_w
+
+        ihw_only = estimate_system_savings(
+            imp.counters, IHWConfig.all_imprecise(), base.fpu_share, base.sfu_share
+        ).system_savings
+
+        # Compose: IHW removes its share of the (gated) total.
+        combined = 1 - (1 - gating_only) * (1 - ihw_only)
+        assert combined > ihw_only
+        assert combined > gating_only

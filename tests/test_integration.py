@@ -1,0 +1,198 @@
+"""Integration tests: cross-module pipelines and end-to-end invariants."""
+
+import numpy as np
+import pytest
+
+from repro.apps import cp, hotspot, raytrace, srad
+from repro.core import ArithmeticContext, IHWConfig, MultiplierConfig
+from repro.erroranalysis import analyze_sensitivity, characterize_multiplier_config
+from repro.framework import PowerQualityFramework
+from repro.gpu import (
+    DVFSPoint,
+    GPUPowerModel,
+    combined_savings,
+    estimate_system_savings,
+    simulate_kernel,
+)
+from repro.hardware import HardwareLibrary
+from repro.quality import MultiplierAutoTuner, QualityTuner, mae, ssim
+
+
+class TestDeterminism:
+    """The whole stack is deterministic — identical runs, identical bits."""
+
+    def test_app_runs_reproducible(self):
+        cfg = IHWConfig.all_imprecise()
+        a = hotspot.run(cfg, 32, 32, 10)
+        b = hotspot.run(cfg, 32, 32, 10)
+        np.testing.assert_array_equal(a.output, b.output)
+        assert a.counters.arith == b.counters.arith
+
+    def test_characterization_reproducible(self):
+        p1 = characterize_multiplier_config("lp_tr10", 8192)
+        p2 = characterize_multiplier_config("lp_tr10", 8192)
+        assert p1.stats == p2.stats
+
+    def test_framework_evaluation_reproducible(self):
+        fw1 = PowerQualityFramework(
+            run_app=lambda cfg: srad.run(cfg, 32, 32, 10), quality_metric=mae
+        )
+        fw2 = PowerQualityFramework(
+            run_app=lambda cfg: srad.run(cfg, 32, 32, 10), quality_metric=mae
+        )
+        e1 = fw1.evaluate(IHWConfig.all_imprecise())
+        e2 = fw2.evaluate(IHWConfig.all_imprecise())
+        assert e1.quality == e2.quality
+        assert e1.savings.system_savings == e2.savings.system_savings
+
+
+class TestCountersFlowThroughStack:
+    """Counters recorded in the context drive timing, power, and savings."""
+
+    def test_counts_conserved_context_to_savings(self):
+        cfg = IHWConfig.units("mul")
+        result = cp.run(cfg, grid=24)
+        counters = result.counters
+        # Totals equal the context's raw ledger.
+        assert sum(counters.op_counts().values()) == sum(counters.arith.values())
+        # The savings algorithm consumes every op.
+        report = estimate_system_savings(counters, cfg, 0.3, 0.05)
+        assert 0 <= report.system_savings <= 0.35
+
+    def test_timing_power_savings_pipeline(self):
+        result = hotspot.run(IHWConfig.all_imprecise(), 32, 32, 10)
+        timing = simulate_kernel(result.counters)
+        breakdown = GPUPowerModel().breakdown(result.counters, timing)
+        report = estimate_system_savings(
+            result.counters,
+            IHWConfig.all_imprecise(),
+            breakdown.fpu_share,
+            breakdown.sfu_share,
+        )
+        assert timing.cycles > 0
+        assert report.system_savings <= breakdown.arithmetic_share
+
+    def test_savings_never_exceed_arith_share(self):
+        # The structural upper bound of the whole approach (Chapter 1).
+        for app, cfg in (
+            (lambda c: hotspot.run(c, 32, 32, 10), IHWConfig.all_imprecise()),
+            (lambda c: srad.run(c, 32, 32, 10), IHWConfig.all_imprecise()),
+        ):
+            result = app(cfg)
+            bd = GPUPowerModel().breakdown(result.counters)
+            report = estimate_system_savings(
+                result.counters, cfg, bd.fpu_share, bd.sfu_share
+            )
+            assert report.system_savings <= bd.arithmetic_share + 1e-9
+
+
+class TestLibraryConsistency:
+    """Paper and analytic hardware libraries agree on every ordering."""
+
+    def test_reduction_orderings_match(self):
+        paper = HardwareLibrary.paper_45nm()
+        analytic = HardwareLibrary.analytic()
+        for op in ("mul", "add", "rcp", "rsqrt", "log2", "fma"):
+            assert paper.power_reduction(op) > 1
+            assert analytic.power_reduction(op) > 1
+        # The multiplier is the biggest win in both frames.
+        for lib in (paper, analytic):
+            assert lib.power_reduction("mul") == max(
+                lib.power_reduction(op) for op in ("mul", "add", "div", "sqrt")
+            )
+
+    def test_savings_agree_in_direction(self):
+        cfg = IHWConfig.all_imprecise()
+        result = hotspot.run(cfg, 32, 32, 10)
+        r_paper = estimate_system_savings(
+            result.counters, cfg, 0.3, 0.02, library=HardwareLibrary.paper_45nm()
+        )
+        r_analytic = estimate_system_savings(
+            result.counters, cfg, 0.3, 0.02, library=HardwareLibrary.analytic()
+        )
+        assert r_paper.system_savings > 0.2
+        assert r_analytic.system_savings > 0.2
+        assert abs(r_paper.system_savings - r_analytic.system_savings) < 0.1
+
+    def test_multiplier_config_power_monotone_both_paths(self):
+        lib = HardwareLibrary.paper_45nm()
+        for path in ("log", "full"):
+            powers = [
+                lib.multiplier_metrics(MultiplierConfig(path, tr)).power_mw
+                for tr in (0, 5, 10, 15, 19)
+            ]
+            assert powers == sorted(powers, reverse=True)
+
+
+class TestTuningPipelines:
+    """Sensitivity analysis -> tuner -> framework, end to end."""
+
+    @pytest.fixture(scope="class")
+    def ray_framework(self):
+        return PowerQualityFramework(
+            run_app=lambda cfg: raytrace.run(cfg, 40, 40, depth=1),
+            quality_metric=lambda out, ref: ssim(out, ref, data_range=1.0),
+        )
+
+    def test_measured_sensitivity_identifies_multiplier(self, ray_framework):
+        report = analyze_sensitivity(
+            ray_framework.quality_evaluator(),
+            units=("mul", "add", "sqrt", "rcp", "rsqrt"),
+        )
+        assert report.most_sensitive() in ("mul", "rsqrt")
+        assert report.degradation_of("mul") > report.degradation_of("add")
+
+    def test_sensitivity_driven_tuner_converges(self, ray_framework):
+        evaluate = ray_framework.quality_evaluator()
+        report = analyze_sensitivity(
+            evaluate, units=("mul", "add", "sqrt", "rcp", "rsqrt")
+        )
+        order = report.ranking() + ("fma", "div", "log2")
+        tuner = QualityTuner(evaluate, lambda q: q >= 0.9, order)
+        result = tuner.tune()
+        assert result.satisfied
+        assert result.iterations <= 4
+
+    def test_autotuner_beats_table1_config(self, ray_framework):
+        # The tuned Mitchell configuration keeps quality the Table-1
+        # multiplier cannot, at deep power reduction.
+        tuner = MultiplierAutoTuner(
+            ray_framework.quality_evaluator(), lambda q: q >= 0.8, max_truncation=22
+        )
+        result = tuner.tune()
+        assert result.satisfied
+        table1 = ray_framework.evaluate(IHWConfig.units("mul"))
+        assert result.quality > table1.quality
+
+    def test_framework_plus_dvfs(self, ray_framework):
+        ev = ray_framework.evaluate(
+            IHWConfig.units("rcp", "add", "sqrt").with_multiplier(
+                "mitchell", config="fp_tr0"
+            )
+        )
+        combo = combined_savings(ev.savings.system_savings, DVFSPoint(0.85))
+        assert combo.power_savings > ev.savings.system_savings
+
+
+class TestQuadraticModeEndToEnd:
+    def test_quadratic_sfu_recovers_ray_quality(self):
+        ref = raytrace.reference_run(40, 40)
+        lin = raytrace.run(IHWConfig.units("rsqrt"), 40, 40)
+        quad = raytrace.run(
+            IHWConfig.units("rsqrt").with_sfu_mode("quadratic"), 40, 40
+        )
+        s_lin = ssim(lin.output, ref.output, data_range=1.0)
+        s_quad = ssim(quad.output, ref.output, data_range=1.0)
+        assert s_quad > s_lin
+
+    def test_quadratic_mode_counts_same_ops(self):
+        lin_ctx = ArithmeticContext(IHWConfig.units("rcp"))
+        quad_ctx = ArithmeticContext(IHWConfig.units("rcp").with_sfu_mode("quadratic"))
+        x = np.linspace(0.5, 4.0, 16).astype(np.float32)
+        lin_ctx.rcp(x)
+        quad_ctx.rcp(x)
+        assert lin_ctx.op_counts() == quad_ctx.op_counts()
+
+    def test_invalid_sfu_mode_rejected(self):
+        with pytest.raises(ValueError):
+            IHWConfig(sfu_mode="cubic")

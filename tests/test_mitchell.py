@@ -1,0 +1,108 @@
+"""Tests for Mitchell's algorithm (fixed point and mantissa forms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MITCHELL_MAX_ERROR,
+    mitchell_mantissa_product,
+    mitchell_multiply_int,
+)
+
+
+class TestIntegerForm:
+    def test_powers_of_two_exact(self):
+        assert mitchell_multiply_int(4, 8) == 32
+        assert mitchell_multiply_int(1, 1) == 1
+        assert mitchell_multiply_int(1024, 2) == 2048
+
+    def test_zero_operand(self):
+        assert mitchell_multiply_int(0, 12345) == 0
+        assert mitchell_multiply_int(7, 0) == 0
+
+    def test_classic_worst_case(self):
+        # 3 * 3 = 9 approximated as 8: the 1/9 maximum error point.
+        assert mitchell_multiply_int(3, 3) == 8
+
+    def test_known_value(self):
+        # 15 * 17: k1=3 x1=7/8, k2=4 x2=1/16; x1+x2 = 15/16 < 1
+        # P = 2^7 * (1 + 15/16) = 248 (true 255).
+        assert mitchell_multiply_int(15, 17) == 248
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mitchell_multiply_int(-1, 3)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            mitchell_multiply_int(1 << 31, 2)
+
+    def test_vectorized(self):
+        n1 = np.arange(1, 100)
+        n2 = np.arange(1, 100)[::-1]
+        out = mitchell_multiply_int(n1, n2)
+        assert out.shape == (99,)
+        assert (out <= n1 * n2).all()
+
+    @given(st.integers(1, 2**30), st.integers(1, 2**30))
+    @settings(max_examples=500, deadline=None)
+    def test_error_bound_and_underestimate(self, n1, n2):
+        approx = int(mitchell_multiply_int(n1, n2))
+        true = n1 * n2
+        assert approx <= true
+        assert (true - approx) / true <= MITCHELL_MAX_ERROR + 1e-12
+
+    @given(st.integers(0, 30), st.integers(1, 2**30))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_for_power_of_two_operand(self, k, n):
+        # One operand a power of two: x = 0, the log approximation is exact.
+        assert int(mitchell_multiply_int(1 << k, n)) == (1 << k) * n
+
+
+class TestMantissaForm:
+    def test_matches_integer_form_scaled(self):
+        rng = np.random.default_rng(11)
+        ints = rng.integers(1, 1 << 20, 300)
+        m = ints.astype(np.float64) / (1 << 20)
+        out = mitchell_mantissa_product(m, m[::-1])
+        ref = mitchell_multiply_int(ints, ints[::-1]).astype(np.float64) / (1 << 40)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=0)
+
+    def test_zero(self):
+        assert mitchell_mantissa_product(np.array(0.0), np.array(0.5)) == 0.0
+
+    def test_exact_on_powers_of_two(self):
+        out = mitchell_mantissa_product(np.array(0.5), np.array(0.25))
+        assert out == 0.125
+
+    def test_error_bound_on_unit_interval(self):
+        rng = np.random.default_rng(12)
+        m1 = rng.uniform(2**-20, 1, 50000)
+        m2 = rng.uniform(2**-20, 1, 50000)
+        out = mitchell_mantissa_product(m1, m2)
+        rel = np.abs(out - m1 * m2) / (m1 * m2)
+        assert rel.max() <= MITCHELL_MAX_ERROR + 1e-12
+
+    def test_error_bound_on_mantissa_interval(self):
+        rng = np.random.default_rng(13)
+        m1 = rng.uniform(1, 2, 50000)
+        m2 = rng.uniform(1, 2, 50000)
+        out = mitchell_mantissa_product(m1, m2)
+        rel = np.abs(out - m1 * m2) / (m1 * m2)
+        assert rel.max() <= MITCHELL_MAX_ERROR + 1e-12
+
+    def test_always_underestimates(self):
+        rng = np.random.default_rng(14)
+        m1 = rng.uniform(0.01, 2, 10000)
+        m2 = rng.uniform(0.01, 2, 10000)
+        out = mitchell_mantissa_product(m1, m2)
+        assert (out <= m1 * m2 + 1e-15).all()
+
+    def test_worst_case_at_half_half(self):
+        # x1 = x2 = 0.5 boundary: error -> 1/9.
+        m = np.nextafter(1.5, 0.0)
+        out = mitchell_mantissa_product(np.array(m), np.array(m))
+        rel = abs(out - m * m) / (m * m)
+        assert rel > 0.111

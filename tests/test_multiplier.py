@@ -1,0 +1,142 @@
+"""Tests for the Table-1 imprecise FP multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IMPRECISE_MULTIPLY_MAX_ERROR, imprecise_multiply
+
+finite32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=-2.0**60,
+    max_value=2.0**60,
+)
+
+
+def rel_error(approx, a, b):
+    true = np.asarray(a, np.float64) * np.asarray(b, np.float64)
+    return np.abs((np.asarray(approx, np.float64) - true) / true)
+
+
+class TestKnownValues:
+    def test_power_of_two_exact(self):
+        # Zero mantissa fractions: no cross term is dropped.
+        assert imprecise_multiply(np.float32(2.0), np.float32(4.0)) == 8.0
+        assert imprecise_multiply(np.float32(0.5), np.float32(8.0)) == 4.0
+
+    def test_one_is_identity(self):
+        x = np.array([1.25, 3.5, -7.125], dtype=np.float32)
+        np.testing.assert_array_equal(imprecise_multiply(x, np.float32(1.0)), x)
+
+    def test_worst_case_value(self):
+        # 1.75 * 1.75: Ma = Mb = 0.75, approx = (1 + 1.5)/2 * 2 = 2.5.
+        out = imprecise_multiply(np.float32(1.75), np.float32(1.75))
+        assert out == np.float32(2.5)
+
+    def test_no_carry_case(self):
+        # 1.25 * 1.5: Ma + Mb = 0.75 < 1, approx = 1.75 (true 1.875).
+        out = imprecise_multiply(np.float32(1.25), np.float32(1.5))
+        assert out == np.float32(1.75)
+
+    def test_sign_rules(self):
+        assert imprecise_multiply(np.float32(-2.0), np.float32(3.0)) < 0
+        assert imprecise_multiply(np.float32(-2.0), np.float32(-3.0)) > 0
+
+
+class TestSpecialCases:
+    def test_zero(self):
+        assert imprecise_multiply(np.float32(0.0), np.float32(5.5)) == 0.0
+        out = imprecise_multiply(np.float32(-0.0), np.float32(5.5))
+        assert out == 0.0 and np.signbit(out)
+
+    def test_infinity(self):
+        assert np.isposinf(imprecise_multiply(np.float32(np.inf), np.float32(2.0)))
+        assert np.isneginf(imprecise_multiply(np.float32(np.inf), np.float32(-2.0)))
+
+    def test_inf_times_zero_is_nan(self):
+        assert np.isnan(imprecise_multiply(np.float32(np.inf), np.float32(0.0)))
+
+    def test_nan_propagates(self):
+        assert np.isnan(imprecise_multiply(np.float32(np.nan), np.float32(1.0)))
+
+    def test_subnormal_input_flushed(self):
+        out = imprecise_multiply(np.float32(1e-45), np.float32(2.0))
+        assert out == 0.0
+
+    def test_underflow_flushes_to_zero(self):
+        tiny = np.float32(np.finfo(np.float32).tiny)
+        out = imprecise_multiply(tiny, tiny)
+        assert out == 0.0
+
+    def test_overflow_to_infinity(self):
+        big = np.float32(1e38)
+        assert np.isposinf(imprecise_multiply(big, big))
+        assert np.isneginf(imprecise_multiply(big, -big))
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_max_error_25_percent(self, dtype):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        b = rng.uniform(-1e3, 1e3, 50000).astype(dtype)
+        err = rel_error(imprecise_multiply(a, b, dtype=dtype), a, b)
+        assert err.max() <= IMPRECISE_MULTIPLY_MAX_ERROR + 1e-7
+
+    def test_error_approaches_bound(self):
+        # Mantissas near 2.0 drive the dropped Ma*Mb term toward 25%.
+        a = np.float32(1.9999999)
+        err = rel_error(imprecise_multiply(a, a), a, a)
+        assert err > 0.24
+
+    def test_always_underestimates_magnitude(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-50, 50, 20000).astype(np.float32)
+        b = rng.uniform(-50, 50, 20000).astype(np.float32)
+        approx = np.abs(imprecise_multiply(a, b).astype(np.float64))
+        true = np.abs(a.astype(np.float64) * b.astype(np.float64))
+        assert (approx <= true + 1e-12).all()
+
+    @given(finite32, finite32)
+    @settings(max_examples=400, deadline=None)
+    def test_error_bound_hypothesis(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        out = imprecise_multiply(a32, b32)
+        true = float(a32) * float(b32)
+        if true == 0 or not np.isfinite(true):
+            return
+        if abs(true) < 2 * float(np.finfo(np.float32).tiny):
+            return  # flushed region
+        if np.isinf(out):
+            return  # overflow edge
+        rel = abs((float(out) - true) / true)
+        # 25% algorithmic bound plus one ULP of result truncation.
+        assert rel <= IMPRECISE_MULTIPLY_MAX_ERROR + 2.0 ** -22
+
+    @given(finite32, finite32)
+    @settings(max_examples=200, deadline=None)
+    def test_commutative(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        x = imprecise_multiply(a32, b32)
+        y = imprecise_multiply(b32, a32)
+        np.testing.assert_array_equal(np.asarray(x), np.asarray(y))
+
+
+class TestVectorization:
+    def test_broadcasting(self):
+        a = np.ones((3, 1), dtype=np.float32) * 2
+        b = np.ones((1, 4), dtype=np.float32) * 3
+        out = imprecise_multiply(a, b)
+        assert out.shape == (3, 4)
+
+    def test_scalar_inputs(self):
+        out = imprecise_multiply(2.0, 3.0)
+        assert float(out) == 6.0
+
+    def test_output_dtype(self):
+        assert imprecise_multiply(2.0, 3.0, dtype=np.float32).dtype == np.float32
+        assert imprecise_multiply(2.0, 3.0, dtype=np.float64).dtype == np.float64

@@ -1,0 +1,320 @@
+"""Tests for the analytic error propagation calculus."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArithmeticContext, IHWConfig
+from repro.erroranalysis import (
+    ErrorEstimate,
+    Propagator,
+    Quantity,
+    mantissa_inputs,
+    signed_error_moments,
+    unit_moments,
+)
+
+
+class TestSignedMoments:
+    def test_known_values(self):
+        bias, var = signed_error_moments([1.1, 0.9], [1.0, 1.0])
+        assert bias == pytest.approx(0.0)
+        assert var == pytest.approx(0.01)
+
+    def test_drops_invalid(self):
+        bias, var = signed_error_moments([1.1, np.nan], [1.0, 1.0])
+        assert bias == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            signed_error_moments([np.nan], [1.0])
+
+
+class TestErrorEstimate:
+    def test_spread(self):
+        assert ErrorEstimate(0.0, 0.04).spread == pytest.approx(0.2)
+
+    def test_bound(self):
+        e = ErrorEstimate(-0.1, 0.01)
+        assert e.bound(k=2) == pytest.approx(0.3)
+
+    def test_expected_magnitude_zero_spread(self):
+        assert ErrorEstimate(-0.05, 0.0).expected_magnitude() == pytest.approx(0.05)
+
+    def test_expected_magnitude_zero_bias(self):
+        # E|N(0, s^2)| = s sqrt(2/pi).
+        e = ErrorEstimate(0.0, 0.04)
+        assert e.expected_magnitude() == pytest.approx(0.2 * np.sqrt(2 / np.pi))
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorEstimate(0.0, -1.0)
+
+    def test_exact(self):
+        assert ErrorEstimate.exact().bound() == 0.0
+
+
+class TestUnitMoments:
+    def test_disabled_unit_exact(self):
+        e = unit_moments("mul", IHWConfig.precise())
+        assert e.bias == 0.0 and e.variance == 0.0
+
+    def test_table1_mul_biased_low(self):
+        # The Table-1 multiplier always underestimates: negative bias.
+        e = unit_moments("mul", IHWConfig.units("mul"))
+        assert -0.15 < e.bias < -0.05
+        assert e.spread > 0.01
+
+    def test_mitchell_full_path_less_biased(self):
+        table1 = unit_moments("mul", IHWConfig.units("mul"))
+        full = unit_moments(
+            "mul", IHWConfig.units("mul").with_multiplier("mitchell", config="fp_tr0")
+        )
+        assert abs(full.bias) < 0.2 * abs(table1.bias)
+
+    def test_adder_small_moments(self):
+        e = unit_moments("add", IHWConfig.units("add"))
+        assert abs(e.bias) < 0.01
+        assert e.spread < 0.02
+
+    def test_sub_follows_add(self):
+        a = unit_moments("add", IHWConfig.units("add"))
+        s = unit_moments("sub", IHWConfig.units("add"))
+        assert a == s
+
+    def test_fma_composes_mul_and_add(self):
+        fma = unit_moments("fma", IHWConfig.all_imprecise())
+        mul = unit_moments("mul", IHWConfig.all_imprecise())
+        # The multiplier's 25%-class injection dominates the FMA moments.
+        assert fma.bias == pytest.approx(mul.bias, abs=0.01)
+        assert fma.variance >= mul.variance
+
+    def test_unsupported_op(self):
+        with pytest.raises(ValueError):
+            unit_moments("log2", IHWConfig.all_imprecise())
+
+
+class TestQuantity:
+    def test_rejects_negative_magnitude(self):
+        with pytest.raises(ValueError):
+            Quantity(-1.0)
+
+
+class TestPropagatorCalculus:
+    def test_precise_config_propagates_nothing(self):
+        prop = Propagator(IHWConfig.precise())
+        q = prop.mul(prop.quantity(2.0), prop.quantity(3.0))
+        assert q.magnitude == 6.0
+        assert q.error.bound() == 0.0
+
+    def test_mul_magnitudes(self):
+        prop = Propagator(IHWConfig.units("mul"))
+        q = prop.mul(prop.quantity(2.0), prop.quantity(3.0))
+        assert q.magnitude == 6.0
+        assert q.error.bias < 0
+
+    def test_variance_accumulates_through_chain(self):
+        prop = Propagator(IHWConfig.units("mul"))
+        q = prop.quantity(1.0)
+        spreads = []
+        for _ in range(4):
+            q = prop.mul(q, prop.quantity(1.0))
+            spreads.append(q.error.spread)
+        assert spreads == sorted(spreads)
+
+    def test_add_weights_by_magnitude(self):
+        prop = Propagator(IHWConfig.units("mul"))
+        big = prop.mul(prop.quantity(100.0), prop.quantity(1.0))
+        small = prop.mul(prop.quantity(1.0), prop.quantity(1.0))
+        clean = prop.quantity(100.0)
+        # Adding a small erroneous term to a large clean one dilutes it.
+        diluted = prop.add(clean, small)
+        dominated = prop.add(big, small)
+        assert abs(diluted.error.bias) < abs(dominated.error.bias)
+
+    def test_rcp_flips_bias(self):
+        prop = Propagator(IHWConfig.units("mul"))
+        q = prop.mul(prop.quantity(1.0), prop.quantity(1.0))  # bias < 0
+        r = Propagator(IHWConfig.units("mul")).rcp(q)
+        assert r.error.bias > 0  # 1/(1+b) - 1 > 0 for b < 0
+
+    def test_rsqrt_halves_sensitivity(self):
+        prop = Propagator(IHWConfig.precise())
+        q = Quantity(4.0, ErrorEstimate(-0.2, 0.04))
+        r = prop.rsqrt(q)
+        assert r.magnitude == pytest.approx(0.5)
+        assert r.error.bias == pytest.approx((1 - 0.2) ** -0.5 - 1)
+        assert r.error.variance == pytest.approx(0.01)
+
+    def test_accumulate(self):
+        prop = Propagator(IHWConfig.units("add"))
+        total = prop.accumulate(prop.quantity(1.0) for _ in range(8))
+        assert total.magnitude == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            prop.accumulate([])
+
+    def test_zero_scale_guards(self):
+        prop = Propagator(IHWConfig.all_imprecise())
+        with pytest.raises(ValueError):
+            prop.rcp(prop.quantity(0.0))
+        with pytest.raises(ValueError):
+            prop.rsqrt(prop.quantity(0.0))
+        with pytest.raises(ValueError):
+            prop.div(prop.quantity(1.0), prop.quantity(0.0))
+
+
+class TestPredictionsMatchMonteCarlo:
+    """The headline validation: predicted vs measured error magnitudes."""
+
+    N = 50_000
+
+    def _measure_chain(self, config, k):
+        ctx = ArithmeticContext(config)
+        (acc,) = mantissa_inputs(self.N, 1, seed=4)
+        exact = acc.astype(np.float64)
+        for i in range(k):
+            (y,) = mantissa_inputs(self.N, 1, seed=10 + i)
+            acc = ctx.mul(acc, y)
+            exact = exact * y.astype(np.float64)
+        rel = (acc.astype(np.float64) - exact) / exact
+        return float(np.abs(rel).mean()), float(rel.std())
+
+    def test_multiplication_chain_magnitude(self):
+        config = IHWConfig.units("mul")
+        k = 4
+        prop = Propagator(config)
+        q = prop.quantity(1.0)
+        for _ in range(k):
+            q = prop.mul(q, prop.quantity(1.0))
+        predicted = q.error.expected_magnitude()
+        measured, _ = self._measure_chain(config, k)
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+    def test_cp_inner_kernel_magnitude(self):
+        # q * rsqrt(dx^2 + dy^2 + z^2): the CP hot loop.
+        config = IHWConfig.all_imprecise()
+        prop = Propagator(config)
+        d = prop.quantity(1.0)
+        r2 = prop.add(prop.add(prop.mul(d, d), prop.mul(d, d)), prop.quantity(1.0))
+        predicted = prop.mul(
+            prop.quantity(1.0), prop.rsqrt(r2)
+        ).error.expected_magnitude()
+
+        ctx = ArithmeticContext(config)
+        dx, dy, z = mantissa_inputs(self.N, 3, seed=9)
+        r2_m = ctx.add(
+            ctx.add(ctx.mul(dx, dx), ctx.mul(dy, dy)), ctx.mul(z, z, precise=True)
+        )
+        out = ctx.mul(np.float32(1.0), ctx.rsqrt(r2_m))
+        exact = 1.0 / np.sqrt(
+            dx.astype(np.float64) ** 2
+            + dy.astype(np.float64) ** 2
+            + z.astype(np.float64) ** 2
+        )
+        measured = float(np.abs((out.astype(np.float64) - exact) / exact).mean())
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+    def test_dot_product_spread(self):
+        config = IHWConfig.units("mul", "add")
+        prop = Propagator(config)
+        terms = [
+            prop.mul(prop.quantity(1.0), prop.quantity(1.0)) for _ in range(8)
+        ]
+        predicted = prop.accumulate(terms).error
+
+        ctx = ArithmeticContext(config)
+        vectors = mantissa_inputs(self.N, 16, seed=21)
+        acc = ctx.mul(vectors[0], vectors[1])
+        exact = vectors[0].astype(np.float64) * vectors[1].astype(np.float64)
+        for i in range(1, 8):
+            term = ctx.mul(vectors[2 * i], vectors[2 * i + 1])
+            acc = ctx.add(acc, term)
+            exact = exact + vectors[2 * i].astype(np.float64) * vectors[
+                2 * i + 1
+            ].astype(np.float64)
+        rel = (acc.astype(np.float64) - exact) / exact
+        assert predicted.expected_magnitude() == pytest.approx(
+            float(np.abs(rel).mean()), rel=0.4
+        )
+
+
+class TestWorstCasePropagator:
+    def test_guaranteed_bound_dominates_measured_max(self):
+        from repro.erroranalysis import WorstCasePropagator
+
+        config = IHWConfig.all_imprecise()
+        wc = WorstCasePropagator(config)
+        d = wc.quantity(1.0)
+        r2 = wc.add(wc.add(wc.mul(d, d), wc.mul(d, d)), wc.quantity(1.0))
+        out = wc.mul(wc.quantity(1.0), wc.rsqrt(r2))
+        bound = wc.bound_of(out)
+
+        ctx = ArithmeticContext(config)
+        dx, dy, z = mantissa_inputs(100_000, 3, seed=9)
+        r2m = ctx.add(
+            ctx.add(ctx.mul(dx, dx), ctx.mul(dy, dy)), ctx.mul(z, z, precise=True)
+        )
+        o = ctx.mul(np.float32(1.0), ctx.rsqrt(r2m))
+        exact = 1.0 / np.sqrt(
+            dx.astype(np.float64) ** 2
+            + dy.astype(np.float64) ** 2
+            + z.astype(np.float64) ** 2
+        )
+        measured_max = float(np.abs((o.astype(np.float64) - exact) / exact).max())
+        assert bound >= measured_max
+        assert bound <= 5 * measured_max  # conservative but not vacuous
+
+    def test_precise_config_zero_bound(self):
+        from repro.erroranalysis import WorstCasePropagator
+
+        wc = WorstCasePropagator(IHWConfig.precise())
+        out = wc.mul(wc.quantity(1.0), wc.quantity(1.0))
+        assert wc.bound_of(out) == 0.0
+
+    def test_bound_grows_through_chain(self):
+        from repro.erroranalysis import WorstCasePropagator
+
+        wc = WorstCasePropagator(IHWConfig.units("mul"))
+        q = wc.quantity(1.0)
+        bounds = []
+        for _ in range(4):
+            q = wc.mul(q, wc.quantity(1.0))
+            bounds.append(wc.bound_of(q))
+        assert bounds == sorted(bounds)
+        assert bounds[0] == pytest.approx(0.25, abs=1e-9)
+
+    def test_worst_bound_dominates_moments_envelope(self):
+        from repro.erroranalysis import Propagator, WorstCasePropagator
+
+        config = IHWConfig.units("mul", "add")
+        wc = WorstCasePropagator(config)
+        mo = Propagator(config)
+        q_wc = wc.accumulate(
+            [wc.mul(wc.quantity(1.0), wc.quantity(1.0)) for _ in range(4)]
+        )
+        q_mo = mo.accumulate(
+            [mo.mul(mo.quantity(1.0), mo.quantity(1.0)) for _ in range(4)]
+        )
+        assert wc.bound_of(q_wc) >= q_mo.error.expected_magnitude()
+
+    def test_unbounded_inputs_rejected(self):
+        from repro.erroranalysis import WorstCasePropagator
+
+        wc = WorstCasePropagator(IHWConfig.all_imprecise())
+        saturated = wc.quantity(1.0, bound=1.0)
+        with pytest.raises(ValueError):
+            wc.rcp(saturated)
+        with pytest.raises(ValueError):
+            wc.div(wc.quantity(1.0), saturated)
+        with pytest.raises(ValueError):
+            wc.quantity(1.0, bound=-0.1)
+
+    def test_mixed_multiplier_modes(self):
+        from repro.erroranalysis import WorstCasePropagator
+
+        table1 = WorstCasePropagator(IHWConfig.units("mul"))
+        mitchell = WorstCasePropagator(
+            IHWConfig.units("mul").with_multiplier("mitchell", config="fp_tr0")
+        )
+        q1 = table1.mul(table1.quantity(1.0), table1.quantity(1.0))
+        q2 = mitchell.mul(mitchell.quantity(1.0), mitchell.quantity(1.0))
+        assert table1.bound_of(q1) > mitchell.bound_of(q2)

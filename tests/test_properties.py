@@ -1,0 +1,205 @@
+"""Cross-module property-based tests on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArithmeticContext,
+    IHWConfig,
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_divide,
+    imprecise_fma,
+    imprecise_multiply,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    imprecise_sqrt,
+    truncate_mantissa,
+    truncated_multiply,
+)
+
+finite32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=-2.0**40,
+    max_value=2.0**40,
+)
+positive32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=2.0**-40,
+    max_value=2.0**40,
+)
+
+
+class TestSignSymmetry:
+    """Every unit commutes with negation exactly (sign logic is separate)."""
+
+    @given(finite32, finite32)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplier_sign_symmetry(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        pos = imprecise_multiply(a32, b32)
+        neg = imprecise_multiply(-a32, b32)
+        np.testing.assert_array_equal(np.abs(pos), np.abs(neg))
+
+    @given(finite32, finite32, st.sampled_from(["log", "full"]))
+    @settings(max_examples=200, deadline=None)
+    def test_configurable_sign_symmetry(self, a, b, path):
+        cfg = MultiplierConfig(path)
+        a32, b32 = np.float32(a), np.float32(b)
+        pos = configurable_multiply(a32, b32, cfg)
+        neg = configurable_multiply(-a32, -b32, cfg)
+        np.testing.assert_array_equal(np.asarray(pos), np.asarray(neg))
+
+    @given(finite32, finite32)
+    @settings(max_examples=200, deadline=None)
+    def test_adder_negation_antisymmetry(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        s = imprecise_add(a32, b32)
+        t = imprecise_add(-a32, -b32)
+        np.testing.assert_array_equal(np.abs(s), np.abs(t))
+
+    @given(positive32)
+    @settings(max_examples=200, deadline=None)
+    def test_reciprocal_odd(self, x):
+        x32 = np.float32(x)
+        assert float(imprecise_reciprocal(-x32)) == -float(imprecise_reciprocal(x32))
+
+
+class TestScaleInvariance:
+    """Exponent arithmetic is exact: scaling by powers of 4 commutes."""
+
+    @given(positive32, st.integers(-10, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_multiplier_power_of_two_scaling(self, a, k):
+        a32 = np.float32(a)
+        scale = np.float32(2.0**k)
+        base = float(imprecise_multiply(a32, a32))
+        scaled = float(imprecise_multiply(a32 * scale, a32))
+        if not (np.isfinite(base) and np.isfinite(scaled)) or base == 0 or scaled == 0:
+            return
+        assert scaled == pytest.approx(base * float(scale), rel=1e-6)
+
+    @given(positive32, st.integers(-8, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_rsqrt_power_of_four_scaling(self, x, k):
+        x32 = np.float32(x)
+        scale = np.float32(4.0**k)
+        a = float(imprecise_rsqrt(x32))
+        b = float(imprecise_rsqrt(x32 * scale))
+        if not (np.isfinite(a) and np.isfinite(b)) or a == 0 or b == 0:
+            return
+        assert b == pytest.approx(a * 2.0**-k, rel=1e-6)
+
+    @given(positive32, st.integers(-8, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_sqrt_power_of_four_scaling(self, x, k):
+        x32 = np.float32(x)
+        scale = np.float32(4.0**k)
+        a = float(imprecise_sqrt(x32))
+        b = float(imprecise_sqrt(x32 * scale))
+        if not (np.isfinite(a) and np.isfinite(b)) or a == 0 or b == 0:
+            return
+        assert b == pytest.approx(a * 2.0**k, rel=1e-6)
+
+
+class TestMonotonicity:
+    @given(positive32, positive32)
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_only_reduces_accuracy(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        exact = float(a32) * float(b32)
+        if not np.isfinite(exact) or exact == 0:
+            return
+        shallow = float(configurable_multiply(a32, b32, MultiplierConfig("full", 0)))
+        deep = float(configurable_multiply(a32, b32, MultiplierConfig("full", 20)))
+        if not (np.isfinite(shallow) and np.isfinite(deep)):
+            return
+        # Deep truncation cannot be *categorically* better; allow equality
+        # (power-of-two operands are exact at every truncation).
+        assert abs(deep - exact) >= abs(shallow - exact) - abs(exact) * 2.0**-20
+
+    @given(positive32)
+    @settings(max_examples=100, deadline=None)
+    def test_reciprocal_monotone_decreasing_locally(self, x):
+        # rcp is piecewise linear with negative slope within each binade.
+        x32 = np.float32(x)
+        y = np.float32(x) * np.float32(1.0625)
+        same_binade = np.frexp(float(x32))[1] == np.frexp(float(y))[1]
+        if not same_binade:
+            return
+        rx = float(imprecise_reciprocal(x32))
+        ry = float(imprecise_reciprocal(y))
+        if not (np.isfinite(rx) and np.isfinite(ry)) or rx == 0 or ry == 0:
+            return
+        assert ry <= rx
+
+
+class TestCompositions:
+    @given(finite32, finite32, finite32)
+    @settings(max_examples=150, deadline=None)
+    def test_fma_matches_mul_then_add(self, a, b, c):
+        a32, b32, c32 = np.float32(a), np.float32(b), np.float32(c)
+        fused = imprecise_fma(a32, b32, c32)
+        manual = imprecise_add(imprecise_multiply(a32, b32), c32)
+        np.testing.assert_array_equal(np.asarray(fused), np.asarray(manual))
+
+    @given(finite32, positive32)
+    @settings(max_examples=150, deadline=None)
+    def test_divide_matches_mul_by_reciprocal_scale(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        q = float(imprecise_divide(a32, b32))
+        exact = float(a32) / float(b32)
+        if exact == 0 or not np.isfinite(exact) or not np.isfinite(q) or q == 0:
+            return
+        assert abs(q / exact - 1) <= 0.0591 + 1e-3
+
+    @given(finite32, finite32)
+    @settings(max_examples=100, deadline=None)
+    def test_context_matches_direct_unit_calls(self, a, b):
+        ctx = ArithmeticContext(IHWConfig.all_imprecise())
+        a32, b32 = np.float32(a), np.float32(b)
+        np.testing.assert_array_equal(
+            np.asarray(ctx.mul(a32, b32)), np.asarray(imprecise_multiply(a32, b32))
+        )
+        np.testing.assert_array_equal(
+            np.asarray(ctx.add(a32, b32)), np.asarray(imprecise_add(a32, b32))
+        )
+
+
+class TestTruncationAlgebra:
+    @given(finite32, st.integers(0, 23), st.integers(0, 23))
+    @settings(max_examples=200, deadline=None)
+    def test_truncate_mantissa_idempotent_and_composable(self, x, k1, k2):
+        x32 = np.float32(x)
+        once = truncate_mantissa(np.array([x32]), k1)
+        twice = truncate_mantissa(once, k1)
+        np.testing.assert_array_equal(once, twice)
+        # Composing truncations equals the tighter one.
+        both = truncate_mantissa(truncate_mantissa(np.array([x32]), k1), k2)
+        tight = truncate_mantissa(np.array([x32]), min(k1, k2))
+        np.testing.assert_array_equal(both, tight)
+
+    @given(finite32, finite32, st.integers(0, 23))
+    @settings(max_examples=150, deadline=None)
+    def test_bt_multiplier_exact_on_truncated_inputs(self, a, b, tr):
+        # Feeding already-truncated operands: bt changes nothing more
+        # beyond its final result truncation.
+        a32 = truncate_mantissa(np.array([np.float32(a)]), 23 - tr)
+        b32 = truncate_mantissa(np.array([np.float32(b)]), 23 - tr)
+        out = truncated_multiply(a32, b32, tr, rounding=False)
+        exact = a32.astype(np.float64) * b32.astype(np.float64)
+        if not np.isfinite(exact[0]) or exact[0] == 0 or not np.isfinite(out[0]):
+            return
+        if abs(exact[0]) < 2 * float(np.finfo(np.float32).tiny):
+            return
+        rel = abs(float(out[0]) - float(exact[0])) / abs(float(exact[0]))
+        assert rel < 2.0**-22  # result truncation only

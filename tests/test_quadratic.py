@@ -1,0 +1,136 @@
+"""Tests for the quadratic-approximation SFU extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QUADRATIC_LOG2_MAX_ABS_ERROR,
+    QUADRATIC_RCP_MAX_ERROR,
+    QUADRATIC_RSQRT_MAX_ERROR,
+    RECIPROCAL_MAX_ERROR,
+    RSQRT_MAX_ERROR,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    quadratic_log2,
+    quadratic_reciprocal,
+    quadratic_rsqrt,
+    quadratic_sqrt,
+)
+from repro.hardware import dw_reciprocal, ihw_reciprocal, quadratic_sfu
+
+positive32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=2.0**-99,
+    max_value=2.0**99,
+)
+
+
+class TestAccuracy:
+    def test_rcp_bound(self):
+        rng = np.random.default_rng(50)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        rel = np.abs(quadratic_reciprocal(x).astype(np.float64) * x - 1.0)
+        assert rel.max() <= QUADRATIC_RCP_MAX_ERROR + 1e-4
+
+    def test_rsqrt_bound(self):
+        rng = np.random.default_rng(51)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        rel = np.abs(
+            quadratic_rsqrt(x).astype(np.float64) * np.sqrt(x.astype(np.float64)) - 1.0
+        )
+        assert rel.max() <= QUADRATIC_RSQRT_MAX_ERROR + 1e-4
+
+    def test_sqrt_bound(self):
+        rng = np.random.default_rng(52)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        rel = np.abs(
+            quadratic_sqrt(x).astype(np.float64) / np.sqrt(x.astype(np.float64)) - 1.0
+        )
+        assert rel.max() <= QUADRATIC_RSQRT_MAX_ERROR + 2e-4
+
+    def test_log2_bound(self):
+        rng = np.random.default_rng(53)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        err = np.abs(
+            quadratic_log2(x).astype(np.float64) - np.log2(x.astype(np.float64))
+        )
+        assert err.max() <= QUADRATIC_LOG2_MAX_ABS_ERROR + 1e-4
+
+    def test_quadratic_beats_linear(self):
+        rng = np.random.default_rng(54)
+        x = rng.uniform(0.01, 100, 50000).astype(np.float32)
+        lin = np.abs(imprecise_reciprocal(x).astype(np.float64) * x - 1.0)
+        quad = np.abs(quadratic_reciprocal(x).astype(np.float64) * x - 1.0)
+        assert quad.max() < lin.max()
+        assert quad.mean() < lin.mean()
+        lin_rs = np.abs(
+            imprecise_rsqrt(x).astype(np.float64) * np.sqrt(x.astype(np.float64)) - 1
+        )
+        quad_rs = np.abs(
+            quadratic_rsqrt(x).astype(np.float64) * np.sqrt(x.astype(np.float64)) - 1
+        )
+        assert quad_rs.max() < 0.2 * lin_rs.max()
+
+    def test_bounds_tighter_than_table1(self):
+        assert QUADRATIC_RCP_MAX_ERROR < RECIPROCAL_MAX_ERROR
+        assert QUADRATIC_RSQRT_MAX_ERROR < RSQRT_MAX_ERROR
+
+    @given(positive32)
+    @settings(max_examples=200, deadline=None)
+    def test_rcp_bound_hypothesis(self, x):
+        x32 = np.float32(x)
+        out = float(quadratic_reciprocal(x32))
+        if out == 0.0 or not np.isfinite(out):
+            return
+        assert abs(out * float(x32) - 1.0) <= QUADRATIC_RCP_MAX_ERROR + 1e-4
+
+
+class TestSpecialCases:
+    def test_rcp_specials(self):
+        assert np.isposinf(quadratic_reciprocal(np.float32(0.0)))
+        assert quadratic_reciprocal(np.float32(np.inf)) == 0.0
+        assert np.isnan(quadratic_reciprocal(np.float32(np.nan)))
+        assert quadratic_reciprocal(np.float32(-2.0)) < 0
+
+    def test_rsqrt_specials(self):
+        assert np.isposinf(quadratic_rsqrt(np.float32(0.0)))
+        assert np.isnan(quadratic_rsqrt(np.float32(-1.0)))
+        assert quadratic_rsqrt(np.float32(np.inf)) == 0.0
+
+    def test_sqrt_specials(self):
+        assert quadratic_sqrt(np.float32(0.0)) == 0.0
+        assert np.isposinf(quadratic_sqrt(np.float32(np.inf)))
+        assert np.isnan(quadratic_sqrt(np.float32(-4.0)))
+
+    def test_log2_specials(self):
+        assert np.isneginf(quadratic_log2(np.float32(0.0)))
+        assert np.isposinf(quadratic_log2(np.float32(np.inf)))
+        assert np.isnan(quadratic_log2(np.float32(-1.0)))
+
+    def test_float64(self):
+        out = quadratic_reciprocal(np.float64(3.0), dtype=np.float64)
+        assert out.dtype == np.float64
+        assert float(out) == pytest.approx(1 / 3, rel=0.02)
+
+
+class TestHardwareCost:
+    def test_quadratic_between_linear_and_dwip(self):
+        quad = quadratic_sfu(32).metrics()
+        lin = ihw_reciprocal(32).metrics()
+        dw = dw_reciprocal(32).metrics()
+        assert lin.power_mw < quad.power_mw < dw.power_mw
+
+    def test_quadratic_roughly_double_linear(self):
+        quad = quadratic_sfu(32).metrics()
+        lin = ihw_reciprocal(32).metrics()
+        assert 1.3 <= quad.power_mw / lin.power_mw <= 3.0
+
+    def test_quadratic_still_order_of_magnitude_below_dwip(self):
+        quad = quadratic_sfu(32).metrics()
+        dw = dw_reciprocal(32).metrics()
+        assert dw.power_mw / quad.power_mw > 5

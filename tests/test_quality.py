@@ -1,0 +1,290 @@
+"""Tests for the application-level quality metrics and the tuning loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import IHWConfig
+from repro.quality import (
+    QualityTuner,
+    error_percent,
+    mae,
+    mse,
+    pratt_fom,
+    psnr,
+    rmse,
+    ssim,
+    wed,
+    word_accuracy,
+)
+
+
+class TestScalarMetrics:
+    def test_mae(self):
+        assert mae([1.0, 3.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mse_and_rmse(self):
+        assert mse([1.0, 3.0], [2.0, 2.0]) == pytest.approx(1.0)
+        assert rmse([0.0, 4.0], [0.0, 0.0]) == pytest.approx(np.sqrt(8.0))
+
+    def test_wed(self):
+        assert wed([1.0, 5.0], [1.0, 2.0]) == pytest.approx(3.0)
+
+    def test_identical_inputs_zero_error(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        assert mae(x, x) == 0.0
+        assert wed(x, x) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_psnr(self):
+        ref = np.zeros((8, 8))
+        noisy = ref.copy()
+        noisy[0, 0] = 0.1
+        assert psnr(noisy, ref, data_range=1.0) > 30
+        assert psnr(ref, ref, data_range=1.0) == np.inf
+
+    def test_error_percent(self):
+        assert error_percent(101.0, 100.0) == pytest.approx(1.0)
+        assert error_percent(-99.0, -100.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            error_percent(1.0, 0.0)
+
+
+class TestSSIM:
+    def test_identical_images(self):
+        img = np.random.default_rng(1).random((32, 32))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self):
+        rng = np.random.default_rng(2)
+        img = rng.random((32, 32))
+        light = np.clip(img + rng.normal(0, 0.02, img.shape), 0, 1)
+        heavy = np.clip(img + rng.normal(0, 0.3, img.shape), 0, 1)
+        assert ssim(heavy, img) < ssim(light, img) < 1.0
+
+    def test_structural_destruction(self):
+        rng = np.random.default_rng(3)
+        img = np.zeros((32, 32))
+        img[8:24, 8:24] = 1.0
+        scrambled = rng.permutation(img.ravel()).reshape(img.shape)
+        assert ssim(scrambled, img, data_range=1.0) < 0.3
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(10), np.zeros(10))
+
+    def test_rejects_bad_window(self):
+        img = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            ssim(img, img, window=20)
+
+    def test_symmetricish_range(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((24, 24))
+        b = rng.random((24, 24))
+        v = ssim(a, b, data_range=1.0)
+        assert -1.0 <= v <= 1.0
+
+
+class TestPrattFOM:
+    def test_perfect_match(self):
+        edges = np.zeros((16, 16), dtype=bool)
+        edges[8, 2:14] = True
+        assert pratt_fom(edges, edges) == pytest.approx(1.0)
+
+    def test_displaced_edges_penalized(self):
+        ideal = np.zeros((16, 16), dtype=bool)
+        ideal[8, 2:14] = True
+        near = np.zeros_like(ideal)
+        near[9, 2:14] = True  # one pixel off
+        far = np.zeros_like(ideal)
+        far[14, 2:14] = True
+        assert pratt_fom(far, ideal) < pratt_fom(near, ideal) < 1.0
+
+    def test_empty_detected(self):
+        ideal = np.zeros((8, 8), dtype=bool)
+        ideal[4, 4] = True
+        assert pratt_fom(np.zeros_like(ideal), ideal) == 0.0
+
+    def test_empty_ideal_rejected(self):
+        with pytest.raises(ValueError):
+            pratt_fom(np.ones((4, 4), dtype=bool), np.zeros((4, 4), dtype=bool))
+
+    def test_spurious_edges_penalized(self):
+        ideal = np.zeros((16, 16), dtype=bool)
+        ideal[8, 2:14] = True
+        noisy = ideal.copy()
+        noisy[2, 2] = noisy[13, 13] = True
+        assert pratt_fom(noisy, ideal) < 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pratt_fom(np.zeros((4, 4), dtype=bool), np.zeros((5, 5), dtype=bool))
+
+
+class TestWordAccuracy:
+    def test_all_correct(self):
+        assert word_accuracy([1, 2, 3], [1, 2, 3]) == (3, 3)
+
+    def test_partial(self):
+        assert word_accuracy([1, 9, 3], [1, 2, 3]) == (2, 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            word_accuracy([1], [1, 2])
+
+
+class TestQualityTuner:
+    def _fake_app(self):
+        """Quality improves as units are disabled; mul hurts the most."""
+
+        def evaluate(config: IHWConfig) -> float:
+            penalty = {"mul": 0.5, "rsqrt": 0.2, "sqrt": 0.05, "add": 0.02}
+            q = 1.0
+            for unit, cost in penalty.items():
+                if config.is_enabled(unit):
+                    q -= cost
+            return q
+
+        return evaluate
+
+    def test_tunes_until_constraint_met(self):
+        tuner = QualityTuner(self._fake_app(), lambda q: q >= 0.9)
+        result = tuner.tune()
+        assert result.satisfied
+        assert result.quality >= 0.9
+        assert not result.config.is_enabled("mul")  # first unit disabled
+
+    def test_keeps_all_units_if_already_good(self):
+        tuner = QualityTuner(self._fake_app(), lambda q: q >= 0.1)
+        result = tuner.tune()
+        assert result.satisfied
+        assert result.iterations == 1
+        assert result.config.is_enabled("mul")
+
+    def test_sensitivity_order_respected(self):
+        order = ("rsqrt", "mul", "add", "fma", "div", "log2", "sqrt", "rcp")
+        tuner = QualityTuner(self._fake_app(), lambda q: q >= 0.45, order)
+        result = tuner.tune()
+        # Disabling rsqrt first (+0.2) reaches 0.43 -> not enough; then mul.
+        assert not result.config.is_enabled("rsqrt")
+
+    def test_gives_up_at_precise(self):
+        tuner = QualityTuner(lambda cfg: 0.0, lambda q: q > 1.0)
+        result = tuner.tune()
+        assert not result.satisfied
+        assert not result.config.enabled  # fell back to fully precise
+
+    def test_records_steps(self):
+        tuner = QualityTuner(self._fake_app(), lambda q: q >= 0.9)
+        result = tuner.tune()
+        assert len(result.steps) == result.iterations
+        assert result.steps[-1].satisfied
+
+    def test_rejects_unknown_sensitivity_units(self):
+        with pytest.raises(ValueError):
+            QualityTuner(self._fake_app(), lambda q: True, ("warp",))
+
+    def test_max_iterations_cap(self):
+        calls = []
+
+        def evaluate(cfg):
+            calls.append(cfg)
+            return 0.0
+
+        tuner = QualityTuner(evaluate, lambda q: False)
+        tuner.tune(max_iterations=3)
+        assert len(calls) == 3
+
+
+class TestPareto:
+    def _points(self):
+        from repro.quality import DesignPoint
+
+        return [
+            DesignPoint("a", cost=1.0, loss=0.20),
+            DesignPoint("b", cost=2.0, loss=0.10),
+            DesignPoint("c", cost=4.0, loss=0.05),
+            DesignPoint("dominated", cost=3.0, loss=0.20),
+        ]
+
+    def test_front_excludes_dominated(self):
+        from repro.quality import pareto_front
+
+        front = pareto_front(self._points())
+        assert [p.name for p in front] == ["a", "b", "c"]
+
+    def test_dominates(self):
+        from repro.quality import DesignPoint, dominates
+
+        a = DesignPoint("a", 1.0, 0.1)
+        b = DesignPoint("b", 2.0, 0.2)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+        assert not dominates(a, a)  # equal points do not dominate
+
+    def test_tolerance(self):
+        from repro.quality import DesignPoint, dominates
+
+        a = DesignPoint("a", 1.0, 0.101)
+        b = DesignPoint("b", 2.0, 0.100)
+        assert not dominates(a, b)
+        assert dominates(a, b, tolerance=0.01)
+
+    def test_family_dominates(self):
+        from repro.quality import DesignPoint, family_dominates
+
+        mitchell = [DesignPoint("lp", 0.3, 0.18), DesignPoint("fp", 1.1, 0.02)]
+        bt = [DesignPoint("bt21", 2.2, 0.23), DesignPoint("bt19", 2.5, 0.06)]
+        assert family_dominates(mitchell, bt)
+        assert not family_dominates(bt, mitchell)
+
+    def test_family_validation(self):
+        from repro.quality import family_dominates
+
+        with pytest.raises(ValueError):
+            family_dominates([], [])
+
+    def test_point_validation(self):
+        from repro.quality import DesignPoint
+
+        with pytest.raises(ValueError):
+            DesignPoint("bad", -1.0, 0.0)
+
+    def test_empty_front(self):
+        from repro.quality import pareto_front
+
+        assert pareto_front([]) == []
+
+    def test_figure14_families_pareto(self):
+        """The real Figure-14 claim with measured data."""
+        from repro.core import MultiplierConfig
+        from repro.erroranalysis import characterize_multiplier_config
+        from repro.hardware import bt_fp_multiplier, mitchell_fp_multiplier
+        from repro.quality import DesignPoint, family_dominates
+
+        def mitchell_point(path, tr):
+            power = mitchell_fp_multiplier(32, MultiplierConfig(path, tr)).metrics().power_mw
+            eps = characterize_multiplier_config(
+                MultiplierConfig(path, tr), 1 << 13
+            ).stats.eps_max
+            return DesignPoint(f"{path}_{tr}", power, eps)
+
+        def bt_point(tr):
+            power = bt_fp_multiplier(32, tr).metrics().power_mw
+            eps = characterize_multiplier_config(f"bt_{tr}", 1 << 13).stats.eps_max
+            return DesignPoint(f"bt_{tr}", power, eps)
+
+        mitchell = [mitchell_point("full", t) for t in (0, 10, 15)] + [
+            mitchell_point("log", t) for t in (0, 15, 19)
+        ]
+        # The aggressive-saving regime (the Figure-14 claim): every deep
+        # truncation point is dominated by a Mitchell configuration.
+        bt_deep = [bt_point(t) for t in (19, 21)]
+        assert family_dominates(mitchell, bt_deep, tolerance=1e-6)
+        # Shallow truncation (bt_15, error ~0.3%) is the one regime the
+        # Mitchell paths cannot reach — their floor is the 2.04% full path.
+        shallow = bt_point(15)
+        assert not any(p.loss <= shallow.loss for p in mitchell)

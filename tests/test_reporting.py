@@ -1,0 +1,65 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import io
+import os
+
+from repro.cli import main
+from repro.reporting import generate_report, report_sections
+
+
+class TestReportSections:
+    def test_four_sections(self):
+        sections = report_sections(fast=True)
+        assert len(sections) == 4
+
+    def test_units_section_has_all_rows(self):
+        units = report_sections(fast=True)[0]
+        text = "\n".join(units)
+        for name in ("ircp", "ifpmul", "fp_tr0", "lp_tr19"):
+            assert name in text
+
+    def test_hardware_section_mentions_reductions(self):
+        text = "\n".join(report_sections(fast=True)[1])
+        assert "lp_tr19" in text and "bt_21" in text
+
+
+class TestGenerateReport:
+    def test_full_document_structure(self):
+        report = generate_report(fast=True)
+        assert report.startswith("# Reproduction report")
+        for heading in (
+            "## Imprecise units",
+            "## Hardware power",
+            "## Applications",
+            "## Functional verification",
+        ):
+            assert heading in report
+
+    def test_markdown_tables_well_formed(self):
+        report = generate_report(fast=True)
+        table_rows = [l for l in report.splitlines() if l.startswith("|")]
+        assert len(table_rows) > 15
+        # Every table row has a consistent pipe structure.
+        for row in table_rows:
+            assert row.count("|") >= 3
+
+    def test_measured_values_present(self):
+        report = generate_report(fast=True)
+        assert "%" in report and "ULP" in report
+
+
+class TestReportCLI:
+    def test_stdout(self):
+        out = io.StringIO()
+        code = main(["report", "--fast"], out=out)
+        assert code == 0
+        assert "# Reproduction report" in out.getvalue()
+
+    def test_file_output(self, tmp_path):
+        path = os.path.join(tmp_path, "report.md")
+        out = io.StringIO()
+        code = main(["report", "--fast", "--output", path], out=out)
+        assert code == 0
+        with open(path) as handle:
+            assert "## Applications" in handle.read()
+        assert "written to" in out.getvalue()

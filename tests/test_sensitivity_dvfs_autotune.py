@@ -1,0 +1,191 @@
+"""Tests for the sensitivity analysis, DVFS composition, and auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import IHWConfig, MultiplierConfig
+from repro.erroranalysis import analyze_sensitivity
+from repro.gpu import DVFSPoint, combined_savings, dvfs_power_scale
+from repro.quality import MultiplierAutoTuner, QualityTuner
+
+
+def synthetic_evaluator(penalties):
+    """Quality 1.0 minus a fixed penalty per enabled unit."""
+
+    def evaluate(config: IHWConfig) -> float:
+        q = 1.0
+        for unit, cost in penalties.items():
+            if config.is_enabled(unit):
+                q -= cost
+        return q
+
+    return evaluate
+
+
+class TestSensitivityAnalysis:
+    PENALTIES = {"mul": 0.4, "rsqrt": 0.25, "add": 0.05, "sqrt": 0.01}
+
+    def test_ranking_matches_penalties(self):
+        report = analyze_sensitivity(
+            synthetic_evaluator(self.PENALTIES), units=tuple(self.PENALTIES)
+        )
+        assert report.ranking() == ("mul", "rsqrt", "add", "sqrt")
+        assert report.most_sensitive() == "mul"
+        assert report.least_sensitive() == "sqrt"
+
+    def test_degradations(self):
+        report = analyze_sensitivity(
+            synthetic_evaluator(self.PENALTIES), units=("mul", "add")
+        )
+        assert report.degradation_of("mul") == pytest.approx(0.4)
+        assert report.degradation_of("add") == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            report.degradation_of("rcp")
+
+    def test_lower_is_better_direction(self):
+        # A MAE-style metric: 0 ideal, penalties add error.
+        def evaluate(config):
+            return sum(
+                cost for u, cost in self.PENALTIES.items() if config.is_enabled(u)
+            )
+
+        report = analyze_sensitivity(
+            evaluate, units=tuple(self.PENALTIES), higher_is_better=False
+        )
+        assert report.ranking() == ("mul", "rsqrt", "add", "sqrt")
+
+    def test_feeds_quality_tuner(self):
+        evaluate = synthetic_evaluator(self.PENALTIES)
+        report = analyze_sensitivity(evaluate, units=tuple(self.PENALTIES))
+        # Pad the ranking with the unprobed units for the tuner.
+        order = report.ranking() + ("fma", "div", "log2", "rcp")
+        tuner = QualityTuner(evaluate, lambda q: q >= 0.9, order)
+        result = tuner.tune()
+        assert result.satisfied
+        assert not result.config.is_enabled("mul")
+        assert not result.config.is_enabled("rsqrt")
+        assert result.config.is_enabled("add")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_sensitivity(lambda c: 1.0, units=("warp",))
+        with pytest.raises(ValueError):
+            analyze_sensitivity(lambda c: 1.0, units=())
+
+    def test_format_rows(self):
+        report = analyze_sensitivity(
+            synthetic_evaluator(self.PENALTIES), units=("mul",)
+        )
+        assert "mul" in report.format_rows()
+
+
+class TestDVFS:
+    def test_nominal_point_identity(self):
+        assert dvfs_power_scale(1.0) == pytest.approx(1.0)
+
+    def test_slowdown_saves_power_costs_energy_less(self):
+        p = DVFSPoint(0.8)
+        assert p.power_scale < 1.0
+        assert p.runtime_scale == pytest.approx(1.25)
+        # Energy saves less than power (the classic DVFS tradeoff).
+        assert p.energy_scale > p.power_scale
+
+    def test_cubic_ish_scaling(self):
+        # With alpha ~0.8 dynamic power drops superlinearly with f.
+        half = dvfs_power_scale(0.5, leakage_fraction=0.0)
+        assert half < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dvfs_power_scale(0.0)
+        with pytest.raises(ValueError):
+            dvfs_power_scale(0.5, leakage_fraction=1.5)
+        with pytest.raises(ValueError):
+            combined_savings(1.5, DVFSPoint(0.9))
+
+    def test_combination_is_orthogonal(self):
+        # IHW-then-DVFS equals the multiplicative composition.
+        ihw = 0.30
+        point = DVFSPoint(0.85)
+        report = combined_savings(ihw, point)
+        assert report.power_savings == pytest.approx(
+            1 - (1 - ihw) * point.power_scale
+        )
+        # Combined beats either alone.
+        assert report.power_savings > ihw
+        assert report.power_savings > 1 - point.power_scale
+
+    def test_ihw_preserves_performance(self):
+        report = combined_savings(0.30, DVFSPoint(1.0))
+        assert report.runtime_scale == 1.0
+        assert report.power_savings == pytest.approx(0.30)
+        assert report.energy_savings == pytest.approx(0.30)
+
+    def test_report_format(self):
+        text = combined_savings(0.3, DVFSPoint(0.8)).format_row()
+        assert "IHW" in text and "DVFS" in text
+
+
+class TestMultiplierAutoTuner:
+    @staticmethod
+    def _truncation_evaluator(threshold_full=15, threshold_log=5):
+        """Quality passes iff truncation is shallow enough per path."""
+
+        def evaluate(config: IHWConfig) -> float:
+            if not config.is_enabled("mul"):
+                return 1.0
+            cfg = config.multiplier_config
+            limit = threshold_full if cfg.path == "full" else threshold_log
+            return 1.0 if cfg.truncation <= limit else 0.0
+
+        return evaluate
+
+    def test_finds_deepest_acceptable(self):
+        tuner = MultiplierAutoTuner(
+            self._truncation_evaluator(), lambda q: q >= 0.5, max_truncation=22
+        )
+        result = tuner.tune()
+        assert result.satisfied
+        # Deepest acceptable: full path tr=15 (power-ranked winner is the
+        # one with the lowest modeled power among full tr15 / log tr5).
+        assert result.multiplier.truncation in (5, 15)
+        assert result.quality == 1.0
+
+    def test_prefers_lower_power(self):
+        tuner = MultiplierAutoTuner(
+            self._truncation_evaluator(threshold_full=10, threshold_log=10),
+            lambda q: q >= 0.5,
+            max_truncation=22,
+        )
+        result = tuner.tune()
+        # Equal truncations: the log path is cheaper.
+        assert result.multiplier == MultiplierConfig("log", 10)
+
+    def test_falls_back_to_precise(self):
+        tuner = MultiplierAutoTuner(lambda c: 0.0, lambda q: q > 0.5)
+        result = tuner.tune()
+        assert not result.satisfied
+        assert result.multiplier is None
+        assert not result.config.is_enabled("mul")
+
+    def test_evaluation_count_logarithmic(self):
+        tuner = MultiplierAutoTuner(
+            self._truncation_evaluator(), lambda q: q >= 0.5, max_truncation=22
+        )
+        result = tuner.tune()
+        # Two binary searches over 22 points: well under exhaustive.
+        assert result.evaluations <= 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiplierAutoTuner(lambda c: 1.0, lambda q: True, max_truncation=-1)
+
+    def test_respects_base_config(self):
+        base = IHWConfig.units("add", "rcp")
+        tuner = MultiplierAutoTuner(
+            self._truncation_evaluator(), lambda q: q >= 0.5, base_config=base
+        )
+        result = tuner.tune()
+        assert result.config.is_enabled("add")
+        assert result.config.is_enabled("rcp")
+        assert result.config.is_enabled("mul")

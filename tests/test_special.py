@@ -1,0 +1,204 @@
+"""Tests for the linear-approximation special function units (Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RECIPROCAL_MAX_ERROR,
+    RSQRT_MAX_ERROR,
+    SQRT_MAX_ERROR,
+    imprecise_divide,
+    imprecise_log2,
+    imprecise_reciprocal,
+    imprecise_rsqrt,
+    imprecise_sqrt,
+)
+
+positive32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+    min_value=2.0**-99,
+    max_value=2.0**99,
+)
+
+
+class TestReciprocal:
+    def test_error_bound(self):
+        rng = np.random.default_rng(30)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        out = imprecise_reciprocal(x).astype(np.float64)
+        rel = np.abs(out * x.astype(np.float64) - 1.0)
+        assert rel.max() <= RECIPROCAL_MAX_ERROR + 1e-4
+
+    def test_worst_case_near_bound(self):
+        # The linear fit's worst point is at the interval edge.
+        x = np.linspace(1.0, 2.0, 4097, dtype=np.float32)[:-1]
+        out = imprecise_reciprocal(x).astype(np.float64)
+        rel = np.abs(out * x.astype(np.float64) - 1.0)
+        assert rel.max() > 0.05
+
+    def test_negative_operands(self):
+        out = imprecise_reciprocal(np.float32(-2.0))
+        assert out < 0
+        assert abs(float(out) + 0.5) < 0.05
+
+    def test_specials(self):
+        assert np.isposinf(imprecise_reciprocal(np.float32(0.0)))
+        assert np.isneginf(imprecise_reciprocal(np.float32(-0.0)))
+        assert imprecise_reciprocal(np.float32(np.inf)) == 0.0
+        assert np.isnan(imprecise_reciprocal(np.float32(np.nan)))
+
+    def test_scale_invariance(self):
+        # Range reduction acts only on the exponent: rcp(4x) = rcp(x)/4.
+        x = np.float32(1.37)
+        a = float(imprecise_reciprocal(x))
+        b = float(imprecise_reciprocal(np.float32(4.0) * x))
+        assert a / 4 == pytest.approx(b, rel=1e-6)
+
+    @given(positive32)
+    @settings(max_examples=300, deadline=None)
+    def test_error_bound_hypothesis(self, x):
+        x32 = np.float32(x)
+        out = float(imprecise_reciprocal(x32))
+        if out == 0.0 or not np.isfinite(out):
+            return  # flushed / out of range
+        rel = abs(out * float(x32) - 1.0)
+        assert rel <= RECIPROCAL_MAX_ERROR + 1e-4
+
+
+class TestRsqrt:
+    def test_error_bound(self):
+        rng = np.random.default_rng(31)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        out = imprecise_rsqrt(x).astype(np.float64)
+        rel = np.abs(out * np.sqrt(x.astype(np.float64)) - 1.0)
+        assert rel.max() <= RSQRT_MAX_ERROR + 2e-3
+
+    def test_exponent_parity_consistency(self):
+        # rsqrt(4x) = rsqrt(x)/2 exactly, odd exponents use scaled constants.
+        x = np.float32(1.23)
+        a = float(imprecise_rsqrt(x))
+        b = float(imprecise_rsqrt(np.float32(4.0) * x))
+        assert a / 2 == pytest.approx(b, rel=1e-6)
+
+    def test_specials(self):
+        assert np.isposinf(imprecise_rsqrt(np.float32(0.0)))
+        assert imprecise_rsqrt(np.float32(np.inf)) == 0.0
+        assert np.isnan(imprecise_rsqrt(np.float32(-1.0)))
+        assert np.isnan(imprecise_rsqrt(np.float32(np.nan)))
+
+    @given(positive32)
+    @settings(max_examples=300, deadline=None)
+    def test_error_bound_hypothesis(self, x):
+        x32 = np.float32(x)
+        out = float(imprecise_rsqrt(x32))
+        if out == 0.0 or not np.isfinite(out):
+            return
+        rel = abs(out * float(np.sqrt(float(x32))) - 1.0)
+        assert rel <= RSQRT_MAX_ERROR + 2e-3
+
+
+class TestSqrt:
+    def test_error_bound(self):
+        rng = np.random.default_rng(32)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        out = imprecise_sqrt(x).astype(np.float64)
+        rel = np.abs(out / np.sqrt(x.astype(np.float64)) - 1.0)
+        assert rel.max() <= SQRT_MAX_ERROR + 2e-3
+
+    def test_perfect_squares_close(self):
+        for v in (4.0, 16.0, 64.0):
+            out = float(imprecise_sqrt(np.float32(v)))
+            assert out == pytest.approx(np.sqrt(v), rel=0.12)
+
+    def test_specials(self):
+        assert imprecise_sqrt(np.float32(0.0)) == 0.0
+        assert np.isposinf(imprecise_sqrt(np.float32(np.inf)))
+        assert np.isnan(imprecise_sqrt(np.float32(-4.0)))
+
+    def test_relation_to_rsqrt(self):
+        # sqrt(x) = x * rsqrt(x) holds in the approximation up to the two
+        # units' independent linear-fit errors (each bounded by ~11%).
+        x = np.float32(7.3)
+        s = float(imprecise_sqrt(x))
+        r = float(imprecise_rsqrt(x))
+        assert s == pytest.approx(float(x) * r, rel=0.25)
+
+    @given(positive32)
+    @settings(max_examples=300, deadline=None)
+    def test_error_bound_hypothesis(self, x):
+        x32 = np.float32(x)
+        out = float(imprecise_sqrt(x32))
+        if out == 0.0 or not np.isfinite(out):
+            return
+        rel = abs(out / float(np.sqrt(float(x32))) - 1.0)
+        assert rel <= SQRT_MAX_ERROR + 2e-3
+
+
+class TestLog2:
+    def test_absolute_error_small(self):
+        rng = np.random.default_rng(33)
+        x = rng.uniform(1e-4, 1e4, 100000).astype(np.float32)
+        out = imprecise_log2(x).astype(np.float64)
+        err = np.abs(out - np.log2(x.astype(np.float64)))
+        assert err.max() < 0.07  # endpoint error of the linear fit
+
+    def test_relative_error_unbounded_near_one(self):
+        # Table 1: eps_max unbounded because log2(1) = 0.
+        out = float(imprecise_log2(np.float32(1.0)))
+        assert out != 0.0  # the approximation misses zero ...
+        assert abs(out) < 0.07  # ... by a small absolute amount
+
+    def test_exact_exponent_contribution(self):
+        a = float(imprecise_log2(np.float32(1.5)))
+        b = float(imprecise_log2(np.float32(3.0)))
+        assert b - a == pytest.approx(1.0, abs=1e-6)
+
+    def test_specials(self):
+        assert np.isneginf(imprecise_log2(np.float32(0.0)))
+        assert np.isposinf(imprecise_log2(np.float32(np.inf)))
+        assert np.isnan(imprecise_log2(np.float32(-1.0)))
+
+
+class TestDivide:
+    def test_error_bound_matches_reciprocal(self):
+        rng = np.random.default_rng(34)
+        a = rng.uniform(-1e3, 1e3, 50000).astype(np.float32)
+        b = rng.uniform(1e-3, 1e3, 50000).astype(np.float32)
+        out = imprecise_divide(a, b).astype(np.float64)
+        true = a.astype(np.float64) / b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        assert rel.max() <= RECIPROCAL_MAX_ERROR + 1e-3
+
+    def test_signs(self):
+        assert imprecise_divide(np.float32(-6.0), np.float32(2.0)) < 0
+        assert imprecise_divide(np.float32(-6.0), np.float32(-2.0)) > 0
+
+    def test_divide_by_zero(self):
+        assert np.isposinf(imprecise_divide(np.float32(1.0), np.float32(0.0)))
+        assert np.isneginf(imprecise_divide(np.float32(-1.0), np.float32(0.0)))
+
+    def test_zero_over_zero_is_nan(self):
+        assert np.isnan(imprecise_divide(np.float32(0.0), np.float32(0.0)))
+
+    def test_inf_over_inf_is_nan(self):
+        assert np.isnan(imprecise_divide(np.float32(np.inf), np.float32(np.inf)))
+
+
+class TestDtypes:
+    @pytest.mark.parametrize(
+        "fn", [imprecise_reciprocal, imprecise_rsqrt, imprecise_sqrt, imprecise_log2]
+    )
+    def test_float64_supported(self, fn):
+        out = fn(np.float64(3.7), dtype=np.float64)
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize(
+        "fn", [imprecise_reciprocal, imprecise_rsqrt, imprecise_sqrt, imprecise_log2]
+    )
+    def test_output_dtype_float32(self, fn):
+        assert fn(np.float32(3.7)).dtype == np.float32

@@ -1,0 +1,78 @@
+"""Tests for the synthesis-flow facade."""
+
+import pytest
+
+from repro.hardware import (
+    SynthesisReport,
+    dw_fp_divider,
+    dw_fp_multiplier,
+    ihw_fp_adder,
+    ihw_fp_multiplier_table1,
+    pipeline_stages_required,
+    synthesize,
+)
+
+
+class TestPipelineStages:
+    def test_fast_unit_single_stage(self):
+        assert pipeline_stages_required(ihw_fp_multiplier_table1(32), 1.43) == 1
+
+    def test_slow_unit_pipelined(self):
+        assert pipeline_stages_required(dw_fp_divider(32), 1.43) >= 2
+
+    def test_faster_clock_more_stages(self):
+        design = dw_fp_multiplier(32)
+        assert pipeline_stages_required(design, 0.5) > pipeline_stages_required(
+            design, 2.0
+        )
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            pipeline_stages_required(dw_fp_multiplier(32), 0.0)
+
+
+class TestSynthesize:
+    def test_timing_met_single_stage(self):
+        report = synthesize(dw_fp_multiplier(32), clock_ns=1.43)
+        assert report.timing_met
+        assert report.pipeline_stages == 1
+        assert report.slack_ns > 0
+
+    def test_pipelining_closes_timing(self):
+        report = synthesize(dw_fp_divider(32), clock_ns=1.43)
+        assert report.timing_met
+        assert report.pipeline_stages >= 2
+        assert any(name == "pipeline_registers" for name, _ in report.block_power)
+
+    def test_register_overhead_grows_power(self):
+        design = dw_fp_divider(32)
+        relaxed = synthesize(design, clock_ns=10.0)
+        tight = synthesize(design, clock_ns=1.0)
+        assert tight.pipeline_stages > relaxed.pipeline_stages
+        assert tight.power_mw > relaxed.power_mw
+
+    def test_block_breakdown_sorted_and_complete(self):
+        report = synthesize(dw_fp_multiplier(32))
+        powers = [mw for _, mw in report.block_power]
+        assert powers == sorted(powers, reverse=True)
+        assert sum(powers) == pytest.approx(report.power_mw)
+
+    def test_mantissa_multiplier_dominates_dwip(self):
+        report = synthesize(dw_fp_multiplier(32))
+        top_name, top_mw = report.block_power[0]
+        assert top_name == "mantissa_multiplier"
+        assert top_mw / report.power_mw > 0.5
+
+    def test_metrics_latency_in_clock_units(self):
+        report = synthesize(dw_fp_divider(32), clock_ns=1.43)
+        assert report.metrics.latency_ns == pytest.approx(
+            report.pipeline_stages * 1.43
+        )
+
+    def test_report_renders(self):
+        text = synthesize(ihw_fp_adder(32, 8)).format_report()
+        assert "MET" in text or "VIOLATED" in text
+        assert "mW" in text
+
+    def test_is_dataclass_report(self):
+        assert isinstance(synthesize(dw_fp_multiplier(32)), SynthesisReport)

@@ -1,0 +1,125 @@
+"""Tests for the bit-truncation baseline multiplier (bt_N)."""
+
+import numpy as np
+import pytest
+
+from repro.core import round_mantissa, truncated_multiply, truncation_max_error
+from repro.core.floatops import BINARY32
+
+
+class TestRoundMantissa:
+    def test_identity_at_full_width(self):
+        x = np.array([1.2345678], dtype=np.float32)
+        np.testing.assert_array_equal(round_mantissa(x, 23), x)
+
+    def test_rounds_to_nearest(self):
+        # One fraction bit kept: representable mantissas are 1.0 and 1.5.
+        assert round_mantissa(np.array([1.5], np.float32), 1)[0] == 1.5
+        # 1.75 is the tie point and rounds away from zero to 2.0.
+        assert round_mantissa(np.array([1.75], np.float32), 1)[0] == 2.0
+        # 1.625 is closer to 1.5.
+        assert round_mantissa(np.array([1.625], np.float32), 1)[0] == 1.5
+
+    def test_carry_into_exponent(self):
+        # 1.9999 rounds up to 2.0 when few bits are kept.
+        out = round_mantissa(np.array([1.9999], np.float32), 2)
+        assert out[0] == 2.0
+
+    def test_specials_preserved(self):
+        x = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        out = round_mantissa(x, 3)
+        assert np.isposinf(out[0]) and np.isneginf(out[1]) and np.isnan(out[2])
+
+    def test_rejects_bad_keep(self):
+        with pytest.raises(ValueError):
+            round_mantissa(np.array([1.0], np.float32), 24)
+
+    def test_error_half_ulp(self):
+        rng = np.random.default_rng(40)
+        x = rng.uniform(1, 2, 10000).astype(np.float32)
+        for keep in (2, 8, 15):
+            out = round_mantissa(x, keep, BINARY32).astype(np.float64)
+            rel = np.abs(out / x.astype(np.float64) - 1)
+            assert rel.max() <= 2.0 ** -(keep + 1) + 1e-9
+
+
+class TestTruncatedMultiply:
+    def test_no_truncation_near_exact(self):
+        rng = np.random.default_rng(41)
+        a = rng.uniform(-100, 100, 10000).astype(np.float32)
+        b = rng.uniform(-100, 100, 10000).astype(np.float32)
+        out = truncated_multiply(a, b, 0).astype(np.float64)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        assert rel.max() < 2.0 ** -22  # result truncation only
+
+    @pytest.mark.parametrize("tr", [10, 15, 19, 21])
+    def test_analytic_bound(self, tr):
+        rng = np.random.default_rng(42)
+        a = rng.uniform(-100, 100, 50000).astype(np.float32)
+        b = rng.uniform(-100, 100, 50000).astype(np.float32)
+        out = truncated_multiply(a, b, tr).astype(np.float64)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        assert rel.max() <= truncation_max_error(tr) + 2.0 ** -22
+
+    def test_bt21_matches_paper_band(self):
+        # Figure 14: intuitive truncation of 21 bits gives ~21% max error.
+        rng = np.random.default_rng(43)
+        a = rng.uniform(0.1, 100, 200000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 200000).astype(np.float32)
+        out = truncated_multiply(a, b, 21).astype(np.float64)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        rel = np.abs((out - true) / true)
+        assert 0.15 <= rel.max() <= 0.30
+
+    def test_error_grows_with_truncation(self):
+        rng = np.random.default_rng(44)
+        a = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        means = []
+        for tr in (0, 5, 10, 15, 20):
+            out = truncated_multiply(a, b, tr).astype(np.float64)
+            means.append(np.abs((out - true) / true).mean())
+        assert means == sorted(means)
+
+    def test_plain_truncation_mode(self):
+        rng = np.random.default_rng(45)
+        a = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        b = rng.uniform(0.1, 100, 20000).astype(np.float32)
+        true = a.astype(np.float64) * b.astype(np.float64)
+        out = truncated_multiply(a, b, 21, rounding=False).astype(np.float64)
+        # Pure truncation always underestimates the magnitude.
+        assert (np.abs(out) <= np.abs(true) + 1e-9).all()
+
+    def test_float64(self):
+        rng = np.random.default_rng(46)
+        a = rng.uniform(0.1, 100, 10000)
+        b = rng.uniform(0.1, 100, 10000)
+        out = truncated_multiply(a, b, 44, dtype=np.float64)
+        rel = np.abs(out / (a * b) - 1)
+        assert rel.max() <= truncation_max_error(44, np.float64) + 1e-9
+
+    def test_rejects_bad_truncation(self):
+        with pytest.raises(ValueError):
+            truncated_multiply(np.float32(1), np.float32(1), 24)
+
+    def test_specials(self):
+        assert np.isnan(truncated_multiply(np.float32(np.nan), np.float32(1.0), 5))
+        assert np.isposinf(truncated_multiply(np.float32(np.inf), np.float32(2.0), 5))
+        assert truncated_multiply(np.float32(0.0), np.float32(5.0), 5) == 0.0
+
+
+class TestAnalyticErrorModel:
+    def test_monotone_in_truncation(self):
+        errs = [truncation_max_error(t) for t in range(0, 23)]
+        assert errs == sorted(errs)
+
+    def test_zero_truncation_zero_error(self):
+        assert truncation_max_error(0, rounding=False) == 0.0
+
+    def test_rounding_smaller_than_truncating(self):
+        assert truncation_max_error(21, rounding=True) < truncation_max_error(
+            21, rounding=False
+        )
