@@ -9,9 +9,13 @@ in saved benchmark JSON.
 
 from __future__ import annotations
 
+import json
 import sys
+from pathlib import Path
 
-__all__ = ["emit", "format_row"]
+__all__ = ["emit", "format_row", "write_bench_json"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def format_row(*cells, widths=None) -> str:
@@ -25,3 +29,15 @@ def emit(title: str, lines) -> None:
     out = [bar, title, bar]
     out.extend(str(line) for line in lines)
     print("\n" + "\n".join(out), file=sys.stderr)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a ``BENCH_<name>.json`` tracking file at the repo root.
+
+    These files are committed so successive PRs can see the performance
+    trajectory (wall times, speedups, cache hit rates) without re-running
+    the benchmark suite.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,120 @@
+"""Experiment runtime: parallel sweep speedup and cache effectiveness.
+
+A fixed 12-configuration HotSpot sweep (precise + 8 single units + three
+all-imprecise threshold variants) run three ways:
+
+    sequential cold   ExperimentRunner(max_workers=1), no cache
+    parallel cold     ExperimentRunner(auto workers), fresh cache
+    warm rerun        same cache, everything served from disk
+
+Shape requirements: all three produce bit-identical evaluations; the warm
+rerun is >= 10x faster than the sequential cold sweep; on machines with
+>= 4 cores the parallel cold sweep is >= 2x faster than sequential (on
+smaller machines the measured ratio is still recorded, not asserted).
+Results land in ``BENCH_runtime.json`` at the repo root so successive PRs
+can track the perf trajectory.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import IHWConfig
+from repro.runtime import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    default_worker_count,
+)
+
+from report import emit, format_row, write_bench_json
+
+SPEC = ExperimentSpec.create("hotspot", metric="mae", rows=64, cols=64, iterations=30)
+
+CONFIGS = {
+    "precise": IHWConfig.precise(),
+    "add": IHWConfig.units("add"),
+    "mul": IHWConfig.units("mul"),
+    "div": IHWConfig.units("div"),
+    "rcp": IHWConfig.units("rcp"),
+    "rsqrt": IHWConfig.units("rsqrt"),
+    "sqrt": IHWConfig.units("sqrt"),
+    "log2": IHWConfig.units("log2"),
+    "all_th4": IHWConfig.all_imprecise(adder_threshold=4),
+    "all_th8": IHWConfig.all_imprecise(),
+    "all_th12": IHWConfig.all_imprecise(adder_threshold=12),
+    "all_bt8": IHWConfig.all_imprecise().with_multiplier("truncated", truncation=8),
+}
+
+
+def _identical(a, b):
+    return (
+        a.quality == b.quality
+        and a.savings == b.savings
+        and a.breakdown.watts == b.breakdown.watts
+        and np.array_equal(a.output, b.output)
+    )
+
+
+def test_runtime_sweep(benchmark, tmp_path):
+    assert len(CONFIGS) == 12
+
+    t0 = time.perf_counter()
+    sequential = ExperimentRunner(max_workers=1, cache=None)
+    seq_results = sequential.sweep(SPEC, CONFIGS)
+    cold_sequential_s = time.perf_counter() - t0
+
+    workers = default_worker_count()
+    cache_dir = tmp_path / "cache"
+    t0 = time.perf_counter()
+    parallel = ExperimentRunner(max_workers=workers, cache=ResultCache(cache_dir))
+    par_results = parallel.sweep(SPEC, CONFIGS)
+    cold_parallel_s = time.perf_counter() - t0
+
+    def warm_sweep():
+        runner = ExperimentRunner(max_workers=workers, cache=ResultCache(cache_dir))
+        return runner, runner.sweep(SPEC, CONFIGS)
+
+    warm_runner, warm_results = benchmark(warm_sweep)
+    warm_s = warm_runner.stats.wall_seconds
+
+    # Every mode is bit-identical to the sequential reference.
+    for name in CONFIGS:
+        assert _identical(seq_results[name], par_results[name]), name
+        assert _identical(seq_results[name], warm_results[name]), name
+    assert warm_runner.stats.cache_hits == len(CONFIGS)
+
+    cpu_count = os.cpu_count() or 1
+    parallel_speedup = cold_sequential_s / cold_parallel_s
+    warm_speedup = cold_sequential_s / warm_s
+    payload = {
+        "sweep": {"app": SPEC.app, "configs": sorted(CONFIGS),
+                  "params": SPEC.params_dict()},
+        "cpu_count": cpu_count,
+        "workers": workers,
+        "cold_sequential_s": round(cold_sequential_s, 4),
+        "cold_parallel_s": round(cold_parallel_s, 4),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(warm_speedup, 1),
+        "cache_hit_rate": warm_runner.stats.hit_rate,
+    }
+    path = write_bench_json("runtime", payload)
+
+    benchmark.extra_info.update(payload)
+    emit("Runtime: 12-config HotSpot sweep (64x64x30)", [
+        format_row("mode", "wall s", "speedup", widths=[22, 10, 10]),
+        format_row("sequential cold", f"{cold_sequential_s:.3f}", "1.00x",
+                   widths=[22, 10, 10]),
+        format_row(f"parallel cold ({workers}w)", f"{cold_parallel_s:.3f}",
+                   f"{parallel_speedup:.2f}x", widths=[22, 10, 10]),
+        format_row("warm cache", f"{warm_s:.3f}", f"{warm_speedup:.1f}x",
+                   widths=[22, 10, 10]),
+        f"cache hit rate (warm): {warm_runner.stats.hit_rate:.0%}",
+        f"written: {path}",
+    ])
+
+    assert warm_speedup >= 10.0
+    if cpu_count >= 4:
+        assert parallel_speedup >= 2.0

@@ -1,0 +1,60 @@
+"""Parallel configuration sweep with the content-addressed result cache.
+
+Evaluates a family of imprecise-hardware configurations on HotSpot through
+:class:`repro.runtime.ExperimentRunner`: once cold (every configuration
+computed, results written to the cache) and once warm (every configuration
+served from disk).  The same sweep is also exposed on the command line as
+``python -m repro sweep hotspot --family units --workers 4``.
+
+Run:  python examples/parallel_sweep.py
+"""
+
+import tempfile
+
+from repro import ExperimentRunner, ExperimentSpec, IHWConfig, ResultCache
+from repro.quality import pareto_front, sweep_design_points
+
+
+def build_configs():
+    configs = {"precise": IHWConfig.precise()}
+    for unit in ("add", "mul", "div", "rcp", "rsqrt", "sqrt", "log2", "fma"):
+        configs[unit] = IHWConfig.units(unit)
+    for th in (4, 8, 12):
+        configs[f"all_th{th}"] = IHWConfig.all_imprecise(adder_threshold=th)
+    return configs
+
+
+def main():
+    spec = ExperimentSpec.create(
+        "hotspot", metric="mae", rows=48, cols=48, iterations=20
+    )
+    configs = build_configs()
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        print(f"=== Cold sweep: {len(configs)} configurations ===")
+        runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        results = runner.sweep(spec, configs)
+        for name, ev in results.items():
+            print(f"{name:>10s}  quality={ev.quality:10.6f}  "
+                  f"holistic={ev.savings.system_savings:7.2%}  "
+                  f"arith={ev.savings.arithmetic_savings:7.2%}")
+        print(runner.stats.summary())
+        print()
+
+        print("=== Warm rerun: served from the result cache ===")
+        warm = ExperimentRunner(cache=ResultCache(cache_dir))
+        warm.sweep(spec, configs)
+        print(warm.stats.summary())
+        print()
+
+        print("=== Pareto frontier over the cached sweep ===")
+        points = sweep_design_points(
+            spec, configs,
+            runner=ExperimentRunner(max_workers=1, cache=ResultCache(cache_dir)),
+        )
+        for point in pareto_front(points):
+            print(f"{point.name:>10s}  cost={point.cost:.4f}  loss={point.loss:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,15 +36,20 @@ from .core import (
     truncated_multiply,
 )
 from .framework import Evaluation, PowerQualityFramework
+from .runtime import ExperimentRunner, ExperimentSpec, ResultCache, RunnerStats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArithmeticContext",
     "Evaluation",
+    "ExperimentRunner",
+    "ExperimentSpec",
     "IHWConfig",
     "MultiplierConfig",
     "PowerQualityFramework",
+    "ResultCache",
+    "RunnerStats",
     "__version__",
     "configurable_multiply",
     "imprecise_add",

@@ -9,6 +9,7 @@ Usage (after installation)::
     python -m repro evaluate hotspot --config all --rows 96 --iterations 40
     python -m repro evaluate raytracing --config rcp,add,sqrt --size 96
     python -m repro sweep-multiplier --bits 32
+    python -m repro sweep hotspot --family units --workers 4
     python -m repro sensitivity raytracing --size 48
 
 Every command prints a plain-text report; exit code 0 on success.
@@ -268,6 +269,118 @@ def cmd_sweep_app(args, out) -> int:
     return 0
 
 
+#: Spec parameters and quality metric per sweepable application.
+_SWEEP_APPS = {
+    "hotspot": ("mae", lambda a: {"rows": a.rows, "cols": a.rows,
+                                  "iterations": a.iterations}),
+    "srad": ("mae", lambda a: {"rows": a.rows, "cols": a.rows,
+                               "iterations": a.iterations}),
+    "raytracing": ("ssim", lambda a: {"width": a.size, "height": a.size}),
+    "cp": ("mae", lambda a: {"grid": a.size}),
+}
+
+
+def _sweep_family(family: str, threshold: int):
+    from repro.core import IHWConfig, UNIT_NAMES
+
+    if family == "units":
+        configs = {"precise": IHWConfig.precise()}
+        configs.update(
+            {u: IHWConfig.units(u, adder_threshold=threshold) for u in UNIT_NAMES}
+        )
+        configs["all"] = IHWConfig.all_imprecise(adder_threshold=threshold)
+        return configs
+    if family == "threshold":
+        return {
+            f"th{th}": IHWConfig.all_imprecise(adder_threshold=th)
+            for th in (2, 4, 6, 8, 10, 12)
+        }
+    if family == "multiplier":
+        base = IHWConfig.units("mul")
+        configs = {}
+        for name in ("fp_tr0", "fp_tr8", "fp_tr16", "lp_tr0", "lp_tr8", "lp_tr16"):
+            configs[name] = base.with_multiplier("mitchell", config=name)
+        for tr in (8, 16):
+            configs[f"bt_{tr}"] = base.with_multiplier("truncated", truncation=tr)
+        return configs
+    raise ValueError(f"unknown family {family!r}")
+
+
+def cmd_sweep(args, out) -> int:
+    """Parallel, cached sweep of one application over many configurations."""
+    import json as _json
+
+    from repro.runtime import ExperimentRunner, ExperimentSpec, ResultCache
+
+    if args.app not in _SWEEP_APPS:
+        print(f"unknown app {args.app!r}; expected one of {sorted(_SWEEP_APPS)}",
+              file=sys.stderr)
+        return 2
+    metric, params_for = _SWEEP_APPS[args.app]
+    spec = ExperimentSpec.create(args.app, metric=metric, **params_for(args))
+
+    try:
+        if args.configs:
+            configs = {
+                part.strip(): _parse_config(part.strip(), args.threshold,
+                                            None, "linear")
+                for part in args.configs.split("|") if part.strip()
+            }
+        else:
+            configs = _sweep_family(args.family, args.threshold)
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
+    if not configs:
+        print("no configurations to sweep", file=sys.stderr)
+        return 2
+
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = "auto"
+    runner = ExperimentRunner(max_workers=args.workers, cache=cache)
+    results = runner.sweep(spec, configs)
+    stats = runner.stats
+
+    cached_names = {t.name for t in stats.tasks if t.cached}
+    print(f"application: {spec.describe()}", file=out)
+    print(f"{'config':24s} {'quality':>10s} {'holistic':>9s} {'arith':>9s} "
+          f"{'source':>7s}", file=out)
+    for name, ev in results.items():
+        source = "cache" if name in cached_names else "run"
+        print(f"{name:24s} {ev.quality:10.5g} "
+              f"{ev.savings.system_savings:9.2%} "
+              f"{ev.savings.arithmetic_savings:9.2%} {source:>7s}", file=out)
+    print(f"\n{stats.summary()}", file=out)
+    if runner.cache is not None:
+        print(f"cache: {runner.cache.root} "
+              f"({runner.cache.entry_count()} entries)", file=out)
+
+    if args.json:
+        payload = {
+            "spec": spec.canonical(),
+            "results": {
+                name: {
+                    "config": ev.config.describe(),
+                    "quality": ev.quality,
+                    "system_savings": ev.savings.system_savings,
+                    "arithmetic_savings": ev.savings.arithmetic_savings,
+                    "cached": name in cached_names,
+                }
+                for name, ev in results.items()
+            },
+            "stats": stats.to_dict(),
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {args.json}", file=out)
+    return 0
+
+
 def cmd_report(args, out) -> int:
     from repro.reporting import generate_report
 
@@ -365,6 +478,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated configurations (fp_trN / lp_trN / bt_N)",
     )
 
+    p = sub.add_parser(
+        "sweep", help="parallel cached sweep of an app over configurations"
+    )
+    p.add_argument("app", help="hotspot | srad | raytracing | cp")
+    p.add_argument("--family", default="units",
+                   choices=("units", "threshold", "multiplier"),
+                   help="preset configuration family")
+    p.add_argument("--configs", default=None,
+                   help="pipe-separated config specs (e.g. 'all|precise|add,mul') "
+                        "overriding --family")
+    p.add_argument("--threshold", type=int, default=8, help="adder TH")
+    p.add_argument("--rows", type=int, default=48, help="grid rows (hotspot/srad)")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--size", type=int, default=48, help="image/grid size (ray/cp)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count (default: auto; 1 = sequential)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache for this run")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default .repro_cache or REPRO_CACHE_DIR)")
+    p.add_argument("--json", default=None, help="also write results to a JSON file")
+
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")
@@ -382,6 +517,7 @@ _COMMANDS = {
     "verify": cmd_verify,
     "stalls": cmd_stalls,
     "sweep-app": cmd_sweep_app,
+    "sweep": cmd_sweep,
     "report": cmd_report,
 }
 

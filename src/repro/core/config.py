@@ -9,6 +9,8 @@ truncation.  :class:`IHWConfig` captures one such configuration.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from .adder import DEFAULT_THRESHOLD
@@ -141,6 +143,36 @@ class IHWConfig:
     def with_sfu_mode(self, mode: str) -> "IHWConfig":
         """A copy using the given SFU approximation order."""
         return dataclasses.replace(self, sfu_mode=mode)
+
+    def canonical(self) -> dict:
+        """Order-independent JSON-able form covering every switch.
+
+        Two configurations produce the same document iff they compare
+        equal; this is what :meth:`cache_key` hashes and what the result
+        cache stores for debugging.
+        """
+        return {
+            "enabled": sorted(self.enabled),
+            "adder_threshold": int(self.adder_threshold),
+            "multiplier_mode": self.multiplier_mode,
+            "multiplier_path": self.multiplier_config.path,
+            "multiplier_path_truncation": int(self.multiplier_config.truncation),
+            "multiplier_bt_truncation": int(self.multiplier_truncation),
+            "multiplier_bt_rounding": bool(self.multiplier_bt_rounding),
+            "sfu_mode": self.sfu_mode,
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash of the configuration (hex SHA-256).
+
+        The key is derived from :meth:`canonical`, so it is independent of
+        unit-name ordering and construction path: equal configurations
+        always agree and distinct configurations never collide (up to
+        SHA-256).  Used by :mod:`repro.runtime` to address cached results.
+        """
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
     def describe(self) -> str:
         """Human-readable summary, e.g. for experiment logs."""

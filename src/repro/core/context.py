@@ -114,7 +114,12 @@ class ArithmeticContext:
     # ------------------------------------------------------------------
     def _count(self, op: str, result, imprecise: bool):
         key = (op, "imprecise" if imprecise else "precise")
-        self.counts[key] += int(np.asarray(result).size)
+        # Innermost loop of every kernel: results are almost always ndarrays
+        # already, so only wrap the rare scalar case.
+        if isinstance(result, np.ndarray):
+            self.counts[key] += result.size
+        else:
+            self.counts[key] += int(np.asarray(result).size)
 
     def reset_counts(self):
         """Clear the performance counters."""

@@ -15,7 +15,9 @@ from .characterize import (
     bin_errors,
     characterize,
     characterize_multiplier_config,
+    characterize_multiplier_configs,
     characterize_unit,
+    characterize_units,
 )
 from .metrics import ErrorStats, error_stats, relative_errors, signed_error_moments
 from .propagation import (
@@ -39,7 +41,9 @@ __all__ = [
     "bin_errors",
     "characterize",
     "characterize_multiplier_config",
+    "characterize_multiplier_configs",
     "characterize_unit",
+    "characterize_units",
     "error_stats",
     "full_path_bound",
     "log_path_bound",

@@ -58,6 +58,11 @@ class PowerQualityFramework:
     gpu_config, power_model, library:
         Machine, power, and hardware-metric models (defaults: Fermi
         GTX480-like, calibrated energies, paper 45 nm library).
+    spec:
+        Optional :class:`~repro.runtime.ExperimentSpec` this framework was
+        built from.  Required for parallel/cached ``evaluate_many``: the
+        spec is what crosses process boundaries and addresses the cache.
+        Prefer :meth:`from_spec` over passing it by hand.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class PowerQualityFramework:
         gpu_config: GPUConfig = FERMI_GTX480,
         power_model: GPUPowerModel | None = None,
         library: HardwareLibrary | None = None,
+        spec=None,
     ):
         self._run_app = run_app
         self._quality = quality_metric
@@ -75,6 +81,17 @@ class PowerQualityFramework:
         self._library = library or HardwareLibrary.paper_45nm()
         self._reference = None
         self._reference_breakdown = None
+        self.spec = spec
+
+    @classmethod
+    def from_spec(cls, spec, **kwargs) -> "PowerQualityFramework":
+        """Build from an :class:`~repro.runtime.ExperimentSpec`.
+
+        Frameworks built this way can hand ``evaluate_many`` an
+        :class:`~repro.runtime.ExperimentRunner` for parallel, cached
+        sweeps.
+        """
+        return spec.framework(**kwargs)
 
     @property
     def reference(self):
@@ -114,9 +131,27 @@ class PowerQualityFramework:
             output=result.output,
         )
 
-    def sweep(self, configs: dict) -> dict:
-        """Evaluate a named set of configurations (insertion-ordered)."""
-        return {name: self.evaluate(cfg) for name, cfg in configs.items()}
+    def evaluate_many(self, configs: dict, runner=None) -> dict:
+        """Evaluate a named set of configurations (insertion-ordered).
+
+        With ``runner=None`` every configuration is evaluated here,
+        sequentially.  Passing an :class:`~repro.runtime.ExperimentRunner`
+        routes the sweep through the shared parallel + cached execution
+        path; that requires the framework to have been built from a spec
+        (:meth:`from_spec`), since closures cannot cross processes.
+        """
+        if runner is None:
+            return {name: self.evaluate(cfg) for name, cfg in configs.items()}
+        if self.spec is None:
+            raise ValueError(
+                "parallel evaluation needs a spec-built framework; "
+                "construct it with PowerQualityFramework.from_spec(...)"
+            )
+        return runner.sweep(self.spec, configs)
+
+    def sweep(self, configs: dict, runner=None) -> dict:
+        """Alias of :meth:`evaluate_many` (the historical name)."""
+        return self.evaluate_many(configs, runner=runner)
 
     def quality_evaluator(self) -> Callable:
         """An ``evaluate(config) -> quality`` closure for the tuning loop."""

@@ -71,11 +71,20 @@ class UnitDesign:
     blocks: tuple
     critical_chain: tuple  # block names whose delays sum to the latency
 
+    def _block_map(self) -> dict:
+        # The instance is frozen, so the name->block view is computed once
+        # and stashed outside the declared (hashed/compared) fields.
+        cached = self.__dict__.get("_by_name")
+        if cached is None:
+            cached = {blk.name: blk for blk in self.blocks}
+            object.__setattr__(self, "_by_name", cached)
+        return cached
+
     def block(self, name: str) -> B.Block:
-        for blk in self.blocks:
-            if blk.name == name:
-                return blk
-        raise KeyError(f"{self.name} has no block named {name!r}")
+        try:
+            return self._block_map()[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no block named {name!r}") from None
 
     @property
     def power_mw(self) -> float:
@@ -83,11 +92,16 @@ class UnitDesign:
 
     @property
     def latency_ns(self) -> float:
-        by_name = {blk.name: blk for blk in self.blocks}
+        cached = self.__dict__.get("_latency_ns")
+        if cached is not None:
+            return cached
+        by_name = self._block_map()
         missing = [n for n in self.critical_chain if n not in by_name]
         if missing:
             raise KeyError(f"{self.name}: critical chain references {missing}")
-        return sum(by_name[n].delay_ns for n in self.critical_chain)
+        latency = sum(by_name[n].delay_ns for n in self.critical_chain)
+        object.__setattr__(self, "_latency_ns", latency)
+        return latency
 
     @property
     def area_um2(self) -> float:

@@ -12,7 +12,13 @@ from .metrics import (
     word_accuracy,
 )
 from .autotuner import AutoTuneResult, MultiplierAutoTuner
-from .pareto import DesignPoint, dominates, family_dominates, pareto_front
+from .pareto import (
+    DesignPoint,
+    dominates,
+    family_dominates,
+    pareto_front,
+    sweep_design_points,
+)
 from .tuning import QualityTuner, TuningResult, TuningStep
 
 __all__ = [
@@ -32,6 +38,7 @@ __all__ = [
     "psnr",
     "rmse",
     "ssim",
+    "sweep_design_points",
     "wed",
     "word_accuracy",
 ]

@@ -40,7 +40,8 @@ class MultiplierAutoTuner:
     Parameters
     ----------
     evaluate:
-        ``evaluate(config) -> quality``.
+        ``evaluate(config) -> quality``.  May be None when ``runner`` and
+        ``spec`` are given.
     constraint:
         ``constraint(quality) -> bool``.
     base_config:
@@ -51,30 +52,64 @@ class MultiplierAutoTuner:
     max_truncation:
         Deepest truncation probed (defaults to 22 for fp32-scale mantissas;
         pass 51 for double precision studies).
+    runner, spec:
+        Optional :class:`~repro.runtime.ExperimentRunner` +
+        :class:`~repro.runtime.ExperimentSpec` pair.  Probes then go
+        through the shared cached execution path, so repeated tuning runs
+        (and any sweep that touched the same configurations) reuse
+        results, and the initial per-path probes are dispatched as one
+        parallel batch.
     """
 
     def __init__(
         self,
-        evaluate: Callable[[IHWConfig], float],
+        evaluate: Callable[[IHWConfig], float] | None,
         constraint: Callable[[float], bool],
         base_config: IHWConfig | None = None,
         library: HardwareLibrary | None = None,
         max_truncation: int = 22,
+        runner=None,
+        spec=None,
     ):
         if max_truncation < 0:
             raise ValueError(f"max_truncation must be >= 0, got {max_truncation}")
+        if evaluate is None and (runner is None or spec is None):
+            raise ValueError("evaluate may only be None with runner and spec")
+        if runner is not None and spec is None:
+            raise ValueError("runner requires a spec to address the cache")
         self._evaluate = evaluate
         self._constraint = constraint
         self._base = base_config if base_config is not None else IHWConfig.precise()
         self._library = library or HardwareLibrary.paper_45nm()
         self._max_truncation = max_truncation
+        self._runner = runner
+        self._spec = spec
         self._evaluations = 0
+
+    def _quality(self, config: IHWConfig) -> float:
+        self._evaluations += 1
+        if self._runner is not None:
+            return float(self._runner.evaluate(self._spec, config).quality)
+        return float(self._evaluate(config))
 
     def _probe(self, mult: MultiplierConfig) -> tuple:
         config = self._base.with_multiplier("mitchell", config=mult)
-        quality = self._evaluate(config)
-        self._evaluations += 1
+        quality = self._quality(config)
         return config, quality, bool(self._constraint(quality))
+
+    def _warm_initial_probes(self) -> None:
+        """Batch the tr=0 probes of both paths through the parallel runner.
+
+        The binary searches then start from cache hits; with one worker
+        this is simply a cached sequential pass.
+        """
+        seeds = {
+            path: self._base.with_multiplier(
+                "mitchell", config=MultiplierConfig(path, 0)
+            )
+            for path in ("full", "log")
+        }
+        self._runner.sweep(self._spec, seeds)
 
     def _deepest_acceptable(self, path: str):
         """Largest acceptable truncation on ``path`` via binary search.
@@ -102,6 +137,8 @@ class MultiplierAutoTuner:
 
     def tune(self) -> AutoTuneResult:
         """Find the lowest-power acceptable configuration across both paths."""
+        if self._runner is not None:
+            self._warm_initial_probes()
         candidates = []
         for path in ("full", "log"):
             found = self._deepest_acceptable(path)
@@ -112,8 +149,7 @@ class MultiplierAutoTuner:
 
         if not candidates:
             precise = self._base.without_units("mul")
-            quality = self._evaluate(precise)
-            self._evaluations += 1
+            quality = self._quality(precise)
             return AutoTuneResult(
                 config=precise,
                 multiplier=None,

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DesignPoint", "pareto_front", "dominates", "family_dominates"]
+__all__ = [
+    "DesignPoint",
+    "pareto_front",
+    "dominates",
+    "family_dominates",
+    "sweep_design_points",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,46 @@ def pareto_front(points) -> list:
             continue
         front.append(candidate)
     return sorted(front, key=lambda p: (p.cost, p.loss))
+
+
+def sweep_design_points(spec, configs, runner=None, cost=None, loss=None) -> list:
+    """Evaluate configurations into :class:`DesignPoint`\\ s (both axes clamped at 0).
+
+    The application sweep behind a Figure-14-style Pareto study, routed
+    through the shared parallel + cached execution path.
+
+    Parameters
+    ----------
+    spec:
+        :class:`~repro.runtime.ExperimentSpec` naming the application.
+    configs:
+        ``{name: IHWConfig}``.
+    runner:
+        :class:`~repro.runtime.ExperimentRunner`; default is a sequential
+        runner with environment-controlled caching.
+    cost:
+        ``cost(evaluation) -> float`` (lower is better).  Default: the
+        residual system power fraction ``1 - system_savings``.
+    loss:
+        ``loss(evaluation) -> float`` (lower is better).  Default: the
+        raw quality value — correct for lower-is-better metrics such as
+        MAE; pass e.g. ``lambda ev: 1 - ev.quality`` for SSIM.
+    """
+    from repro.runtime import ExperimentRunner
+
+    if runner is None:
+        runner = ExperimentRunner(max_workers=1)
+    cost = cost or (lambda ev: 1.0 - ev.savings.system_savings)
+    loss = loss or (lambda ev: ev.quality)
+    evaluations = runner.sweep(spec, configs)
+    return [
+        DesignPoint(
+            name=name,
+            cost=max(0.0, float(cost(ev))),
+            loss=max(0.0, float(loss(ev))),
+        )
+        for name, ev in evaluations.items()
+    ]
 
 
 def family_dominates(winners, losers, tolerance: float = 0.0) -> bool:

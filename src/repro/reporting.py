@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["generate_report", "report_sections"]
+__all__ = ["format_runner_stats", "generate_report", "report_sections"]
 
 
 def _section_units(scale: int) -> list:
@@ -124,6 +124,56 @@ def _section_verification(scale: int) -> list:
     return rows
 
 
+def format_runner_stats(stats) -> list:
+    """Markdown bullet rendering of a :class:`~repro.runtime.RunnerStats`."""
+    return [
+        f"- tasks: {stats.n_tasks} in {stats.wall_seconds:.3f}s wall "
+        f"({stats.max_workers} worker{'s' if stats.max_workers != 1 else ''}, "
+        f"chunk {stats.chunk_size})",
+        f"- cache: {stats.hit_rate:.0%} hit rate "
+        f"({stats.cache_hits} hit / {stats.cache_misses} miss)",
+        f"- compute: {stats.compute_seconds:.3f}s summed, "
+        f"speedup vs sequential {stats.speedup_vs_sequential:.2f}x",
+    ]
+
+
+def _section_runtime(scale: int) -> list:
+    import tempfile
+
+    from repro.core import IHWConfig
+    from repro.runtime import ExperimentRunner, ExperimentSpec, ResultCache
+
+    spec = ExperimentSpec.create(
+        "hotspot", metric="mae", rows=scale, cols=scale, iterations=10
+    )
+    configs = {
+        "precise": IHWConfig.precise(),
+        "add": IHWConfig.units("add"),
+        "mul": IHWConfig.units("mul"),
+        "rcp": IHWConfig.units("rcp"),
+        "th4": IHWConfig.all_imprecise(adder_threshold=4),
+        "all": IHWConfig.all_imprecise(),
+    }
+    lines = ["## Experiment runtime (parallel sweep + result cache)", ""]
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache(tmp))
+        runner.sweep(spec, configs)
+        cold = runner.stats
+        runner.sweep(spec, configs)
+        warm = runner.stats
+        lines.append(f"Cold sweep of {cold.n_tasks} HotSpot configurations:")
+        lines.extend(format_runner_stats(cold))
+        lines.append("")
+        lines.append("Warm rerun (content-addressed cache):")
+        lines.extend(format_runner_stats(warm))
+        if cold.wall_seconds > 0 and warm.wall_seconds > 0:
+            lines.append(
+                f"- warm/cold wall ratio: "
+                f"{cold.wall_seconds / warm.wall_seconds:.1f}x faster"
+            )
+    return lines
+
+
 def report_sections(fast: bool = False) -> list:
     """The report as a list of markdown-line lists (one per section)."""
     char_scale = 1 << 13 if fast else 1 << 16
@@ -134,6 +184,7 @@ def report_sections(fast: bool = False) -> list:
         _section_hardware(),
         _section_applications(app_scale),
         _section_verification(cosim_scale),
+        _section_runtime(app_scale),
     ]
 
 

@@ -1,0 +1,45 @@
+"""Parallel experiment runtime with content-addressed result caching.
+
+The architectural seam every multi-configuration consumer shares:
+
+- :class:`ExperimentSpec` — picklable experiment identity (app, params,
+  metric, dtype, seed);
+- :class:`ResultCache` — content-addressed JSON+npz store under
+  ``.repro_cache/`` (``REPRO_CACHE=off`` to disable);
+- :class:`ExperimentRunner` — process-pool fan-out with chunked dispatch;
+  ``max_workers=1`` is the bit-identical sequential path;
+- :class:`RunnerStats` — wall time, per-task latency, hit rate, speedup.
+
+Quick start::
+
+    from repro.core import IHWConfig
+    from repro.runtime import ExperimentRunner, ExperimentSpec
+
+    spec = ExperimentSpec.create("hotspot", metric="mae",
+                                 rows=64, cols=64, iterations=30)
+    runner = ExperimentRunner()  # workers auto-detected, cache from env
+    results = runner.sweep(spec, {
+        "all": IHWConfig.all_imprecise(),
+        "add": IHWConfig.units("add"),
+    })
+    print(runner.stats.summary())
+"""
+
+from .cache import CacheStats, ResultCache, cache_disabled, cache_from_env
+from .runner import ExperimentRunner, default_worker_count
+from .spec import APP_RUNNERS, METRIC_NAMES, ExperimentSpec
+from .stats import RunnerStats, TaskTiming
+
+__all__ = [
+    "APP_RUNNERS",
+    "CacheStats",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "METRIC_NAMES",
+    "ResultCache",
+    "RunnerStats",
+    "TaskTiming",
+    "cache_disabled",
+    "cache_from_env",
+    "default_worker_count",
+]

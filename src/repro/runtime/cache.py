@@ -1,0 +1,245 @@
+"""Content-addressed on-disk cache of power-quality evaluations.
+
+Every cached entry is addressed by a SHA-256 over the *content* of the
+experiment: the application name and parameters, the quality metric, the
+dtype and seed (from :class:`~repro.runtime.spec.ExperimentSpec`), and the
+canonical serialization of the :class:`~repro.core.IHWConfig`
+(:meth:`~repro.core.IHWConfig.cache_key`).  Identical (app, config) pairs —
+whether issued by the autotuner, a Pareto sweep, or a benchmark — therefore
+share one entry.
+
+Layout under the cache root (default ``.repro_cache/``)::
+
+    <key[:2]>/<key>.json   quality, savings, breakdown, output metadata
+    <key[:2]>/<key>.npz    the output array (when the output is an ndarray)
+
+Entries carry a schema version and an output checksum; anything that fails
+to load, verify, or parse is treated as a miss, deleted, and recomputed —
+never served.  Environment knobs:
+
+- ``REPRO_CACHE=off`` (also ``0``/``no``/``false``): disable caching.
+- ``REPRO_CACHE_DIR=<path>``: relocate the cache root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CacheStats", "ResultCache", "cache_from_env", "cache_disabled"]
+
+SCHEMA_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_OFF_VALUES = ("off", "0", "no", "false", "disabled")
+
+
+def cache_disabled() -> bool:
+    """Whether the ``REPRO_CACHE`` escape hatch turns caching off."""
+    return os.environ.get("REPRO_CACHE", "").strip().lower() in _OFF_VALUES
+
+
+def cache_from_env(root=None):
+    """A :class:`ResultCache` honoring the environment, or None when off."""
+    if cache_disabled():
+        return None
+    root = root or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return ResultCache(root)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write accounting of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    invalid: int = 0  # corrupted / stale entries detected and dropped
+    uncacheable: int = 0  # outputs the cache declined to serialize
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {**asdict(self), "hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """Content-addressed store of :class:`~repro.framework.Evaluation` results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+    max_entries:
+        Optional LRU bound; oldest entries are evicted after a write
+        pushes the count above it.
+    """
+
+    def __init__(self, root=None, max_entries: int | None = None):
+        self.root = Path(root or DEFAULT_CACHE_DIR)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def key(self, spec, config) -> str:
+        """The content address of one (experiment, configuration) result."""
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "experiment": spec.canonical(),
+            "config": config.cache_key(),
+        }
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    def _paths(self, key: str) -> tuple:
+        shard = self.root / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, spec, config):
+        """The cached :class:`Evaluation`, or None (miss / invalid entry)."""
+        key = self.key(spec, config)
+        json_path, npz_path = self._paths(key)
+        if not json_path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            evaluation = self._load(json_path, npz_path, config)
+        except Exception:
+            # Corrupted or stale entry: drop it and recompute upstream.
+            self._remove(key)
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return evaluation
+
+    def _load(self, json_path: Path, npz_path: Path, config):
+        from repro.framework import Evaluation
+        from repro.gpu import PowerBreakdown, SavingsReport
+        from repro.gpu.simulator import KernelTiming
+
+        doc = json.loads(json_path.read_text())
+        if doc["schema"] != SCHEMA_VERSION:
+            raise ValueError(f"schema {doc['schema']} != {SCHEMA_VERSION}")
+        if doc["config"] != config.canonical():
+            raise ValueError("stored config does not match the request")
+
+        out_meta = doc["output"]
+        if out_meta["kind"] == "ndarray":
+            with np.load(npz_path) as archive:
+                output = archive["output"]
+            if output.dtype.str != out_meta["dtype"]:
+                raise ValueError("output dtype mismatch")
+            if list(output.shape) != out_meta["shape"]:
+                raise ValueError("output shape mismatch")
+            digest = hashlib.sha256(np.ascontiguousarray(output).tobytes())
+            if digest.hexdigest() != out_meta["sha256"]:
+                raise ValueError("output checksum mismatch")
+        else:
+            output = out_meta["value"]
+
+        savings = SavingsReport(**doc["savings"])
+        breakdown = PowerBreakdown(
+            watts=dict(doc["breakdown"]["watts"]),
+            timing=KernelTiming(**doc["breakdown"]["timing"]),
+            name=doc["breakdown"]["name"],
+        )
+        return Evaluation(
+            config=config,
+            quality=float(doc["quality"]),
+            savings=savings,
+            breakdown=breakdown,
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def put(self, spec, config, evaluation, compute_seconds: float = 0.0) -> bool:
+        """Persist one evaluation; returns False for uncacheable outputs."""
+        output = evaluation.output
+        if isinstance(output, np.ndarray):
+            array = np.ascontiguousarray(output)
+            out_meta = {
+                "kind": "ndarray",
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+            }
+        elif isinstance(output, (bool, int, float, str)) or output is None:
+            array = None
+            out_meta = {"kind": "json", "value": output}
+        else:
+            self.stats.uncacheable += 1
+            return False
+
+        key = self.key(spec, config)
+        json_path, npz_path = self._paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "experiment": spec.canonical(),
+            "config": config.canonical(),
+            "config_describe": config.describe(),
+            "quality": float(evaluation.quality),
+            "savings": asdict(evaluation.savings),
+            "breakdown": {
+                "watts": dict(evaluation.breakdown.watts),
+                "timing": asdict(evaluation.breakdown.timing),
+                "name": evaluation.breakdown.name,
+            },
+            "output": out_meta,
+            "compute_seconds": float(compute_seconds),
+        }
+        if array is not None:
+            np.savez_compressed(npz_path, output=array)
+        json_path.write_text(json.dumps(doc, sort_keys=True, indent=1))
+        self.stats.writes += 1
+        self._enforce_limit()
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _remove(self, key: str) -> None:
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _enforce_limit(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = sorted(self.root.glob("??/*.json"), key=lambda p: p.stat().st_mtime)
+        for stale in entries[: max(0, len(entries) - self.max_entries)]:
+            self._remove(stale.stem)
+            self.stats.evictions += 1
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for json_path in list(self.root.glob("??/*.json")):
+            self._remove(json_path.stem)
+            removed += 1
+        return removed

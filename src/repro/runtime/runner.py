@@ -1,0 +1,235 @@
+"""Parallel, cached experiment execution.
+
+:class:`ExperimentRunner` is the one execution path shared by every
+multi-configuration consumer (framework sweeps, autotuner probes, Pareto
+studies, benchmarks, the CLI):
+
+- each requested configuration is first looked up in the content-addressed
+  :class:`~repro.runtime.cache.ResultCache` (when enabled);
+- the misses fan out over a ``concurrent.futures.ProcessPoolExecutor`` in
+  chunks, each worker memoizing one framework (and thus one precise
+  reference run) per :class:`~repro.runtime.spec.ExperimentSpec`;
+- ``max_workers=1`` degrades to a fully in-process sequential path —
+  no pool, no pickling — so results stay bit-identical and debuggable;
+- per-task compute time is captured either way and aggregated into a
+  :class:`~repro.runtime.stats.RunnerStats`.
+
+Results are deterministic and mode-independent: each evaluation runs the
+same seeded kernel through the same framework code whether inline, in a
+worker, or restored from cache.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from .cache import ResultCache, cache_from_env
+from .stats import RunnerStats, TaskTiming
+
+__all__ = ["ExperimentRunner", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Usable CPU count (affinity-aware where the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level: must be picklable)
+# ----------------------------------------------------------------------
+_WORKER_FRAMEWORKS: dict = {}
+
+
+def _evaluate_spec(spec, config):
+    """One evaluation with per-process framework (and reference) reuse."""
+    framework = _WORKER_FRAMEWORKS.get(spec)
+    if framework is None:
+        framework = spec.framework()
+        _WORKER_FRAMEWORKS[spec] = framework
+    start = time.perf_counter()
+    evaluation = framework.evaluate(config)
+    return evaluation, time.perf_counter() - start
+
+
+def _evaluate_chunk(spec, named_configs):
+    return [
+        (name, *_evaluate_spec(spec, config)) for name, config in named_configs
+    ]
+
+
+def _call_chunk(func, argument_tuples):
+    out = []
+    for arguments in argument_tuples:
+        start = time.perf_counter()
+        result = func(*arguments)
+        out.append((result, time.perf_counter() - start))
+    return out
+
+
+class ExperimentRunner:
+    """Fan configuration evaluations out over processes, through a cache.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count; default auto-detected from the machine.  ``1``
+        selects the in-process sequential path.
+    cache:
+        ``"auto"`` (default): honor ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``;
+        ``None``/``False``: caching off; or a :class:`ResultCache`.
+    chunk_size:
+        Configurations per dispatched task; default balances ~2 chunks
+        per worker so stragglers overlap.
+    """
+
+    def __init__(self, max_workers: int | None = None, cache="auto",
+                 chunk_size: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = max_workers or default_worker_count()
+        if cache == "auto":
+            self.cache = cache_from_env()
+        elif cache in (None, False):
+            self.cache = None
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.chunk_size = chunk_size
+        self.stats = RunnerStats(max_workers=self.max_workers)
+        self._frameworks: dict = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(self, spec, config):
+        """One cached evaluation, always in-process (autotuner probes)."""
+        cached = self.cache.get(spec, config) if self.cache else None
+        if cached is not None:
+            return cached
+        evaluation, seconds = self._evaluate_inline(spec, config)
+        if self.cache:
+            self.cache.put(spec, config, evaluation, seconds)
+        return evaluation
+
+    def sweep(self, spec, configs) -> dict:
+        """Evaluate ``{name: IHWConfig}`` and return ``{name: Evaluation}``.
+
+        Insertion order is preserved; ``self.stats`` afterwards describes
+        this sweep.
+        """
+        wall_start = time.perf_counter()
+        tasks: list = []
+        results: dict = {}
+        misses: list = []
+        for name, config in configs.items():
+            cached = self.cache.get(spec, config) if self.cache else None
+            if cached is not None:
+                results[name] = cached
+                tasks.append(TaskTiming(name, 0.0, cached=True))
+            else:
+                misses.append((name, config))
+
+        chunk_size = self._chunk_size_for(len(misses))
+        if misses and self.max_workers == 1:
+            for name, config in misses:
+                evaluation, seconds = self._evaluate_inline(spec, config)
+                results[name] = evaluation
+                tasks.append(TaskTiming(name, seconds))
+                if self.cache:
+                    self.cache.put(spec, config, evaluation, seconds)
+        elif misses:
+            miss_configs = dict(misses)
+            chunks = _chunked(misses, chunk_size)
+            workers = min(self.max_workers, len(chunks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_evaluate_chunk, spec, chunk) for chunk in chunks
+                ]
+                for future in futures:
+                    for name, evaluation, seconds in future.result():
+                        results[name] = evaluation
+                        tasks.append(TaskTiming(name, seconds))
+                        if self.cache:
+                            self.cache.put(spec, miss_configs[name],
+                                           evaluation, seconds)
+
+        ordered = {name: results[name] for name in configs}
+        self.stats = RunnerStats(
+            wall_seconds=time.perf_counter() - wall_start,
+            max_workers=self.max_workers,
+            chunk_size=chunk_size,
+            tasks=tasks,
+        )
+        return ordered
+
+    def map(self, func, argument_tuples, labels=None) -> list:
+        """Generic fan-out: ``[func(*args) for args in argument_tuples]``.
+
+        ``func`` must be a module-level (picklable) callable.  Used by the
+        characterization sweeps; results keep input order and the run is
+        recorded in ``self.stats`` (no caching at this layer).
+        """
+        argument_tuples = list(argument_tuples)
+        labels = list(labels) if labels is not None else [
+            f"task{i}" for i in range(len(argument_tuples))
+        ]
+        if len(labels) != len(argument_tuples):
+            raise ValueError("labels and argument_tuples lengths differ")
+        wall_start = time.perf_counter()
+        chunk_size = self._chunk_size_for(len(argument_tuples))
+        pairs: list = []
+        if not argument_tuples:
+            pass
+        elif self.max_workers == 1:
+            pairs = _call_chunk(func, argument_tuples)
+        else:
+            chunks = _chunked(argument_tuples, chunk_size)
+            workers = min(self.max_workers, len(chunks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_call_chunk, func, chunk) for chunk in chunks
+                ]
+                for future in futures:
+                    pairs.extend(future.result())
+        self.stats = RunnerStats(
+            wall_seconds=time.perf_counter() - wall_start,
+            max_workers=self.max_workers,
+            chunk_size=chunk_size,
+            tasks=[
+                TaskTiming(label, seconds)
+                for label, (_, seconds) in zip(labels, pairs)
+            ],
+        )
+        return [result for result, _ in pairs]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate_inline(self, spec, config):
+        framework = self._frameworks.get(spec)
+        if framework is None:
+            framework = spec.framework()
+            self._frameworks[spec] = framework
+        start = time.perf_counter()
+        evaluation = framework.evaluate(config)
+        return evaluation, time.perf_counter() - start
+
+    def _chunk_size_for(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if n_tasks <= 0 or self.max_workers == 1:
+            return 1
+        return max(1, math.ceil(n_tasks / (self.max_workers * 2)))
+
+
+def _chunked(items, size: int) -> list:
+    return [items[i : i + size] for i in range(0, len(items), size)]

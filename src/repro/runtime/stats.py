@@ -1,0 +1,107 @@
+"""Timing and cache statistics of one runner invocation.
+
+Every :meth:`repro.runtime.ExperimentRunner.sweep` (and ``map``) call
+produces a :class:`RunnerStats`: wall time, per-task latencies, how many
+results came from the cache, and the estimated speedup over a one-task-at-
+a-time execution.  The CLI and :mod:`repro.reporting` render its
+:meth:`~RunnerStats.summary`; benchmarks persist :meth:`~RunnerStats.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskTiming", "RunnerStats"]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """One evaluated (or cache-served) task."""
+
+    name: str
+    seconds: float  # compute time for misses, lookup time for hits
+    cached: bool = False
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate outcome of one runner invocation."""
+
+    wall_seconds: float = 0.0
+    max_workers: int = 1
+    chunk_size: int = 1
+    tasks: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.tasks if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.n_tasks - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.n_tasks if self.tasks else 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed per-task compute time of the non-cached tasks."""
+        return sum(t.seconds for t in self.tasks if not t.cached)
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Summed compute time / wall time.
+
+        For a parallel cold run this approaches the effective worker
+        count; for a warm (all-hits) run the computed work is ~0 and the
+        caller should compare wall times across runs instead.
+        """
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.compute_seconds / self.wall_seconds
+
+    @property
+    def mean_task_seconds(self) -> float:
+        computed = [t.seconds for t in self.tasks if not t.cached]
+        return sum(computed) / len(computed) if computed else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering / persistence
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        return (
+            f"{self.n_tasks} task{'s' if self.n_tasks != 1 else ''} "
+            f"in {self.wall_seconds:.3f}s wall "
+            f"({self.max_workers} worker{'s' if self.max_workers != 1 else ''}, "
+            f"chunk {self.chunk_size}): "
+            f"cache hit rate {self.hit_rate:.0%} "
+            f"({self.cache_hits} hit / {self.cache_misses} miss), "
+            f"compute {self.compute_seconds:.3f}s, "
+            f"speedup vs sequential {self.speedup_vs_sequential:.2f}x"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "max_workers": self.max_workers,
+            "chunk_size": self.chunk_size,
+            "n_tasks": self.n_tasks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "compute_seconds": self.compute_seconds,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+            "mean_task_seconds": self.mean_task_seconds,
+            "tasks": [
+                {"name": t.name, "seconds": t.seconds, "cached": t.cached}
+                for t in self.tasks
+            ],
+        }

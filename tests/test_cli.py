@@ -190,3 +190,48 @@ class TestStallsCommand:
     def test_unknown_app(self):
         code, _ = run_cli("stalls", "doom")
         assert code == 2
+
+
+class TestSweep:
+    def test_units_family_with_cache(self, tmp_path):
+        args = (
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--cache-dir", str(tmp_path),
+        )
+        code, text = run_cli(*args)
+        assert code == 0
+        assert "precise" in text and "all" in text
+        assert "hit rate 0%" in text
+        # Same sweep again: everything served from the cache.
+        code, text = run_cli(*args)
+        assert code == 0
+        assert "hit rate 100%" in text
+
+    def test_explicit_configs_no_cache(self):
+        code, text = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--configs", "precise|all|add,mul",
+        )
+        assert code == 0
+        assert "add,mul" in text
+
+    def test_json_output(self, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        code, _ = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--json", str(out_file),
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["spec"]["app"] == "hotspot"
+        assert "precise" in payload["results"]
+        assert payload["stats"]["n_tasks"] == len(payload["results"])
+
+    def test_unknown_config_spec_exit_code(self):
+        code, _ = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--configs", "bogus_cfg",
+        )
+        assert code == 2

@@ -95,3 +95,55 @@ class TestDescribe:
     def test_describe_table1(self):
         cfg = IHWConfig.units("mul")
         assert "table1" in cfg.describe()
+
+
+class TestCacheKey:
+    def _family(self):
+        return {
+            "precise": IHWConfig.precise(),
+            "add": IHWConfig.units("add"),
+            "add_th4": IHWConfig.units("add", adder_threshold=4),
+            "add_th12": IHWConfig.units("add", adder_threshold=12),
+            "mul": IHWConfig.units("mul"),
+            "rcp": IHWConfig.units("rcp"),
+            "add_mul": IHWConfig.units("add", "mul"),
+            "all": IHWConfig.all_imprecise(),
+            "all_th4": IHWConfig.all_imprecise(adder_threshold=4),
+            "lp_tr0": IHWConfig.precise().with_multiplier("mitchell", config="lp_tr0"),
+            "lp_tr8": IHWConfig.precise().with_multiplier("mitchell", config="lp_tr8"),
+            "fp_tr0": IHWConfig.precise().with_multiplier("mitchell", config="fp_tr0"),
+            "bt_8": IHWConfig.precise().with_multiplier("truncated", truncation=8),
+            "bt_16": IHWConfig.precise().with_multiplier("truncated", truncation=16),
+        }
+
+    def test_distinct_configs_never_collide(self):
+        family = self._family()
+        keys = {name: cfg.cache_key() for name, cfg in family.items()}
+        assert len(set(keys.values())) == len(family), keys
+
+    def test_equal_configs_agree(self):
+        a = IHWConfig.units("add", "mul", "rcp")
+        b = IHWConfig.precise().with_units("rcp", "mul", "add")
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_enabled_set_order_independent(self):
+        a = IHWConfig.units("sqrt", "add", "log2")
+        b = IHWConfig.units("log2", "sqrt", "add")
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_is_hex_sha256(self):
+        key = IHWConfig.precise().cache_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_stable_across_instances(self):
+        assert IHWConfig.all_imprecise().cache_key() == (
+            IHWConfig.all_imprecise().cache_key()
+        )
+
+    def test_canonical_is_json_round_trippable(self):
+        import json
+
+        doc = IHWConfig.all_imprecise().canonical()
+        assert json.loads(json.dumps(doc)) == doc

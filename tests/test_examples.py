@@ -19,6 +19,7 @@ SLOW = [
     "raytrace_quality_tuning.py",
     "multiplier_design_space.py",
     "extensions_tour.py",
+    "parallel_sweep.py",
 ]
 
 

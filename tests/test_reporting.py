@@ -8,9 +8,14 @@ from repro.reporting import generate_report, report_sections
 
 
 class TestReportSections:
-    def test_four_sections(self):
+    def test_five_sections(self):
         sections = report_sections(fast=True)
-        assert len(sections) == 4
+        assert len(sections) == 5
+
+    def test_runtime_section_reports_cache(self):
+        text = "\n".join(report_sections(fast=True)[4])
+        assert "hit rate" in text
+        assert "Warm rerun" in text
 
     def test_units_section_has_all_rows(self):
         units = report_sections(fast=True)[0]

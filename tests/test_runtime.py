@@ -1,0 +1,261 @@
+"""Tests for the parallel experiment runtime and its result cache.
+
+The contract under test: every execution mode — sequential in-process,
+process-pool parallel, cache-restored — returns bit-identical evaluations,
+and anything the cache cannot faithfully serve (corrupted, stale, or
+truncated entries) is recomputed, never served.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import IHWConfig
+from repro.framework import PowerQualityFramework
+from repro.quality import MultiplierAutoTuner, sweep_design_points
+from repro.runtime import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    cache_disabled,
+    cache_from_env,
+)
+
+HOTSPOT = ExperimentSpec.create(
+    "hotspot", metric="mae", rows=24, cols=24, iterations=6
+)
+SRAD = ExperimentSpec.create("srad", metric="mae", rows=24, cols=24, iterations=4)
+
+SWEEP = {
+    "precise": IHWConfig.precise(),
+    "add": IHWConfig.units("add"),
+    "mul": IHWConfig.units("mul"),
+    "all": IHWConfig.all_imprecise(),
+}
+
+
+def assert_evaluations_identical(a, b):
+    assert a.config == b.config
+    assert a.quality == b.quality  # bitwise: no tolerance
+    assert a.savings == b.savings
+    assert a.breakdown.watts == b.breakdown.watts
+    assert a.breakdown.timing == b.breakdown.timing
+    assert isinstance(b.output, np.ndarray) == isinstance(a.output, np.ndarray)
+    if isinstance(a.output, np.ndarray):
+        assert a.output.dtype == b.output.dtype
+        assert np.array_equal(a.output, b.output)
+    else:
+        assert a.output == b.output
+
+
+class TestExperimentSpec:
+    def test_create_sorts_params(self):
+        a = ExperimentSpec.create("hotspot", metric="mae", rows=8, cols=8)
+        b = ExperimentSpec.create("hotspot", metric="mae", cols=8, rows=8)
+        assert a == b and hash(a) == hash(b)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            ExperimentSpec.create("bogus", metric="mae")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            ExperimentSpec.create("hotspot", metric="bogus")
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(TypeError, match="plain scalar"):
+            ExperimentSpec.create("hotspot", metric="mae", power_map=np.ones(4))
+
+    def test_framework_round_trip(self):
+        fw = HOTSPOT.framework()
+        assert isinstance(fw, PowerQualityFramework)
+        assert fw.spec is HOTSPOT
+
+
+class TestParallelSequentialIdentity:
+    @pytest.mark.parametrize("spec", [HOTSPOT, SRAD], ids=["hotspot", "srad"])
+    def test_bit_identical(self, spec):
+        sequential = ExperimentRunner(max_workers=1, cache=None)
+        parallel = ExperimentRunner(max_workers=2, cache=None)
+        seq = sequential.sweep(spec, SWEEP)
+        par = parallel.sweep(spec, SWEEP)
+        assert list(seq) == list(par) == list(SWEEP)
+        for name in SWEEP:
+            assert_evaluations_identical(seq[name], par[name])
+
+    def test_stats_capture(self):
+        runner = ExperimentRunner(max_workers=1, cache=None)
+        runner.sweep(HOTSPOT, SWEEP)
+        stats = runner.stats
+        assert stats.n_tasks == len(SWEEP)
+        assert stats.cache_misses == len(SWEEP)
+        assert stats.wall_seconds > 0
+        assert all(t.seconds > 0 for t in stats.tasks)
+        assert "hit rate" in stats.summary()
+        assert stats.to_dict()["n_tasks"] == len(SWEEP)
+
+
+class TestResultCache:
+    def test_round_trip_identical(self, tmp_path):
+        cold = ExperimentRunner(max_workers=1, cache=ResultCache(tmp_path))
+        first = cold.sweep(HOTSPOT, SWEEP)
+        warm = ExperimentRunner(max_workers=1, cache=ResultCache(tmp_path))
+        second = warm.sweep(HOTSPOT, SWEEP)
+        assert warm.stats.cache_hits == len(SWEEP)
+        assert warm.cache.stats.hits == len(SWEEP)
+        for name in SWEEP:
+            assert_evaluations_identical(first[name], second[name])
+
+    def test_distinct_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = ExperimentSpec.create(
+            "hotspot", metric="mae", rows=24, cols=24, iterations=7
+        )
+        config = IHWConfig.units("add")
+        assert cache.key(HOTSPOT, config) != cache.key(other, config)
+        assert cache.key(HOTSPOT, config) != cache.key(
+            HOTSPOT, IHWConfig.units("add", adder_threshold=4)
+        )
+
+    def test_corrupted_json_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        config = {"add": IHWConfig.units("add")}
+        before = runner.sweep(HOTSPOT, config)
+        entry = next(tmp_path.glob("??/*.json"))
+        entry.write_text("{ not json")
+        fresh = ResultCache(tmp_path)
+        again = ExperimentRunner(max_workers=1, cache=fresh).sweep(HOTSPOT, config)
+        assert fresh.stats.invalid == 1 and fresh.stats.hits == 0
+        assert_evaluations_identical(before["add"], again["add"])
+
+    def test_corrupted_npz_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        config = {"add": IHWConfig.units("add")}
+        before = runner.sweep(HOTSPOT, config)
+        npz = next(tmp_path.glob("??/*.npz"))
+        npz.write_bytes(b"garbage")
+        fresh = ResultCache(tmp_path)
+        again = ExperimentRunner(max_workers=1, cache=fresh).sweep(HOTSPOT, config)
+        assert fresh.stats.invalid == 1
+        assert_evaluations_identical(before["add"], again["add"])
+
+    def test_stale_schema_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentRunner(max_workers=1, cache=cache).sweep(
+            HOTSPOT, {"add": IHWConfig.units("add")}
+        )
+        entry = next(tmp_path.glob("??/*.json"))
+        doc = json.loads(entry.read_text())
+        doc["schema"] = 999
+        entry.write_text(json.dumps(doc))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(HOTSPOT, IHWConfig.units("add")) is None
+        assert fresh.stats.invalid == 1
+
+    def test_eviction_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        ExperimentRunner(max_workers=1, cache=cache).sweep(HOTSPOT, SWEEP)
+        assert cache.entry_count() == 2
+        assert cache.stats.evictions == len(SWEEP) - 2
+
+    def test_env_off_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert cache_disabled()
+        assert cache_from_env() is None
+        runner = ExperimentRunner(max_workers=1, cache="auto")
+        assert runner.cache is None
+
+    def test_env_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.root == tmp_path / "alt"
+
+
+class TestFrameworkIntegration:
+    def test_evaluate_many_matches_evaluate(self, tmp_path):
+        fw = HOTSPOT.framework()
+        direct = {name: fw.evaluate(cfg) for name, cfg in SWEEP.items()}
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache(tmp_path))
+        many = fw.evaluate_many(SWEEP, runner=runner)
+        for name in SWEEP:
+            assert_evaluations_identical(direct[name], many[name])
+
+    def test_sweep_alias_still_sequential(self):
+        fw = HOTSPOT.framework()
+        results = fw.sweep({"add": IHWConfig.units("add")})
+        assert set(results) == {"add"}
+
+    def test_runner_without_spec_rejected(self):
+        from repro.apps import hotspot
+        from repro.quality import mae
+
+        fw = PowerQualityFramework(
+            run_app=lambda cfg: hotspot.run(cfg, 16, 16, 4), quality_metric=mae
+        )
+        with pytest.raises(ValueError, match="from_spec"):
+            fw.evaluate_many(SWEEP, runner=ExperimentRunner(max_workers=1))
+
+
+class TestAutotunerIntegration:
+    def test_runner_probes_match_direct(self, tmp_path):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache(tmp_path))
+        constraint = lambda q: q < 0.5  # noqa: E731
+        tuned = MultiplierAutoTuner(
+            None, constraint, runner=runner, spec=HOTSPOT, max_truncation=6
+        ).tune()
+        direct = MultiplierAutoTuner(
+            HOTSPOT.framework().quality_evaluator(), constraint, max_truncation=6
+        ).tune()
+        assert tuned.multiplier == direct.multiplier
+        assert tuned.quality == direct.quality
+        # A rerun over the same cache is pure hits.
+        rerun_runner = ExperimentRunner(
+            max_workers=1, cache=ResultCache(tmp_path)
+        )
+        MultiplierAutoTuner(
+            None, constraint, runner=rerun_runner, spec=HOTSPOT, max_truncation=6
+        ).tune()
+        assert rerun_runner.cache.stats.misses == 0
+
+    def test_runner_requires_spec(self):
+        with pytest.raises(ValueError, match="spec"):
+            MultiplierAutoTuner(
+                None, lambda q: True, runner=ExperimentRunner(max_workers=1)
+            )
+
+
+class TestParetoIntegration:
+    def test_sweep_design_points(self, tmp_path):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache(tmp_path))
+        points = sweep_design_points(HOTSPOT, SWEEP, runner=runner)
+        assert [p.name for p in points] == list(SWEEP)
+        precise = next(p for p in points if p.name == "precise")
+        everything = next(p for p in points if p.name == "all")
+        assert everything.cost < precise.cost  # savings reduce residual power
+        assert all(p.cost >= 0 and p.loss >= 0 for p in points)
+
+
+class TestCharacterizeIntegration:
+    def test_parallel_matches_sequential(self):
+        from repro.erroranalysis import characterize_units
+
+        names = ["ifpmul", "ircp"]
+        seq = characterize_units(names, n_samples=2048)
+        par = characterize_units(
+            names, n_samples=2048, runner=ExperimentRunner(max_workers=2)
+        )
+        assert set(seq) == set(par) == set(names)
+        for name in names:
+            assert np.array_equal(seq[name].bins, par[name].bins)
+            assert np.array_equal(seq[name].probabilities, par[name].probabilities)
+
+    def test_multiplier_configs(self):
+        from repro.erroranalysis import characterize_multiplier_configs
+
+        pmfs = characterize_multiplier_configs(["fp_tr0", "bt_8"], n_samples=2048)
+        assert set(pmfs) == {"fp_tr0", "bt_8"}
