@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import IHWConfig
 from repro.runtime import (
     ExperimentRunner,
@@ -118,3 +119,62 @@ def test_runtime_sweep(benchmark, tmp_path):
     assert warm_speedup >= 10.0
     if cpu_count >= 4:
         assert parallel_speedup >= 2.0
+
+
+OVERHEAD_SPEC = ExperimentSpec.create(
+    "hotspot", metric="mae", rows=48, cols=48, iterations=20
+)
+
+
+def _sweep_once(mode):
+    """One sequential uncached sweep under telemetry ``mode``."""
+    with telemetry.override(mode):
+        telemetry.reset()
+        runner = ExperimentRunner(max_workers=1, cache=None)
+        t0 = time.perf_counter()
+        runner.sweep(OVERHEAD_SPEC, CONFIGS)
+        elapsed = time.perf_counter() - t0
+        telemetry.reset()
+    return elapsed
+
+
+def _timed_sweep(mode, repeats=3):
+    """Best-of-N wall time of the overhead sweep under ``mode``."""
+    return min(_sweep_once(mode) for _ in range(repeats))
+
+
+def test_telemetry_overhead(benchmark):
+    """Telemetry must be near-free when off and cheap when on.
+
+    Measures the same 12-config sequential uncached sweep with telemetry
+    off, metrics (drift probes sampling), and trace (spans on top), and
+    records the overheads next to the runtime numbers.  The gate is on
+    metrics mode: < 5% over off.
+    """
+    off_s = _timed_sweep("off")
+    benchmark.pedantic(lambda: _sweep_once("metrics"), rounds=3)
+    metrics_s = benchmark.stats.stats.min
+    trace_s = _timed_sweep("trace")
+
+    metrics_overhead = metrics_s / off_s - 1.0
+    trace_overhead = trace_s / off_s - 1.0
+    payload = {
+        "telemetry_off_s": round(off_s, 4),
+        "telemetry_metrics_s": round(metrics_s, 4),
+        "telemetry_trace_s": round(trace_s, 4),
+        "telemetry_metrics_overhead": round(metrics_overhead, 4),
+        "telemetry_trace_overhead": round(trace_overhead, 4),
+    }
+    path = write_bench_json("runtime", payload, update=True)
+
+    emit("Runtime: telemetry overhead (12-config sweep, 48x48x20)", [
+        format_row("mode", "wall s", "overhead", widths=[22, 10, 10]),
+        format_row("off", f"{off_s:.3f}", "-", widths=[22, 10, 10]),
+        format_row("metrics", f"{metrics_s:.3f}",
+                   f"{metrics_overhead:+.1%}", widths=[22, 10, 10]),
+        format_row("trace", f"{trace_s:.3f}",
+                   f"{trace_overhead:+.1%}", widths=[22, 10, 10]),
+        f"written: {path}",
+    ])
+
+    assert metrics_overhead < 0.05

@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import ArithmeticContext, IHWConfig
 from repro.gpu import KernelCounters
 
@@ -42,8 +43,18 @@ class AppResult:
 
 
 def make_context(config: IHWConfig | None, dtype=np.float32) -> ArithmeticContext:
-    """Context with the given configuration (precise when ``config`` is None)."""
-    return ArithmeticContext(config if config is not None else IHWConfig.precise(), dtype=dtype)
+    """Context with the given configuration (precise when ``config`` is None).
+
+    When telemetry is enabled (``REPRO_TELEMETRY=metrics|trace``) imprecise
+    runs get a numeric-drift probe attached; the precise reference never
+    does (its drift is zero by construction).
+    """
+    ctx = ArithmeticContext(
+        config if config is not None else IHWConfig.precise(), dtype=dtype
+    )
+    if config is not None:
+        ctx.drift_probe = telemetry.make_drift_probe()
+    return ctx
 
 
 def finish(
@@ -65,4 +76,5 @@ def finish(
         ctrl_ops=ctrl_ops,
         threads=threads,
     )
+    telemetry.record_kernel(name, ctx)
     return AppResult(name=name, output=output, counters=counters, extras=extras or {})

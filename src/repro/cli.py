@@ -18,7 +18,9 @@ Every command prints a plain-text report; exit code 0 on success.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -355,6 +357,18 @@ def cmd_sweep(args, out) -> int:
               f"{ev.savings.system_savings:9.2%} "
               f"{ev.savings.arithmetic_savings:9.2%} {source:>7s}", file=out)
     print(f"\n{stats.summary()}", file=out)
+    if args.stats:
+        doc = stats.to_dict()
+        print("\nrunner stats:", file=out)
+        for field in ("wall_seconds", "compute_seconds", "mean_task_seconds",
+                      "speedup_vs_sequential", "max_workers", "chunk_size",
+                      "n_tasks", "cache_hits", "cache_misses", "hit_rate"):
+            print(f"  {field:24s} {doc[field]}", file=out)
+        print(f"  {'task':24s} {'seconds':>9s} source", file=out)
+        for task in doc["tasks"]:
+            source = "cache" if task["cached"] else "run"
+            print(f"  {task['name']:24s} {task['seconds']:9.3f} {source}",
+                  file=out)
     if runner.cache is not None:
         print(f"cache: {runner.cache.root} "
               f"({runner.cache.entry_count()} entries)", file=out)
@@ -373,11 +387,56 @@ def cmd_sweep(args, out) -> int:
                 for name, ev in results.items()
             },
             "stats": stats.to_dict(),
+            "speedup_vs_sequential": stats.speedup_vs_sequential,
         }
         with open(args.json, "w") as handle:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"results written to {args.json}", file=out)
+    return 0
+
+
+def cmd_metrics(args, out) -> int:
+    """Render the persisted telemetry metrics snapshot."""
+    from repro import telemetry
+    from repro.telemetry import MetricsRegistry
+
+    directory = args.dir or telemetry.telemetry_dir()
+    path = Path(directory) / telemetry.METRICS_FILENAME
+    if not path.exists():
+        print(f"no metrics snapshot at {path}; run a command with "
+              "REPRO_TELEMETRY=metrics (or trace) first", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry.from_snapshot_file(path)
+    if args.format == "json":
+        print(registry.to_jsonl(), file=out)
+    else:
+        print(registry.prometheus_text(), file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    """Render the persisted telemetry trace as an indented span tree."""
+    import json as _json
+
+    from repro import telemetry
+    from repro.telemetry import render_span_tree
+
+    directory = args.dir or telemetry.telemetry_dir()
+    path = Path(directory) / telemetry.TRACE_FILENAME
+    if not path.exists():
+        print(f"no trace at {path}; run a command with "
+              "REPRO_TELEMETRY=trace first", file=sys.stderr)
+        return 2
+    spans = [
+        _json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+    if not spans:
+        print(f"trace {path} is empty", file=sys.stderr)
+        return 2
+    print(render_span_tree(spans, roots_only_last=not args.all), file=out)
     return 0
 
 
@@ -499,6 +558,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default .repro_cache or REPRO_CACHE_DIR)")
     p.add_argument("--json", default=None, help="also write results to a JSON file")
+    p.add_argument("--stats", action="store_true",
+                   help="print the detailed runner statistics after the sweep")
+
+    p = sub.add_parser(
+        "metrics", help="print the persisted telemetry metrics snapshot"
+    )
+    p.add_argument("--dir", default=None,
+                   help="telemetry directory (default .repro_telemetry or "
+                        "REPRO_TELEMETRY_DIR)")
+    p.add_argument("--format", default="prometheus",
+                   choices=("prometheus", "json"),
+                   help="output format (default Prometheus text exposition)")
+
+    p = sub.add_parser("trace", help="render the persisted telemetry trace")
+    p.add_argument("--dir", default=None,
+                   help="telemetry directory (default .repro_telemetry or "
+                        "REPRO_TELEMETRY_DIR)")
+    p.add_argument("--all", action="store_true",
+                   help="render every recorded root span (default: last only)")
 
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")
@@ -518,15 +596,41 @@ _COMMANDS = {
     "stalls": cmd_stalls,
     "sweep-app": cmd_sweep_app,
     "sweep": cmd_sweep,
+    "metrics": cmd_metrics,
+    "trace": cmd_trace,
     "report": cmd_report,
 }
 
+#: Commands that only render persisted telemetry — never flush their own.
+_VIEWER_COMMANDS = ("metrics", "trace")
+
 
 def main(argv=None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    With ``REPRO_TELEMETRY=metrics|trace`` every experiment-running
+    command persists its buffered telemetry under the telemetry
+    directory on the way out; ``repro metrics`` / ``repro trace``
+    render what accumulated there.
+    """
+    from repro import telemetry
+
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        code = _COMMANDS[args.command](args, out)
+        if args.command not in _VIEWER_COMMANDS:
+            written = telemetry.flush()
+            for kind, path in sorted(written.items()):
+                print(f"telemetry {kind} written to {path}", file=out)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. piped into head); exit quietly.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -108,6 +108,11 @@ class ArithmeticContext:
             raise TypeError(f"unsupported dtype: {self.dtype}")
         #: scalar-operation counts keyed by (op, "imprecise" | "precise")
         self.counts: Counter = Counter()
+        #: optional :class:`~repro.telemetry.DriftProbe` observing imprecise
+        #: results against their float64-exact value.  The probe never
+        #: touches ``counts`` — the power model's inputs are identical with
+        #: and without it.
+        self.drift_probe = None
 
     # ------------------------------------------------------------------
     # Counting
@@ -150,6 +155,10 @@ class ArithmeticContext:
         if self._use_imprecise("add", precise):
             out = imprecise_add(a, b, self.config.adder_threshold, dtype=self.dtype)
             self._count("add", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "add", out, lambda: np.add(a, b, dtype=np.float64)
+                )
         else:
             out = np.add(a, b, dtype=self.dtype)
             self._count("add", out, False)
@@ -160,6 +169,10 @@ class ArithmeticContext:
         if self._use_imprecise("sub", precise):
             out = imprecise_subtract(a, b, self.config.adder_threshold, dtype=self.dtype)
             self._count("sub", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "sub", out, lambda: np.subtract(a, b, dtype=np.float64)
+                )
         else:
             out = np.subtract(a, b, dtype=self.dtype)
             self._count("sub", out, False)
@@ -186,6 +199,10 @@ class ArithmeticContext:
         if self._use_imprecise("mul", precise):
             out = self._imprecise_mul(a, b)
             self._count("mul", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "mul", out, lambda: np.multiply(a, b, dtype=np.float64)
+                )
         else:
             out = np.multiply(a, b, dtype=self.dtype)
             self._count("mul", out, False)
@@ -196,6 +213,14 @@ class ArithmeticContext:
         if self._use_imprecise("fma", precise):
             out = imprecise_fma(a, b, c, self.config.adder_threshold, dtype=self.dtype)
             self._count("fma", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "fma",
+                    out,
+                    lambda: np.add(
+                        np.multiply(a, b, dtype=np.float64), c, dtype=np.float64
+                    ),
+                )
         else:
             out = np.add(np.multiply(a, b, dtype=self.dtype), c, dtype=self.dtype)
             self._count("fma", out, False)
@@ -217,6 +242,10 @@ class ArithmeticContext:
             else:
                 out = imprecise_divide(a, b, dtype=self.dtype)
             self._count("div", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "div", out, lambda: np.divide(a, b, dtype=np.float64)
+                )
         else:
             with np.errstate(divide="ignore", invalid="ignore"):
                 out = np.divide(a, b, dtype=self.dtype)
@@ -231,6 +260,10 @@ class ArithmeticContext:
             else:
                 out = imprecise_reciprocal(x, dtype=self.dtype)
             self._count("rcp", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "rcp", out, lambda: 1.0 / np.asarray(x, dtype=np.float64)
+                )
         else:
             with np.errstate(divide="ignore"):
                 out = np.divide(np.array(1.0, self.dtype), x, dtype=self.dtype)
@@ -245,6 +278,12 @@ class ArithmeticContext:
             else:
                 out = imprecise_rsqrt(x, dtype=self.dtype)
             self._count("rsqrt", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "rsqrt",
+                    out,
+                    lambda: 1.0 / np.sqrt(np.asarray(x, dtype=np.float64)),
+                )
         else:
             with np.errstate(divide="ignore", invalid="ignore"):
                 out = np.divide(
@@ -261,6 +300,10 @@ class ArithmeticContext:
             else:
                 out = imprecise_sqrt(x, dtype=self.dtype)
             self._count("sqrt", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "sqrt", out, lambda: np.sqrt(np.asarray(x, dtype=np.float64))
+                )
         else:
             with np.errstate(invalid="ignore"):
                 out = np.sqrt(x, dtype=self.dtype)
@@ -275,6 +318,10 @@ class ArithmeticContext:
             else:
                 out = imprecise_log2(x, dtype=self.dtype)
             self._count("log2", out, True)
+            if self.drift_probe is not None:
+                self.drift_probe.observe(
+                    "log2", out, lambda: np.log2(np.asarray(x, dtype=np.float64))
+                )
         else:
             with np.errstate(divide="ignore", invalid="ignore"):
                 out = np.log2(x, dtype=self.dtype)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import (
     MultiplierConfig,
     configurable_multiply,
@@ -198,8 +199,14 @@ def characterize_unit(
         raise ValueError(
             f"unknown unit {name!r}; expected one of {sorted(UNIT_CHARACTERIZATIONS)}"
         ) from None
-    approx, exact = driver(n_samples, seed, dtype)
-    return characterize(approx, exact, label=name)
+    with telemetry.span("characterize", unit=name, samples=n_samples):
+        approx, exact = driver(n_samples, seed, dtype)
+        pmf = characterize(approx, exact, label=name)
+    telemetry.counter_inc("repro_characterizations_total", kind="unit",
+                          unit=name)
+    telemetry.counter_inc("repro_characterization_samples_total", n_samples,
+                          kind="unit", unit=name)
+    return pmf
 
 
 def characterize_units(
@@ -267,15 +274,22 @@ def characterize_multiplier_config(
     ``config`` is a :class:`~repro.core.MultiplierConfig`, a paper-style name
     (``"lp_tr19"``), or ``"bt_N"`` for the intuitive truncation baseline.
     """
-    a, b = mantissa_inputs(n_samples, 2, seed=seed, dtype=dtype)
-    exact = a.astype(np.float64) * b.astype(np.float64)
-    if isinstance(config, str) and config.startswith("bt_"):
-        truncation = int(config[3:])
-        approx = truncated_multiply(a, b, truncation, dtype=dtype)
-        label = config
-    else:
-        if isinstance(config, str):
-            config = MultiplierConfig.from_name(config)
-        approx = configurable_multiply(a, b, config, dtype=dtype)
-        label = config.name
-    return characterize(approx, exact, label=label)
+    with telemetry.span("characterize", multiplier=str(config),
+                        samples=n_samples):
+        a, b = mantissa_inputs(n_samples, 2, seed=seed, dtype=dtype)
+        exact = a.astype(np.float64) * b.astype(np.float64)
+        if isinstance(config, str) and config.startswith("bt_"):
+            truncation = int(config[3:])
+            approx = truncated_multiply(a, b, truncation, dtype=dtype)
+            label = config
+        else:
+            if isinstance(config, str):
+                config = MultiplierConfig.from_name(config)
+            approx = configurable_multiply(a, b, config, dtype=dtype)
+            label = config.name
+        pmf = characterize(approx, exact, label=label)
+    telemetry.counter_inc("repro_characterizations_total", kind="multiplier",
+                          unit=label)
+    telemetry.counter_inc("repro_characterization_samples_total", n_samples,
+                          kind="multiplier", unit=label)
+    return pmf

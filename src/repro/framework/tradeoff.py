@@ -9,9 +9,11 @@ system-level power savings with the Figure-12 algorithm.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.core import IHWConfig
 from repro.gpu import (
     FERMI_GTX480,
@@ -97,7 +99,8 @@ class PowerQualityFramework:
     def reference(self):
         """The precise reference execution (computed once, cached)."""
         if self._reference is None:
-            self._reference = self._run_app(None)
+            with telemetry.span("kernel", role="reference"):
+                self._reference = self._run_app(None)
             self._reference_breakdown = self._power_model.breakdown(
                 self._reference.counters
             )
@@ -111,18 +114,29 @@ class PowerQualityFramework:
 
     def evaluate(self, config: IHWConfig) -> Evaluation:
         """Run one imprecise configuration and report quality + savings."""
-        reference = self.reference
-        result = self._run_app(config)
-        quality = float(self._quality(result.output, reference.output))
-        breakdown = self.reference_breakdown
-        savings = estimate_system_savings(
-            result.counters,
-            config,
-            fpu_share=breakdown.fpu_share,
-            sfu_share=breakdown.sfu_share,
-            library=self._library,
-            clock_ghz=self._gpu_config.clock_ghz,
-        )
+        app = self.spec.app if self.spec is not None else None
+        with telemetry.span("experiment", app=app, config=config.describe()):
+            start = time.perf_counter()
+            reference = self.reference
+            with telemetry.span("kernel", role="candidate"):
+                result = self._run_app(config)
+            quality = float(self._quality(result.output, reference.output))
+            breakdown = self.reference_breakdown
+            savings = estimate_system_savings(
+                result.counters,
+                config,
+                fpu_share=breakdown.fpu_share,
+                sfu_share=breakdown.sfu_share,
+                library=self._library,
+                clock_ghz=self._gpu_config.clock_ghz,
+            )
+            telemetry.counter_inc(
+                "repro_experiments_total", **({"app": app} if app else {})
+            )
+            telemetry.histogram_observe(
+                "repro_experiment_seconds", time.perf_counter() - start,
+                **({"app": app} if app else {}),
+            )
         return Evaluation(
             config=config,
             quality=quality,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.core import IHWConfig, MultiplierConfig
 from repro.hardware import HardwareLibrary
 
@@ -94,8 +95,13 @@ class MultiplierAutoTuner:
 
     def _probe(self, mult: MultiplierConfig) -> tuple:
         config = self._base.with_multiplier("mitchell", config=mult)
-        quality = self._quality(config)
-        return config, quality, bool(self._constraint(quality))
+        with telemetry.span("autotune.probe", path=mult.path,
+                            truncation=mult.truncation):
+            quality = self._quality(config)
+        ok = bool(self._constraint(quality))
+        telemetry.counter_inc("repro_autotune_probes_total", path=mult.path,
+                              outcome="pass" if ok else "fail")
+        return config, quality, ok
 
     def _warm_initial_probes(self) -> None:
         """Batch the tr=0 probes of both paths through the parallel runner.
@@ -137,6 +143,17 @@ class MultiplierAutoTuner:
 
     def tune(self) -> AutoTuneResult:
         """Find the lowest-power acceptable configuration across both paths."""
+        with telemetry.span("autotune", max_truncation=self._max_truncation):
+            result = self._tune()
+        telemetry.counter_inc(
+            "repro_autotune_runs_total",
+            outcome="satisfied" if result.satisfied else "unsatisfied",
+        )
+        telemetry.counter_inc("repro_autotune_evaluations_total",
+                              result.evaluations)
+        return result
+
+    def _tune(self) -> AutoTuneResult:
         if self._runner is not None:
             self._warm_initial_probes()
         candidates = []

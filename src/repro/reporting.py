@@ -174,6 +174,66 @@ def _section_runtime(scale: int) -> list:
     return lines
 
 
+def _section_telemetry(scale: int) -> list:
+    """Trace one small sweep and summarize what the telemetry observed."""
+    from repro import telemetry
+    from repro.core import IHWConfig
+    from repro.runtime import ExperimentRunner, ExperimentSpec
+
+    spec = ExperimentSpec.create(
+        "hotspot", metric="mae", rows=scale, cols=scale, iterations=10
+    )
+    configs = {
+        "precise": IHWConfig.precise(),
+        "add": IHWConfig.units("add"),
+        "all": IHWConfig.all_imprecise(),
+    }
+    with telemetry.override("trace"):
+        telemetry.reset()
+        runner = ExperimentRunner(max_workers=1, cache=None)
+        runner.sweep(spec, configs)
+        spans = telemetry.get_tracer().drain()
+        snapshot = telemetry.get_registry().drain()
+
+    drift = [
+        doc for doc in snapshot
+        if doc["name"] == "repro_drift_observed_total"
+    ]
+    lines = [
+        "## Telemetry (spans, metrics, numeric drift)",
+        "",
+        f"Traced sweep of {len(configs)} HotSpot configurations "
+        f"({len(spans)} spans, {len(snapshot)} metric series):",
+        "",
+        "```",
+        telemetry.render_span_tree(spans),
+        "```",
+        "",
+        "Sampled per-op drift observations (imprecise kernels only):",
+    ]
+    for doc in sorted(drift, key=lambda d: d["labels"].get("op", "")):
+        mean = _drift_mean(snapshot, doc["labels"])
+        lines.append(
+            f"- `{doc['labels'].get('op', '?')}`: {int(doc['value'])} elements, "
+            f"mean |ERR%| {mean:.3g}"
+        )
+    if not drift:
+        lines.append("- (no imprecise elements sampled at this scale)")
+    return lines
+
+
+def _drift_mean(snapshot, labels) -> float:
+    """Mean |ERR%| of the drift series matching ``labels``."""
+    def value(name):
+        for doc in snapshot:
+            if doc["name"] == name and doc["labels"] == labels:
+                return doc["value"]
+        return 0.0
+
+    observed = value("repro_drift_observed_total")
+    return value("repro_drift_err_pct_sum") / observed if observed else 0.0
+
+
 def report_sections(fast: bool = False) -> list:
     """The report as a list of markdown-line lists (one per section)."""
     char_scale = 1 << 13 if fast else 1 << 16
@@ -185,6 +245,7 @@ def report_sections(fast: bool = False) -> list:
         _section_applications(app_scale),
         _section_verification(cosim_scale),
         _section_runtime(app_scale),
+        _section_telemetry(32 if fast else app_scale),
     ]
 
 

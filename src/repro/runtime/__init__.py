@@ -28,7 +28,7 @@ Quick start::
 from .cache import CacheStats, ResultCache, cache_disabled, cache_from_env
 from .runner import ExperimentRunner, default_worker_count
 from .spec import APP_RUNNERS, METRIC_NAMES, ExperimentSpec
-from .stats import RunnerStats, TaskTiming
+from .stats import SPEEDUP_CAP, RunnerStats, TaskTiming
 
 __all__ = [
     "APP_RUNNERS",
@@ -38,6 +38,7 @@ __all__ = [
     "METRIC_NAMES",
     "ResultCache",
     "RunnerStats",
+    "SPEEDUP_CAP",
     "TaskTiming",
     "cache_disabled",
     "cache_from_env",

@@ -31,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["CacheStats", "ResultCache", "cache_from_env", "cache_disabled"]
 
 SCHEMA_VERSION = 1
@@ -115,19 +117,25 @@ class ResultCache:
         """The cached :class:`Evaluation`, or None (miss / invalid entry)."""
         key = self.key(spec, config)
         json_path, npz_path = self._paths(key)
-        if not json_path.exists():
-            self.stats.misses += 1
-            return None
-        try:
-            evaluation = self._load(json_path, npz_path, config)
-        except Exception:
-            # Corrupted or stale entry: drop it and recompute upstream.
-            self._remove(key)
-            self.stats.invalid += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return evaluation
+        with telemetry.span("cache.get", key=key[:12]):
+            if not json_path.exists():
+                self.stats.misses += 1
+                telemetry.counter_inc("repro_cache_requests_total",
+                                      outcome="miss")
+                return None
+            try:
+                evaluation = self._load(json_path, npz_path, config)
+            except Exception:
+                # Corrupted or stale entry: drop it and recompute upstream.
+                self._remove(key)
+                self.stats.invalid += 1
+                self.stats.misses += 1
+                telemetry.counter_inc("repro_cache_requests_total",
+                                      outcome="invalid")
+                return None
+            self.stats.hits += 1
+            telemetry.counter_inc("repro_cache_requests_total", outcome="hit")
+            return evaluation
 
     def _load(self, json_path: Path, npz_path: Path, config):
         from repro.framework import Evaluation
@@ -173,6 +181,10 @@ class ResultCache:
     # ------------------------------------------------------------------
     def put(self, spec, config, evaluation, compute_seconds: float = 0.0) -> bool:
         """Persist one evaluation; returns False for uncacheable outputs."""
+        with telemetry.span("cache.put"):
+            return self._put(spec, config, evaluation, compute_seconds)
+
+    def _put(self, spec, config, evaluation, compute_seconds: float) -> bool:
         output = evaluation.output
         if isinstance(output, np.ndarray):
             array = np.ascontiguousarray(output)
@@ -187,6 +199,8 @@ class ResultCache:
             out_meta = {"kind": "json", "value": output}
         else:
             self.stats.uncacheable += 1
+            telemetry.counter_inc("repro_cache_writes_total",
+                                  outcome="uncacheable")
             return False
 
         key = self.key(spec, config)
@@ -212,6 +226,7 @@ class ResultCache:
             np.savez_compressed(npz_path, output=array)
         json_path.write_text(json.dumps(doc, sort_keys=True, indent=1))
         self.stats.writes += 1
+        telemetry.counter_inc("repro_cache_writes_total", outcome="stored")
         self._enforce_limit()
         return True
 

@@ -26,6 +26,8 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import telemetry
+
 from .cache import ResultCache, cache_from_env
 from .stats import RunnerStats, TaskTiming
 
@@ -58,18 +60,29 @@ def _evaluate_spec(spec, config):
 
 
 def _evaluate_chunk(spec, named_configs):
-    return [
+    """Worker task: evaluate a chunk, shipping telemetry back with it.
+
+    Workers inherit ``REPRO_TELEMETRY`` from the environment; whatever
+    spans and metrics their instrumentation buffered travel home as the
+    second element for the parent to absorb.
+    """
+    rows = [
         (name, *_evaluate_spec(spec, config)) for name, config in named_configs
     ]
+    return rows, telemetry.drain_worker()
 
 
-def _call_chunk(func, argument_tuples):
+def _run_chunk(func, argument_tuples):
     out = []
     for arguments in argument_tuples:
         start = time.perf_counter()
         result = func(*arguments)
         out.append((result, time.perf_counter() - start))
     return out
+
+
+def _call_chunk(func, argument_tuples):
+    return _run_chunk(func, argument_tuples), telemetry.drain_worker()
 
 
 class ExperimentRunner:
@@ -130,37 +143,50 @@ class ExperimentRunner:
         tasks: list = []
         results: dict = {}
         misses: list = []
-        for name, config in configs.items():
-            cached = self.cache.get(spec, config) if self.cache else None
-            if cached is not None:
-                results[name] = cached
-                tasks.append(TaskTiming(name, 0.0, cached=True))
-            else:
-                misses.append((name, config))
+        with telemetry.span(
+            "sweep", app=spec.app, metric=spec.metric, configs=len(configs)
+        ) as sweep_span:
+            for name, config in configs.items():
+                cached = self.cache.get(spec, config) if self.cache else None
+                if cached is not None:
+                    results[name] = cached
+                    tasks.append(TaskTiming(name, 0.0, cached=True))
+                else:
+                    misses.append((name, config))
 
-        chunk_size = self._chunk_size_for(len(misses))
-        if misses and self.max_workers == 1:
-            for name, config in misses:
-                evaluation, seconds = self._evaluate_inline(spec, config)
-                results[name] = evaluation
-                tasks.append(TaskTiming(name, seconds))
-                if self.cache:
-                    self.cache.put(spec, config, evaluation, seconds)
-        elif misses:
-            miss_configs = dict(misses)
-            chunks = _chunked(misses, chunk_size)
-            workers = min(self.max_workers, len(chunks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_evaluate_chunk, spec, chunk) for chunk in chunks
-                ]
-                for future in futures:
-                    for name, evaluation, seconds in future.result():
-                        results[name] = evaluation
-                        tasks.append(TaskTiming(name, seconds))
-                        if self.cache:
-                            self.cache.put(spec, miss_configs[name],
-                                           evaluation, seconds)
+            chunk_size = self._chunk_size_for(len(misses))
+            if misses and self.max_workers == 1:
+                for name, config in misses:
+                    evaluation, seconds = self._evaluate_inline(spec, config)
+                    results[name] = evaluation
+                    tasks.append(TaskTiming(name, seconds))
+                    if self.cache:
+                        self.cache.put(spec, config, evaluation, seconds)
+            elif misses:
+                miss_configs = dict(misses)
+                chunks = _chunked(misses, chunk_size)
+                workers = min(self.max_workers, len(chunks))
+                sweep_id = sweep_span["id"] if sweep_span else None
+                # Reset at worker startup: forked workers inherit the
+                # parent's buffered telemetry, which would ship back and
+                # double-count on absorb.
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=telemetry.reset
+                ) as pool:
+                    futures = [
+                        pool.submit(_evaluate_chunk, spec, chunk)
+                        for chunk in chunks
+                    ]
+                    for future in futures:
+                        rows, worker_telemetry = future.result()
+                        telemetry.absorb_worker(worker_telemetry,
+                                                parent_id=sweep_id)
+                        for name, evaluation, seconds in rows:
+                            results[name] = evaluation
+                            tasks.append(TaskTiming(name, seconds))
+                            if self.cache:
+                                self.cache.put(spec, miss_configs[name],
+                                               evaluation, seconds)
 
         ordered = {name: results[name] for name in configs}
         self.stats = RunnerStats(
@@ -169,6 +195,7 @@ class ExperimentRunner:
             chunk_size=chunk_size,
             tasks=tasks,
         )
+        telemetry.record_runner_stats(self.stats, app=spec.app)
         return ordered
 
     def map(self, func, argument_tuples, labels=None) -> list:
@@ -187,19 +214,29 @@ class ExperimentRunner:
         wall_start = time.perf_counter()
         chunk_size = self._chunk_size_for(len(argument_tuples))
         pairs: list = []
-        if not argument_tuples:
-            pass
-        elif self.max_workers == 1:
-            pairs = _call_chunk(func, argument_tuples)
-        else:
-            chunks = _chunked(argument_tuples, chunk_size)
-            workers = min(self.max_workers, len(chunks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_call_chunk, func, chunk) for chunk in chunks
-                ]
-                for future in futures:
-                    pairs.extend(future.result())
+        with telemetry.span(
+            "map", func=getattr(func, "__name__", str(func)),
+            tasks=len(argument_tuples),
+        ) as map_span:
+            if not argument_tuples:
+                pass
+            elif self.max_workers == 1:
+                pairs = _run_chunk(func, argument_tuples)
+            else:
+                map_id = map_span["id"] if map_span else None
+                chunks = _chunked(argument_tuples, chunk_size)
+                workers = min(self.max_workers, len(chunks))
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=telemetry.reset
+                ) as pool:
+                    futures = [
+                        pool.submit(_call_chunk, func, chunk) for chunk in chunks
+                    ]
+                    for future in futures:
+                        chunk_pairs, worker_telemetry = future.result()
+                        telemetry.absorb_worker(worker_telemetry,
+                                                parent_id=map_id)
+                        pairs.extend(chunk_pairs)
         self.stats = RunnerStats(
             wall_seconds=time.perf_counter() - wall_start,
             max_workers=self.max_workers,

@@ -11,7 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TaskTiming", "RunnerStats"]
+__all__ = ["TaskTiming", "RunnerStats", "SPEEDUP_CAP"]
+
+#: Upper bound on the reported ``speedup_vs_sequential``.  The ratio is
+#: compute-time / wall-time, so a warm run serving tiny residual compute
+#: from a fast wall clock can produce absurd figures (thousands of "x")
+#: that mean nothing about parallelism.  Anything above this cap is
+#: clamped; real fan-out speedups are bounded by the worker count, which
+#: is orders of magnitude below it.
+SPEEDUP_CAP = 64.0
 
 
 @dataclass(frozen=True)
@@ -58,15 +66,23 @@ class RunnerStats:
 
     @property
     def speedup_vs_sequential(self) -> float:
-        """Summed compute time / wall time.
+        """Summed compute time / wall time, clamped to sane territory.
 
         For a parallel cold run this approaches the effective worker
-        count; for a warm (all-hits) run the computed work is ~0 and the
-        caller should compare wall times across runs instead.
+        count.  Degenerate runs are normalized instead of reported raw:
+
+        - no tasks, zero wall time, or an all-hits warm run (zero compute)
+          report ``1.0`` — there was no parallel work to speed up, and the
+          raw ratio would be either undefined or a meaningless explosion
+          of residual timer noise; compare wall times across runs instead;
+        - anything above :data:`SPEEDUP_CAP` is clamped to it.
         """
-        if self.wall_seconds <= 0:
+        if not self.tasks or self.wall_seconds <= 0:
             return 1.0
-        return self.compute_seconds / self.wall_seconds
+        compute = self.compute_seconds
+        if compute <= 0:
+            return 1.0
+        return min(compute / self.wall_seconds, SPEEDUP_CAP)
 
     @property
     def mean_task_seconds(self) -> float:

@@ -1,0 +1,170 @@
+"""Numeric-drift probes: per-op error statistics from live kernels.
+
+The error characterization (:mod:`repro.erroranalysis.characterize`)
+measures each unit over a synthetic low-discrepancy input sweep; a
+:class:`DriftProbe` measures the same statistic — relative error of the
+imprecise result against the float64-exact one, binned at
+``ceil(log2 |ERR%|)`` like Figures 8–9 — over the *actual operands the
+kernel produced*, while the kernel runs.  That exposes how
+imprecision-induced error accumulates mid-kernel (drift), which the
+end-to-end quality metric only shows after the fact.
+
+An :class:`~repro.core.ArithmeticContext` with a probe attached calls
+:meth:`DriftProbe.observe` from each imprecise dispatch with the
+approximate result and a *thunk* producing the exact result; the probe is
+strictly read-only with respect to the context — it never touches
+``ArithmeticContext.counts``, so the access counts feeding the power
+model are bit-identical with and without probing (tested).
+
+Cost control (the probe must stay under the telemetry overhead budget):
+
+- only every ``sample_every``-th call per op is observed (the first call
+  always is, so every op appears in the stats);
+- observed arrays larger than ``max_elements`` are strided down to at
+  most that many elements;
+- the exact-result thunk is only evaluated for sampled calls.
+
+Defaults come from ``REPRO_DRIFT_SAMPLE_EVERY`` / ``REPRO_DRIFT_MAX_ELEMENTS``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DriftProbe", "OpDrift", "drift_probe_defaults"]
+
+
+def drift_probe_defaults() -> tuple:
+    """(sample_every, max_elements) honoring the environment knobs.
+
+    The defaults keep metrics-mode overhead under the benchmark gate
+    (< 5% on the 12-configuration sweep); lower ``REPRO_DRIFT_SAMPLE_EVERY``
+    for denser statistics when overhead does not matter.
+    """
+    every = int(os.environ.get("REPRO_DRIFT_SAMPLE_EVERY", "16") or 16)
+    max_elements = int(os.environ.get("REPRO_DRIFT_MAX_ELEMENTS", "256") or 256)
+    return max(1, every), max(1, max_elements)
+
+
+@dataclass
+class OpDrift:
+    """Accumulated drift statistics of one op within one kernel run."""
+
+    calls: int = 0  # imprecise dispatches seen (sampled or not)
+    sampled_calls: int = 0
+    observed: int = 0  # scalar results compared against the exact value
+    nonzero: int = 0  # compared results with a non-zero relative error
+    err_pct_sum: float = 0.0  # summed |ERR%| over observed results
+    err_pct_max: float = 0.0
+    bins: dict = field(default_factory=dict)  # ceil(log2 |ERR%|) -> count
+
+    @property
+    def mean_err_pct(self) -> float:
+        return self.err_pct_sum / self.observed if self.observed else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.nonzero / self.observed if self.observed else 0.0
+
+
+class DriftProbe:
+    """Sampled per-op relative-error accumulator for one kernel run."""
+
+    def __init__(self, sample_every: int | None = None,
+                 max_elements: int | None = None):
+        default_every, default_max = drift_probe_defaults()
+        self.sample_every = sample_every if sample_every is not None else default_every
+        self.max_elements = (
+            max_elements if max_elements is not None else default_max
+        )
+        if self.sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {self.sample_every}")
+        if self.max_elements < 1:
+            raise ValueError(f"max_elements must be >= 1, got {self.max_elements}")
+        self.ops: dict = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, op: str, approx, exact) -> None:
+        """Record one imprecise dispatch.
+
+        ``exact`` is a zero-argument callable producing the float64 exact
+        result — evaluated only when this call is sampled.
+        """
+        stats = self.ops.get(op)
+        if stats is None:
+            stats = self.ops[op] = OpDrift()
+        stats.calls += 1
+        if (stats.calls - 1) % self.sample_every:
+            return
+        stats.sampled_calls += 1
+        with np.errstate(all="ignore"):
+            approx64 = np.asarray(approx, dtype=np.float64).ravel()
+            exact64 = np.asarray(exact(), dtype=np.float64).ravel()
+            if approx64.size > self.max_elements:
+                stride = -(-approx64.size // self.max_elements)  # ceil div
+                approx64 = approx64[::stride]
+                exact64 = exact64[::stride]
+            valid = np.isfinite(exact64) & np.isfinite(approx64) & (exact64 != 0)
+            err_pct = (
+                np.abs(approx64[valid] - exact64[valid])
+                / np.abs(exact64[valid])
+                * 100.0
+            )
+        stats.observed += int(valid.sum())
+        if err_pct.size == 0:
+            return
+        nonzero = err_pct[err_pct > 0]
+        stats.nonzero += int(nonzero.size)
+        stats.err_pct_sum += float(err_pct.sum())
+        if nonzero.size:
+            stats.err_pct_max = max(stats.err_pct_max, float(nonzero.max()))
+            labels, counts = np.unique(
+                np.ceil(np.log2(nonzero)).astype(np.int64), return_counts=True
+            )
+            for label, count in zip(labels, counts):
+                key = int(label)
+                stats.bins[key] = stats.bins.get(key, 0) + int(count)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def flush_into(self, registry, kernel: str) -> None:
+        """Write the accumulated statistics into a metrics registry.
+
+        Everything is expressed as counters (plus a max-aggregated gauge),
+        so snapshots from worker processes and successive runs merge
+        exactly; consumers derive the mean as ``sum / observed``.
+        """
+        for op, stats in sorted(self.ops.items()):
+            labels = {"kernel": kernel, "op": op}
+            registry.counter("repro_drift_calls_total", **labels).inc(stats.calls)
+            registry.counter("repro_drift_sampled_calls_total", **labels).inc(
+                stats.sampled_calls
+            )
+            registry.counter("repro_drift_observed_total", **labels).inc(
+                stats.observed
+            )
+            registry.counter("repro_drift_nonzero_total", **labels).inc(
+                stats.nonzero
+            )
+            registry.counter("repro_drift_err_pct_sum", **labels).inc(
+                stats.err_pct_sum
+            )
+            registry.gauge("repro_drift_err_pct_max", agg="max", **labels).set(
+                stats.err_pct_max
+            )
+            for bin_label, count in sorted(stats.bins.items()):
+                registry.counter(
+                    "repro_drift_err_pct_log2_bin_total",
+                    **labels,
+                    bin=str(bin_label),
+                ).inc(count)
+        self.ops = {}

@@ -1,0 +1,292 @@
+"""Metric primitives and the registry that exports them.
+
+A :class:`MetricsRegistry` holds three metric kinds, all label-aware:
+
+- :class:`Counter` — monotone float accumulator (merge: sum);
+- :class:`Gauge` — last/max/min-valued sample (merge per its ``agg``);
+- :class:`Histogram` — Prometheus-style cumulative buckets over fixed
+  upper bounds (merge: element-wise sum).
+
+Registries serialize to a plain-JSON *snapshot* (a list of metric
+documents), which is the unit of transport everywhere: worker processes
+drain their registry and ship the snapshot to the parent, successive CLI
+runs merge their snapshot into ``.repro_telemetry/metrics.json``, and the
+``repro metrics`` command re-hydrates a registry from that file to render
+it.  Two text exporters are provided: JSON-lines (one metric per line) and
+the Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bounds (seconds-scale timings).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+
+class Counter:
+    """Monotonically increasing sum; merged across processes by addition."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def _doc(self) -> dict:
+        return {"value": self.value}
+
+    def _merge(self, doc: dict) -> None:
+        self.value += float(doc["value"])
+
+
+class Gauge:
+    """Point-in-time value; ``agg`` picks the cross-snapshot merge rule."""
+
+    kind = "gauge"
+
+    def __init__(self, agg: str = "last"):
+        if agg not in ("last", "max", "min"):
+            raise ValueError(f"unknown gauge aggregation {agg!r}")
+        self.agg = agg
+        self.value = 0.0
+        self._set = False
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if not self._set or self.agg == "last":
+            self.value = value
+        elif self.agg == "max":
+            self.value = max(self.value, value)
+        else:
+            self.value = min(self.value, value)
+        self._set = True
+
+    def _doc(self) -> dict:
+        return {"value": self.value, "agg": self.agg}
+
+    def _merge(self, doc: dict) -> None:
+        self.set(float(doc["value"]))
+
+
+class Histogram:
+    """Cumulative-bucket histogram over fixed upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> list:
+        """Prometheus-style cumulative counts, one per bound plus +Inf."""
+        out, running = [], 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+    def _doc(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def _merge(self, doc: dict) -> None:
+        if tuple(float(b) for b in doc["bounds"]) != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(doc["bucket_counts"]):
+            self.bucket_counts[i] += int(n)
+        self.sum += float(doc["sum"])
+        self.count += int(doc["count"])
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Label-aware metric store with snapshot/merge transport.
+
+    Thread-safe for registration; metric updates themselves are plain
+    float arithmetic (the runtime only updates from one thread per
+    process, with cross-process aggregation via :meth:`drain` +
+    :meth:`merge`).
+    """
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(key, factory())
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, agg: str = "last", **labels) -> Gauge:
+        return self._get("gauge", name, labels, lambda: Gauge(agg))
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        return self._get("histogram", name, labels, lambda: Histogram(buckets))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Snapshot transport
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list:
+        """JSON-able list of metric documents (stable order)."""
+        docs = []
+        for (kind, name, labels), metric in sorted(
+            self._metrics.items(), key=lambda item: item[0]
+        ):
+            docs.append(
+                {"kind": kind, "name": name, "labels": dict(labels), **metric._doc()}
+            )
+        return docs
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def drain(self) -> list:
+        """Snapshot then clear — the worker-to-parent handoff."""
+        docs = self.snapshot()
+        self.clear()
+        return docs
+
+    def merge(self, snapshot: list) -> None:
+        """Fold a snapshot into this registry (sum/max/min per metric kind)."""
+        for doc in snapshot:
+            kind = doc["kind"]
+            if kind == "gauge":
+                metric = self.gauge(doc["name"], agg=doc.get("agg", "last"),
+                                    **doc["labels"])
+            elif kind == "histogram":
+                metric = self.histogram(doc["name"], buckets=doc["bounds"],
+                                        **doc["labels"])
+            elif kind == "counter":
+                metric = self.counter(doc["name"], **doc["labels"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            metric._merge(doc)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: list) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+    @classmethod
+    def from_snapshot_file(cls, path) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(Path(path).read_text()))
+
+    def write_snapshot(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One compact JSON document per metric, newline-separated."""
+        return "\n".join(
+            json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            for doc in self.snapshot()
+        )
+
+    def prometheus_text(self) -> str:
+        """The Prometheus text exposition format rendering."""
+        by_name: dict = {}
+        for doc in self.snapshot():
+            by_name.setdefault((doc["name"], doc["kind"]), []).append(doc)
+        lines = []
+        for (name, kind), docs in sorted(by_name.items()):
+            lines.append(f"# TYPE {name} {kind}")
+            for doc in docs:
+                labels = doc["labels"]
+                if kind == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(doc["bounds"], doc["bucket_counts"]):
+                        cumulative += n
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_render_labels({**labels, 'le': _fmt(bound)})}"
+                            f" {cumulative}"
+                        )
+                    cumulative += doc["bucket_counts"][-1]
+                    lines.append(
+                        f"{name}_bucket{_render_labels({**labels, 'le': '+Inf'})}"
+                        f" {cumulative}"
+                    )
+                    lines.append(f"{name}_sum{_render_labels(labels)} {_fmt(doc['sum'])}")
+                    lines.append(f"{name}_count{_render_labels(labels)} {doc['count']}")
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} {_fmt(doc['value'])}"
+                    )
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

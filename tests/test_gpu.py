@@ -72,6 +72,20 @@ class TestCounters:
         c = KernelCounters(name="empty")
         assert c.arithmetic_fraction() == 0.0
 
+    def test_from_context_round_trips_non_arith_counts(self):
+        ctx = ArithmeticContext(IHWConfig.units("add"))
+        a = np.ones(7, dtype=np.float32)
+        ctx.add(a, a)
+        c = KernelCounters.from_context(
+            ctx, name="k", int_ops=11, mem_ops=22, ctrl_ops=33, threads=44
+        )
+        assert c.name == "k"
+        assert (c.int_ops, c.mem_ops, c.ctrl_ops, c.threads) == (11, 22, 33, 44)
+        assert c.arith == dict(ctx.counts)
+        # The snapshot is a copy: later context activity must not leak in.
+        ctx.add(a, a)
+        assert c.imprecise_count("add") == 7
+
 
 class TestWarpStream:
     def test_proportions_match(self):

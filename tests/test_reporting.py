@@ -8,14 +8,20 @@ from repro.reporting import generate_report, report_sections
 
 
 class TestReportSections:
-    def test_five_sections(self):
+    def test_six_sections(self):
         sections = report_sections(fast=True)
-        assert len(sections) == 5
+        assert len(sections) == 6
 
     def test_runtime_section_reports_cache(self):
         text = "\n".join(report_sections(fast=True)[4])
         assert "hit rate" in text
         assert "Warm rerun" in text
+
+    def test_telemetry_section_has_span_tree_and_drift(self):
+        text = "\n".join(report_sections(fast=True)[5])
+        assert "## Telemetry" in text
+        assert "sweep" in text and "experiment" in text and "kernel" in text
+        assert "ERR%" in text
 
     def test_units_section_has_all_rows(self):
         units = report_sections(fast=True)[0]
@@ -37,6 +43,7 @@ class TestGenerateReport:
             "## Hardware power",
             "## Applications",
             "## Functional verification",
+            "## Telemetry",
         ):
             assert heading in report
 

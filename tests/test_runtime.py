@@ -15,9 +15,12 @@ from repro.core import IHWConfig
 from repro.framework import PowerQualityFramework
 from repro.quality import MultiplierAutoTuner, sweep_design_points
 from repro.runtime import (
+    SPEEDUP_CAP,
     ExperimentRunner,
     ExperimentSpec,
     ResultCache,
+    RunnerStats,
+    TaskTiming,
     cache_disabled,
     cache_from_env,
 )
@@ -174,6 +177,49 @@ class TestResultCache:
         cache = cache_from_env()
         assert cache is not None
         assert cache.root == tmp_path / "alt"
+
+
+class TestRunnerStats:
+    def test_speedup_normal_run(self):
+        stats = RunnerStats(
+            wall_seconds=2.0,
+            tasks=[TaskTiming("a", 3.0), TaskTiming("b", 3.0)],
+        )
+        assert stats.speedup_vs_sequential == pytest.approx(3.0)
+
+    def test_speedup_degenerate_runs_report_one(self):
+        assert RunnerStats().speedup_vs_sequential == 1.0
+        assert RunnerStats(wall_seconds=0.0, tasks=[
+            TaskTiming("a", 1.0)
+        ]).speedup_vs_sequential == 1.0
+        # Warm all-hits run: zero compute over a tiny wall time must not
+        # explode into a meaningless thousands-x figure.
+        warm = RunnerStats(
+            wall_seconds=1e-4,
+            tasks=[TaskTiming("a", 0.0, cached=True),
+                   TaskTiming("b", 0.0, cached=True)],
+        )
+        assert warm.speedup_vs_sequential == 1.0
+
+    def test_speedup_clamped_at_cap(self):
+        stats = RunnerStats(
+            wall_seconds=1e-6, tasks=[TaskTiming("a", 10.0)]
+        )
+        assert stats.speedup_vs_sequential == SPEEDUP_CAP
+
+    def test_to_dict_has_the_cli_and_telemetry_fields(self):
+        stats = RunnerStats(
+            wall_seconds=1.0,
+            max_workers=2,
+            chunk_size=3,
+            tasks=[TaskTiming("a", 0.5), TaskTiming("b", 0.0, cached=True)],
+        )
+        doc = stats.to_dict()
+        assert doc["n_tasks"] == 2
+        assert doc["cache_hits"] == 1 and doc["cache_misses"] == 1
+        assert doc["speedup_vs_sequential"] == stats.speedup_vs_sequential
+        assert doc["tasks"][1] == {"name": "b", "seconds": 0.0, "cached": True}
+        json.dumps(doc)  # JSON-serializable for the CLI --json payload
 
 
 class TestFrameworkIntegration:
