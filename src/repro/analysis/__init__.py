@@ -1,0 +1,54 @@
+"""Contract-enforcing static analysis for the reproduction codebase.
+
+The invariants ``docs/ARCHITECTURE.md`` states in prose — kernel
+arithmetic routes through :class:`ArithmeticContext`, cache keys cover
+every result-affecting field, layers import downward only, specs survive
+the process-pool boundary — are checked mechanically here.  See
+``docs/ANALYSIS.md`` for each checker's rationale and the
+suppression/baseline workflow, and ``repro lint`` for the CLI.
+
+Typical programmatic use::
+
+    from repro.analysis import run_analysis, load_baseline
+
+    report = run_analysis(Path("src/repro"),
+                          baseline_fingerprints=load_baseline(path))
+    if not report.ok:
+        print(report.format_text())
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BASELINE_VERSION,
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    DEFAULT_LAYER_RULES,
+    AnalysisConfig,
+    ModuleInfo,
+    discover_modules,
+    run_analysis,
+)
+from .findings import AnalysisReport, Finding, RawFinding, make_fingerprint
+from .suppressions import HOST_SIDE_CODE, SuppressionIndex
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_LAYER_RULES",
+    "Finding",
+    "HOST_SIDE_CODE",
+    "ModuleInfo",
+    "RawFinding",
+    "SuppressionIndex",
+    "discover_modules",
+    "load_baseline",
+    "make_fingerprint",
+    "run_analysis",
+    "write_baseline",
+]

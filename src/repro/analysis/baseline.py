@@ -1,0 +1,75 @@
+"""Committed baseline of accepted findings.
+
+New checkers (or newly strict ones) can surface findings the team decides
+to accept rather than fix immediately.  ``repro lint --write-baseline``
+records the current findings' fingerprints in a JSON document; subsequent
+runs report those findings as *baselined* and gate only on findings whose
+fingerprint is not in the file.  Because fingerprints hash the normalized
+source line rather than the line number, a baseline survives unrelated
+edits but expires the moment the offending line itself changes — exactly
+the point where the acceptance should be reconsidered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def load_baseline(path) -> frozenset:
+    """Fingerprints accepted by the baseline file (empty if absent).
+
+    Raises ``ValueError`` for a present-but-unreadable baseline: a corrupt
+    gate file should fail loudly, not silently accept everything.
+    """
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version "
+            f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+        )
+    entries = doc.get("findings", [])
+    return frozenset(
+        entry["fingerprint"] for entry in entries if "fingerprint" in entry
+    )
+
+
+def write_baseline(path, findings) -> Path:
+    """Persist ``findings`` as the accepted baseline; returns the path.
+
+    Alongside each fingerprint the document stores the human-readable
+    context (path, code, message) so reviewers can audit what was
+    accepted without re-running the analyzer.
+    """
+    path = Path(path)
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.code))
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

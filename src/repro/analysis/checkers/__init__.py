@@ -1,0 +1,20 @@
+"""Checker registry.
+
+Each checker module exposes ``check(module, config) -> list[RawFinding]``.
+The engine iterates :data:`ALL_CHECKERS` in order; the dict key is the
+checker id that findings carry and suppressions can name.
+"""
+
+from __future__ import annotations
+
+from . import cachekey, forksafety, hygiene, imports, opcoverage
+
+__all__ = ["ALL_CHECKERS"]
+
+ALL_CHECKERS = {
+    "op-coverage": opcoverage.check,
+    "cache-key": cachekey.check,
+    "layer-imports": imports.check,
+    "fork-safety": forksafety.check,
+    "hygiene": hygiene.check,
+}

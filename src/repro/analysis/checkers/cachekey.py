@@ -1,0 +1,140 @@
+"""Cache-key completeness: frozen spec dataclasses must hash every field.
+
+PR 1 introduced content-addressed result caching: ``IHWConfig.cache_key()``
+and ``ExperimentSpec.canonical()`` feed the hash that names cached results.
+A dataclass field that affects results but is *absent* from the canonical
+form makes two different configurations collide on one cache entry — the
+cache then serves stale results for one of them, with no error anywhere.
+
+The mechanical form of the contract: any frozen ``@dataclass`` that
+defines a ``canonical()`` (or ``cache_key()``-only) method must reference
+every dataclass field as ``self.<field>`` somewhere inside that method
+(transitively through other methods of the same class that ``canonical``
+calls, e.g. ``IHWConfig.canonical`` delegating multiplier fields to a
+helper).  Fields annotated ``ClassVar`` or named with a leading underscore
+are exempt, as is a field explicitly listed in a class-level
+``_CACHE_KEY_EXEMPT`` tuple — for fields that genuinely cannot affect
+results (none exist today).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import RawFinding
+
+__all__ = ["check"]
+
+CODE = "cache-key"
+_CANONICAL_METHODS = ("canonical", "cache_key")
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(
+            target, "id", ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list:
+    """(name, lineno) of dataclass fields (annotated class-level names)."""
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((name, stmt.lineno, stmt.col_offset))
+    return fields
+
+
+def _exempt_fields(node: ast.ClassDef) -> set:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "_CACHE_KEY_EXEMPT":
+                    try:
+                        return set(ast.literal_eval(stmt.value))
+                    except (ValueError, SyntaxError):
+                        return set()
+    return set()
+
+
+def _methods(node: ast.ClassDef) -> dict:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_attrs_and_calls(func) -> tuple:
+    """(self.<attr> reads, self.<method>() calls) inside one method."""
+    attrs: set = set()
+    calls: set = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name) \
+                and sub.value.id == "self":
+            attrs.add(sub.attr)
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute) \
+                and isinstance(sub.func.value, ast.Name) \
+                and sub.func.value.id == "self":
+            calls.add(sub.func.attr)
+    return attrs, calls
+
+
+def check(module, config) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(node):
+            continue
+        methods = _methods(node)
+        entry = next((m for m in _CANONICAL_METHODS if m in methods), None)
+        if entry is None:
+            continue
+        fields = _dataclass_fields(node)
+        if not fields:
+            continue
+        exempt = _exempt_fields(node)
+
+        # Collect self.<attr> references reachable from the canonical
+        # method through same-class method calls (transitive closure).
+        covered: set = set()
+        seen_methods: set = set()
+        frontier = [entry]
+        while frontier:
+            name = frontier.pop()
+            if name in seen_methods or name not in methods:
+                continue
+            seen_methods.add(name)
+            attrs, calls = _self_attrs_and_calls(methods[name])
+            covered |= attrs
+            frontier.extend(calls)
+
+        for field_name, lineno, col in fields:
+            if field_name in covered or field_name in exempt:
+                continue
+            findings.append(
+                RawFinding(
+                    code=CODE,
+                    severity="error",
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"dataclass field `{field_name}` of `{node.name}` is "
+                        f"not referenced by `{entry}()` — a config differing "
+                        "only in this field collides on the same cache entry"
+                    ),
+                )
+            )
+    return findings

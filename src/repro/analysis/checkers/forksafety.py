@@ -1,0 +1,135 @@
+"""Fork/pickle safety for the process-pool runner.
+
+``repro.runtime`` fans experiments out over ``ProcessPoolExecutor``.  Two
+contracts keep that sound:
+
+1. **Specs must pickle.**  An :class:`ExperimentSpec` (or any ``*Spec``)
+   constructed with a ``lambda``, a local ``def``, or an open file handle
+   cannot cross the process boundary — the failure surfaces later and far
+   from the construction site.  The checker flags lambda/handle arguments
+   in ``*Spec(...)`` constructor calls and ``.create(...)`` factory calls.
+
+2. **Module-level mutable state needs a reset hook.**  A module-level
+   ``dict``/``list``/``set`` in a layer that workers import is inherited
+   through fork (or re-imported per worker) and silently diverges between
+   parent and children.  The telemetry subsystem established the pattern:
+   pair the state with a module-level ``reset()`` (any ``reset*`` function)
+   that workers call on startup.  State in a module with such a hook is
+   accepted; state without one is flagged.  Deliberate per-process memos
+   carry ``# repro-lint: disable=fork-safety -- <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import RawFinding
+
+__all__ = ["check"]
+
+CODE = "fork-safety"
+
+_MUTABLE_CALLS = {"dict", "list", "set", "defaultdict", "Counter", "deque",
+                  "OrderedDict"}
+
+
+def _is_mutable_literal(value) -> bool:
+    # Only *empty* containers: an empty module-level dict is a cache that
+    # someone intends to mutate; a populated literal is a static registry
+    # or constant table, which fork inheritance copies harmlessly.
+    if isinstance(value, ast.Dict):
+        return not value.keys
+    if isinstance(value, (ast.List, ast.Set)):
+        return not value.elts
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", ""
+        )
+        return name in _MUTABLE_CALLS and not value.args and not value.keywords
+    return False
+
+
+def _has_reset_hook(tree: ast.Module) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and (stmt.name == "reset" or stmt.name.startswith("reset_")
+             or stmt.name.startswith("_reset"))
+        for stmt in tree.body
+    )
+
+
+def _module_level_state(module) -> list:
+    findings = []
+    if _has_reset_hook(module.tree):
+        return findings
+    for stmt in module.tree.body:
+        targets = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target]
+            value = stmt.value
+        if value is None or not targets or not _is_mutable_literal(value):
+            continue
+        names = ", ".join(t.id for t in targets)
+        findings.append(
+            RawFinding(
+                code=CODE,
+                severity="warning",
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                message=(
+                    f"module-level mutable state `{names}` in worker-imported "
+                    f"layer `{module.layer}` has no reset hook — fork "
+                    "inheritance diverges silently (add a reset()/reset_* "
+                    "function, or suppress with a justification)"
+                ),
+            )
+        )
+    return findings
+
+
+def _unpicklable_spec_args(module) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", ""
+        )
+        if not (name.endswith("Spec") or name == "create"):
+            continue
+        bad = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                bad.append(("a lambda", arg))
+            elif isinstance(arg, ast.Call):
+                inner = arg.func
+                inner_name = getattr(inner, "id", getattr(inner, "attr", ""))
+                if inner_name == "open":
+                    bad.append(("an open file handle", arg))
+        for what, arg in bad:
+            findings.append(
+                RawFinding(
+                    code=CODE,
+                    severity="warning",
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    message=(
+                        f"{what} passed to `{name}(...)` will not pickle "
+                        "across the process-pool boundary — use a named "
+                        "module-level function or a path instead"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(module, config) -> list:
+    if module.layer not in config.worker_layers:
+        return []
+    return _module_level_state(module) + _unpicklable_spec_args(module)

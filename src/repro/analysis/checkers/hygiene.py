@@ -1,0 +1,119 @@
+"""Numeric hygiene: small patterns that corrupt numeric code quietly.
+
+Three rules, all scoped to the whole package (bad numerics hide anywhere):
+
+``hygiene-float-eq``
+    ``==`` / ``!=`` against a float literal.  In a repo whose entire
+    subject is controlled floating-point imprecision, exact float
+    comparison is either a bug or needs an explicit tolerance.  Integer
+    -valued literals (``0.0``, ``1.0``, ``-1.0``, ``2.0``...) used as
+    sentinels are still flagged — use ``math.isclose`` or an integer.
+
+``hygiene-bare-except``
+    ``except:`` with no exception class swallows ``KeyboardInterrupt``
+    and masks numeric errors the error-analysis layer exists to surface.
+
+``hygiene-mutable-default``
+    Mutable default argument (``def f(x, acc=[])``) — shared across
+    calls, and across forked workers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import RawFinding
+
+__all__ = ["check"]
+
+_MUTABLE_DEFAULT_CALLS = {"dict", "list", "set", "defaultdict", "Counter"}
+
+
+def _float_literal(node) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _float_literal(node.operand)
+    return False
+
+
+def _float_eq(module) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _float_literal(left) or _float_literal(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                findings.append(
+                    RawFinding(
+                        code="hygiene-float-eq",
+                        severity="warning",
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"exact `{symbol}` against a float literal — use "
+                            "math.isclose/np.isclose or an integer sentinel"
+                        ),
+                        end_line=getattr(node, "end_lineno", node.lineno)
+                        or node.lineno,
+                    )
+                )
+    return findings
+
+
+def _bare_except(module) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                RawFinding(
+                    code="hygiene-bare-except",
+                    severity="warning",
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare `except:` swallows KeyboardInterrupt and masks "
+                        "numeric failures — name the exception class"
+                    ),
+                )
+            )
+    return findings
+
+
+def _mutable_default(module) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.Dict, ast.List, ast.Set))
+            if isinstance(default, ast.Call):
+                func = default.func
+                name = getattr(func, "id", getattr(func, "attr", ""))
+                mutable = name in _MUTABLE_DEFAULT_CALLS
+            if mutable:
+                findings.append(
+                    RawFinding(
+                        code="hygiene-mutable-default",
+                        severity="warning",
+                        line=default.lineno,
+                        col=default.col_offset,
+                        message=(
+                            "mutable default argument is shared across calls "
+                            "(and forked workers) — default to None"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check(module, config) -> list:
+    return _float_eq(module) + _bare_except(module) + _mutable_default(module)

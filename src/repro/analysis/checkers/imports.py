@@ -1,0 +1,89 @@
+"""Layer-import discipline, mechanized from the ARCHITECTURE.md dataflow.
+
+The package is layered (core → hardware → gpu → apps → framework →
+runtime → cli); a lower layer importing a higher one at module level
+creates an import cycle the lazy-import convention exists to prevent, and
+couples the numeric core to orchestration concerns.  The allowed edges
+live in :data:`repro.analysis.engine.DEFAULT_LAYER_RULES`; layers absent
+from the map (``cli``, ``reporting``, top-level modules) may import
+anything.
+
+Only *module-level* imports are policed.  Function-level imports are the
+sanctioned lazy-import idiom (e.g. ``runtime`` importing ``framework``
+inside the worker entry point) and are deliberately ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import RawFinding
+
+__all__ = ["check"]
+
+CODE = "layer-imports"
+
+
+def _imported_layers(module, package):
+    """Yield (layer, node) for each module-level import of a package layer."""
+    prefix = package + "."
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == package or alias.name.startswith(prefix):
+                    parts = alias.name.split(".")
+                    if len(parts) >= 2:
+                        yield parts[1], stmt
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:  # relative import
+                # level 1 = sibling package; level 2 from "apps/x.py" reaches
+                # the package root, so "from ..core import y" targets "core".
+                depth = len(module.package_parts) - stmt.level + 1
+                if depth < 0:
+                    continue
+                parts = (stmt.module or "").split(".") if stmt.module else []
+                base = list(module.package_parts[:depth]) + parts
+                if base:
+                    yield base[0], stmt
+                else:
+                    # "from .. import core" — layer is in the alias names.
+                    for alias in stmt.names:
+                        yield alias.name, stmt
+            elif stmt.module and (
+                stmt.module == package or stmt.module.startswith(prefix)
+            ):
+                parts = stmt.module.split(".")
+                if len(parts) >= 2:
+                    yield parts[1], stmt
+                else:
+                    for alias in stmt.names:
+                        yield alias.name, stmt
+
+
+def check(module, config) -> list:
+    rules = config.layer_rules
+    if module.layer not in rules:
+        return []  # unrestricted layer (cli, reporting, top-level modules)
+    allowed = rules[module.layer]
+    findings = []
+    for layer, stmt in _imported_layers(module, config.package):
+        if layer not in config.known_layers:
+            continue  # "from .config import X" inside the same layer, etc.
+        if layer == module.layer or layer in allowed:
+            continue
+        findings.append(
+            RawFinding(
+                code=CODE,
+                severity="error",
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                message=(
+                    f"layer `{module.layer}` must not import "
+                    f"`{config.package}.{layer}` at module level "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'none'}; "
+                    "use a function-level import if the dependency is lazy)"
+                ),
+                end_line=getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno,
+            )
+        )
+    return findings

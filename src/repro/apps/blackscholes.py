@@ -97,6 +97,7 @@ def run(
     d2 = ctx.sub(d1, vol_sqrt_t)
 
     discount = np.exp(
+        # precise: host-side (float64 discount factor, computed once per batch)
         -np.asarray(r, dtype=np.float64) * np.asarray(t, dtype=np.float64)
     ).astype(ctx.dtype)
     price = ctx.sub(

@@ -68,12 +68,14 @@ def _pair_terms(ctx, positions, box):
     fz = ctx.mul(fscale, dz)
 
     forces = np.zeros((n, 3), dtype=np.float64)
-    np.add.at(forces[:, 0], iu, fx)
-    np.add.at(forces[:, 0], ju, -fx)
-    np.add.at(forces[:, 1], iu, fy)
-    np.add.at(forces[:, 1], ju, -fy)
-    np.add.at(forces[:, 2], iu, fz)
-    np.add.at(forces[:, 2], ju, -fz)
+    # Scatter-accumulate of per-pair forces onto atoms: the paper's harness
+    # performs this reduction on the host, outside the imprecise units.
+    np.add.at(forces[:, 0], iu, fx)  # precise: host-side
+    np.add.at(forces[:, 0], ju, -fx)  # precise: host-side
+    np.add.at(forces[:, 1], iu, fy)  # precise: host-side
+    np.add.at(forces[:, 1], ju, -fy)  # precise: host-side
+    np.add.at(forces[:, 2], iu, fz)  # precise: host-side
+    np.add.at(forces[:, 2], ju, -fz)  # precise: host-side
     potential = float(np.asarray(pair_pot, dtype=np.float64).sum())
     return potential, forces
 
@@ -98,13 +100,15 @@ def run(
     pot_history = []
     temp_history = []
     half_dt = 0.5 * dt
+    # Velocity-Verlet integration runs on the host (precise), as in the
+    # paper's setup: only the pair-force kernel uses the imprecise units.
     for _ in range(steps):
-        velocities = velocities + half_dt * forces
-        positions = (positions + dt * velocities) % box
+        velocities = velocities + half_dt * forces  # precise: host-side
+        positions = (positions + dt * velocities) % box  # precise: host-side
         potential, forces = _pair_terms(ctx, positions, box)
-        velocities = velocities + half_dt * forces
-        kinetic = 0.5 * float((velocities**2).sum())
-        pot_history.append(potential / n)
+        velocities = velocities + half_dt * forces  # precise: host-side
+        kinetic = 0.5 * float((velocities**2).sum())  # precise: host-side
+        pot_history.append(potential / n)  # precise: host-side
         temp_history.append(2.0 * kinetic / (3.0 * n))
 
     half = len(pot_history) // 2

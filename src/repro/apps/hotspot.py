@@ -121,6 +121,7 @@ def initial_temperature(
     return result.copy()
 
 
+# repro-lint: disable=fork-safety -- deterministic memo; identical in every process
 _INITIAL_CACHE: dict = {}
 
 

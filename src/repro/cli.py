@@ -11,6 +11,7 @@ Usage (after installation)::
     python -m repro sweep-multiplier --bits 32
     python -m repro sweep hotspot --family units --workers 4
     python -m repro sensitivity raytracing --size 48
+    python -m repro lint
 
 Every command prints a plain-text report; exit code 0 on success.
 """
@@ -312,6 +313,7 @@ def cmd_sweep(args, out) -> int:
     """Parallel, cached sweep of one application over many configurations."""
     import json as _json
 
+    from repro import telemetry
     from repro.runtime import ExperimentRunner, ExperimentSpec, ResultCache
 
     if args.app not in _SWEEP_APPS:
@@ -369,6 +371,13 @@ def cmd_sweep(args, out) -> int:
             source = "cache" if task["cached"] else "run"
             print(f"  {task['name']:24s} {task['seconds']:9.3f} {source}",
                   file=out)
+        if telemetry.metrics_enabled():
+            # The flush path only exists when telemetry is on; with it off
+            # this section would point at a directory nothing writes to.
+            print(f"  {'telemetry_mode':24s} {telemetry.telemetry_mode()}",
+                  file=out)
+            print(f"  {'telemetry_flush_path':24s} {telemetry.telemetry_dir()}",
+                  file=out)
     if runner.cache is not None:
         print(f"cache: {runner.cache.root} "
               f"({runner.cache.entry_count()} entries)", file=out)
@@ -389,6 +398,11 @@ def cmd_sweep(args, out) -> int:
             "stats": stats.to_dict(),
             "speedup_vs_sequential": stats.speedup_vs_sequential,
         }
+        if telemetry.metrics_enabled():
+            payload["telemetry"] = {
+                "mode": telemetry.telemetry_mode(),
+                "flush_path": str(telemetry.telemetry_dir()),
+            }
         with open(args.json, "w") as handle:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -438,6 +452,39 @@ def cmd_trace(args, out) -> int:
         return 2
     print(render_span_tree(spans, roots_only_last=not args.all), file=out)
     return 0
+
+
+def cmd_lint(args, out) -> int:
+    """Contract-enforcing static analysis (see docs/ANALYSIS.md)."""
+    import json as _json
+
+    import repro
+    from repro.analysis import load_baseline, run_analysis, write_baseline
+
+    root = Path(args.path) if args.path else Path(repro.__file__).parent
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_analysis(root, baseline_fingerprints=baseline)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"baseline of {len(report.findings)} findings written to "
+              f"{baseline_path}", file=out)
+        return 0
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        prefix = "" if root.name == str(root) else f"{root}/"
+        print(report.format_text(path_prefix=prefix), file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_report(args, out) -> int:
@@ -578,6 +625,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--all", action="store_true",
                    help="render every recorded root span (default: last only)")
 
+    p = sub.add_parser(
+        "lint", help="contract-enforcing static analysis of the package"
+    )
+    p.add_argument("--path", default=None,
+                   help="package directory to scan (default: the installed "
+                        "repro package)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--baseline", default=".repro-lint-baseline.json",
+                   help="accepted-findings baseline file (need not exist)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept the current findings into the baseline file")
+
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")
@@ -598,11 +657,12 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
+    "lint": cmd_lint,
     "report": cmd_report,
 }
 
-#: Commands that only render persisted telemetry — never flush their own.
-_VIEWER_COMMANDS = ("metrics", "trace")
+#: Commands that run no experiments — never flush telemetry of their own.
+_VIEWER_COMMANDS = ("metrics", "trace", "lint")
 
 
 def main(argv=None, out=None) -> int:

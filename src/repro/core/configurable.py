@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .floatops import FloatFormat, compose, decompose, format_for_dtype
+from .floatops import compose, decompose, format_for_dtype
 from .mitchell import mitchell_mantissa_product
 from .multiplier import _special_results
 

@@ -36,7 +36,7 @@ from repro.core import (
 )
 
 from .metrics import ErrorStats, error_stats
-from .quasirandom import mantissa_inputs, uniform_inputs
+from .quasirandom import mantissa_inputs
 
 __all__ = [
     "ErrorPMF",

@@ -14,8 +14,7 @@ and the truncation sweeps against the Figure-14 shape.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import MultiplierConfig
 

@@ -16,7 +16,6 @@ binary32 and binary64.
 
 from __future__ import annotations
 
-import math
 
 from .bitvector import (
     FieldsF32,

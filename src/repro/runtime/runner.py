@@ -45,6 +45,7 @@ def default_worker_count() -> int:
 # ----------------------------------------------------------------------
 # Worker-side execution (module-level: must be picklable)
 # ----------------------------------------------------------------------
+# repro-lint: disable=fork-safety -- per-process memo, rebuilt from the spec on first use
 _WORKER_FRAMEWORKS: dict = {}
 
 

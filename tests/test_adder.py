@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    DEFAULT_THRESHOLD,
     imprecise_add,
     imprecise_subtract,
     max_threshold,

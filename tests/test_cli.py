@@ -235,3 +235,62 @@ class TestSweep:
             "--workers", "1", "--no-cache", "--configs", "bogus_cfg",
         )
         assert code == 2
+
+    def test_stats_omits_telemetry_section_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        code, text = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--stats",
+        )
+        assert code == 0
+        assert "runner stats:" in text
+        assert "telemetry_flush_path" not in text
+
+    def test_stats_includes_telemetry_section_when_enabled(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "metrics")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "tel"))
+        out_file = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--stats", "--json", str(out_file),
+        )
+        assert code == 0
+        assert "telemetry_mode" in text and "metrics" in text
+        assert str(tmp_path / "tel") in text
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["telemetry"]["mode"] == "metrics"
+        assert payload["telemetry"]["flush_path"] == str(tmp_path / "tel")
+
+    def test_json_payload_omits_telemetry_when_disabled(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        out_file = tmp_path / "sweep.json"
+        code, _ = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--json", str(out_file),
+        )
+        assert code == 0
+        import json
+
+        assert "telemetry" not in json.loads(out_file.read_text())
+
+
+class TestLint:
+    def test_lint_is_a_viewer_command(self, monkeypatch, tmp_path):
+        # `repro lint` must not flush telemetry even when telemetry is on.
+        monkeypatch.setenv("REPRO_TELEMETRY", "metrics")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "tel"))
+        code, text = run_cli(
+            "lint", "--baseline", str(tmp_path / "absent.json")
+        )
+        assert code == 0
+        assert "telemetry" not in text
+        assert not (tmp_path / "tel").exists()
+
+    def test_lint_help_registered(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("lint", "--help")
+        assert excinfo.value.code == 0

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import IHWConfig, MultiplierConfig
 from repro.hardware import (
-    Block,
     HardwareLibrary,
     OPS,
     TABLE2_NORMALIZED,

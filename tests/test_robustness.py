@@ -6,7 +6,6 @@ NaN propagation into quality metrics.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps import cp, gromacs, hotspot, raytrace, sphinx, srad
 from repro.core import (

@@ -1,6 +1,5 @@
 """Tests for the sensitivity analysis, DVFS composition, and auto-tuner."""
 
-import numpy as np
 import pytest
 
 from repro.core import IHWConfig, MultiplierConfig
