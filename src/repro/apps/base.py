@@ -54,6 +54,7 @@ def make_context(config: IHWConfig | None, dtype=np.float32) -> ArithmeticContex
     )
     if config is not None:
         ctx.drift_probe = telemetry.make_drift_probe()
+        ctx.op_timer = telemetry.make_op_timer()
     return ctx
 
 

@@ -487,6 +487,60 @@ def cmd_lint(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args, out) -> int:
+    """Benchmark the compute backends against ``reference`` (bit-identical)."""
+    import json as _json
+
+    import numpy as np
+
+    from repro.core.backends import available_backend_names, backend_names
+    from repro.core.backends.bench import run_benchmarks
+
+    size = 65536 if args.quick else args.size
+    repeats = 2 if args.quick else args.repeats
+    dtype = np.float64 if args.dtype == "float64" else np.float32
+    if args.backends:
+        names = tuple(n.strip() for n in args.backends.split(",") if n.strip())
+        unknown = [n for n in names if n not in backend_names()]
+        if unknown:
+            print(f"unknown backend(s) {unknown}; registered: "
+                  f"{backend_names()}", file=sys.stderr)
+            return 2
+    else:
+        names = available_backend_names()
+
+    payload = run_benchmarks(size=size, repeats=repeats, dtype=dtype,
+                             backends=names)
+
+    failed_parity = []
+    print(f"size={payload['size']} repeats={payload['repeats']} "
+          f"dtype={payload['dtype']}", file=out)
+    for name, entry in payload["backends"].items():
+        if not entry["available"]:
+            print(f"{name:<10} unavailable: {entry.get('error', '')}", file=out)
+            continue
+        if not entry["parity_ok"]:
+            failed_parity.append(name)
+            print(f"{name:<10} PARITY FAILED: "
+                  f"{entry.get('parity_failures')}", file=out)
+            continue
+        for op, record in entry["ops"].items():
+            ms = record["seconds"] * 1e3
+            speedup = record.get("speedup_vs_reference")
+            suffix = f"  {speedup:5.2f}x vs reference" if speedup else ""
+            print(f"{name:<10} {op:<5} {ms:9.2f} ms{suffix}", file=out)
+
+    if failed_parity:
+        print(f"parity failures in: {', '.join(failed_parity)} — "
+              "no benchmark file written", file=sys.stderr)
+        return 1
+    if not args.no_write:
+        path = Path(args.out)
+        path.write_text(_json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"benchmark results written to {path}", file=out)
+    return 0
+
+
 def cmd_report(args, out) -> int:
     from repro.reporting import generate_report
 
@@ -637,6 +691,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-baseline", action="store_true",
                    help="accept the current findings into the baseline file")
 
+    p = sub.add_parser(
+        "bench", help="benchmark the compute backends (parity-checked)"
+    )
+    p.add_argument("--size", type=int, default=1_000_000,
+                   help="elements per operand vector (default 1M)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repeats; best-of is reported")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke scale: 64k elements, 2 repeats")
+    p.add_argument("--dtype", default="float32", choices=("float32", "float64"))
+    p.add_argument("--backends", default=None,
+                   help="comma-separated backend names (default: all available)")
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="JSON output path (default BENCH_core.json)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the table only, write no file")
+
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")
@@ -658,11 +729,12 @@ _COMMANDS = {
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": cmd_lint,
+    "bench": cmd_bench,
     "report": cmd_report,
 }
 
 #: Commands that run no experiments — never flush telemetry of their own.
-_VIEWER_COMMANDS = ("metrics", "trace", "lint")
+_VIEWER_COMMANDS = ("metrics", "trace", "lint", "bench")
 
 
 def main(argv=None, out=None) -> int:

@@ -7,6 +7,14 @@ selects which units run imprecisely, and the instrumented
 """
 
 from .adder import DEFAULT_THRESHOLD, imprecise_add, imprecise_subtract, max_threshold
+from .backends import (
+    BackendUnavailableError,
+    available_backend_names,
+    backend_names,
+    default_backend_name,
+    get_backend,
+)
+from .backends.base import ComputeBackend
 from .config import IHWConfig, MULTIPLIER_MODES, SFU_MODES, UNIT_NAMES
 from .configurable import (
     FULL_PATH_MAX_ERROR,
@@ -63,6 +71,8 @@ __all__ = [
     "BINARY16",
     "BINARY32",
     "BINARY64",
+    "BackendUnavailableError",
+    "ComputeBackend",
     "DEFAULT_THRESHOLD",
     "DualModeMultiplier",
     "FPU_OPS",
@@ -90,11 +100,15 @@ __all__ = [
     "SFU_OPS",
     "SQRT_MAX_ERROR",
     "UNIT_NAMES",
+    "available_backend_names",
+    "backend_names",
     "compose",
     "configurable_multiply",
     "decompose",
+    "default_backend_name",
     "flush_subnormals",
     "format_for_dtype",
+    "get_backend",
     "imprecise_add",
     "imprecise_divide",
     "imprecise_fma",

@@ -1,0 +1,137 @@
+"""Pluggable compute backends for the imprecise unit operations.
+
+One semantic contract, several interchangeable execution engines:
+
+- ``reference`` — the original vectorized NumPy units (the default);
+- ``fused`` — single-pass kernels with preallocated scratch buffers,
+  in-place ufuncs, and lazy special-case handling (~2-3x on large arrays);
+- ``numba`` — JIT-compiled scalar integer datapaths; optional, gracefully
+  absent when numba is not installed.
+
+Backends are **contractually bit-identical**: the parity harness
+(:mod:`repro.core.backends.parity`, run by ``tests/test_backends.py`` and
+``repro bench``) sweeps random and adversarial operand vectors and asserts
+exact equality against ``reference``.  Because the numbers cannot differ,
+the backend choice is deliberately excluded from
+:meth:`~repro.core.config.IHWConfig.canonical` — result caches are shared
+across backends.
+
+Selection, in priority order:
+
+1. the ``backend=`` argument of :class:`~repro.core.context.ArithmeticContext`;
+2. :attr:`IHWConfig.backend <repro.core.config.IHWConfig.backend>`;
+3. the ``REPRO_BACKEND`` environment variable;
+4. ``reference``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "backend_names",
+    "backend_available",
+    "available_backend_names",
+    "default_backend_name",
+    "get_backend",
+]
+
+#: Environment variable selecting the process-wide default backend.
+ENV_VAR = "REPRO_BACKEND"
+
+DEFAULT_BACKEND = "reference"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run here (missing optional dependency)."""
+
+
+def _make_reference():
+    from .base import ReferenceBackend
+
+    return ReferenceBackend()
+
+
+def _make_fused():
+    from .fused import FusedBackend
+
+    return FusedBackend()
+
+
+def _make_numba():
+    from .numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+_FACTORIES = {
+    "reference": _make_reference,
+    "fused": _make_fused,
+    "numba": _make_numba,
+}
+
+
+def backend_names() -> tuple:
+    """Every registered backend name, available here or not."""
+    return tuple(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually be constructed in this environment."""
+    if name not in _FACTORIES:
+        return False
+    if name == "numba":
+        return importlib.util.find_spec("numba") is not None
+    return True
+
+
+def available_backend_names() -> tuple:
+    """The registered backends constructible in this environment."""
+    return tuple(name for name in _FACTORIES if backend_available(name))
+
+
+def default_backend_name() -> str:
+    """The backend selected by ``REPRO_BACKEND``, or ``reference``.
+
+    Raises ``ValueError`` for an unknown name so a typo in the environment
+    fails loudly instead of silently running the wrong engine.
+    """
+    name = os.environ.get(ENV_VAR, "").strip().lower()
+    if not name:
+        return DEFAULT_BACKEND
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"{ENV_VAR}={name!r} is not a registered backend; "
+            f"expected one of {backend_names()}"
+        )
+    return name
+
+
+def get_backend(name=None):
+    """Resolve a backend selection to a fresh :class:`ComputeBackend`.
+
+    ``name`` may be a backend name, an existing backend instance (returned
+    as-is), or ``None`` for the environment/default resolution.  Each call
+    returns a fresh instance because backends may hold per-context scratch
+    state.
+    """
+    from .base import ComputeBackend
+
+    if isinstance(name, ComputeBackend):
+        return name
+    if name is None:
+        name = default_backend_name()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {backend_names()}"
+        )
+    if not backend_available(name):
+        raise BackendUnavailableError(
+            f"backend {name!r} is registered but not available here "
+            "(missing optional dependency)"
+        )
+    return _FACTORIES[name]()

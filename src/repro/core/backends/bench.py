@@ -1,0 +1,139 @@
+"""Backend micro-benchmarks behind the ``repro bench`` CLI subcommand.
+
+Times the hot unit operations on large finite operand vectors for every
+requested backend, best-of-``repeats``, and reports speedups relative to
+``reference``.  Each backend must pass the parity harness before its
+numbers are published — a fast-but-wrong backend is worse than useless
+here, because the result cache deliberately ignores the backend choice.
+
+The payload is plain JSON-serialisable data; the CLI handles all IO.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from ..adder import DEFAULT_THRESHOLD
+from ..floatops import format_for_dtype
+from . import available_backend_names, backend_names, get_backend
+from .parity import check_parity
+
+__all__ = ["BENCH_OPS", "run_benchmarks"]
+
+#: Operations timed by :func:`run_benchmarks`.
+BENCH_OPS = ("add", "mul", "fma", "rcp", "sqrt")
+
+
+def _operands(size: int, dtype, seed: int = 11):
+    """Large finite operand vectors (the steady-state kernel workload)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.25, 4.0, size=size).astype(dtype)
+    b = rng.uniform(0.25, 4.0, size=size).astype(dtype)
+    c = rng.uniform(0.25, 4.0, size=size).astype(dtype)
+    sign = np.where(rng.integers(0, 2, size=size) == 1, -1.0, 1.0)
+    a = (a * sign.astype(dtype)).astype(dtype)
+    return a, b, c
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _machine_metadata() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "numba_available": "numba" in available_backend_names(),
+    }
+
+
+def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
+                   dtype=np.float32, backends=None,
+                   parity_samples: int = 4096) -> dict:
+    """Benchmark ``backends`` against ``reference`` on ``size`` elements.
+
+    Returns a payload dict with machine metadata, per-backend parity
+    status, and per-op timings in seconds plus speedup vs reference.
+    Backends failing parity get no timings (``parity_failures`` lists the
+    mismatches instead).
+    """
+    fmt = format_for_dtype(dtype)
+    if backends is None:
+        backends = available_backend_names()
+    unknown = [name for name in backends if name not in backend_names()]
+    if unknown:
+        raise ValueError(
+            f"unknown backend(s) {unknown}; expected a subset of "
+            f"{backend_names()}"
+        )
+    if "reference" not in backends:
+        backends = ("reference",) + tuple(backends)
+
+    a, b, c = _operands(size, fmt.dtype)
+    abs_a = np.abs(a)
+
+    payload = {
+        "schema": "repro-bench-core/1",
+        "machine": _machine_metadata(),
+        "size": int(size),
+        "repeats": int(repeats),
+        "dtype": fmt.name,
+        "threshold": DEFAULT_THRESHOLD,
+        "backends": {},
+    }
+
+    reference_times = {}
+    for name in backends:
+        entry = {"available": True, "parity_ok": None, "ops": {}}
+        payload["backends"][name] = entry
+        try:
+            backend = get_backend(name)
+        except Exception as exc:  # registered but unavailable
+            entry["available"] = False
+            entry["error"] = str(exc)
+            continue
+        if name == "reference":
+            entry["parity_ok"] = True
+        else:
+            failures = check_parity(backend, dtype=fmt.dtype,
+                                    n_random=parity_samples)
+            entry["parity_ok"] = not failures
+            if failures:
+                entry["parity_failures"] = failures
+                continue
+        runs = {
+            "add": lambda be=backend: be.imprecise_add(
+                a, b, DEFAULT_THRESHOLD, dtype=fmt.dtype),
+            "mul": lambda be=backend: be.imprecise_multiply(
+                a, b, dtype=fmt.dtype),
+            "fma": lambda be=backend: be.imprecise_fma(
+                a, b, c, DEFAULT_THRESHOLD, dtype=fmt.dtype),
+            "rcp": lambda be=backend: be.imprecise_reciprocal(
+                a, dtype=fmt.dtype),
+            "sqrt": lambda be=backend: be.imprecise_sqrt(
+                abs_a, dtype=fmt.dtype),
+        }
+        for op in BENCH_OPS:
+            fn = runs[op]
+            fn()  # warm-up (also triggers any JIT compilation)
+            seconds = _time_best(fn, repeats)
+            record = {"seconds": seconds}
+            if name == "reference":
+                reference_times[op] = seconds
+            elif op in reference_times and seconds > 0:
+                record["speedup_vs_reference"] = reference_times[op] / seconds
+            entry["ops"][op] = record
+    return payload

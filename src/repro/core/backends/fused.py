@@ -1,0 +1,694 @@
+"""The ``fused`` backend: single-pass, scratch-buffered unit kernels.
+
+The reference units are written for clarity: each materializes 20-40
+full-array temporaries (``np.where`` chains, repeated ``decompose``,
+unconditional special-case handling).  At the 1M-element scale every one of
+those temporaries is a fresh 8 MB allocation that round-trips through the
+allocator's mmap threshold, which dominates the runtime.  This backend
+reimplements the hot datapaths with
+
+- **preallocated scratch buffers** — a grow-only pool of named ``int64`` /
+  ``float64`` / ``bool`` working arrays reused across calls, so a steady
+  -state op performs no large allocations besides its result;
+- **in-place ufuncs** — every field extraction, alignment, and compose step
+  writes into scratch via ``out=`` / ``np.copyto(..., where=...)``;
+- **single-pass decompose reuse** — sign/exponent/fraction are extracted
+  once per operand and reused by every later stage;
+- **lazy special-case handling** — a cheap pre-check (an ``exp.max()``
+  reduction on the already-extracted exponent fields) skips the NaN/inf
+  (and, for the SFUs, zero/negative) branch entirely when no operand needs
+  it, which is the overwhelmingly common case for kernel data.  When the
+  pre-check fires, the op falls back to patching from (or delegating to)
+  the reference unit, so special-value semantics are inherited verbatim.
+
+Every method is bit-identical to the reference backend — asserted over
+random and adversarial vectors by :mod:`repro.core.backends.parity` and
+``tests/test_backends.py``.
+
+The normalization step replaces the reference adder's float64 ``np.frexp``
+MSB extraction (and its overshoot-correction fixup) with an integer-only
+smear + popcount when ``numpy.bitwise_count`` is available (NumPy >= 2.0);
+older NumPy falls back to the reference method on the scratch buffers.
+
+Instances hold mutable scratch state: one backend belongs to one
+:class:`~repro.core.context.ArithmeticContext` and is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adder import DEFAULT_THRESHOLD, _special_add, max_threshold
+from ..configurable import MultiplierConfig
+from ..floatops import flush_subnormals, format_for_dtype
+from ..mitchell import mitchell_mantissa_product
+from ..special import LOG2_COEFFS, RECIPROCAL_COEFFS, RSQRT_COEFFS, _SQRT1_2
+from .base import ComputeBackend
+
+__all__ = ["FusedBackend", "ScratchPool"]
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+class ScratchPool:
+    """Named, grow-only scratch buffers keyed by (name, dtype).
+
+    ``get`` returns a view of the right shape over a flat buffer that is
+    reallocated only when a larger size is requested, so repeated calls at
+    a kernel's working size are allocation-free.
+    """
+
+    def __init__(self):
+        self._buffers: dict = {}
+
+    def get(self, name: str, dtype, shape) -> np.ndarray:
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        key = (name, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < n:
+            buf = np.empty(max(n, 1), dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:n].reshape(shape)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (telemetry / debugging)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+class FusedBackend(ComputeBackend):
+    """Scratch-buffered, lazily-special-cased unit kernels."""
+
+    name = "fused"
+
+    def __init__(self):
+        self._scratch = ScratchPool()
+
+    # Scratch accessors: int64 working arrays, bool masks, float64 datapath.
+    def _i(self, name, shape):
+        return self._scratch.get(name, np.int64, shape)
+
+    def _b(self, name, shape):
+        return self._scratch.get(name, np.bool_, shape)
+
+    def _f(self, name, shape):
+        return self._scratch.get(name, np.float64, shape)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _operands(self, a, b, fmt):
+        a = np.asarray(a, dtype=fmt.dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return np.broadcast_arrays(a, b)
+
+    def _fields(self, tag, values, fmt, shape):
+        """Extract (bits, exponent, fraction) once into int64 scratch."""
+        bits = self._i("bits_" + tag, shape)
+        np.copyto(bits, values.view(fmt.uint))
+        exp = self._i("exp_" + tag, shape)
+        np.right_shift(bits, fmt.mantissa_bits, out=exp)
+        np.bitwise_and(exp, fmt.exponent_mask, out=exp)
+        frac = self._i("frac_" + tag, shape)
+        np.bitwise_and(bits, fmt.mantissa_mask, out=frac)
+        return bits, exp, frac
+
+    def _msb_index(self, total, shape):
+        """Exact MSB bit index of positive int64 values, in scratch.
+
+        Integer-only: smear the leading one downward, then popcount.  This
+        replaces the reference's float64 ``np.frexp`` extraction and its
+        round-up overshoot correction.  Overwrites ``total`` is avoided;
+        uses the ``smear``/``shreg`` scratch slots.
+        """
+        smear = self._i("smear", shape)
+        np.copyto(smear, total)
+        shreg = self._i("shreg", shape)
+        if _HAS_BITWISE_COUNT:
+            for s in (1, 2, 4, 8, 16, 32):
+                np.right_shift(smear, s, out=shreg)
+                np.bitwise_or(smear, shreg, out=smear)
+            counts = self._scratch.get("popcount", np.uint8, shape)
+            np.bitwise_count(smear, out=counts)
+            msb = shreg
+            np.copyto(msb, counts)
+            np.subtract(msb, 1, out=msb)
+            return msb
+        # NumPy < 2.0: the reference float64 method, on scratch buffers.
+        msb = shreg
+        np.copyto(msb, np.frexp(smear.astype(np.float64))[1])
+        np.subtract(msb, 1, out=msb)
+        np.right_shift(smear, msb, out=smear)
+        np.subtract(msb, smear == 0, out=msb)
+        return msb
+
+    # ------------------------------------------------------------------
+    # Threshold adder
+    # ------------------------------------------------------------------
+    def imprecise_add(self, a, b, threshold: int = DEFAULT_THRESHOLD,
+                      dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        if not 1 <= threshold <= max_threshold(dtype):
+            raise ValueError(
+                f"threshold must be in [1, {max_threshold(dtype)}] for "
+                f"{fmt.name}, got {threshold}"
+            )
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        p = fmt.mantissa_bits
+        guard = threshold
+        emask = fmt.exponent_mask
+        ss = fmt.sign_shift
+
+        bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
+        bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
+        has_special = int(exp_a.max()) == emask or int(exp_b.max()) == emask
+
+        # Magnitude comparison: with the sign bit masked off, the IEEE bit
+        # pattern orders exactly like (exponent, fraction) lexicographic.
+        mag_mask = (1 << ss) - 1
+        mag_a = self._i("t1", shape)
+        np.bitwise_and(bits_a, mag_mask, out=mag_a)
+        mag_b = self._i("t2", shape)
+        np.bitwise_and(bits_b, mag_mask, out=mag_b)
+        a_larger = self._b("a_larger", shape)
+        np.greater_equal(mag_a, mag_b, out=a_larger)
+
+        # Working mantissas with the implicit one, at guard scale; subnormal
+        # operands (exp == 0) contribute zero.
+        mant_a = mag_a
+        np.add(frac_a, np.int64(fmt.implicit_one), out=mant_a)
+        np.left_shift(mant_a, guard, out=mant_a)
+        zero_a = self._b("zero_a", shape)
+        np.equal(exp_a, 0, out=zero_a)
+        np.copyto(mant_a, np.int64(0), where=zero_a)
+        mant_b = mag_b
+        np.add(frac_b, np.int64(fmt.implicit_one), out=mant_b)
+        np.left_shift(mant_b, guard, out=mant_b)
+        zero_b = self._b("zero_b", shape)
+        np.equal(exp_b, 0, out=zero_b)
+        np.copyto(mant_b, np.int64(0), where=zero_b)
+
+        # Select x = larger magnitude, y = smaller.
+        mant_x = self._i("mant_x", shape)
+        np.copyto(mant_x, mant_b)
+        np.copyto(mant_x, mant_a, where=a_larger)
+        mant_y = self._i("mant_y", shape)
+        np.copyto(mant_y, mant_a)
+        np.copyto(mant_y, mant_b, where=a_larger)
+        exp_x = self._i("exp_x", shape)
+        np.maximum(exp_a, exp_b, out=exp_x)
+        d = self._i("d", shape)
+        np.minimum(exp_a, exp_b, out=d)
+        np.subtract(exp_x, d, out=d)
+
+        sign_a = bits_a
+        np.right_shift(bits_a, ss, out=sign_a)
+        sign_b = bits_b
+        np.right_shift(bits_b, ss, out=sign_b)
+        effective_sub = self._b("eff_sub", shape)
+        np.not_equal(sign_a, sign_b, out=effective_sub)
+        sign_z = self._i("sign_z", shape)
+        np.copyto(sign_z, sign_b)
+        np.copyto(sign_z, sign_a, where=a_larger)
+
+        # Align y: shift right by d, keep only the top TH fraction bits at
+        # the larger-exponent scale, zero entirely beyond the threshold.
+        shift = self._i("shift", shape)
+        np.minimum(d, p + guard + 1, out=shift)
+        np.right_shift(mant_y, shift, out=mant_y)
+        keep_cut = p + guard - threshold
+        if keep_cut > 0:
+            np.bitwise_and(mant_y, ~np.int64((1 << keep_cut) - 1), out=mant_y)
+        far = self._b("far", shape)
+        np.greater(d, threshold, out=far)
+        np.copyto(mant_y, np.int64(0), where=far)
+
+        total = self._i("total", shape)
+        np.add(mant_x, mant_y, out=total)
+        tsub = self._i("tsub", shape)
+        np.subtract(mant_x, mant_y, out=tsub)
+        np.copyto(total, tsub, where=effective_sub)
+        np.abs(total, out=total)
+
+        zero_total = self._b("zero_total", shape)
+        np.equal(total, 0, out=zero_total)
+        np.copyto(total, np.int64(1), where=zero_total)
+
+        msb = self._msb_index(total, shape)
+        norm_shift = msb
+        np.subtract(msb, p + guard, out=norm_shift)
+        exp_z = exp_x
+        np.add(exp_x, norm_shift, out=exp_z)
+
+        left = self._i("left", shape)
+        np.negative(norm_shift, out=left)
+        np.maximum(left, 0, out=left)
+        right = self._i("right", shape)
+        np.maximum(norm_shift, 0, out=right)
+        np.left_shift(total, left, out=total)
+        np.right_shift(total, right, out=total)
+        frac_z = total
+        np.right_shift(total, guard, out=frac_z)
+        np.bitwise_and(frac_z, fmt.mantissa_mask, out=frac_z)
+
+        overflow = self._b("overflow", shape)
+        np.greater(exp_z, fmt.max_exponent, out=overflow)
+        underflow = self._b("underflow", shape)
+        np.less(exp_z, 1, out=underflow)
+        np.logical_or(underflow, zero_total, out=underflow)
+
+        # Compose in the integer domain; the sign part doubles as the
+        # signed-zero pattern for underflow.
+        np.clip(exp_z, 0, emask, out=exp_z)
+        sign_part = self._i("sign_part", shape)
+        np.left_shift(sign_z, ss, out=sign_part)
+        np.left_shift(exp_z, p, out=exp_z)
+        bits_out = exp_z
+        np.bitwise_or(bits_out, sign_part, out=bits_out)
+        np.bitwise_or(bits_out, frac_z, out=bits_out)
+
+        if bool(overflow.any()):
+            inf_bits = self._i("inf_bits", shape)
+            np.bitwise_or(sign_part, np.int64(emask) << p, out=inf_bits)
+            np.copyto(bits_out, inf_bits, where=overflow)
+        np.copyto(bits_out, sign_part, where=underflow)
+        # Exact cancellation yields +0 as in IEEE round-to-nearest.
+        np.copyto(bits_out, np.int64(0), where=zero_total)
+
+        result = bits_out.astype(fmt.uint).view(fmt.dtype)
+
+        if has_special:
+            special_mask, special_vals = _special_add(a, b, fmt)
+            np.copyto(result, special_vals, where=special_mask)
+        return result
+
+    def imprecise_subtract(self, a, b, threshold: int = DEFAULT_THRESHOLD,
+                           dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return self.imprecise_add(a, -b, threshold=threshold, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Table-1 multiplier
+    # ------------------------------------------------------------------
+    def imprecise_multiply(self, a, b, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        p = fmt.mantissa_bits
+        emask = fmt.exponent_mask
+        fmask = fmt.mantissa_mask
+        ss = fmt.sign_shift
+
+        bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
+        bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
+        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
+            # NaN/inf present: take the reference path wholesale (rare).
+            return ComputeBackend.imprecise_multiply(self, a, b, dtype=dtype)
+
+        sign_z = self._i("sign_z", shape)
+        np.right_shift(bits_a, ss, out=bits_a)
+        np.right_shift(bits_b, ss, out=bits_b)
+        np.bitwise_xor(bits_a, bits_b, out=sign_z)
+
+        # Mantissa datapath: 1 + Ma + Mb, halved on carry (LSB truncated).
+        frac_sum = frac_a
+        np.add(frac_a, frac_b, out=frac_sum)
+        carry = frac_b
+        np.right_shift(frac_sum, p, out=carry)
+        halved = self._i("halved", shape)
+        np.bitwise_and(frac_sum, fmask, out=halved)
+        np.right_shift(halved, 1, out=halved)
+        carried = self._b("carried", shape)
+        np.not_equal(carry, 0, out=carried)
+        frac_z = frac_sum
+        np.copyto(frac_z, halved, where=carried)
+        np.bitwise_and(frac_z, fmask, out=frac_z)
+
+        exp_z = self._i("exp_z", shape)
+        np.add(exp_a, exp_b, out=exp_z)
+        np.subtract(exp_z, fmt.bias, out=exp_z)
+        np.add(exp_z, carry, out=exp_z)
+
+        overflow = self._b("overflow", shape)
+        np.greater(exp_z, fmt.max_exponent, out=overflow)
+        underflow = self._b("underflow", shape)
+        np.less(exp_z, 1, out=underflow)
+        # Zero or subnormal operand (exp field 0) makes the product zero.
+        zero_any = self._b("zero_any", shape)
+        np.equal(exp_a, 0, out=zero_any)
+        zero_b = self._b("zero_b", shape)
+        np.equal(exp_b, 0, out=zero_b)
+        np.logical_or(zero_any, zero_b, out=zero_any)
+
+        np.clip(exp_z, 0, emask, out=exp_z)
+        sign_part = self._i("sign_part", shape)
+        np.left_shift(sign_z, ss, out=sign_part)
+        np.left_shift(exp_z, p, out=exp_z)
+        bits_out = exp_z
+        np.bitwise_or(bits_out, sign_part, out=bits_out)
+        np.bitwise_or(bits_out, frac_z, out=bits_out)
+
+        if bool(overflow.any()):
+            inf_bits = self._i("inf_bits", shape)
+            np.bitwise_or(sign_part, np.int64(emask) << p, out=inf_bits)
+            np.copyto(bits_out, inf_bits, where=overflow)
+        np.copyto(bits_out, sign_part, where=underflow)
+        np.copyto(bits_out, sign_part, where=zero_any)
+        return bits_out.astype(fmt.uint).view(fmt.dtype)
+
+    # ------------------------------------------------------------------
+    # Mitchell (accuracy-configurable) multiplier
+    # ------------------------------------------------------------------
+    def configurable_multiply(self, a, b, config: MultiplierConfig,
+                              dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        if config.truncation > fmt.mantissa_bits:
+            raise ValueError(
+                f"truncation {config.truncation} exceeds the "
+                f"{fmt.mantissa_bits}-bit mantissa of {fmt.name}"
+            )
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        p = fmt.mantissa_bits
+        emask = fmt.exponent_mask
+        ss = fmt.sign_shift
+
+        bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
+        bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
+        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
+            return ComputeBackend.configurable_multiply(self, a, b, config,
+                                                        dtype=dtype)
+
+        sign_z = self._i("sign_z", shape)
+        np.right_shift(bits_a, ss, out=bits_a)
+        np.right_shift(bits_b, ss, out=bits_b)
+        np.bitwise_xor(bits_a, bits_b, out=sign_z)
+
+        if config.truncation:
+            cut = ~((1 << config.truncation) - 1) & fmt.mantissa_mask
+            np.bitwise_and(frac_a, cut, out=frac_a)
+            np.bitwise_and(frac_b, cut, out=frac_b)
+
+        # Exact dyadic mantissa fractions in the float64 datapath.
+        scale = float(fmt.implicit_one)
+        ma = self._f("ma", shape)
+        np.divide(frac_a, scale, out=ma)
+        mb = self._f("mb", shape)
+        np.divide(frac_b, scale, out=mb)
+
+        if config.path == "log":
+            # MA of (1+Ma)(1+Mb): both operands are in [1, 2), so the log
+            # decomposition is k = 0, x = M exactly and the product reduces
+            # to 1 + Ma + Mb (or 2 (Ma + Mb) past the carry) — the same
+            # dyadic float64 values mitchell_mantissa_product computes.
+            x_sum = ma
+            np.add(ma, mb, out=x_sum)
+            mant_product = self._f("mant_product", shape)
+            np.add(x_sum, 1.0, out=mant_product)
+            doubled = mb
+            np.multiply(x_sum, 2.0, out=doubled)
+            carried = self._b("carried", shape)
+            np.greater_equal(x_sum, 1.0, out=carried)
+            np.copyto(mant_product, doubled, where=carried)
+        else:
+            cross = mitchell_mantissa_product(ma, mb)
+            mant_product = self._f("mant_product", shape)
+            np.add(ma, 1.0, out=mant_product)
+            np.add(mant_product, mb, out=mant_product)
+            np.add(mant_product, cross, out=mant_product)
+
+        carry = self._b("carry", shape)
+        np.greater_equal(mant_product, 2.0, out=carry)
+        mant_norm = mant_product
+        halved = self._f("halved_f", shape)
+        np.multiply(mant_product, 0.5, out=halved)
+        np.copyto(mant_norm, halved, where=carry)
+
+        np.subtract(mant_norm, 1.0, out=mant_norm)
+        np.multiply(mant_norm, scale, out=mant_norm)
+        np.floor(mant_norm, out=mant_norm)
+        frac_z = self._i("frac_z", shape)
+        np.copyto(frac_z, mant_norm, casting="unsafe")
+        np.clip(frac_z, 0, fmt.mantissa_mask, out=frac_z)
+
+        exp_z = self._i("exp_z", shape)
+        np.add(exp_a, exp_b, out=exp_z)
+        np.subtract(exp_z, fmt.bias, out=exp_z)
+        np.add(exp_z, carry, out=exp_z)
+
+        overflow = self._b("overflow", shape)
+        np.greater(exp_z, fmt.max_exponent, out=overflow)
+        underflow = self._b("underflow", shape)
+        np.less(exp_z, 1, out=underflow)
+        zero_any = self._b("zero_any", shape)
+        np.equal(exp_a, 0, out=zero_any)
+        zero_b = self._b("zero_b", shape)
+        np.equal(exp_b, 0, out=zero_b)
+        np.logical_or(zero_any, zero_b, out=zero_any)
+
+        np.clip(exp_z, 0, emask, out=exp_z)
+        sign_part = self._i("sign_part", shape)
+        np.left_shift(sign_z, ss, out=sign_part)
+        np.left_shift(exp_z, p, out=exp_z)
+        bits_out = exp_z
+        np.bitwise_or(bits_out, sign_part, out=bits_out)
+        np.bitwise_or(bits_out, frac_z, out=bits_out)
+
+        if bool(overflow.any()):
+            inf_bits = self._i("inf_bits", shape)
+            np.bitwise_or(sign_part, np.int64(emask) << p, out=inf_bits)
+            np.copyto(bits_out, inf_bits, where=overflow)
+        np.copyto(bits_out, sign_part, where=underflow)
+        np.copyto(bits_out, sign_part, where=zero_any)
+        return bits_out.astype(fmt.uint).view(fmt.dtype)
+
+    # ------------------------------------------------------------------
+    # bt_N truncation baseline
+    # ------------------------------------------------------------------
+    def truncated_multiply(self, a, b, truncation: int = 0, dtype=np.float32,
+                           rounding: bool = True) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        if not 0 <= truncation <= fmt.mantissa_bits:
+            raise ValueError(
+                f"truncation must be in [0, {fmt.mantissa_bits}], "
+                f"got {truncation}"
+            )
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        emask = fmt.exponent_mask
+        ss = fmt.sign_shift
+
+        bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
+        bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
+        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
+            return ComputeBackend.truncated_multiply(self, a, b, truncation,
+                                                     dtype=dtype,
+                                                     rounding=rounding)
+
+        # Operand reduction in the integer domain: flush subnormals to the
+        # signed zero pattern, then round/truncate the mantissa bits.
+        sign_mask = np.int64(1) << ss
+        for bits, exp in ((bits_a, exp_a), (bits_b, exp_b)):
+            sub = self._b("sub", shape)
+            np.equal(exp, 0, out=sub)
+            signed_zero = self._i("signed_zero", shape)
+            np.bitwise_and(bits, sign_mask, out=signed_zero)
+            np.copyto(bits, signed_zero, where=sub)
+            if truncation:
+                # In the signed-int64 domain ~((1<<t)-1) keeps every high
+                # bit (including the sign bit for binary64 patterns), so no
+                # width clamp is needed.
+                mask = np.int64(~((1 << truncation) - 1))
+                if rounding:
+                    np.add(bits, np.int64(1 << (truncation - 1)), out=bits)
+                np.bitwise_and(bits, mask, out=bits)
+
+        # Exact float64 product of the reduced operands, then result flush.
+        fa = self._f("fa", shape)
+        np.copyto(fa, bits_a.astype(fmt.uint).view(fmt.dtype))
+        fb = self._f("fb", shape)
+        np.copyto(fb, bits_b.astype(fmt.uint).view(fmt.dtype))
+        np.multiply(fa, fb, out=fa)
+        product = fa.astype(fmt.dtype)
+        return flush_subnormals(product, fmt)
+
+    # ------------------------------------------------------------------
+    # FMA: fused multiply feeding the fused adder
+    # ------------------------------------------------------------------
+    def imprecise_fma(self, a, b, c, threshold: int = DEFAULT_THRESHOLD,
+                      dtype=np.float32) -> np.ndarray:
+        product = self.imprecise_multiply(a, b, dtype=dtype)
+        return self.imprecise_add(product, c, threshold=threshold, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Linear SFUs
+    # ------------------------------------------------------------------
+    def _sfu_fields(self, x, fmt, signed_ok: bool):
+        """Decompose an SFU operand; None signals the reference fallback.
+
+        Returns ``(x, shape, exp, frac, negative_mask_or_None)`` for the
+        clean fast path: all operands normal and finite (and non-negative
+        unless ``signed_ok``), so zero / inf / NaN / subnormal / negative
+        special handling can be skipped entirely.
+        """
+        bits = self._i("bits_a", x.shape)
+        np.copyto(bits, x.view(fmt.uint))
+        exp = self._i("exp_a", x.shape)
+        np.right_shift(bits, fmt.mantissa_bits, out=exp)
+        np.bitwise_and(exp, fmt.exponent_mask, out=exp)
+        if int(exp.max()) == fmt.exponent_mask or int(exp.min()) == 0:
+            return None
+        sign = self._i("sign_a", x.shape)
+        np.right_shift(bits, fmt.sign_shift, out=sign)
+        if not signed_ok and bool(sign.any()):
+            return None
+        frac = self._i("frac_a", x.shape)
+        np.bitwise_and(bits, fmt.mantissa_mask, out=frac)
+        negative = None
+        if signed_ok:
+            negative = self._b("negative", x.shape)
+            np.not_equal(sign, 0, out=negative)
+        return exp, frac, negative
+
+    def _mantissa_and_exponent(self, exp, frac, fmt, shape):
+        """float64 mantissa 1+M in [1, 2) and unbiased exponent, in scratch."""
+        mant = self._f("mant", shape)
+        np.divide(frac, float(fmt.implicit_one), out=mant)
+        np.add(mant, 1.0, out=mant)
+        e = self._i("e", shape)
+        np.subtract(exp, fmt.bias, out=e)
+        return mant, e
+
+    def _quantize(self, values, fmt):
+        out = values.astype(fmt.dtype)
+        return flush_subnormals(out, fmt)
+
+    def imprecise_reciprocal(self, x, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        x = np.asarray(x, dtype=fmt.dtype)
+        fields = self._sfu_fields(x, fmt, signed_ok=True)
+        if fields is None:
+            return ComputeBackend.imprecise_reciprocal(self, x, dtype=dtype)
+        exp, frac, negative = fields
+        shape = x.shape
+        mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
+        xr = mant
+        np.multiply(mant, 0.5, out=xr)
+        c0, c1 = RECIPROCAL_COEFFS
+        approx = self._f("approx", shape)
+        np.multiply(xr, c1, out=approx)
+        np.add(approx, c0, out=approx)
+        np.add(e, 1, out=e)
+        np.negative(e, out=e)
+        scale = self._f("scale", shape)
+        np.copyto(scale, e)
+        np.exp2(scale, out=scale)
+        np.multiply(approx, scale, out=approx)
+        negated = self._f("negated", shape)
+        np.negative(approx, out=negated)
+        np.copyto(approx, negated, where=negative)
+        return self._quantize(approx, fmt)
+
+    def imprecise_rsqrt(self, x, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        x = np.asarray(x, dtype=fmt.dtype)
+        fields = self._sfu_fields(x, fmt, signed_ok=False)
+        if fields is None:
+            return ComputeBackend.imprecise_rsqrt(self, x, dtype=dtype)
+        exp, frac, _ = fields
+        shape = x.shape
+        mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
+        xr = mant
+        np.multiply(mant, 0.5, out=xr)
+        c0, c1 = RSQRT_COEFFS
+        lin = self._f("approx", shape)
+        np.multiply(xr, c1, out=lin)
+        np.add(lin, c0, out=lin)
+        # e1 = e + 1 = 2q + r with r in {0, 1}
+        e1 = e
+        np.add(e1, 1, out=e1)
+        q = self._i("q", shape)
+        np.floor_divide(e1, 2, out=q)
+        r = self._i("r", shape)
+        np.left_shift(q, 1, out=r)
+        np.subtract(e1, r, out=r)
+        scale = self._f("scale", shape)
+        nq = self._i("shift", shape)
+        np.negative(q, out=nq)
+        np.copyto(scale, nq)
+        np.exp2(scale, out=scale)
+        np.multiply(lin, scale, out=lin)
+        odd = self._b("odd", shape)
+        np.equal(r, 1, out=odd)
+        factor = self._f("factor", shape)
+        np.copyto(factor, 1.0)
+        np.copyto(factor, _SQRT1_2, where=odd)
+        np.multiply(lin, factor, out=lin)
+        return self._quantize(lin, fmt)
+
+    def imprecise_sqrt(self, x, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        x = np.asarray(x, dtype=fmt.dtype)
+        fields = self._sfu_fields(x, fmt, signed_ok=False)
+        if fields is None:
+            return ComputeBackend.imprecise_sqrt(self, x, dtype=dtype)
+        exp, frac, _ = fields
+        shape = x.shape
+        mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
+        q = self._i("q", shape)
+        np.floor_divide(e, 2, out=q)
+        r = self._i("r", shape)
+        np.left_shift(q, 1, out=r)
+        np.subtract(e, r, out=r)
+        # xr = mant * 2^r * 0.25 in [0.25, 1)
+        scale = self._f("scale", shape)
+        np.copyto(scale, r)
+        np.exp2(scale, out=scale)
+        xr = mant
+        np.multiply(mant, scale, out=xr)
+        np.multiply(xr, 0.25, out=xr)
+        c0, c1 = RSQRT_COEFFS
+        lin = self._f("approx", shape)
+        np.multiply(xr, c1, out=lin)
+        np.add(lin, c0, out=lin)
+        np.multiply(xr, lin, out=lin)
+        np.add(q, 1, out=q)
+        np.copyto(scale, q)
+        np.exp2(scale, out=scale)
+        np.multiply(lin, scale, out=lin)
+        return self._quantize(lin, fmt)
+
+    def imprecise_log2(self, x, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        x = np.asarray(x, dtype=fmt.dtype)
+        fields = self._sfu_fields(x, fmt, signed_ok=False)
+        if fields is None:
+            return ComputeBackend.imprecise_log2(self, x, dtype=dtype)
+        exp, frac, _ = fields
+        shape = x.shape
+        mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
+        c0, c1 = LOG2_COEFFS
+        approx = self._f("approx", shape)
+        np.multiply(mant, c1, out=approx)
+        ef = self._f("scale", shape)
+        np.copyto(ef, e)
+        np.add(ef, approx, out=approx)
+        np.add(approx, c0, out=approx)
+        return self._quantize(approx, fmt)
+
+    def imprecise_divide(self, a, b, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        a = flush_subnormals(np.asarray(a, dtype=fmt.dtype), fmt)
+        b = np.asarray(b, dtype=fmt.dtype)
+        rcp = self.imprecise_reciprocal(b, dtype=dtype)
+        a, rcp = np.broadcast_arrays(a, rcp)
+        fa = self._f("fa", a.shape)
+        np.copyto(fa, a)
+        fb = self._f("fb", a.shape)
+        np.copyto(fb, rcp)
+        with np.errstate(invalid="ignore"):
+            np.multiply(fa, fb, out=fa)
+        return self._quantize(fa, fmt)

@@ -1,0 +1,225 @@
+"""Optional ``numba`` backend: JIT-compiled scalar integer datapaths.
+
+When numba is installed, the threshold adder and the Table-1 multiplier run
+as ``@njit`` scalar loops over the raw IEEE bit patterns — the same integer
+datapath as the reference, one element at a time, with no intermediate
+arrays at all.  Every other operation inherits the reference
+implementation from :class:`~repro.core.backends.base.ComputeBackend`.
+
+When numba is *not* installed the module still imports cleanly;
+constructing :class:`NumbaBackend` raises
+:class:`~repro.core.backends.BackendUnavailableError`, and the registry
+reports the backend as registered-but-unavailable.  Nothing in this
+repository requires numba — CI exercises this backend on a single matrix
+leg only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adder import DEFAULT_THRESHOLD, max_threshold
+from ..floatops import format_for_dtype
+from .base import ComputeBackend
+
+__all__ = ["NumbaBackend", "NUMBA_AVAILABLE"]
+
+try:
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised on the no-numba CI leg
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Stand-in decorator so the kernels below still parse."""
+        def wrap(fn):
+            return fn
+        return wrap
+
+
+@njit(cache=False)
+def _add_kernel(bits_a, bits_b, out, p, exponent_bits, threshold, nan_bits):
+    emask = (np.int64(1) << exponent_bits) - 1
+    fmask = (np.int64(1) << p) - 1
+    implicit = np.int64(1) << p
+    sign_shift = exponent_bits + p
+    guard = threshold
+    max_exp = emask - 1
+    keep_mask = ~((np.int64(1) << (p + guard - threshold)) - 1)
+    inf_exp = emask << p
+    for i in range(bits_a.size):
+        ba = bits_a[i]
+        bb = bits_b[i]
+        sa = ba >> sign_shift
+        sb = bb >> sign_shift
+        ea = (ba >> p) & emask
+        eb = (bb >> p) & emask
+        fa = ba & fmask
+        fb = bb & fmask
+        a_special = ea == emask
+        b_special = eb == emask
+        if a_special or b_special:
+            a_nan = a_special and fa != 0
+            b_nan = b_special and fb != 0
+            a_inf = a_special and fa == 0
+            b_inf = b_special and fb == 0
+            if a_nan or b_nan or (a_inf and b_inf and sa != sb):
+                out[i] = nan_bits
+            elif a_inf:
+                out[i] = (sa << sign_shift) | inf_exp
+            else:
+                out[i] = (sb << sign_shift) | inf_exp
+            continue
+        # Swap so x has the larger magnitude (ties keep a in x).
+        if (ba & ((np.int64(1) << sign_shift) - 1)) >= (
+            bb & ((np.int64(1) << sign_shift) - 1)
+        ):
+            ex, fx, sx, xz = ea, fa, sa, ea == 0
+            ey, fy, sy, yz = eb, fb, sb, eb == 0
+        else:
+            ex, fx, sx, xz = eb, fb, sb, eb == 0
+            ey, fy, sy, yz = ea, fa, sa, ea == 0
+        d = ex - ey
+        mx = np.int64(0) if xz else (implicit + fx) << guard
+        my = np.int64(0) if yz else (implicit + fy) << guard
+        shift = d if d < p + guard + 1 else p + guard + 1
+        my = (my >> shift) & keep_mask
+        if d > threshold:
+            my = np.int64(0)
+        total = mx - my if sx != sy else mx + my
+        if total < 0:
+            total = -total
+        if total == 0:
+            # Exact cancellation yields +0.
+            out[i] = 0
+            continue
+        msb = np.int64(0)
+        t = total
+        while t > 1:
+            t >>= 1
+            msb += 1
+        norm_shift = msb - (p + guard)
+        ez = ex + norm_shift
+        if norm_shift < 0:
+            mant = total << (-norm_shift)
+        else:
+            mant = total >> norm_shift
+        fz = (mant >> guard) & fmask
+        if ez > max_exp:
+            out[i] = (sx << sign_shift) | inf_exp
+        elif ez < 1:
+            out[i] = sx << sign_shift  # subnormal result flushes to +-0
+        else:
+            out[i] = (sx << sign_shift) | (ez << p) | fz
+
+
+@njit(cache=False)
+def _mul_kernel(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits):
+    emask = (np.int64(1) << exponent_bits) - 1
+    fmask = (np.int64(1) << p) - 1
+    sign_shift = exponent_bits + p
+    max_exp = emask - 1
+    inf_exp = emask << p
+    for i in range(bits_a.size):
+        ba = bits_a[i]
+        bb = bits_b[i]
+        ea = (ba >> p) & emask
+        eb = (bb >> p) & emask
+        fa = ba & fmask
+        fb = bb & fmask
+        sz = (ba >> sign_shift) ^ (bb >> sign_shift)
+        a_nan = ea == emask and fa != 0
+        b_nan = eb == emask and fb != 0
+        a_inf = ea == emask and fa == 0
+        b_inf = eb == emask and fb == 0
+        a_zero = ea == 0  # true zero or flushed subnormal
+        b_zero = eb == 0
+        if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
+            out[i] = nan_bits
+            continue
+        if a_inf or b_inf:
+            out[i] = (sz << sign_shift) | inf_exp
+            continue
+        if a_zero or b_zero:
+            out[i] = sz << sign_shift
+            continue
+        frac_sum = fa + fb
+        carry = frac_sum >> p
+        if carry != 0:
+            fz = (frac_sum & fmask) >> 1
+        else:
+            fz = frac_sum
+        fz &= fmask
+        ez = ea + eb - bias + carry
+        if ez > max_exp:
+            out[i] = (sz << sign_shift) | inf_exp
+        elif ez < 1:
+            out[i] = sz << sign_shift
+        else:
+            out[i] = (sz << sign_shift) | (ez << p) | fz
+
+
+class NumbaBackend(ComputeBackend):
+    """Scalar JIT datapaths for add/sub/mul/fma; reference for the rest."""
+
+    name = "numba"
+
+    def __init__(self):
+        if not NUMBA_AVAILABLE:
+            from . import BackendUnavailableError
+
+            raise BackendUnavailableError(
+                "the 'numba' backend requires the numba package; "
+                "install numba or select REPRO_BACKEND=reference|fused"
+            )
+
+    @staticmethod
+    def _bits(values, fmt):
+        """Flat int64 bit patterns of the broadcast operands."""
+        return np.ascontiguousarray(values.view(fmt.uint).reshape(-1)).astype(
+            np.int64
+        )
+
+    @staticmethod
+    def _nan_bits(fmt) -> int:
+        return int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
+
+    def imprecise_add(self, a, b, threshold: int = DEFAULT_THRESHOLD,
+                      dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        if not 1 <= threshold <= max_threshold(dtype):
+            raise ValueError(
+                f"threshold must be in [1, {max_threshold(dtype)}] for "
+                f"{fmt.name}, got {threshold}"
+            )
+        a = np.asarray(a, dtype=fmt.dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.empty(a.size, dtype=np.int64)
+        _add_kernel(self._bits(a, fmt), self._bits(b, fmt), out,
+                    fmt.mantissa_bits, fmt.exponent_bits, threshold,
+                    self._nan_bits(fmt))
+        return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
+
+    def imprecise_subtract(self, a, b, threshold: int = DEFAULT_THRESHOLD,
+                           dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return self.imprecise_add(a, -b, threshold=threshold, dtype=dtype)
+
+    def imprecise_multiply(self, a, b, dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        a = np.asarray(a, dtype=fmt.dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.empty(a.size, dtype=np.int64)
+        _mul_kernel(self._bits(a, fmt), self._bits(b, fmt), out,
+                    fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                    self._nan_bits(fmt))
+        return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
+
+    def imprecise_fma(self, a, b, c, threshold: int = DEFAULT_THRESHOLD,
+                      dtype=np.float32) -> np.ndarray:
+        product = self.imprecise_multiply(a, b, dtype=dtype)
+        return self.imprecise_add(product, c, threshold=threshold, dtype=dtype)

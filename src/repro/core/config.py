@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 
 from .adder import DEFAULT_THRESHOLD
+from .backends import backend_names
 from .configurable import MultiplierConfig
 
 __all__ = ["IHWConfig", "UNIT_NAMES", "MULTIPLIER_MODES", "SFU_MODES"]
@@ -60,6 +61,13 @@ class IHWConfig:
     sfu_mode:
         Approximation order of the imprecise SFUs: ``"linear"`` (Table 1,
         default) or ``"quadratic"`` (the higher-accuracy extension point).
+    backend:
+        Compute backend executing the unit operations (``"reference"``,
+        ``"fused"``, ``"numba"``), or ``None`` to defer to the
+        ``REPRO_BACKEND`` environment variable.  Backends are contractually
+        bit-identical, so this is a pure execution-speed knob: it does not
+        participate in :meth:`canonical` or :meth:`cache_key`, and cached
+        results are shared across backends.
     """
 
     enabled: frozenset = field(default_factory=frozenset)
@@ -69,6 +77,12 @@ class IHWConfig:
     multiplier_truncation: int = 0
     multiplier_bt_rounding: bool = False
     sfu_mode: str = "linear"
+    backend: str | None = None
+
+    #: Fields deliberately excluded from :meth:`canonical` / :meth:`cache_key`.
+    #: ``backend`` never changes results (parity-enforced bit equality), so
+    #: keying on it would only fragment the cache.
+    _CACHE_KEY_EXEMPT = ("backend",)
 
     def __post_init__(self):
         enabled = frozenset(self.enabled)
@@ -84,6 +98,11 @@ class IHWConfig:
         if self.sfu_mode not in SFU_MODES:
             raise ValueError(
                 f"sfu_mode must be one of {SFU_MODES}, got {self.sfu_mode!r}"
+            )
+        if self.backend is not None and self.backend not in backend_names():
+            raise ValueError(
+                f"backend must be one of {backend_names()} or None, "
+                f"got {self.backend!r}"
             )
 
     # ------------------------------------------------------------------
@@ -144,6 +163,10 @@ class IHWConfig:
         """A copy using the given SFU approximation order."""
         return dataclasses.replace(self, sfu_mode=mode)
 
+    def with_backend(self, name: str | None) -> "IHWConfig":
+        """A copy pinned to the given compute backend (``None`` = default)."""
+        return dataclasses.replace(self, backend=name)
+
     def canonical(self) -> dict:
         """Order-independent JSON-able form covering every switch.
 
@@ -192,4 +215,6 @@ class IHWConfig:
                 parts.append(f"bt_{self.multiplier_truncation}")
             else:
                 parts.append("table1")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
         return " ".join(parts)

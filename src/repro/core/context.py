@@ -30,30 +30,20 @@ log2      SFU      ``numpy.log2``
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 
 import numpy as np
 
-from .adder import imprecise_add, imprecise_subtract
+from .backends import get_backend
 from .config import IHWConfig
-from .configurable import configurable_multiply
-from .fma import imprecise_fma
-from .multiplier import imprecise_multiply
 from .quadratic import (
     quadratic_log2,
     quadratic_reciprocal,
     quadratic_rsqrt,
     quadratic_sqrt,
 )
-from .special import (
-    imprecise_divide,
-    imprecise_log2,
-    imprecise_reciprocal,
-    imprecise_rsqrt,
-    imprecise_sqrt,
-)
 from .floatops import flush_subnormals
-from .truncation import truncated_multiply
 
 __all__ = ["ArithmeticContext", "OP_UNIT_CLASS", "FPU_OPS", "SFU_OPS"]
 
@@ -97,15 +87,27 @@ class ArithmeticContext:
     dtype:
         ``numpy.float32`` (GPU benchmarks), ``numpy.float64`` (the SPEC CPU
         studies), or ``numpy.float16`` (the half-precision extension).
+    backend:
+        Compute backend executing the imprecise unit operations: a name, a
+        :class:`~repro.core.backends.base.ComputeBackend` instance, or
+        ``None`` to use ``config.backend`` / the ``REPRO_BACKEND``
+        environment variable.  Backends are bit-identical, so this only
+        changes execution speed, never results.
     """
 
-    def __init__(self, config: IHWConfig | None = None, dtype=np.float32):
+    def __init__(self, config: IHWConfig | None = None, dtype=np.float32,
+                 backend=None):
         self.config = config if config is not None else IHWConfig.precise()
         self.dtype = np.dtype(dtype)
         if self.dtype not in (
             np.dtype(np.float16), np.dtype(np.float32), np.dtype(np.float64)
         ):
             raise TypeError(f"unsupported dtype: {self.dtype}")
+        #: backend executing the imprecise unit operations (explicit argument
+        #: wins over ``config.backend``, which wins over ``REPRO_BACKEND``)
+        self.backend = get_backend(
+            backend if backend is not None else self.config.backend
+        )
         #: scalar-operation counts keyed by (op, "imprecise" | "precise")
         self.counts: Counter = Counter()
         #: optional :class:`~repro.telemetry.DriftProbe` observing imprecise
@@ -113,6 +115,10 @@ class ArithmeticContext:
         #: touches ``counts`` — the power model's inputs are identical with
         #: and without it.
         self.drift_probe = None
+        #: optional :class:`~repro.telemetry.OpTimer` accumulating wall-clock
+        #: time per imprecise operation.  Attached externally (like
+        #: ``drift_probe``) so the core layer never imports telemetry.
+        self.op_timer = None
 
     # ------------------------------------------------------------------
     # Counting
@@ -147,13 +153,29 @@ class ArithmeticContext:
     def _use_imprecise(self, op: str, precise: bool) -> bool:
         return not precise and self.config.is_enabled(_OP_UNIT_SWITCH[op])
 
+    def _timed(self, op: str, fn):
+        """Run one imprecise unit op, feeding ``op_timer`` when attached."""
+        timer = self.op_timer
+        if timer is None:
+            return fn()
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if isinstance(out, np.ndarray):
+            size = out.size
+        else:
+            size = int(np.asarray(out).size)
+        timer.record(op, elapsed, size)
+        return out
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def add(self, a, b, precise: bool = False):
         """``a + b``; imprecise threshold adder when the ``add`` unit is on."""
         if self._use_imprecise("add", precise):
-            out = imprecise_add(a, b, self.config.adder_threshold, dtype=self.dtype)
+            out = self._timed("add", lambda: self.backend.imprecise_add(
+                a, b, self.config.adder_threshold, dtype=self.dtype))
             self._count("add", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -167,7 +189,8 @@ class ArithmeticContext:
     def sub(self, a, b, precise: bool = False):
         """``a - b``; shares the imprecise adder datapath."""
         if self._use_imprecise("sub", precise):
-            out = imprecise_subtract(a, b, self.config.adder_threshold, dtype=self.dtype)
+            out = self._timed("sub", lambda: self.backend.imprecise_subtract(
+                a, b, self.config.adder_threshold, dtype=self.dtype))
             self._count("sub", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -181,12 +204,12 @@ class ArithmeticContext:
     def _imprecise_mul(self, a, b):
         mode = self.config.multiplier_mode
         if mode == "table1":
-            return imprecise_multiply(a, b, dtype=self.dtype)
+            return self.backend.imprecise_multiply(a, b, dtype=self.dtype)
         if mode == "mitchell":
-            return configurable_multiply(
+            return self.backend.configurable_multiply(
                 a, b, self.config.multiplier_config, dtype=self.dtype
             )
-        return truncated_multiply(
+        return self.backend.truncated_multiply(
             a,
             b,
             self.config.multiplier_truncation,
@@ -197,7 +220,7 @@ class ArithmeticContext:
     def mul(self, a, b, precise: bool = False):
         """``a * b``; dispatches to the configured imprecise multiplier."""
         if self._use_imprecise("mul", precise):
-            out = self._imprecise_mul(a, b)
+            out = self._timed("mul", lambda: self._imprecise_mul(a, b))
             self._count("mul", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -211,7 +234,8 @@ class ArithmeticContext:
     def fma(self, a, b, c, precise: bool = False):
         """``a * b + c`` on the FMA unit."""
         if self._use_imprecise("fma", precise):
-            out = imprecise_fma(a, b, c, self.config.adder_threshold, dtype=self.dtype)
+            out = self._timed("fma", lambda: self.backend.imprecise_fma(
+                a, b, c, self.config.adder_threshold, dtype=self.dtype))
             self._count("fma", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -238,9 +262,10 @@ class ArithmeticContext:
         """``a / b`` on the SFU divider."""
         if self._use_imprecise("div", precise):
             if self.config.sfu_mode == "quadratic":
-                out = self._quadratic_divide(a, b)
+                out = self._timed("div", lambda: self._quadratic_divide(a, b))
             else:
-                out = imprecise_divide(a, b, dtype=self.dtype)
+                out = self._timed("div", lambda: self.backend.imprecise_divide(
+                    a, b, dtype=self.dtype))
             self._count("div", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -256,9 +281,13 @@ class ArithmeticContext:
         """``1 / x`` on the SFU."""
         if self._use_imprecise("rcp", precise):
             if self.config.sfu_mode == "quadratic":
-                out = quadratic_reciprocal(x, dtype=self.dtype)
+                out = self._timed("rcp", lambda: quadratic_reciprocal(
+                    x, dtype=self.dtype))
             else:
-                out = imprecise_reciprocal(x, dtype=self.dtype)
+                out = self._timed(
+                    "rcp",
+                    lambda: self.backend.imprecise_reciprocal(x, dtype=self.dtype),
+                )
             self._count("rcp", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -274,9 +303,13 @@ class ArithmeticContext:
         """``1 / sqrt(x)`` on the SFU."""
         if self._use_imprecise("rsqrt", precise):
             if self.config.sfu_mode == "quadratic":
-                out = quadratic_rsqrt(x, dtype=self.dtype)
+                out = self._timed("rsqrt", lambda: quadratic_rsqrt(
+                    x, dtype=self.dtype))
             else:
-                out = imprecise_rsqrt(x, dtype=self.dtype)
+                out = self._timed(
+                    "rsqrt",
+                    lambda: self.backend.imprecise_rsqrt(x, dtype=self.dtype),
+                )
             self._count("rsqrt", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -296,9 +329,13 @@ class ArithmeticContext:
         """``sqrt(x)`` on the SFU."""
         if self._use_imprecise("sqrt", precise):
             if self.config.sfu_mode == "quadratic":
-                out = quadratic_sqrt(x, dtype=self.dtype)
+                out = self._timed("sqrt", lambda: quadratic_sqrt(
+                    x, dtype=self.dtype))
             else:
-                out = imprecise_sqrt(x, dtype=self.dtype)
+                out = self._timed(
+                    "sqrt",
+                    lambda: self.backend.imprecise_sqrt(x, dtype=self.dtype),
+                )
             self._count("sqrt", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(
@@ -314,9 +351,13 @@ class ArithmeticContext:
         """``log2(x)`` on the SFU."""
         if self._use_imprecise("log2", precise):
             if self.config.sfu_mode == "quadratic":
-                out = quadratic_log2(x, dtype=self.dtype)
+                out = self._timed("log2", lambda: quadratic_log2(
+                    x, dtype=self.dtype))
             else:
-                out = imprecise_log2(x, dtype=self.dtype)
+                out = self._timed(
+                    "log2",
+                    lambda: self.backend.imprecise_log2(x, dtype=self.dtype),
+                )
             self._count("log2", out, True)
             if self.drift_probe is not None:
                 self.drift_probe.observe(

@@ -148,13 +148,17 @@ def flush_subnormals(x: np.ndarray, fmt: FloatFormat | None = None) -> np.ndarra
     x = np.asarray(x)
     if fmt is None:
         fmt = format_for_dtype(x.dtype)
-    _, exponent, mantissa = decompose(x, fmt)
+    bits = x.astype(fmt.dtype, copy=False).view(fmt.uint)
+    exponent = (bits >> np.array(fmt.mantissa_bits, dtype=fmt.uint)) & np.array(
+        fmt.exponent_mask, dtype=fmt.uint
+    )
+    mantissa = bits & np.array(fmt.mantissa_mask, dtype=fmt.uint)
     subnormal = (exponent == 0) & (mantissa != 0)
     if not subnormal.any():
         return x.astype(fmt.dtype, copy=False)
-    out = x.astype(fmt.dtype, copy=True)
-    out[subnormal] = np.where(np.signbit(out[subnormal]), -0.0, 0.0).astype(fmt.dtype)
-    return out
+    # Keep only the sign bit where subnormal: one pass, no intermediate copy.
+    signs = bits & np.array(1 << fmt.sign_shift, dtype=fmt.uint)
+    return np.where(subnormal, signs, bits).view(fmt.dtype)
 
 
 def truncate_mantissa(x: np.ndarray, keep_bits: int, fmt: FloatFormat | None = None) -> np.ndarray:
@@ -178,7 +182,10 @@ def truncate_mantissa(x: np.ndarray, keep_bits: int, fmt: FloatFormat | None = N
     bits = x.astype(fmt.dtype, copy=False).view(fmt.uint)
     mask = np.array(~((1 << drop) - 1) & ((1 << (fmt.sign_shift + 1)) - 1), dtype=fmt.uint)
     truncated = bits & mask
-    _, exponent, mantissa = decompose(x, fmt)
+    # Reuse the raw view instead of re-running decompose on the source array.
+    exponent = (bits >> np.array(fmt.mantissa_bits, dtype=fmt.uint)) & np.array(
+        fmt.exponent_mask, dtype=fmt.uint
+    )
     special = exponent == fmt.exponent_mask
     result = np.where(special, bits, truncated)
     return result.view(fmt.dtype)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .floatops import decompose, flush_subnormals, format_for_dtype, truncate_mantissa
+from .floatops import flush_subnormals, format_for_dtype, truncate_mantissa
 
 __all__ = ["truncated_multiply", "round_mantissa", "truncation_max_error"]
 
@@ -46,7 +46,9 @@ def round_mantissa(x, keep_bits: int, fmt=None) -> np.ndarray:
     half = np.array(1 << (drop - 1), dtype=fmt.uint)
     mask = np.array(~((1 << drop) - 1) & ((1 << (fmt.sign_shift + 1)) - 1), dtype=fmt.uint)
     rounded = (bits + half) & mask
-    _, exponent, _ = decompose(x, fmt)
+    exponent = (bits >> np.array(fmt.mantissa_bits, dtype=fmt.uint)) & np.array(
+        fmt.exponent_mask, dtype=fmt.uint
+    )
     special = exponent == fmt.exponent_mask
     return np.where(special, bits, rounded).view(fmt.dtype)
 

@@ -41,6 +41,7 @@ from pathlib import Path
 
 from .drift import DriftProbe, OpDrift, drift_probe_defaults
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .optimer import OpTimer
 from .tracer import NULL_TRACER, NullTracer, Tracer, render_span_tree
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "OpDrift",
+    "OpTimer",
     "Tracer",
     "MODES",
     "METRICS_FILENAME",
@@ -67,6 +69,7 @@ __all__ = [
     "gauge_set",
     "histogram_observe",
     "make_drift_probe",
+    "make_op_timer",
     "record_kernel",
     "record_runner_stats",
     "drain_worker",
@@ -180,6 +183,11 @@ def make_drift_probe() -> DriftProbe | None:
     return DriftProbe() if metrics_enabled() else None
 
 
+def make_op_timer() -> OpTimer | None:
+    """A backend op timer for one kernel run, or None when metrics are off."""
+    return OpTimer() if metrics_enabled() else None
+
+
 def record_kernel(name: str, context) -> None:
     """Fold one finished kernel execution into the registry.
 
@@ -196,6 +204,10 @@ def record_kernel(name: str, context) -> None:
     probe = getattr(context, "drift_probe", None)
     if probe:
         probe.flush_into(_REGISTRY, kernel=name)
+    timer = getattr(context, "op_timer", None)
+    if timer:
+        backend = getattr(getattr(context, "backend", None), "name", "unknown")
+        timer.flush_into(_REGISTRY, kernel=name, backend=backend)
 
 
 def record_runner_stats(stats, app: str | None = None) -> None:
