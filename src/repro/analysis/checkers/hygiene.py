@@ -1,6 +1,6 @@
 """Numeric hygiene: small patterns that corrupt numeric code quietly.
 
-Three rules, all scoped to the whole package (bad numerics hide anywhere):
+Four rules, all scoped to the whole package (bad numerics hide anywhere):
 
 ``hygiene-float-eq``
     ``==`` / ``!=`` against a float literal.  In a repo whose entire
@@ -16,6 +16,17 @@ Three rules, all scoped to the whole package (bad numerics hide anywhere):
 ``hygiene-mutable-default``
     Mutable default argument (``def f(x, acc=[])``) — shared across
     calls, and across forked workers.
+
+``hygiene-pool-swallow``
+    A broad handler (bare ``except:``, ``except Exception``, or
+    ``except BaseException``) wrapping a ``future.result(...)`` call
+    with no ``BrokenProcessPool`` handler on the same ``try``.  A lost
+    worker pool surfaces as ``BrokenProcessPool`` *from* ``result()``;
+    a broad handler silently converts "the pool is dead, rebuild it and
+    requeue" into "this one task failed", so every task dispatched to
+    the dead pool is misdiagnosed.  Catch ``BrokenProcessPool``
+    explicitly (first) — see the recovery loop in
+    ``repro.runtime.runner``.
 """
 
 from __future__ import annotations
@@ -115,5 +126,63 @@ def _mutable_default(module) -> list:
     return findings
 
 
+_BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+
+
+def _exception_names(type_node) -> set:
+    """Every dotted-name tail referenced by an except clause's type."""
+    names = set()
+    for node in ast.walk(type_node):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _pool_swallow(module) -> list:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        calls_result = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "result"
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+        )
+        if not calls_result:
+            continue
+        handles_broken_pool = any(
+            handler.type is not None
+            and "BrokenProcessPool" in _exception_names(handler.type)
+            for handler in node.handlers
+        )
+        if handles_broken_pool:
+            continue
+        for handler in node.handlers:
+            broad = handler.type is None or (
+                _exception_names(handler.type) & _BROAD_EXCEPTION_NAMES
+            )
+            if broad:
+                findings.append(
+                    RawFinding(
+                        code="hygiene-pool-swallow",
+                        severity="warning",
+                        line=handler.lineno,
+                        col=handler.col_offset,
+                        message=(
+                            "broad except around a future.result() call "
+                            "swallows BrokenProcessPool — a dead worker pool "
+                            "would be misdiagnosed as a task failure; handle "
+                            "BrokenProcessPool explicitly (rebuild + requeue)"
+                        ),
+                    )
+                )
+    return findings
+
+
 def check(module, config) -> list:
-    return _float_eq(module) + _bare_except(module) + _mutable_default(module)
+    return (_float_eq(module) + _bare_except(module) + _mutable_default(module)
+            + _pool_swallow(module))

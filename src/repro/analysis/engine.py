@@ -46,7 +46,8 @@ DEFAULT_LAYER_RULES = {
     "quality": frozenset({"core", "hardware", "telemetry"}),
     "apps": frozenset({"core", "gpu", "telemetry"}),
     "framework": frozenset({"core", "gpu", "hardware", "telemetry"}),
-    "runtime": frozenset({"core", "gpu", "telemetry"}),
+    "faults": frozenset({"telemetry"}),
+    "runtime": frozenset({"core", "gpu", "telemetry", "faults"}),
 }
 
 
@@ -78,7 +79,7 @@ class AnalysisConfig:
     kernel_layers: tuple = ("apps",)
     worker_layers: tuple = (
         "core", "hardware", "gpu", "apps", "quality", "erroranalysis",
-        "framework", "runtime",
+        "framework", "runtime", "faults",
     )
     context_names: tuple = ("ctx", "context")
     #: Populated by the engine: every layer directory found under the root.

@@ -314,7 +314,8 @@ def cmd_sweep(args, out) -> int:
     import json as _json
 
     from repro import telemetry
-    from repro.runtime import ExperimentRunner, ExperimentSpec, ResultCache
+    from repro.runtime import (ExperimentRunner, ExperimentSpec, ResultCache,
+                               RetryPolicy, TaskFailedError)
 
     if args.app not in _SWEEP_APPS:
         print(f"unknown app {args.app!r}; expected one of {sorted(_SWEEP_APPS)}",
@@ -345,8 +346,29 @@ def cmd_sweep(args, out) -> int:
         cache = ResultCache(args.cache_dir)
     else:
         cache = "auto"
-    runner = ExperimentRunner(max_workers=args.workers, cache=cache)
-    results = runner.sweep(spec, configs)
+    try:
+        policy = RetryPolicy(max_retries=args.retries,
+                             task_timeout=args.task_timeout)
+    except ValueError as exc:
+        print(f"bad retry policy: {exc}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(max_workers=args.workers, cache=cache,
+                              policy=policy,
+                              checkpoint_every=args.checkpoint_every)
+    if args.resume and runner.cache is None:
+        print("--resume needs the result cache; drop --no-cache",
+              file=sys.stderr)
+        return 2
+    try:
+        results = runner.sweep(spec, configs, resume=args.resume)
+    except TaskFailedError as exc:
+        # Completed work is already checkpointed (cache + manifest);
+        # tell the operator how to pick it back up.
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        print(f"{runner.stats.summary()}", file=sys.stderr)
+        print("completed configurations are checkpointed; rerun with "
+              "--resume to continue", file=sys.stderr)
+        return 1
     stats = runner.stats
 
     cached_names = {t.name for t in stats.tasks if t.cached}
@@ -364,13 +386,22 @@ def cmd_sweep(args, out) -> int:
         print("\nrunner stats:", file=out)
         for field in ("wall_seconds", "compute_seconds", "mean_task_seconds",
                       "speedup_vs_sequential", "max_workers", "chunk_size",
-                      "n_tasks", "cache_hits", "cache_misses", "hit_rate"):
+                      "n_tasks", "cache_hits", "cache_misses", "hit_rate",
+                      "retries", "fallbacks", "timeouts", "pool_rebuilds",
+                      "degraded", "resumed_skipped"):
             print(f"  {field:24s} {doc[field]}", file=out)
+        for note in doc["notes"]:
+            print(f"  note: {note}", file=out)
         print(f"  {'task':24s} {'seconds':>9s} source", file=out)
         for task in doc["tasks"]:
             source = "cache" if task["cached"] else "run"
-            print(f"  {task['name']:24s} {task['seconds']:9.3f} {source}",
-                  file=out)
+            detail = ""
+            if task["attempts"] > 1:
+                detail += f" attempts={task['attempts']}"
+            if task["fallback"]:
+                detail += " fallback=reference"
+            print(f"  {task['name']:24s} {task['seconds']:9.3f} {source}"
+                  f"{detail}", file=out)
         if telemetry.metrics_enabled():
             # The flush path only exists when telemetry is on; with it off
             # this section would point at a directory nothing writes to.
@@ -661,6 +692,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write results to a JSON file")
     p.add_argument("--stats", action="store_true",
                    help="print the detailed runner statistics after the sweep")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted sweep: skip configurations the "
+                        "previous run already completed (needs the cache)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failing configuration (default 2)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-task deadline in seconds; hung workers are "
+                        "terminated and the task retried (default: none)")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="completed tasks between sweep-manifest flushes "
+                        "(0 disables checkpoint/resume manifests)")
 
     p = sub.add_parser(
         "metrics", help="print the persisted telemetry metrics snapshot"

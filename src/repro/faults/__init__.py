@@ -1,0 +1,37 @@
+"""Deterministic fault-injection harness for the experiment runtime.
+
+Armed via the ``REPRO_FAULTS`` environment variable (or the
+:func:`injection` context manager, which sets it so forked pool workers
+inherit the spec), queried by guard sites in ``repro.runtime``, and
+exercised by the chaos suite in ``tests/test_faults.py``.  See
+``docs/RELIABILITY.md`` for the spec grammar and each fault kind's
+recovery path.
+"""
+
+from .injector import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    BackendFault,
+    FaultClause,
+    FaultError,
+    FaultInjector,
+    TransientFault,
+    active,
+    corrupt_entry,
+    injection,
+    stable_fraction,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "BackendFault",
+    "FaultClause",
+    "FaultError",
+    "FaultInjector",
+    "TransientFault",
+    "active",
+    "corrupt_entry",
+    "injection",
+    "stable_fraction",
+]

@@ -126,7 +126,7 @@ def _section_verification(scale: int) -> list:
 
 def format_runner_stats(stats) -> list:
     """Markdown bullet rendering of a :class:`~repro.runtime.RunnerStats`."""
-    return [
+    lines = [
         f"- tasks: {stats.n_tasks} in {stats.wall_seconds:.3f}s wall "
         f"({stats.max_workers} worker{'s' if stats.max_workers != 1 else ''}, "
         f"chunk {stats.chunk_size})",
@@ -135,6 +135,12 @@ def format_runner_stats(stats) -> list:
         f"- compute: {stats.compute_seconds:.3f}s summed, "
         f"speedup vs sequential {stats.speedup_vs_sequential:.2f}x",
     ]
+    reliability = stats.reliability_summary()
+    if reliability:
+        lines.append(f"- reliability: {reliability}")
+    for note in getattr(stats, "notes", []):
+        lines.append(f"  - {note}")
+    return lines
 
 
 def _section_runtime(scale: int) -> list:

@@ -5,10 +5,15 @@ The architectural seam every multi-configuration consumer shares:
 - :class:`ExperimentSpec` — picklable experiment identity (app, params,
   metric, dtype, seed);
 - :class:`ResultCache` — content-addressed JSON+npz store under
-  ``.repro_cache/`` (``REPRO_CACHE=off`` to disable);
-- :class:`ExperimentRunner` — process-pool fan-out with chunked dispatch;
+  ``.repro_cache/`` (``REPRO_CACHE=off`` to disable), with atomic
+  crash-safe writes and quarantine of damaged entries;
+- :class:`ExperimentRunner` — fault-tolerant process-pool fan-out with
+  chunked dispatch, per-task retries, backend fallback, pool-loss
+  recovery, and optional task deadlines (see :class:`RetryPolicy`);
   ``max_workers=1`` is the bit-identical sequential path;
-- :class:`RunnerStats` — wall time, per-task latency, hit rate, speedup.
+- :class:`SweepManifest` — durable sweep progress for checkpoint/resume;
+- :class:`RunnerStats` — wall time, per-task latency, hit rate, speedup,
+  and the run's reliability events.
 
 Quick start::
 
@@ -23,10 +28,14 @@ Quick start::
         "add": IHWConfig.units("add"),
     })
     print(runner.stats.summary())
+
+Failure semantics are documented in ``docs/RELIABILITY.md``.
 """
 
 from .cache import CacheStats, ResultCache, cache_disabled, cache_from_env
-from .runner import ExperimentRunner, default_worker_count
+from .manifest import MANIFEST_VERSION, SweepManifest
+from .policy import RetryPolicy
+from .runner import ExperimentRunner, TaskFailedError, default_worker_count
 from .spec import APP_RUNNERS, METRIC_NAMES, ExperimentSpec
 from .stats import SPEEDUP_CAP, RunnerStats, TaskTiming
 
@@ -35,10 +44,14 @@ __all__ = [
     "CacheStats",
     "ExperimentRunner",
     "ExperimentSpec",
+    "MANIFEST_VERSION",
     "METRIC_NAMES",
     "ResultCache",
+    "RetryPolicy",
     "RunnerStats",
     "SPEEDUP_CAP",
+    "SweepManifest",
+    "TaskFailedError",
     "TaskTiming",
     "cache_disabled",
     "cache_from_env",

@@ -12,10 +12,17 @@ Layout under the cache root (default ``.repro_cache/``)::
 
     <key[:2]>/<key>.json   quality, savings, breakdown, output metadata
     <key[:2]>/<key>.npz    the output array (when the output is an ndarray)
+    <key[:2]>/<key>.lock   advisory in-flight write marker (transient)
+    quarantine/            damaged entries moved aside, never served
+    manifests/<id>.json    sweep progress records (checkpoint/resume)
 
 Entries carry a schema version and an output checksum; anything that fails
-to load, verify, or parse is treated as a miss, deleted, and recomputed —
-never served.  Environment knobs:
+to load, verify, or parse is treated as a miss, **quarantined** (moved to
+``<root>/quarantine/`` for post-mortem, never deleted silently), and
+recomputed — never served.  Writes are crash-safe: every file lands via
+tempfile + ``os.replace``, under a per-key advisory ``.lock`` whose stale
+remains (from a crashed writer) are cleaned up after
+:data:`STALE_LOCK_SECONDS`.  Environment knobs:
 
 - ``REPRO_CACHE=off`` (also ``0``/``no``/``false``): disable caching.
 - ``REPRO_CACHE_DIR=<path>``: relocate the cache root.
@@ -26,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -37,6 +45,11 @@ __all__ = ["CacheStats", "ResultCache", "cache_from_env", "cache_disabled"]
 
 SCHEMA_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Age after which an advisory write lock (or orphaned temp file) left by
+#: a crashed writer is considered stale and removed.
+STALE_LOCK_SECONDS = 300.0
 
 _OFF_VALUES = ("off", "0", "no", "false", "disabled")
 
@@ -64,6 +77,9 @@ class CacheStats:
     evictions: int = 0
     invalid: int = 0  # corrupted / stale entries detected and dropped
     uncacheable: int = 0  # outputs the cache declined to serialize
+    quarantined: int = 0  # invalid entries moved aside for post-mortem
+    lock_skips: int = 0  # writes skipped because another writer held the lock
+    stale_cleaned: int = 0  # stale locks / orphaned temp files removed
 
     @property
     def hit_rate(self) -> float:
@@ -110,6 +126,13 @@ class ResultCache:
         shard = self.root / key[:2]
         return shard / f"{key}.json", shard / f"{key}.npz"
 
+    def _lock_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.lock"
+
+    def entry_paths(self, spec, config) -> tuple:
+        """The (json, npz) paths addressing one result (tooling/tests)."""
+        return self._paths(self.key(spec, config))
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -126,12 +149,15 @@ class ResultCache:
             try:
                 evaluation = self._load(json_path, npz_path, config)
             except Exception:
-                # Corrupted or stale entry: drop it and recompute upstream.
-                self._remove(key)
+                # Corrupted or stale entry: quarantine it (not a silent
+                # delete — the damaged bytes stay inspectable) and let the
+                # caller recompute.
+                self._quarantine(key)
                 self.stats.invalid += 1
                 self.stats.misses += 1
                 telemetry.counter_inc("repro_cache_requests_total",
                                       outcome="invalid")
+                telemetry.counter_inc("repro_cache_quarantined_total")
                 return None
             self.stats.hits += 1
             telemetry.counter_inc("repro_cache_requests_total", outcome="hit")
@@ -206,6 +232,21 @@ class ResultCache:
         key = self.key(spec, config)
         json_path, npz_path = self._paths(key)
         json_path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._acquire_lock(key):
+            # A concurrent writer owns this entry; its bytes will be
+            # identical (content-addressed), so losing the race is free.
+            self.stats.lock_skips += 1
+            return False
+        try:
+            return self._write_entry(
+                key, json_path, npz_path, spec, config, evaluation,
+                array, out_meta, compute_seconds,
+            )
+        finally:
+            self._release_lock(key)
+
+    def _write_entry(self, key, json_path, npz_path, spec, config,
+                     evaluation, array, out_meta, compute_seconds) -> bool:
         doc = {
             "schema": SCHEMA_VERSION,
             "key": key,
@@ -222,13 +263,54 @@ class ResultCache:
             "output": out_meta,
             "compute_seconds": float(compute_seconds),
         }
+        # Atomic landing: each file is fully written to a sibling temp
+        # path and renamed into place, npz before json (the json's
+        # presence is what makes the entry visible to readers), so a
+        # crash mid-write can never leave a half-entry that parses.
         if array is not None:
-            np.savez_compressed(npz_path, output=array)
-        json_path.write_text(json.dumps(doc, sort_keys=True, indent=1))
+            tmp_npz = npz_path.with_name(f"{key}.tmp.npz")
+            np.savez_compressed(tmp_npz, output=array)
+            os.replace(tmp_npz, npz_path)
+        tmp_json = json_path.with_name(f"{key}.json.tmp")
+        tmp_json.write_text(json.dumps(doc, sort_keys=True, indent=1))
+        os.replace(tmp_json, json_path)
         self.stats.writes += 1
         telemetry.counter_inc("repro_cache_writes_total", outcome="stored")
         self._enforce_limit()
         return True
+
+    # ------------------------------------------------------------------
+    # Advisory write locks
+    # ------------------------------------------------------------------
+    def _acquire_lock(self, key: str) -> bool:
+        """Create the per-key advisory lock; False when held by another.
+
+        The lock only signals an in-flight write to concurrent writers
+        (correctness comes from the atomic renames); a lock older than
+        :data:`STALE_LOCK_SECONDS` belongs to a crashed writer and is
+        reclaimed.
+        """
+        lock_path = self._lock_path(key)
+        for _ in range(2):  # second pass after reclaiming a stale lock
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # lock vanished between open and stat: retry
+                if age <= STALE_LOCK_SECONDS:
+                    return False
+                lock_path.unlink(missing_ok=True)
+                self.stats.stale_cleaned += 1
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            return True
+        return False
+
+    def _release_lock(self, key: str) -> None:
+        self._lock_path(key).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -239,6 +321,48 @@ class ResultCache:
                 path.unlink()
             except FileNotFoundError:
                 pass
+
+    def _quarantine(self, key: str) -> None:
+        """Move a damaged entry's files aside instead of deleting them."""
+        quarantine_dir = self.root / QUARANTINE_DIRNAME
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for path in self._paths(key):
+            if not path.exists():
+                continue
+            try:
+                os.replace(path, quarantine_dir / path.name)
+                moved = True
+            except OSError:
+                path.unlink(missing_ok=True)  # cross-device: drop instead
+        if moved:
+            self.stats.quarantined += 1
+
+    def quarantine_count(self) -> int:
+        return sum(
+            1 for _ in (self.root / QUARANTINE_DIRNAME).glob("*.json")
+        )
+
+    def cleanup_stale(self, max_age_seconds: float = STALE_LOCK_SECONDS) -> int:
+        """Remove stale locks and orphaned temp files; returns the count.
+
+        Both are the remains of a writer that died mid-``put``; neither
+        is ever read, so removal is always safe.  Called by the runner at
+        sweep start and available as maintenance API.
+        """
+        removed = 0
+        now = time.time()
+        for pattern in ("??/*.lock", "??/*.tmp", "??/*.tmp.npz",
+                        "manifests/*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    if now - path.stat().st_mtime > max_age_seconds:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # concurrent cleanup or vanished file
+        self.stats.stale_cleaned += removed
+        return removed
 
     def _enforce_limit(self) -> None:
         if self.max_entries is None:

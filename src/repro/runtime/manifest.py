@@ -1,0 +1,111 @@
+"""Sweep manifests: durable progress records for checkpoint/resume.
+
+A long sweep that dies halfway through leaves its completed results in
+the :class:`~repro.runtime.cache.ResultCache`, but nothing records *which
+sweep* they belonged to or how far it got.  A :class:`SweepManifest`
+fills that gap: one JSON document per sweep identity (SHA-256 over the
+spec's canonical form plus every configuration's cache key), listing the
+configurations and which of them completed.
+
+The runner flushes the manifest periodically (every ``checkpoint_every``
+completions), on abort, and at the end (with ``status: "complete"``).
+``repro sweep --resume`` reads it back to report how many configurations
+an interrupted run already finished — the results themselves are served
+by the content-addressed cache, so a resumed sweep recomputes zero
+completed configs.
+
+Manifests live under ``<cache root>/manifests/<sweep id>.json`` and are
+written atomically (tempfile + ``os.replace``), like every other cache
+artifact.  Like cache writes, they only ever happen in the parent
+process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SweepManifest", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+MANIFEST_DIRNAME = "manifests"
+
+
+class SweepManifest:
+    """Progress record of one sweep identity."""
+
+    def __init__(self, path, sweep_id: str, spec_doc: dict, config_keys: dict):
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        self.spec_doc = spec_doc
+        self.config_keys = dict(config_keys)  # name -> cache key
+        self.completed: set = set()
+        #: Configs a *previous* run of this same sweep had completed
+        #: (empty when no manifest existed on disk).
+        self.previously_completed: frozenset = frozenset()
+        self._load_existing()
+        self.completed |= set(self.previously_completed)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_sweep(cls, cache, spec, configs) -> "SweepManifest":
+        """The manifest addressing ``(spec, configs)`` under ``cache``."""
+        config_keys = {
+            name: cache.key(spec, config) for name, config in configs.items()
+        }
+        identity = {"spec": spec.canonical(), "configs": config_keys}
+        payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        sweep_id = hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+        path = Path(cache.root) / MANIFEST_DIRNAME / f"{sweep_id}.json"
+        return cls(path, sweep_id, spec.canonical(), config_keys)
+
+    def _load_existing(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return  # absent or corrupt: start fresh (never fatal)
+        if doc.get("version") != MANIFEST_VERSION:
+            return
+        if doc.get("sweep_id") != self.sweep_id:
+            return
+        self.previously_completed = frozenset(
+            name for name in doc.get("completed", []) if name in self.config_keys
+        )
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def mark(self, name: str) -> None:
+        self.completed.add(name)
+
+    @property
+    def is_complete(self) -> bool:
+        return set(self.config_keys) <= self.completed
+
+    @property
+    def status(self) -> str:
+        return "complete" if self.is_complete else "running"
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "sweep_id": self.sweep_id,
+            "status": self.status,
+            "spec": self.spec_doc,
+            "configs": self.config_keys,
+            "completed": sorted(self.completed & set(self.config_keys)),
+            "updated": time.time(),
+        }
+
+    def flush(self) -> Path:
+        """Atomically persist the current progress; returns the path."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+        return self.path

@@ -29,6 +29,8 @@ class TaskTiming:
     name: str
     seconds: float  # compute time for misses, lookup time for hits
     cached: bool = False
+    attempts: int = 1  # executions it took (1 = first try succeeded)
+    fallback: bool = False  # completed on the reference-backend fallback
 
 
 @dataclass
@@ -39,6 +41,14 @@ class RunnerStats:
     max_workers: int = 1
     chunk_size: int = 1
     tasks: list = field(default_factory=list)
+    # Reliability outcome (all zero/False on an undisturbed run):
+    retries: int = 0  # task re-executions after a failure
+    fallbacks: int = 0  # retries that switched to the reference backend
+    timeouts: int = 0  # chunk deadlines that expired (pool was terminated)
+    pool_rebuilds: int = 0  # process pools lost and rebuilt
+    degraded: bool = False  # finished on the sequential inline path
+    resumed_skipped: int = 0  # configs a --resume run found already complete
+    notes: list = field(default_factory=list)  # human-readable reliability notes
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -92,8 +102,38 @@ class RunnerStats:
     # ------------------------------------------------------------------
     # Rendering / persistence
     # ------------------------------------------------------------------
+    @property
+    def had_faults(self) -> bool:
+        """Whether any reliability event occurred during the run."""
+        return bool(
+            self.retries or self.fallbacks or self.timeouts
+            or self.pool_rebuilds or self.degraded
+        )
+
+    def reliability_summary(self) -> str:
+        """One-line account of the run's reliability events ("" when clean)."""
+        if not self.had_faults and not self.resumed_skipped:
+            return ""
+        parts = []
+        if self.retries:
+            parts.append(f"{self.retries} retr{'ies' if self.retries != 1 else 'y'}")
+        if self.fallbacks:
+            parts.append(f"{self.fallbacks} backend fallback"
+                         f"{'s' if self.fallbacks != 1 else ''}")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeout"
+                         f"{'s' if self.timeouts != 1 else ''}")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuild"
+                         f"{'s' if self.pool_rebuilds != 1 else ''}")
+        if self.degraded:
+            parts.append("degraded to sequential")
+        if self.resumed_skipped:
+            parts.append(f"resumed past {self.resumed_skipped} completed")
+        return ", ".join(parts)
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.n_tasks} task{'s' if self.n_tasks != 1 else ''} "
             f"in {self.wall_seconds:.3f}s wall "
             f"({self.max_workers} worker{'s' if self.max_workers != 1 else ''}, "
@@ -103,6 +143,8 @@ class RunnerStats:
             f"compute {self.compute_seconds:.3f}s, "
             f"speedup vs sequential {self.speedup_vs_sequential:.2f}x"
         )
+        reliability = self.reliability_summary()
+        return f"{text} [{reliability}]" if reliability else text
 
     def to_dict(self) -> dict:
         return {
@@ -116,8 +158,16 @@ class RunnerStats:
             "compute_seconds": self.compute_seconds,
             "speedup_vs_sequential": self.speedup_vs_sequential,
             "mean_task_seconds": self.mean_task_seconds,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+            "resumed_skipped": self.resumed_skipped,
+            "notes": list(self.notes),
             "tasks": [
-                {"name": t.name, "seconds": t.seconds, "cached": t.cached}
+                {"name": t.name, "seconds": t.seconds, "cached": t.cached,
+                 "attempts": t.attempts, "fallback": t.fallback}
                 for t in self.tasks
             ],
         }

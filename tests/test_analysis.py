@@ -288,6 +288,65 @@ class TestHygiene:
         report = run_analysis(root, config)
         assert report.ok
 
+    def test_broad_except_around_future_result_flagged(self, tmp_path, config):
+        source = (
+            "def drain(future):\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        root = make_package(tmp_path, {"core/h.py": source})
+        report = run_analysis(root, config)
+        assert [f.code for f in report.findings] == ["hygiene-pool-swallow"]
+
+    def test_bare_except_around_future_result_flagged_twice(self, tmp_path,
+                                                            config):
+        # A bare except on a result() call trips both the generic rule and
+        # the pool-swallow rule — they diagnose different consequences.
+        source = (
+            "def drain(future):\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        root = make_package(tmp_path, {"core/h.py": source})
+        report = run_analysis(root, config)
+        assert sorted(f.code for f in report.findings) == [
+            "hygiene-bare-except", "hygiene-pool-swallow",
+        ]
+
+    def test_broken_pool_handler_exempts_broad_fallback(self, tmp_path,
+                                                        config):
+        source = (
+            "from concurrent.futures.process import BrokenProcessPool\n"
+            "\n"
+            "\n"
+            "def drain(future):\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except BrokenProcessPool:\n"
+            "        raise\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        root = make_package(tmp_path, {"core/h.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+
+    def test_broad_except_without_result_call_passes(self, tmp_path, config):
+        source = (
+            "def safe(callback):\n"
+            "    try:\n"
+            "        return callback()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        root = make_package(tmp_path, {"core/h.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+
 
 # ----------------------------------------------------------------------
 # Suppressions

@@ -236,6 +236,34 @@ class TestSweep:
         )
         assert code == 2
 
+    def test_resume_requires_the_cache(self):
+        code, _ = run_cli(
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--no-cache", "--resume",
+        )
+        assert code == 2
+
+    def test_interrupted_sweep_resumes(self, tmp_path, monkeypatch):
+        from repro import faults
+
+        args = (
+            "sweep", "hotspot", "--rows", "16", "--iterations", "4",
+            "--workers", "1", "--cache-dir", str(tmp_path),
+            "--checkpoint-every", "1",
+        )
+        # First run: 'mul' fails unrecoverably after some configs have
+        # already been computed and checkpointed.
+        with faults.injection("transient:match=mul,times=99"):
+            code, _ = run_cli(*args, "--retries", "0")
+        assert code == 1
+        assert list(tmp_path.glob("manifests/*.json"))
+
+        # Resume: the completed configs come from the cache, the sweep
+        # finishes, and the reliability tail reports the skips.
+        code, text = run_cli(*args, "--resume")
+        assert code == 0
+        assert "resumed past" in text
+
     def test_stats_omits_telemetry_section_when_disabled(self, monkeypatch):
         monkeypatch.setenv("REPRO_TELEMETRY", "off")
         code, text = run_cli(

@@ -7,6 +7,8 @@ truncated entries) is recomputed, never served.
 """
 
 import json
+import os
+import time
 
 import numpy as np
 import pytest
@@ -19,10 +21,12 @@ from repro.runtime import (
     ExperimentRunner,
     ExperimentSpec,
     ResultCache,
+    RetryPolicy,
     RunnerStats,
     TaskTiming,
     cache_disabled,
     cache_from_env,
+    default_worker_count,
 )
 
 HOTSPOT = ExperimentSpec.create(
@@ -218,7 +222,9 @@ class TestRunnerStats:
         assert doc["n_tasks"] == 2
         assert doc["cache_hits"] == 1 and doc["cache_misses"] == 1
         assert doc["speedup_vs_sequential"] == stats.speedup_vs_sequential
-        assert doc["tasks"][1] == {"name": "b", "seconds": 0.0, "cached": True}
+        assert doc["tasks"][1] == {"name": "b", "seconds": 0.0, "cached": True,
+                                   "attempts": 1, "fallback": False}
+        assert doc["retries"] == 0 and doc["degraded"] is False
         json.dumps(doc)  # JSON-serializable for the CLI --json payload
 
 
@@ -305,3 +311,175 @@ class TestCharacterizeIntegration:
 
         pmfs = characterize_multiplier_configs(["fp_tr0", "bt_8"], n_samples=2048)
         assert set(pmfs) == {"fp_tr0", "bt_8"}
+
+
+# ----------------------------------------------------------------------
+# Cache hardening: atomic writes, quarantine, stale-artifact cleanup
+# ----------------------------------------------------------------------
+class TestCacheHardening:
+    def test_truncated_json_quarantined_and_recomputed(self, tmp_path):
+        """Regression: a torn write must be moved aside, never raise."""
+        cache = ResultCache(tmp_path)
+        config = {"add": IHWConfig.units("add")}
+        before = ExperimentRunner(max_workers=1, cache=cache).sweep(
+            HOTSPOT, config
+        )
+        entry = next(tmp_path.glob("??/*.json"))
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) // 2])
+
+        fresh = ResultCache(tmp_path)
+        again = ExperimentRunner(max_workers=1, cache=fresh).sweep(
+            HOTSPOT, config
+        )
+        assert fresh.stats.invalid == 1
+        assert fresh.stats.quarantined == 1
+        assert fresh.quarantine_count() == 1
+        # The damaged bytes stay inspectable under quarantine/.
+        quarantined = next((tmp_path / "quarantine").glob("*.json"))
+        assert quarantined.read_bytes() == data[: len(data) // 2]
+        assert_evaluations_identical(before["add"], again["add"])
+
+    def test_no_temp_files_survive_a_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentRunner(max_workers=1, cache=cache).sweep(HOTSPOT, SWEEP)
+        leftovers = [
+            p for pattern in ("??/*.tmp", "??/*.tmp.npz", "??/*.lock")
+            for p in tmp_path.glob(pattern)
+        ]
+        assert leftovers == []
+
+    def test_held_lock_skips_the_write(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = IHWConfig.units("add")
+        evaluation = HOTSPOT.framework().evaluate(config)
+        key = cache.key(HOTSPOT, config)
+        lock = tmp_path / key[:2] / f"{key}.lock"
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("held\n")
+        assert cache.put(HOTSPOT, config, evaluation) is False
+        assert cache.stats.lock_skips == 1
+        assert cache.get(HOTSPOT, config) is None  # nothing was written
+        lock.unlink()
+        assert cache.put(HOTSPOT, config, evaluation) is True
+
+    def test_stale_lock_reclaimed_on_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = IHWConfig.units("add")
+        evaluation = HOTSPOT.framework().evaluate(config)
+        key = cache.key(HOTSPOT, config)
+        lock = tmp_path / key[:2] / f"{key}.lock"
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("crashed writer\n")
+        old = time.time() - 1000.0
+        os.utime(lock, (old, old))
+        assert cache.put(HOTSPOT, config, evaluation) is True
+        assert cache.stats.stale_cleaned == 1
+        assert cache.get(HOTSPOT, config) is not None
+
+    def test_cleanup_stale_removes_old_artifacts_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        old_lock = shard / "deadbeef.lock"
+        old_tmp = shard / "deadbeef.json.tmp"
+        fresh_lock = shard / "cafe.lock"
+        for path in (old_lock, old_tmp, fresh_lock):
+            path.write_text("x")
+        stale = time.time() - 1000.0
+        os.utime(old_lock, (stale, stale))
+        os.utime(old_tmp, (stale, stale))
+        assert cache.cleanup_stale() == 2
+        assert not old_lock.exists() and not old_tmp.exists()
+        assert fresh_lock.exists()
+
+
+# ----------------------------------------------------------------------
+# Worker-count detection and runner internals
+# ----------------------------------------------------------------------
+class TestDefaultWorkerCount:
+    def test_uses_scheduler_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert default_worker_count() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        # Platforms without sched_getaffinity (macOS, Windows) raise
+        # AttributeError; the runner must fall back to os.cpu_count().
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_worker_count() == 5
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        assert default_worker_count() == 1
+
+    def test_framework_memo_is_bounded(self):
+        from repro.runtime.runner import _FRAMEWORK_MEMO_CAP, _memo_framework
+
+        memo = {}
+        specs = [
+            ExperimentSpec.create("hotspot", metric="mae", rows=12, cols=12,
+                                  iterations=i + 1)
+            for i in range(_FRAMEWORK_MEMO_CAP + 4)
+        ]
+        for spec in specs:
+            _memo_framework(memo, spec)
+        assert len(memo) == _FRAMEWORK_MEMO_CAP
+        # Most-recently-used specs survive; the oldest were evicted.
+        assert specs[-1] in memo and specs[0] not in memo
+        # A hit refreshes recency and must not rebuild the framework.
+        survivor = specs[-_FRAMEWORK_MEMO_CAP]
+        kept = memo[survivor]
+        assert _memo_framework(memo, survivor) is kept
+
+
+# ----------------------------------------------------------------------
+# map(): label alignment across failures and retries
+# ----------------------------------------------------------------------
+def _flaky_square(x):
+    """Module-level (picklable) map target; fails via injected faults."""
+    return x * x
+
+
+class TestMapRetryAlignment:
+    def test_results_stay_aligned_when_some_tasks_retry(self):
+        from repro import faults
+
+        labels = [f"item{i}" for i in range(6)]
+        arguments = [(i,) for i in range(6)]
+        # Fail item1 and item4 once each: both succeed on retry, and the
+        # result list must still line up with the inputs.
+        with faults.injection("transient:match=item1,times=1;"
+                              "transient:match=item4,times=1"):
+            runner = ExperimentRunner(
+                max_workers=2, cache=None,
+                policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+            )
+            results = runner.map(_flaky_square, arguments, labels=labels)
+        assert results == [i * i for i in range(6)]
+        assert runner.stats.retries == 2
+        by_name = {t.name: t for t in runner.stats.tasks}
+        assert by_name["item1"].attempts == 2
+        assert by_name["item4"].attempts == 2
+        assert by_name["item0"].attempts == 1
+
+    def test_sequential_map_alignment_with_retries(self):
+        from repro import faults
+
+        labels = [f"s{i}" for i in range(4)]
+        with faults.injection("transient:match=s2,times=1"):
+            runner = ExperimentRunner(
+                max_workers=1, cache=None,
+                policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+            )
+            results = runner.map(_flaky_square, [(i,) for i in range(4)],
+                                 labels=labels)
+        assert results == [0, 1, 4, 9]
+        assert runner.stats.retries == 1
+
+    def test_label_length_mismatch_rejected(self):
+        runner = ExperimentRunner(max_workers=1, cache=None)
+        with pytest.raises(ValueError):
+            runner.map(_flaky_square, [(1,), (2,)], labels=["only-one"])
