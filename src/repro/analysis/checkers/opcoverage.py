@@ -14,7 +14,8 @@ The checker runs a small intra-procedural taint analysis per function:
 Seeds (tainted = "device value", i.e. flows through the imprecise units):
   * any call on a context receiver: ``ctx.add(...)``, ``context.array(...)``;
   * names assigned from ``make_context(...)`` / ``ArithmeticContext(...)``
-    are treated as context receivers themselves;
+    / ``ContextBatch(...)`` are treated as context receivers themselves,
+    so batched entry points (``batch.add(...)``) count as covered ops;
   * names listed in ``AnalysisConfig.context_names`` are context receivers
     a-priori (the repo-wide parameter naming convention).
 
@@ -74,6 +75,19 @@ _NP_ARITH = {
 }
 
 _UNTAINT_CALLS = {"float", "int", "bool", "len", "range", "enumerate", "zip"}
+
+#: Constructor names whose result is a context receiver: calls on it are
+#: covered ops.  ``ContextBatch`` is the batched mirror of
+#: ``ArithmeticContext`` — its entry points (``batch.add`` -> the
+#: backend's ``imprecise_add_batch``) route through the imprecise units,
+#: so kernels adopting the batch API get no false suppression pressure.
+_CONTEXT_CONSTRUCTORS = ("ArithmeticContext", "ContextBatch")
+
+
+def _is_context_constructor(name: str) -> bool:
+    return name.split(".")[-1] == "make_context" or any(
+        name.endswith(ctor) for ctor in _CONTEXT_CONSTRUCTORS
+    )
 
 
 def _dotted(node) -> str:
@@ -164,9 +178,7 @@ class _KernelTaint:
         # ctx.anything(...) returns a device value.
         if isinstance(func, ast.Attribute) and self.is_context(func.value):
             return True
-        if name.split(".")[-1] in ("make_context",) or name.endswith(
-            "ArithmeticContext"
-        ):
+        if _is_context_constructor(name):
             return True
         # Method call on a tainted receiver (x.astype(...), x.copy()).
         if isinstance(func, ast.Attribute) and self.is_tainted(func.value):
@@ -266,9 +278,7 @@ class _KernelTaint:
         if not isinstance(value, ast.Call):
             return False
         name = _dotted(value.func)
-        return name.split(".")[-1] == "make_context" or name.endswith(
-            "ArithmeticContext"
-        )
+        return _is_context_constructor(name)
 
     # -- finding emission ----------------------------------------------
     def _visit_expr(self, node, emit: bool) -> None:

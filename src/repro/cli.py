@@ -360,7 +360,8 @@ def cmd_sweep(args, out) -> int:
               file=sys.stderr)
         return 2
     try:
-        results = runner.sweep(spec, configs, resume=args.resume)
+        results = runner.sweep(spec, configs, resume=args.resume,
+                               batch=not args.no_batch)
     except TaskFailedError as exc:
         # Completed work is already checkpointed (cache + manifest);
         # tell the operator how to pick it back up.
@@ -541,7 +542,7 @@ def cmd_bench(args, out) -> int:
         names = available_backend_names()
 
     payload = run_benchmarks(size=size, repeats=repeats, dtype=dtype,
-                             backends=names)
+                             backends=names, batch=args.batch)
 
     failed_parity = []
     print(f"size={payload['size']} repeats={payload['repeats']} "
@@ -560,6 +561,25 @@ def cmd_bench(args, out) -> int:
             speedup = record.get("speedup_vs_reference")
             suffix = f"  {speedup:5.2f}x vs reference" if speedup else ""
             print(f"{name:<10} {op:<5} {ms:9.2f} ms{suffix}", file=out)
+
+    batch_section = payload.get("batch")
+    if batch_section is not None:
+        if not batch_section["parity_ok"]:
+            failed_parity.append("batch")
+            print(f"batch      PARITY FAILED: "
+                  f"{batch_section.get('parity_failures')}", file=out)
+        else:
+            n = batch_section["n_configs"]
+            for op, record in batch_section["sweeps"].items():
+                ms = record["batch_seconds"] * 1e3
+                speedup = record.get("speedup")
+                suffix = (f"  {speedup:5.2f}x vs per-config fused"
+                          if speedup else "")
+                print(f"batch      {op:<13} {ms:9.2f} ms{suffix}", file=out)
+            headline = batch_section["threshold_sweep"].get("speedup")
+            if headline:
+                print(f"batch      {n}-config threshold sweep: "
+                      f"{headline:5.2f}x vs per-config fused", file=out)
 
     if failed_parity:
         print(f"parity failures in: {', '.join(failed_parity)} — "
@@ -703,6 +723,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=8,
                    help="completed tasks between sweep-manifest flushes "
                         "(0 disables checkpoint/resume manifests)")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable batch-compatible grouping of cache misses "
+                        "(results are identical; batching only schedules "
+                        "compatible configurations back-to-back)")
 
     p = sub.add_parser(
         "metrics", help="print the persisted telemetry metrics snapshot"
@@ -749,6 +773,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON output path (default BENCH_core.json)")
     p.add_argument("--no-write", action="store_true",
                    help="print the table only, write no file")
+    p.add_argument("--batch", dest="batch", action="store_true", default=True,
+                   help="include the batched multi-config sweep section "
+                        "(one decompose, N configs; on by default)")
+    p.add_argument("--no-batch", dest="batch", action="store_false",
+                   help="skip the batched sweep section")
 
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")

@@ -15,14 +15,22 @@ from .backends import (
     get_backend,
 )
 from .backends.base import ComputeBackend
-from .config import IHWConfig, MULTIPLIER_MODES, SFU_MODES, UNIT_NAMES
+from .config import (
+    IHWConfig,
+    MULTIPLIER_MODES,
+    SFU_MODES,
+    UNIT_NAMES,
+    batch_compatible,
+    batch_groups,
+    batch_signature,
+)
 from .configurable import (
     FULL_PATH_MAX_ERROR,
     LOG_PATH_MAX_ERROR,
     MultiplierConfig,
     configurable_multiply,
 )
-from .context import ArithmeticContext, FPU_OPS, OP_UNIT_CLASS, SFU_OPS
+from .context import ArithmeticContext, ContextBatch, FPU_OPS, OP_UNIT_CLASS, SFU_OPS
 from .dualmode import DualModeMultiplier
 from .floatops import (
     BINARY16,
@@ -68,6 +76,10 @@ from .truncation import round_mantissa, truncated_multiply, truncation_max_error
 
 __all__ = [
     "ArithmeticContext",
+    "ContextBatch",
+    "batch_compatible",
+    "batch_groups",
+    "batch_signature",
     "BINARY16",
     "BINARY32",
     "BINARY64",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import importlib.util
 import os
+import weakref
 
 __all__ = [
     "ENV_VAR",
@@ -38,6 +39,8 @@ __all__ = [
     "available_backend_names",
     "default_backend_name",
     "get_backend",
+    "scratch_nbytes",
+    "release_all_scratch",
 ]
 
 #: Environment variable selecting the process-wide default backend.
@@ -48,6 +51,26 @@ DEFAULT_BACKEND = "reference"
 
 class BackendUnavailableError(RuntimeError):
     """A registered backend cannot run here (missing optional dependency)."""
+
+
+#: Live backends holding scratch state, tracked weakly so instances die
+#: with their contexts.  Lets long-lived hosts (the experiment runner, the
+#: bench loop) reclaim peak-sized batch buffers between tasks.
+_SCRATCH_HOLDERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _register_scratch_holder(backend) -> None:
+    _SCRATCH_HOLDERS.add(backend)
+
+
+def scratch_nbytes() -> int:
+    """Total bytes pinned in scratch pools across live backends."""
+    return sum(b.scratch_nbytes() for b in _SCRATCH_HOLDERS)
+
+
+def release_all_scratch() -> int:
+    """Free every live backend's scratch pool; returns the bytes released."""
+    return sum(b.release_scratch() for b in _SCRATCH_HOLDERS)
 
 
 def _make_reference():

@@ -28,7 +28,30 @@ from ..special import (
 )
 from ..truncation import truncated_multiply
 
-__all__ = ["ComputeBackend", "ReferenceBackend"]
+__all__ = ["ComputeBackend", "ReferenceBackend", "BATCH_OPS"]
+
+#: Batched entry points of the backend contract (op name -> method name).
+#: Used by the parity harness, the op-coverage lint checker, and the
+#: context-level batch dispatcher.
+BATCH_OPS = {
+    "add": "imprecise_add_batch",
+    "sub": "imprecise_subtract_batch",
+    "fma": "imprecise_fma_batch",
+    "mul_mitchell": "configurable_multiply_batch",
+    "mul_truncated": "truncated_multiply_batch",
+}
+
+
+def _rounding_flags(rounding, n: int) -> list:
+    """Normalize a shared-or-per-config rounding flag to ``n`` booleans."""
+    if isinstance(rounding, (list, tuple)):
+        if len(rounding) != n:
+            raise ValueError(
+                f"rounding sequence has {len(rounding)} entries for "
+                f"{n} truncations"
+            )
+        return [bool(r) for r in rounding]
+    return [bool(rounding)] * n
 
 
 class ComputeBackend:
@@ -74,6 +97,65 @@ class ComputeBackend:
         return imprecise_fma(a, b, c, threshold=threshold, dtype=dtype)
 
     # ------------------------------------------------------------------
+    # Batched entry points: one operand pair, N configurations
+    # ------------------------------------------------------------------
+    # Each returns one result array per configuration entry, in order, and
+    # every entry is contractually bit-identical to the corresponding
+    # scalar-config call above (asserted by parity.check_batch_parity).
+    # The base implementations are the definitional per-config loops;
+    # accelerated backends override them to share the operand field
+    # decomposition across the whole batch.
+
+    def imprecise_add_batch(self, a, b, thresholds,
+                            dtype=np.float32) -> list:
+        """``a + b`` under several adder thresholds at once."""
+        return [
+            self.imprecise_add(a, b, threshold=th, dtype=dtype)
+            for th in thresholds
+        ]
+
+    def imprecise_subtract_batch(self, a, b, thresholds,
+                                 dtype=np.float32) -> list:
+        """``a - b`` under several adder thresholds at once."""
+        return [
+            self.imprecise_subtract(a, b, threshold=th, dtype=dtype)
+            for th in thresholds
+        ]
+
+    def imprecise_fma_batch(self, a, b, c, thresholds,
+                            dtype=np.float32) -> list:
+        """``a * b + c`` under several adder thresholds at once.
+
+        The Table-1 product is threshold-invariant, so batched backends
+        compute it once and feed it to the batched adder.
+        """
+        return [
+            self.imprecise_fma(a, b, c, threshold=th, dtype=dtype)
+            for th in thresholds
+        ]
+
+    def configurable_multiply_batch(self, a, b, configs,
+                                    dtype=np.float32) -> list:
+        """``a * b`` under several :class:`MultiplierConfig` settings at once."""
+        return [
+            self.configurable_multiply(a, b, cfg, dtype=dtype)
+            for cfg in configs
+        ]
+
+    def truncated_multiply_batch(self, a, b, truncations, dtype=np.float32,
+                                 rounding=True) -> list:
+        """``a * b`` under several ``bt_N`` truncation settings at once.
+
+        ``rounding`` is a single flag shared by the batch or a sequence
+        aligned with ``truncations``.
+        """
+        roundings = _rounding_flags(rounding, len(list(truncations)))
+        return [
+            self.truncated_multiply(a, b, t, dtype=dtype, rounding=r)
+            for t, r in zip(truncations, roundings)
+        ]
+
+    # ------------------------------------------------------------------
     # SFU ops (linear approximations; the quadratic extension dispatches
     # directly in the context and is not backend-routed)
     # ------------------------------------------------------------------
@@ -91,6 +173,17 @@ class ComputeBackend:
 
     def imprecise_divide(self, a, b, dtype=np.float32) -> np.ndarray:
         return imprecise_divide(a, b, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Scratch management (no-ops for stateless backends)
+    # ------------------------------------------------------------------
+    def scratch_nbytes(self) -> int:
+        """Bytes pinned in scratch buffers (0 for stateless backends)."""
+        return 0
+
+    def release_scratch(self) -> int:
+        """Free scratch buffers; returns the bytes released."""
+        return 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -19,14 +19,20 @@ import time
 import numpy as np
 
 from ..adder import DEFAULT_THRESHOLD
+from ..configurable import MultiplierConfig
 from ..floatops import format_for_dtype
 from . import available_backend_names, backend_names, get_backend
-from .parity import check_parity
+from .parity import check_batch_parity, check_parity
 
-__all__ = ["BENCH_OPS", "run_benchmarks"]
+__all__ = ["BENCH_OPS", "BATCH_SWEEP_THRESHOLDS", "run_benchmarks",
+           "run_batch_benchmarks"]
 
 #: Operations timed by :func:`run_benchmarks`.
 BENCH_OPS = ("add", "mul", "fma", "rcp", "sqrt")
+
+#: The 8-configuration adder-threshold sweep timed by the ``batch``
+#: section: one batched call against eight per-config fused calls.
+BATCH_SWEEP_THRESHOLDS = (1, 2, 4, 6, 8, 12, 16, 23)
 
 
 def _operands(size: int, dtype, seed: int = 11):
@@ -60,15 +66,136 @@ def _machine_metadata() -> dict:
     }
 
 
+def _batch_section(size: int, repeats: int, fmt, parity_samples: int) -> dict:
+    """Time multi-config sweeps: batched entry points vs per-config fused.
+
+    Every sweep presents one operand pair to N configurations — the shape
+    of a power–quality design sweep.  The baseline is the *fused* backend
+    called once per configuration (the fastest pre-batch path); the
+    candidate is the corresponding ``*_batch`` entry point sharing one
+    field decomposition.  Timings are only published when the batched
+    parity harness passes, mirroring the per-backend rule.
+    """
+    backend = get_backend("fused")
+    section = {
+        "backend": "fused",
+        "n_configs": len(BATCH_SWEEP_THRESHOLDS),
+        "thresholds": list(BATCH_SWEEP_THRESHOLDS),
+        "parity_ok": None,
+        "sweeps": {},
+    }
+    failures = check_batch_parity(backend, dtype=fmt.dtype,
+                                  n_random=parity_samples)
+    section["parity_ok"] = not failures
+    if failures:
+        section["parity_failures"] = failures
+        return section
+
+    a, b, c = _operands(size, fmt.dtype)
+    thresholds = list(BATCH_SWEEP_THRESHOLDS)
+    mbits = fmt.mantissa_bits
+    mitchell = [
+        MultiplierConfig.from_name(name)
+        for name in ("fp_tr0", "lp_tr0", "fp_tr4", "lp_tr4",
+                     "fp_tr8", "lp_tr8", "fp_tr12", "lp_tr16")
+        if MultiplierConfig.from_name(name).truncation <= mbits
+    ]
+    truncations = [t for t in (0, 2, 4, 6, 8, 10, 12, 16) if t <= mbits]
+    dt = fmt.dtype
+    sweeps = {
+        "add": (
+            lambda: [backend.imprecise_add(a, b, t, dtype=dt)
+                     for t in thresholds],
+            lambda: backend.imprecise_add_batch(a, b, thresholds, dtype=dt),
+        ),
+        "fma": (
+            lambda: [backend.imprecise_fma(a, b, c, t, dtype=dt)
+                     for t in thresholds],
+            lambda: backend.imprecise_fma_batch(a, b, c, thresholds,
+                                                dtype=dt),
+        ),
+        "mul_mitchell": (
+            lambda: [backend.configurable_multiply(a, b, cfg, dtype=dt)
+                     for cfg in mitchell],
+            lambda: backend.configurable_multiply_batch(a, b, mitchell,
+                                                        dtype=dt),
+        ),
+        "mul_truncated": (
+            lambda: [backend.truncated_multiply(a, b, t, dtype=dt,
+                                                rounding=False)
+                     for t in truncations],
+            lambda: backend.truncated_multiply_batch(a, b, truncations,
+                                                     dtype=dt,
+                                                     rounding=False),
+        ),
+    }
+    total_per = total_batch = 0.0
+    th_per = th_batch = 0.0
+    for op, (per_config, batched) in sweeps.items():
+        per_config()  # warm-up
+        batched()
+        per_seconds = _time_best(per_config, repeats)
+        batch_seconds = _time_best(batched, repeats)
+        total_per += per_seconds
+        total_batch += batch_seconds
+        if op in ("add", "fma"):
+            th_per += per_seconds
+            th_batch += batch_seconds
+        record = {
+            "per_config_seconds": per_seconds,
+            "batch_seconds": batch_seconds,
+        }
+        if batch_seconds > 0:
+            record["speedup"] = per_seconds / batch_seconds
+        section["sweeps"][op] = record
+    # The headline number: the 8-configuration adder-threshold sweep
+    # (add + fma share the threshold parameter), where the whole datapath
+    # after the one decompose is per-config-cheap integer masking.  The
+    # multiplier sweeps are reported individually above; Mitchell's
+    # per-config mantissa product bounds its batch gain, so it is kept
+    # out of the headline aggregate rather than silently diluting it.
+    section["threshold_sweep"] = {
+        "per_config_seconds": th_per,
+        "batch_seconds": th_batch,
+    }
+    if th_batch > 0:
+        section["threshold_sweep"]["speedup"] = th_per / th_batch
+    section["sweep"] = {
+        "per_config_seconds": total_per,
+        "batch_seconds": total_batch,
+    }
+    if total_batch > 0:
+        section["sweep"]["speedup"] = total_per / total_batch
+    return section
+
+
+def run_batch_benchmarks(size: int = 1_000_000, repeats: int = 5,
+                         dtype=np.float32,
+                         parity_samples: int = 4096) -> dict:
+    """Just the batched multi-config sweep section of the payload.
+
+    The standalone entry point behind ``benchmarks/test_batched_backend.py``
+    and the CI bench smoke; equivalent to the ``batch`` key that
+    :func:`run_benchmarks` embeds.
+    """
+    return _batch_section(size, repeats, format_for_dtype(dtype),
+                          parity_samples)
+
+
 def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
                    dtype=np.float32, backends=None,
-                   parity_samples: int = 4096) -> dict:
+                   parity_samples: int = 4096, batch: bool = True) -> dict:
     """Benchmark ``backends`` against ``reference`` on ``size`` elements.
 
     Returns a payload dict with machine metadata, per-backend parity
     status, and per-op timings in seconds plus speedup vs reference.
     Backends failing parity get no timings (``parity_failures`` lists the
     mismatches instead).
+
+    With ``batch=True`` (default) the payload also carries a ``batch``
+    section comparing the fused backend's batched entry points against
+    eight per-config fused calls (see :func:`_batch_section`); pass
+    ``batch=False`` to skip it (``repro bench --no-batch``).
     """
     fmt = format_for_dtype(dtype)
     if backends is None:
@@ -86,7 +213,7 @@ def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
     abs_a = np.abs(a)
 
     payload = {
-        "schema": "repro-bench-core/1",
+        "schema": "repro-bench-core/2",
         "machine": _machine_metadata(),
         "size": int(size),
         "repeats": int(repeats),
@@ -94,6 +221,8 @@ def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
         "threshold": DEFAULT_THRESHOLD,
         "backends": {},
     }
+    if batch and "fused" in available_backend_names():
+        payload["batch"] = _batch_section(size, repeats, fmt, parity_samples)
 
     reference_times = {}
     for name in backends:

@@ -42,8 +42,9 @@ from ..adder import DEFAULT_THRESHOLD, _special_add, max_threshold
 from ..configurable import MultiplierConfig
 from ..floatops import flush_subnormals, format_for_dtype
 from ..mitchell import mitchell_mantissa_product
+from ..multiplier import _special_results
 from ..special import LOG2_COEFFS, RECIPROCAL_COEFFS, RSQRT_COEFFS, _SQRT1_2
-from .base import ComputeBackend
+from .base import ComputeBackend, _rounding_flags
 
 __all__ = ["FusedBackend", "ScratchPool"]
 
@@ -60,6 +61,7 @@ class ScratchPool:
 
     def __init__(self):
         self._buffers: dict = {}
+        self._high_water = 0
 
     def get(self, name: str, dtype, shape) -> np.ndarray:
         n = 1
@@ -70,11 +72,51 @@ class ScratchPool:
         if buf is None or buf.size < n:
             buf = np.empty(max(n, 1), dtype=dtype)
             self._buffers[key] = buf
+            total = self.nbytes()
+            if total > self._high_water:
+                self._high_water = total
         return buf[:n].reshape(shape)
 
     def nbytes(self) -> int:
         """Total bytes currently held (telemetry / debugging)."""
         return sum(buf.nbytes for buf in self._buffers.values())
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Peak bytes ever held (not reset by :meth:`release`)."""
+        return self._high_water
+
+    def release(self) -> int:
+        """Drop every buffer; returns the bytes freed.
+
+        A pool sized by one large batched call would otherwise pin its peak
+        footprint for the life of the backend — the runner calls this (via
+        :func:`repro.core.backends.release_all_scratch`) between tasks.
+        """
+        freed = self.nbytes()
+        self._buffers.clear()
+        return freed
+
+    def trim(self, max_bytes: int) -> int:
+        """Drop the largest buffers until at most ``max_bytes`` remain.
+
+        Returns the bytes freed.  ``trim(0)`` is equivalent to
+        :meth:`release`.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        freed = 0
+        by_size = sorted(
+            self._buffers.items(), key=lambda kv: kv[1].nbytes, reverse=True
+        )
+        held = self.nbytes()
+        for key, buf in by_size:
+            if held <= max_bytes:
+                break
+            del self._buffers[key]
+            held -= buf.nbytes
+            freed += buf.nbytes
+        return freed
 
 
 class FusedBackend(ComputeBackend):
@@ -84,6 +126,15 @@ class FusedBackend(ComputeBackend):
 
     def __init__(self):
         self._scratch = ScratchPool()
+        from . import _register_scratch_holder
+
+        _register_scratch_holder(self)
+
+    def scratch_nbytes(self) -> int:
+        return self._scratch.nbytes()
+
+    def release_scratch(self) -> int:
+        return self._scratch.release()
 
     # Scratch accessors: int64 working arrays, bool masks, float64 datapath.
     def _i(self, name, shape):
@@ -291,8 +342,275 @@ class FusedBackend(ComputeBackend):
         return self.imprecise_add(a, -b, threshold=threshold, dtype=dtype)
 
     # ------------------------------------------------------------------
+    # Batched threshold adder: one decompose, N thresholds
+    # ------------------------------------------------------------------
+    # The shared head runs the config-invariant work once at a *common*
+    # guard width G = max(thresholds): field extraction, magnitude compare,
+    # operand select, alignment, and the effective-operation sign.  Working
+    # at guard G instead of the per-config guard TH only appends G - TH
+    # trailing zero bits to every intermediate (the alignment shift and the
+    # keep-mask cut ``p + G - TH`` select the same surviving bits), so each
+    # per-config tail is bit-identical to the scalar kernel at guard TH.
+    #
+    # The tail exploits two identities to stay lean:
+    #
+    # - ``mant_x +/- (y & keep)`` == ``base -/+ (y & low)`` with the shared
+    #   ``base = mant_x +/- y``, so only the *discarded* low bits are
+    #   re-masked per config.  Lanes beyond the threshold (d > TH) need no
+    #   separate "far" zeroing: the aligned y is already below the keep cut.
+    # - when ``p + G + 2 <= 53`` (always true for binary32/16) the int64
+    #   total converts to float64 *exactly*, so the float64 bit pattern IS
+    #   the normalized result: its exponent field is the MSB index and its
+    #   top fraction bits are the truncated mantissa — normalization,
+    #   including the left-shift cancellation case, collapses into one
+    #   conversion plus two shifts.  binary64 totals reach 62 bits, so that
+    #   dtype keeps the exact integer-domain normalize instead.
+
+    def imprecise_add_batch(self, a, b, thresholds,
+                            dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        thresholds = [int(th) for th in thresholds]
+        if not thresholds:
+            return []
+        limit = max_threshold(dtype)
+        for th in thresholds:
+            if not 1 <= th <= limit:
+                raise ValueError(
+                    f"threshold must be in [1, {limit}] for {fmt.name}, "
+                    f"got {th}"
+                )
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        guard = max(thresholds)
+        head = self._add_batch_head(a, b, fmt, shape, guard)
+        exact53 = fmt.mantissa_bits + guard + 2 <= 53
+        tail = self._add_batch_tail_exact if exact53 else self._add_batch_tail_int
+        results = [tail(fmt, shape, guard, th, head) for th in thresholds]
+        special = head["special"]
+        if special is not None:
+            special_mask, special_vals = special
+            for result in results:
+                np.copyto(result, special_vals, where=special_mask)
+        return results
+
+    def imprecise_subtract_batch(self, a, b, thresholds,
+                                 dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return self.imprecise_add_batch(a, -b, thresholds, dtype=dtype)
+
+    def imprecise_fma_batch(self, a, b, c, thresholds,
+                            dtype=np.float32) -> list:
+        # The Table-1 product has no batch parameter: compute it once.
+        product = self.imprecise_multiply(a, b, dtype=dtype)
+        return self.imprecise_add_batch(product, c, thresholds, dtype=dtype)
+
+    def _add_batch_head(self, a, b, fmt, shape, guard: int) -> dict:
+        """Config-invariant adder work at common guard ``G`` (see above)."""
+        p = fmt.mantissa_bits
+        emask = fmt.exponent_mask
+        ss = fmt.sign_shift
+
+        bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
+        bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
+        special = None
+        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
+            # NaN/inf handling is config-invariant: one mask for the batch.
+            special = _special_add(a, b, fmt)
+
+        mag_mask = (1 << ss) - 1
+        mag_a = self._i("t1", shape)
+        np.bitwise_and(bits_a, mag_mask, out=mag_a)
+        mag_b = self._i("t2", shape)
+        np.bitwise_and(bits_b, mag_mask, out=mag_b)
+        a_larger = self._b("a_larger", shape)
+        np.greater_equal(mag_a, mag_b, out=a_larger)
+
+        mant_a = mag_a
+        np.add(frac_a, np.int64(fmt.implicit_one), out=mant_a)
+        np.left_shift(mant_a, guard, out=mant_a)
+        zero_a = self._b("zero_a", shape)
+        np.equal(exp_a, 0, out=zero_a)
+        np.copyto(mant_a, np.int64(0), where=zero_a)
+        mant_b = mag_b
+        np.add(frac_b, np.int64(fmt.implicit_one), out=mant_b)
+        np.left_shift(mant_b, guard, out=mant_b)
+        zero_b = self._b("zero_b", shape)
+        np.equal(exp_b, 0, out=zero_b)
+        np.copyto(mant_b, np.int64(0), where=zero_b)
+
+        mant_x = self._i("mant_x", shape)
+        np.copyto(mant_x, mant_b)
+        np.copyto(mant_x, mant_a, where=a_larger)
+        y = self._i("bt_y", shape)
+        np.copyto(y, mant_a)
+        np.copyto(y, mant_b, where=a_larger)
+        exp_x = self._i("exp_x", shape)
+        np.maximum(exp_a, exp_b, out=exp_x)
+        d = self._i("d", shape)
+        np.minimum(exp_a, exp_b, out=d)
+        np.subtract(exp_x, d, out=d)
+
+        sign_a = bits_a
+        np.right_shift(bits_a, ss, out=sign_a)
+        sign_b = bits_b
+        np.right_shift(bits_b, ss, out=sign_b)
+        sign_z = self._i("sign_z", shape)
+        np.copyto(sign_z, sign_b)
+        np.copyto(sign_z, sign_a, where=a_larger)
+        sign_part = self._i("bt_sign", shape)
+        np.left_shift(sign_z, ss, out=sign_part)
+
+        # s = +1 for effective addition, -1 for effective subtraction.
+        eff_sub = self._b("eff_sub", shape)
+        np.not_equal(sign_a, sign_b, out=eff_sub)
+        s = self._i("bt_s", shape)
+        np.multiply(eff_sub, np.int64(-2), out=s)
+        np.add(s, np.int64(1), out=s)
+
+        # Align y once at guard scale (the per-config keep-mask runs later).
+        shift = self._i("shift", shape)
+        np.minimum(d, p + guard + 1, out=shift)
+        np.right_shift(y, shift, out=y)
+
+        # base = mant_x + s*y: the full-precision total at guard G.  Each
+        # tail recovers its thresholded total as base - s*(y & low_mask).
+        base = self._i("bt_base", shape)
+        np.multiply(y, s, out=base)
+        np.add(base, mant_x, out=base)
+
+        exact53 = p + guard + 2 <= 53
+        # Offset folding the exponent bias of the float64 view (exact path)
+        # or the MSB reference point (integer path) into one shared add.
+        offset = (1023 + p + guard) if exact53 else (p + guard)
+        expk = self._i("bt_expk", shape)
+        np.subtract(exp_x, np.int64(offset), out=expk)
+        adj = None
+        if exact53:
+            # bits_out = (f64_bits >> (52-p)) + adj composes sign, exponent
+            # and fraction in two passes (no carries: in-range exponents
+            # keep the fraction's 23 low bits clear of the sign bit).
+            adj = self._i("bt_adj", shape)
+            np.multiply(expk, np.int64(1) << p, out=adj)
+            np.add(adj, sign_part, out=adj)
+
+        # Overflow needs exp_z > max_exponent and exp_z <= exp_x + 1.
+        can_over = int(exp_x.max()) >= fmt.max_exponent
+        return {
+            "y": y, "s": s, "base": base, "sign_part": sign_part,
+            "expk": expk, "adj": adj, "special": special,
+            "can_over": can_over,
+        }
+
+    def _add_batch_tail_exact(self, fmt, shape, guard: int, threshold: int,
+                              head: dict) -> np.ndarray:
+        """Per-config fixup via the exact float64-conversion normalize."""
+        p = fmt.mantissa_bits
+        cut = p + guard - threshold
+        low = self._i("bt_low", shape)
+        np.bitwise_and(head["y"], np.int64((1 << cut) - 1), out=low)
+        np.multiply(low, head["s"], out=low)
+        total = self._i("bt_total", shape)
+        np.subtract(head["base"], low, out=total)
+        zero_total = self._b("zero_total", shape)
+        np.equal(total, 0, out=zero_total)
+
+        # total < 2^52 converts exactly: exponent field = MSB index + 1023,
+        # fraction field = the normalized mantissa, already truncated when
+        # we keep only its top p bits.
+        ft = self._f("bt_ft", shape)
+        np.copyto(ft, total)
+        fbits = ft.view(np.int64)
+        bits_out = self._i("bt_bits", shape)
+        np.right_shift(fbits, 52 - p, out=bits_out)
+        np.add(bits_out, head["adj"], out=bits_out)
+
+        exp_z = self._i("bt_e", shape)
+        np.right_shift(fbits, 52, out=exp_z)
+        np.add(exp_z, head["expk"], out=exp_z)
+
+        underflow = self._b("underflow", shape)
+        np.less(exp_z, 1, out=underflow)
+        if head["can_over"]:
+            overflow = self._b("overflow", shape)
+            np.greater(exp_z, fmt.max_exponent, out=overflow)
+            if bool(overflow.any()):
+                inf_bits = self._i("inf_bits", shape)
+                np.bitwise_or(head["sign_part"],
+                              np.int64(fmt.exponent_mask) << p, out=inf_bits)
+                np.copyto(bits_out, inf_bits, where=overflow)
+        np.copyto(bits_out, head["sign_part"], where=underflow)
+        # Exact cancellation yields +0 as in IEEE round-to-nearest.
+        np.copyto(bits_out, np.int64(0), where=zero_total)
+        return bits_out.astype(fmt.uint).view(fmt.dtype)
+
+    def _add_batch_tail_int(self, fmt, shape, guard: int, threshold: int,
+                            head: dict) -> np.ndarray:
+        """Per-config fixup with the exact integer normalize (binary64)."""
+        p = fmt.mantissa_bits
+        emask = fmt.exponent_mask
+        cut = p + guard - threshold
+        low = self._i("bt_low", shape)
+        np.bitwise_and(head["y"], np.int64((1 << cut) - 1), out=low)
+        np.multiply(low, head["s"], out=low)
+        total = self._i("bt_total", shape)
+        np.subtract(head["base"], low, out=total)
+        zero_total = self._b("zero_total", shape)
+        np.equal(total, 0, out=zero_total)
+        np.copyto(total, np.int64(1), where=zero_total)
+
+        msb = self._msb_index(total, shape)
+        exp_z = self._i("bt_e", shape)
+        np.add(head["expk"], msb, out=exp_z)
+        norm_shift = msb
+        np.subtract(msb, p + guard, out=norm_shift)
+
+        left = self._i("bt_l", shape)
+        np.negative(norm_shift, out=left)
+        np.maximum(left, 0, out=left)
+        right = norm_shift
+        np.maximum(norm_shift, 0, out=right)
+        np.left_shift(total, left, out=total)
+        np.right_shift(total, right, out=total)
+        np.right_shift(total, guard, out=total)
+        np.bitwise_and(total, fmt.mantissa_mask, out=total)
+
+        overflow = self._b("overflow", shape)
+        np.greater(exp_z, fmt.max_exponent, out=overflow)
+        underflow = self._b("underflow", shape)
+        np.less(exp_z, 1, out=underflow)
+        np.logical_or(underflow, zero_total, out=underflow)
+
+        np.clip(exp_z, 0, emask, out=exp_z)
+        np.left_shift(exp_z, p, out=exp_z)
+        bits_out = exp_z
+        np.bitwise_or(bits_out, head["sign_part"], out=bits_out)
+        np.bitwise_or(bits_out, total, out=bits_out)
+
+        if bool(overflow.any()):
+            inf_bits = self._i("inf_bits", shape)
+            np.bitwise_or(head["sign_part"], np.int64(emask) << p,
+                          out=inf_bits)
+            np.copyto(bits_out, inf_bits, where=overflow)
+        np.copyto(bits_out, head["sign_part"], where=underflow)
+        np.copyto(bits_out, np.int64(0), where=zero_total)
+        return bits_out.astype(fmt.uint).view(fmt.dtype)
+
+    # ------------------------------------------------------------------
     # Table-1 multiplier
     # ------------------------------------------------------------------
+    def _mul_special(self, a, b, exp_a, frac_a, exp_b, frac_b, sign_z, fmt):
+        """Reference NaN/inf/zero (mask, values) for a multiplication.
+
+        Computed on the rare special branch only, so plain allocating NumPy
+        is fine; mirrors the reference's subnormal-flush of the operands
+        feeding :func:`_special_results`.
+        """
+        zero = np.array(0.0, fmt.dtype)
+        a_eff = np.where((exp_a == 0) & (frac_a != 0), zero, a)
+        b_eff = np.where((exp_b == 0) & (frac_b != 0), zero, b)
+        return _special_results(a_eff, b_eff, sign_z, fmt)
+
     def imprecise_multiply(self, a, b, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)
         a, b = self._operands(a, b, fmt)
@@ -304,14 +622,20 @@ class FusedBackend(ComputeBackend):
 
         bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
         bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
-        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
-            # NaN/inf present: take the reference path wholesale (rare).
-            return ComputeBackend.imprecise_multiply(self, a, b, dtype=dtype)
+        has_special = int(exp_a.max()) == emask or int(exp_b.max()) == emask
 
         sign_z = self._i("sign_z", shape)
         np.right_shift(bits_a, ss, out=bits_a)
         np.right_shift(bits_b, ss, out=bits_b)
         np.bitwise_xor(bits_a, bits_b, out=sign_z)
+
+        special = None
+        if has_special:
+            # NaN/inf lanes run the integer datapath harmlessly (their
+            # saturated exponents land in the overflow patch) and are then
+            # overwritten with the reference special results.
+            special = self._mul_special(a, b, exp_a, frac_a, exp_b, frac_b,
+                                        sign_z, fmt)
 
         # Mantissa datapath: 1 + Ma + Mb, halved on carry (LSB truncated).
         frac_sum = frac_a
@@ -357,47 +681,71 @@ class FusedBackend(ComputeBackend):
             np.copyto(bits_out, inf_bits, where=overflow)
         np.copyto(bits_out, sign_part, where=underflow)
         np.copyto(bits_out, sign_part, where=zero_any)
-        return bits_out.astype(fmt.uint).view(fmt.dtype)
+        result = bits_out.astype(fmt.uint).view(fmt.dtype)
+        if special is not None:
+            special_mask, special_vals = special
+            np.copyto(result, special_vals, where=special_mask)
+        return result
 
     # ------------------------------------------------------------------
     # Mitchell (accuracy-configurable) multiplier
     # ------------------------------------------------------------------
-    def configurable_multiply(self, a, b, config: MultiplierConfig,
-                              dtype=np.float32) -> np.ndarray:
-        fmt = format_for_dtype(dtype)
-        if config.truncation > fmt.mantissa_bits:
-            raise ValueError(
-                f"truncation {config.truncation} exceeds the "
-                f"{fmt.mantissa_bits}-bit mantissa of {fmt.name}"
-            )
-        a, b = self._operands(a, b, fmt)
-        shape = a.shape
-        p = fmt.mantissa_bits
+    def _mul_batch_head(self, a, b, fmt, shape) -> dict:
+        """Config-invariant multiplier work: fields, sign, exponent sum."""
         emask = fmt.exponent_mask
         ss = fmt.sign_shift
-
         bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
         bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
-        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
-            return ComputeBackend.configurable_multiply(self, a, b, config,
-                                                        dtype=dtype)
+        has_special = int(exp_a.max()) == emask or int(exp_b.max()) == emask
 
         sign_z = self._i("sign_z", shape)
         np.right_shift(bits_a, ss, out=bits_a)
         np.right_shift(bits_b, ss, out=bits_b)
         np.bitwise_xor(bits_a, bits_b, out=sign_z)
+        special = None
+        if has_special:
+            special = self._mul_special(a, b, exp_a, frac_a, exp_b, frac_b,
+                                        sign_z, fmt)
+        sign_part = self._i("bm_sign", shape)
+        np.left_shift(sign_z, ss, out=sign_part)
 
+        esum = self._i("bm_esum", shape)
+        np.add(exp_a, exp_b, out=esum)
+        np.subtract(esum, np.int64(fmt.bias), out=esum)
+        zero_any = self._b("bm_zero", shape)
+        np.equal(exp_a, 0, out=zero_any)
+        zero_b = self._b("zero_b", shape)
+        np.equal(exp_b, 0, out=zero_b)
+        np.logical_or(zero_any, zero_b, out=zero_any)
+        return {
+            "frac_a": frac_a, "frac_b": frac_b, "esum": esum,
+            "sign_part": sign_part, "zero_any": zero_any, "special": special,
+        }
+
+    def _mitchell_tail(self, fmt, shape, config: MultiplierConfig,
+                       head: dict) -> np.ndarray:
+        """One Mitchell configuration over already-extracted fields."""
+        p = fmt.mantissa_bits
+        emask = fmt.exponent_mask
+        scale = float(fmt.implicit_one)
+        sign_part = head["sign_part"]
+
+        # Operand truncation into per-config scratch: the head's fraction
+        # fields stay pristine for the other configs in the batch.
         if config.truncation:
-            cut = ~((1 << config.truncation) - 1) & fmt.mantissa_mask
-            np.bitwise_and(frac_a, cut, out=frac_a)
-            np.bitwise_and(frac_b, cut, out=frac_b)
+            cut = np.int64(~((1 << config.truncation) - 1) & fmt.mantissa_mask)
+            fa = self._i("bm_fa", shape)
+            np.bitwise_and(head["frac_a"], cut, out=fa)
+            fb = self._i("bm_fb", shape)
+            np.bitwise_and(head["frac_b"], cut, out=fb)
+        else:
+            fa, fb = head["frac_a"], head["frac_b"]
 
         # Exact dyadic mantissa fractions in the float64 datapath.
-        scale = float(fmt.implicit_one)
-        ma = self._f("ma", shape)
-        np.divide(frac_a, scale, out=ma)
-        mb = self._f("mb", shape)
-        np.divide(frac_b, scale, out=mb)
+        ma = self._f("bm_ma", shape)
+        np.divide(fa, scale, out=ma)
+        mb = self._f("bm_mb", shape)
+        np.divide(fb, scale, out=mb)
 
         if config.path == "log":
             # MA of (1+Ma)(1+Mb): both operands are in [1, 2), so the log
@@ -406,52 +754,43 @@ class FusedBackend(ComputeBackend):
             # dyadic float64 values mitchell_mantissa_product computes.
             x_sum = ma
             np.add(ma, mb, out=x_sum)
-            mant_product = self._f("mant_product", shape)
+            mant_product = self._f("bm_mant", shape)
             np.add(x_sum, 1.0, out=mant_product)
             doubled = mb
             np.multiply(x_sum, 2.0, out=doubled)
-            carried = self._b("carried", shape)
+            carried = self._b("bm_carried", shape)
             np.greater_equal(x_sum, 1.0, out=carried)
             np.copyto(mant_product, doubled, where=carried)
         else:
             cross = mitchell_mantissa_product(ma, mb)
-            mant_product = self._f("mant_product", shape)
+            mant_product = self._f("bm_mant", shape)
             np.add(ma, 1.0, out=mant_product)
             np.add(mant_product, mb, out=mant_product)
             np.add(mant_product, cross, out=mant_product)
 
-        carry = self._b("carry", shape)
+        carry = self._b("bm_carry", shape)
         np.greater_equal(mant_product, 2.0, out=carry)
         mant_norm = mant_product
-        halved = self._f("halved_f", shape)
+        halved = self._f("bm_half", shape)
         np.multiply(mant_product, 0.5, out=halved)
         np.copyto(mant_norm, halved, where=carry)
 
         np.subtract(mant_norm, 1.0, out=mant_norm)
         np.multiply(mant_norm, scale, out=mant_norm)
         np.floor(mant_norm, out=mant_norm)
-        frac_z = self._i("frac_z", shape)
+        frac_z = self._i("bm_frz", shape)
         np.copyto(frac_z, mant_norm, casting="unsafe")
         np.clip(frac_z, 0, fmt.mantissa_mask, out=frac_z)
 
-        exp_z = self._i("exp_z", shape)
-        np.add(exp_a, exp_b, out=exp_z)
-        np.subtract(exp_z, fmt.bias, out=exp_z)
-        np.add(exp_z, carry, out=exp_z)
+        exp_z = self._i("bm_e", shape)
+        np.add(head["esum"], carry, out=exp_z)
 
         overflow = self._b("overflow", shape)
         np.greater(exp_z, fmt.max_exponent, out=overflow)
         underflow = self._b("underflow", shape)
         np.less(exp_z, 1, out=underflow)
-        zero_any = self._b("zero_any", shape)
-        np.equal(exp_a, 0, out=zero_any)
-        zero_b = self._b("zero_b", shape)
-        np.equal(exp_b, 0, out=zero_b)
-        np.logical_or(zero_any, zero_b, out=zero_any)
 
         np.clip(exp_z, 0, emask, out=exp_z)
-        sign_part = self._i("sign_part", shape)
-        np.left_shift(sign_z, ss, out=sign_part)
         np.left_shift(exp_z, p, out=exp_z)
         bits_out = exp_z
         np.bitwise_or(bits_out, sign_part, out=bits_out)
@@ -462,34 +801,75 @@ class FusedBackend(ComputeBackend):
             np.bitwise_or(sign_part, np.int64(emask) << p, out=inf_bits)
             np.copyto(bits_out, inf_bits, where=overflow)
         np.copyto(bits_out, sign_part, where=underflow)
-        np.copyto(bits_out, sign_part, where=zero_any)
-        return bits_out.astype(fmt.uint).view(fmt.dtype)
+        np.copyto(bits_out, sign_part, where=head["zero_any"])
+        result = bits_out.astype(fmt.uint).view(fmt.dtype)
+        if head["special"] is not None:
+            special_mask, special_vals = head["special"]
+            np.copyto(result, special_vals, where=special_mask)
+        return result
+
+    def _check_mitchell(self, config: MultiplierConfig, fmt) -> None:
+        if config.truncation > fmt.mantissa_bits:
+            raise ValueError(
+                f"truncation {config.truncation} exceeds the "
+                f"{fmt.mantissa_bits}-bit mantissa of {fmt.name}"
+            )
+
+    def configurable_multiply(self, a, b, config: MultiplierConfig,
+                              dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        self._check_mitchell(config, fmt)
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        head = self._mul_batch_head(a, b, fmt, shape)
+        return self._mitchell_tail(fmt, shape, config, head)
+
+    def configurable_multiply_batch(self, a, b, configs,
+                                    dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        configs = list(configs)
+        if not configs:
+            return []
+        for cfg in configs:
+            self._check_mitchell(cfg, fmt)
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        head = self._mul_batch_head(a, b, fmt, shape)
+        return [self._mitchell_tail(fmt, shape, cfg, head) for cfg in configs]
 
     # ------------------------------------------------------------------
     # bt_N truncation baseline
     # ------------------------------------------------------------------
-    def truncated_multiply(self, a, b, truncation: int = 0, dtype=np.float32,
-                           rounding: bool = True) -> np.ndarray:
-        fmt = format_for_dtype(dtype)
+    def _check_bt(self, truncation: int, fmt) -> None:
         if not 0 <= truncation <= fmt.mantissa_bits:
             raise ValueError(
                 f"truncation must be in [0, {fmt.mantissa_bits}], "
                 f"got {truncation}"
             )
-        a, b = self._operands(a, b, fmt)
-        shape = a.shape
+
+    def _bt_head(self, a, b, fmt, shape) -> dict:
+        """Config-invariant ``bt_N`` work: subnormal-flushed operand bits.
+
+        Per-operand special masks (NaN / inf) are kept so each tail can
+        pass those lanes through the mantissa reduction unreduced — the
+        exact semantics of the reference ``round_mantissa``.  The float64
+        product then runs on full arrays with the same element values the
+        reference sees, which is what keeps NaN payload propagation (an
+        array-shape-sensitive NumPy detail) bit-identical.
+        """
         emask = fmt.exponent_mask
         ss = fmt.sign_shift
-
         bits_a, exp_a, frac_a = self._fields("a", a, fmt, shape)
         bits_b, exp_b, frac_b = self._fields("b", b, fmt, shape)
-        if int(exp_a.max()) == emask or int(exp_b.max()) == emask:
-            return ComputeBackend.truncated_multiply(self, a, b, truncation,
-                                                     dtype=dtype,
-                                                     rounding=rounding)
+        spec_a = spec_b = None
+        if int(exp_a.max()) == emask:
+            spec_a = self._b("bt_spec_a", shape)
+            np.equal(exp_a, emask, out=spec_a)
+        if int(exp_b.max()) == emask:
+            spec_b = self._b("bt_spec_b", shape)
+            np.equal(exp_b, emask, out=spec_b)
 
-        # Operand reduction in the integer domain: flush subnormals to the
-        # signed zero pattern, then round/truncate the mantissa bits.
+        # Flush subnormal operands to the signed zero pattern.
         sign_mask = np.int64(1) << ss
         for bits, exp in ((bits_a, exp_a), (bits_b, exp_b)):
             sub = self._b("sub", shape)
@@ -497,23 +877,65 @@ class FusedBackend(ComputeBackend):
             signed_zero = self._i("signed_zero", shape)
             np.bitwise_and(bits, sign_mask, out=signed_zero)
             np.copyto(bits, signed_zero, where=sub)
-            if truncation:
-                # In the signed-int64 domain ~((1<<t)-1) keeps every high
-                # bit (including the sign bit for binary64 patterns), so no
-                # width clamp is needed.
-                mask = np.int64(~((1 << truncation) - 1))
+        return {"bits_a": bits_a, "bits_b": bits_b,
+                "spec_a": spec_a, "spec_b": spec_b}
+
+    def _bt_tail(self, fmt, shape, truncation: int, rounding: bool,
+                 head: dict) -> np.ndarray:
+        """One ``bt_N`` reduction over already-flushed operand bits."""
+        ra = self._i("btm_a", shape)
+        np.copyto(ra, head["bits_a"])
+        rb = self._i("btm_b", shape)
+        np.copyto(rb, head["bits_b"])
+        if truncation:
+            # In the signed-int64 domain ~((1<<t)-1) keeps every high bit
+            # (including the sign bit for binary64 patterns), so no width
+            # clamp is needed.
+            mask = np.int64(~((1 << truncation) - 1))
+            for bits, spec, orig in ((ra, head["spec_a"], head["bits_a"]),
+                                     (rb, head["spec_b"], head["bits_b"])):
                 if rounding:
                     np.add(bits, np.int64(1 << (truncation - 1)), out=bits)
                 np.bitwise_and(bits, mask, out=bits)
+                if spec is not None:
+                    # NaN / inf operands pass through unreduced, exactly as
+                    # the reference round_mantissa preserves them.
+                    np.copyto(bits, orig, where=spec)
 
         # Exact float64 product of the reduced operands, then result flush.
         fa = self._f("fa", shape)
-        np.copyto(fa, bits_a.astype(fmt.uint).view(fmt.dtype))
+        np.copyto(fa, ra.astype(fmt.uint).view(fmt.dtype))
         fb = self._f("fb", shape)
-        np.copyto(fb, bits_b.astype(fmt.uint).view(fmt.dtype))
+        np.copyto(fb, rb.astype(fmt.uint).view(fmt.dtype))
         np.multiply(fa, fb, out=fa)
         product = fa.astype(fmt.dtype)
         return flush_subnormals(product, fmt)
+
+    def truncated_multiply(self, a, b, truncation: int = 0, dtype=np.float32,
+                           rounding: bool = True) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        self._check_bt(truncation, fmt)
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        head = self._bt_head(a, b, fmt, shape)
+        return self._bt_tail(fmt, shape, truncation, bool(rounding), head)
+
+    def truncated_multiply_batch(self, a, b, truncations, dtype=np.float32,
+                                 rounding=True) -> list:
+        fmt = format_for_dtype(dtype)
+        truncations = list(truncations)
+        roundings = _rounding_flags(rounding, len(truncations))
+        for t in truncations:
+            self._check_bt(t, fmt)
+        if not truncations:
+            return []
+        a, b = self._operands(a, b, fmt)
+        shape = a.shape
+        head = self._bt_head(a, b, fmt, shape)
+        return [
+            self._bt_tail(fmt, shape, t, r, head)
+            for t, r in zip(truncations, roundings)
+        ]
 
     # ------------------------------------------------------------------
     # FMA: fused multiply feeding the fused adder
@@ -529,29 +951,47 @@ class FusedBackend(ComputeBackend):
     def _sfu_fields(self, x, fmt, signed_ok: bool):
         """Decompose an SFU operand; None signals the reference fallback.
 
-        Returns ``(x, shape, exp, frac, negative_mask_or_None)`` for the
-        clean fast path: all operands normal and finite (and non-negative
-        unless ``signed_ok``), so zero / inf / NaN / subnormal / negative
-        special handling can be skipped entirely.
+        Returns ``(exp, frac, negative_or_None, patch_or_None)``.  The
+        fast path runs on every lane; ``patch`` marks the lanes the caller
+        must overwrite from the reference unit (zero / inf / NaN /
+        subnormal, plus negatives unless ``signed_ok``).  Those lanes are
+        neutralized to 1.0 here so the fast path stays warning-free.
+        ``None`` signals the wholesale reference fallback (0-d input, or
+        every lane needs patching anyway).
         """
-        bits = self._i("bits_a", x.shape)
+        if x.ndim == 0:
+            return None
+        shape = x.shape
+        bits = self._i("bits_a", shape)
         np.copyto(bits, x.view(fmt.uint))
-        exp = self._i("exp_a", x.shape)
+        exp = self._i("exp_a", shape)
         np.right_shift(bits, fmt.mantissa_bits, out=exp)
         np.bitwise_and(exp, fmt.exponent_mask, out=exp)
-        if int(exp.max()) == fmt.exponent_mask or int(exp.min()) == 0:
-            return None
-        sign = self._i("sign_a", x.shape)
+        sign = self._i("sign_a", shape)
         np.right_shift(bits, fmt.sign_shift, out=sign)
-        if not signed_ok and bool(sign.any()):
-            return None
-        frac = self._i("frac_a", x.shape)
+        frac = self._i("frac_a", shape)
         np.bitwise_and(bits, fmt.mantissa_mask, out=frac)
+
+        patch = self._b("sfu_patch", shape)
+        np.equal(exp, fmt.exponent_mask, out=patch)
+        sub = self._b("sfu_sub", shape)
+        np.equal(exp, 0, out=sub)
+        np.logical_or(patch, sub, out=patch)
         negative = None
         if signed_ok:
-            negative = self._b("negative", x.shape)
+            negative = self._b("negative", shape)
             np.not_equal(sign, 0, out=negative)
-        return exp, frac, negative
+        else:
+            neg = self._b("negative", shape)
+            np.not_equal(sign, 0, out=neg)
+            np.logical_or(patch, neg, out=patch)
+        if not bool(patch.any()):
+            return exp, frac, negative, None
+        if bool(patch.all()):
+            return None
+        np.copyto(exp, np.int64(fmt.bias), where=patch)
+        np.copyto(frac, np.int64(0), where=patch)
+        return exp, frac, negative, patch
 
     def _mantissa_and_exponent(self, exp, frac, fmt, shape):
         """float64 mantissa 1+M in [1, 2) and unbiased exponent, in scratch."""
@@ -572,7 +1012,7 @@ class FusedBackend(ComputeBackend):
         fields = self._sfu_fields(x, fmt, signed_ok=True)
         if fields is None:
             return ComputeBackend.imprecise_reciprocal(self, x, dtype=dtype)
-        exp, frac, negative = fields
+        exp, frac, negative, patch = fields
         shape = x.shape
         mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
         xr = mant
@@ -590,7 +1030,11 @@ class FusedBackend(ComputeBackend):
         negated = self._f("negated", shape)
         np.negative(approx, out=negated)
         np.copyto(approx, negated, where=negative)
-        return self._quantize(approx, fmt)
+        result = self._quantize(approx, fmt)
+        if patch is not None:
+            result[patch] = ComputeBackend.imprecise_reciprocal(
+                self, x[patch], dtype=dtype)
+        return result
 
     def imprecise_rsqrt(self, x, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)
@@ -598,7 +1042,7 @@ class FusedBackend(ComputeBackend):
         fields = self._sfu_fields(x, fmt, signed_ok=False)
         if fields is None:
             return ComputeBackend.imprecise_rsqrt(self, x, dtype=dtype)
-        exp, frac, _ = fields
+        exp, frac, _, patch = fields
         shape = x.shape
         mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
         xr = mant
@@ -627,7 +1071,11 @@ class FusedBackend(ComputeBackend):
         np.copyto(factor, 1.0)
         np.copyto(factor, _SQRT1_2, where=odd)
         np.multiply(lin, factor, out=lin)
-        return self._quantize(lin, fmt)
+        result = self._quantize(lin, fmt)
+        if patch is not None:
+            result[patch] = ComputeBackend.imprecise_rsqrt(
+                self, x[patch], dtype=dtype)
+        return result
 
     def imprecise_sqrt(self, x, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)
@@ -635,7 +1083,7 @@ class FusedBackend(ComputeBackend):
         fields = self._sfu_fields(x, fmt, signed_ok=False)
         if fields is None:
             return ComputeBackend.imprecise_sqrt(self, x, dtype=dtype)
-        exp, frac, _ = fields
+        exp, frac, _, patch = fields
         shape = x.shape
         mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
         q = self._i("q", shape)
@@ -659,7 +1107,11 @@ class FusedBackend(ComputeBackend):
         np.copyto(scale, q)
         np.exp2(scale, out=scale)
         np.multiply(lin, scale, out=lin)
-        return self._quantize(lin, fmt)
+        result = self._quantize(lin, fmt)
+        if patch is not None:
+            result[patch] = ComputeBackend.imprecise_sqrt(
+                self, x[patch], dtype=dtype)
+        return result
 
     def imprecise_log2(self, x, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)
@@ -667,7 +1119,7 @@ class FusedBackend(ComputeBackend):
         fields = self._sfu_fields(x, fmt, signed_ok=False)
         if fields is None:
             return ComputeBackend.imprecise_log2(self, x, dtype=dtype)
-        exp, frac, _ = fields
+        exp, frac, _, patch = fields
         shape = x.shape
         mant, e = self._mantissa_and_exponent(exp, frac, fmt, shape)
         c0, c1 = LOG2_COEFFS
@@ -677,7 +1129,11 @@ class FusedBackend(ComputeBackend):
         np.copyto(ef, e)
         np.add(ef, approx, out=approx)
         np.add(approx, c0, out=approx)
-        return self._quantize(approx, fmt)
+        result = self._quantize(approx, fmt)
+        if patch is not None:
+            result[patch] = ComputeBackend.imprecise_log2(
+                self, x[patch], dtype=dtype)
+        return result
 
     def imprecise_divide(self, a, b, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)

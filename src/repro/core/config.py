@@ -17,7 +17,15 @@ from .adder import DEFAULT_THRESHOLD
 from .backends import backend_names
 from .configurable import MultiplierConfig
 
-__all__ = ["IHWConfig", "UNIT_NAMES", "MULTIPLIER_MODES", "SFU_MODES"]
+__all__ = [
+    "IHWConfig",
+    "UNIT_NAMES",
+    "MULTIPLIER_MODES",
+    "SFU_MODES",
+    "batch_signature",
+    "batch_compatible",
+    "batch_groups",
+]
 
 #: Individually switchable imprecise units.
 UNIT_NAMES = ("add", "mul", "div", "rcp", "rsqrt", "sqrt", "log2", "fma")
@@ -197,6 +205,22 @@ class IHWConfig:
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
+    def batch_signature(self) -> tuple:
+        """Hashable identity of everything a batched evaluation must share.
+
+        Configurations with equal signatures differ only in the *structural
+        parameters* the batched backend entry points vary per lane — the
+        adder threshold and the multiplier's path/truncation/rounding — so
+        one operand decomposition can serve all of them.  The unit switches,
+        SFU mode, and multiplier mode select *which* datapath runs and must
+        match across a batch.
+        """
+        return (
+            tuple(sorted(self.enabled)),
+            self.multiplier_mode,
+            self.sfu_mode,
+        )
+
     def describe(self) -> str:
         """Human-readable summary, e.g. for experiment logs."""
         if not self.enabled:
@@ -218,3 +242,37 @@ class IHWConfig:
         if self.backend is not None:
             parts.append(f"backend={self.backend}")
         return " ".join(parts)
+
+
+def batch_signature(config: IHWConfig) -> tuple:
+    """Module-level alias of :meth:`IHWConfig.batch_signature`."""
+    return config.batch_signature()
+
+
+def batch_compatible(configs) -> bool:
+    """Whether every configuration can share one batched evaluation.
+
+    True iff all configurations agree on :meth:`IHWConfig.batch_signature`
+    (enabled units, multiplier mode, SFU mode); an empty sequence is not
+    batchable.  The remaining knobs — adder threshold, Mitchell path and
+    truncation, ``bt_N`` truncation and rounding — vary freely per lane.
+    """
+    configs = list(configs)
+    if not configs:
+        return False
+    first = configs[0].batch_signature()
+    return all(c.batch_signature() == first for c in configs[1:])
+
+
+def batch_groups(named_configs: dict) -> list:
+    """Partition ``{name: config}`` into batch-compatible groups.
+
+    Returns a list of dicts, each a maximal batch-compatible subset, with
+    both group order and within-group order following first appearance in
+    ``named_configs`` — so regrouping never reorders results presented to
+    the user.
+    """
+    groups: dict = {}
+    for name, cfg in named_configs.items():
+        groups.setdefault(cfg.batch_signature(), {})[name] = cfg
+    return list(groups.values())

@@ -145,7 +145,8 @@ class PowerQualityFramework:
             output=result.output,
         )
 
-    def evaluate_many(self, configs: dict, runner=None) -> dict:
+    def evaluate_many(self, configs: dict, runner=None,
+                      batch: bool = True) -> dict:
         """Evaluate a named set of configurations (insertion-ordered).
 
         With ``runner=None`` every configuration is evaluated here,
@@ -153,6 +154,11 @@ class PowerQualityFramework:
         routes the sweep through the shared parallel + cached execution
         path; that requires the framework to have been built from a spec
         (:meth:`from_spec`), since closures cannot cross processes.
+
+        ``batch`` (default on) lets the runner group batch-compatible
+        configurations (same enabled units, multiplier mode, SFU mode)
+        into homogeneous chunks — a pure scheduling choice: results,
+        cache entries, and resume behavior are identical either way.
         """
         if runner is None:
             return {name: self.evaluate(cfg) for name, cfg in configs.items()}
@@ -161,11 +167,11 @@ class PowerQualityFramework:
                 "parallel evaluation needs a spec-built framework; "
                 "construct it with PowerQualityFramework.from_spec(...)"
             )
-        return runner.sweep(self.spec, configs)
+        return runner.sweep(self.spec, configs, batch=batch)
 
-    def sweep(self, configs: dict, runner=None) -> dict:
+    def sweep(self, configs: dict, runner=None, batch: bool = True) -> dict:
         """Alias of :meth:`evaluate_many` (the historical name)."""
-        return self.evaluate_many(configs, runner=runner)
+        return self.evaluate_many(configs, runner=runner, batch=batch)
 
     def quality_evaluator(self) -> Callable:
         """An ``evaluate(config) -> quality`` closure for the tuning loop."""

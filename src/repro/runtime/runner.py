@@ -128,6 +128,25 @@ def _error_summary(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+def _reclaim_scratch() -> int:
+    """Record and release backend scratch pools between tasks.
+
+    A batched backend call grows its :class:`ScratchPool` to the batch's
+    peak working set; invoked by the runner between chunks (and by the
+    sweep epilogue), this publishes the high-water mark as the
+    ``repro_backend_scratch_bytes`` gauge and returns the pinned buffers
+    to the allocator so one large batch cannot pin peak memory for the
+    rest of a sweep.  Cheap no-op when nothing is held.
+    """
+    from repro.core import backends
+
+    held = backends.scratch_nbytes()
+    if held:
+        telemetry.gauge_set("repro_backend_scratch_bytes", held, agg="max")
+        backends.release_all_scratch()
+    return held
+
+
 def _evaluate_chunk(spec, tasks):
     """Worker task: evaluate a chunk with per-task fault isolation.
 
@@ -148,7 +167,27 @@ def _evaluate_chunk(spec, tasks):
             rows.append(("ok", name, _evaluate_spec(spec, config)))
         except Exception as exc:
             rows.append(("err", name, _error_summary(exc)))
+    _reclaim_scratch()
     return rows, telemetry.drain_worker()
+
+
+def _evaluate_batch_chunk(spec, tasks):
+    """Worker task for the batched sweep path: one compatible group.
+
+    Same row protocol, fault isolation, and per-task semantics as
+    :func:`_evaluate_chunk` — each configuration still lands its own
+    result row under its own cache key, so cache/resume/retry bookkeeping
+    is byte-identical to the unbatched path.  The difference is upstream:
+    the parent only forms these chunks from configurations sharing a
+    batch signature (:meth:`~repro.core.config.IHWConfig.batch_signature`),
+    so a group traverses one datapath shape back-to-back (hot framework
+    memo and reference run, one scratch reclamation per group), and
+    shared-operand consumers inside the evaluation can rely on
+    :class:`~repro.core.ContextBatch` compatibility across the chunk.
+    Failed rows are retried solo by the parent (retries never share a
+    chunk), which is exactly "split the batch into singles".
+    """
+    return _evaluate_chunk(spec, tasks)
 
 
 def _call_chunk(func, tasks):
@@ -262,7 +301,8 @@ class ExperimentRunner:
             self.cache.put(spec, config, evaluation, seconds)
         return evaluation
 
-    def sweep(self, spec, configs, resume: bool = False) -> dict:
+    def sweep(self, spec, configs, resume: bool = False,
+              batch: bool = True) -> dict:
         """Evaluate ``{name: IHWConfig}`` and return ``{name: Evaluation}``.
 
         Insertion order is preserved; ``self.stats`` afterwards describes
@@ -274,6 +314,15 @@ class ExperimentRunner:
         (:class:`TaskFailedError`) the manifest still records every
         completed configuration, so the next ``resume=True`` run picks up
         where this one stopped.
+
+        With ``batch=True`` (the default) cache misses are grouped by
+        :meth:`~repro.core.config.IHWConfig.batch_signature` and each
+        dispatched chunk stays inside one batch-compatible group
+        (:func:`_evaluate_batch_chunk`).  Batching never changes what is
+        computed — every configuration keeps its own result, cache entry,
+        manifest mark, and retry budget, and results are bit-identical to
+        ``batch=False`` — it only changes how misses are scheduled, plus
+        scratch-pool reclamation between groups.
         """
         wall_start = time.perf_counter()
         injector = faults.active()
@@ -326,12 +375,33 @@ class ExperimentRunner:
                             events["resumed_skipped"] += 1
                     else:
                         misses.append(_PendingTask(name, name, config))
+                chunk_key = None
+                worker = _evaluate_chunk
+                if batch and misses:
+                    # Group-ordered dispatch: misses sharing a batch
+                    # signature run back-to-back and never split across a
+                    # chunk boundary with an incompatible configuration.
+                    # The backend-exempt fallback retry (with_backend)
+                    # preserves the signature, and retries dispatch solo
+                    # anyway, so the key stays stable for a task's life.
+                    groups: dict = {}
+                    for task in misses:
+                        key = task.payload.batch_signature()
+                        groups.setdefault(key, []).append(task)
+                    misses = [t for group in groups.values() for t in group]
+                    chunk_key = lambda task: task.payload.batch_signature()
+                    worker = _evaluate_batch_chunk
+                    if len(groups) > 1:
+                        events["notes"].append(
+                            f"batched {len(misses)} misses into "
+                            f"{len(groups)} compatible groups"
+                        )
                 chunk_size = self._chunk_size_for(len(misses))
                 self._execute(
                     tasks=misses,
                     chunk_size=chunk_size,
                     call_factory=lambda chunk: (
-                        _evaluate_chunk,
+                        worker,
                         spec,
                         tuple((t.key, t.payload, t.attempt) for t in chunk),
                     ),
@@ -342,8 +412,10 @@ class ExperimentRunner:
                     deliver=deliver,
                     events=events,
                     parent_span_id=sweep_span["id"] if sweep_span else None,
+                    chunk_key=chunk_key,
                 )
         finally:
+            _reclaim_scratch()
             if manifest is not None:
                 manifest.flush()
             self.stats = self._build_stats(
@@ -430,7 +502,8 @@ class ExperimentRunner:
     # Fault-tolerant execution engine
     # ------------------------------------------------------------------
     def _execute(self, tasks, chunk_size, call_factory, inline_call,
-                 prepare_retry, deliver, events, parent_span_id=None):
+                 prepare_retry, deliver, events, parent_span_id=None,
+                 chunk_key=None):
         """Drive every task to completion (or exhaust its retries).
 
         Tasks flow: queue -> dispatched chunk -> delivered, with failures
@@ -438,6 +511,11 @@ class ExperimentRunner:
         spent.  ``max_workers == 1`` — or degradation after repeated pool
         losses — drains the queue through ``inline_call`` instead: the
         bit-identical sequential path.
+
+        ``chunk_key`` (optional, ``task -> hashable``) constrains chunk
+        formation: a chunk never mixes tasks with different keys.  The
+        batched sweep path uses it to keep every dispatched chunk inside
+        one batch-compatible configuration group.
         """
         policy = self.policy
         queue = deque(tasks)
@@ -471,6 +549,8 @@ class ExperimentRunner:
                     while (
                         len(chunk) < chunk_size and queue
                         and chunk[0].attempt == 0 and queue[0].attempt == 0
+                        and (chunk_key is None
+                             or chunk_key(queue[0]) == chunk_key(chunk[0]))
                     ):
                         chunk.append(queue.popleft())
                     future = pool.submit(*call_factory(chunk))

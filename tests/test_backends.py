@@ -269,12 +269,24 @@ class TestBench:
         payload = run_benchmarks(size=2048, repeats=1,
                                  backends=("reference", "fused"),
                                  parity_samples=512)
-        assert payload["schema"] == "repro-bench-core/1"
+        assert payload["schema"] == "repro-bench-core/2"
         assert payload["machine"]["numpy"]
         assert payload["backends"]["fused"]["parity_ok"] is True
         for op in ("add", "mul", "fma", "rcp", "sqrt"):
             assert payload["backends"]["reference"]["ops"][op]["seconds"] > 0
             assert "speedup_vs_reference" in payload["backends"]["fused"]["ops"][op]
+        batch = payload["batch"]
+        assert batch["parity_ok"] is True
+        assert batch["n_configs"] >= 8
+        for op in ("add", "fma", "mul_mitchell", "mul_truncated"):
+            assert batch["sweeps"][op]["batch_seconds"] > 0
+        assert batch["threshold_sweep"]["per_config_seconds"] > 0
+
+    def test_run_benchmarks_no_batch(self):
+        payload = run_benchmarks(size=2048, repeats=1,
+                                 backends=("reference",),
+                                 parity_samples=256, batch=False)
+        assert "batch" not in payload
 
     def test_run_benchmarks_rejects_unknown(self):
         with pytest.raises(ValueError, match="turbo"):
@@ -304,11 +316,16 @@ class TestBench:
         """The committed BENCH_core.json must match this tree's schema."""
         path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-core/1"
+        assert payload["schema"] == "repro-bench-core/2"
         fused = payload["backends"]["fused"]
         assert fused["parity_ok"] is True
         assert fused["ops"]["add"]["speedup_vs_reference"] >= 2.0
         assert fused["ops"]["mul"]["speedup_vs_reference"] >= 2.0
+        # Results may only be committed with the batched parity gate green.
+        batch = payload["batch"]
+        assert batch["parity_ok"] is True
+        assert batch["n_configs"] >= 8
+        assert batch["threshold_sweep"]["speedup"] > 1.0
 
 
 # ----------------------------------------------------------------------
