@@ -1,0 +1,128 @@
+"""Sweep service smoke: real ``repro serve`` + ``repro call`` round trip.
+
+Exercises the shipped CLI surface end to end the way an operator would:
+start a service subprocess on an ephemeral port, query it cold (computed
+through the work queue) and warm (served from the content-addressed
+cache), check the Prometheus cache-hit counters, and gate the warm-hit
+overhead: the p50 warm HTTP round trip must sit within 10 ms of a
+direct in-process cache read of the same entry.  Numbers land in
+``BENCH_service.json`` so successive PRs can track the serving overhead.
+"""
+
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import time
+
+from repro.core import IHWConfig
+from repro.runtime import ExperimentSpec, ResultCache
+from repro.service import ServiceClient
+
+from report import emit, format_row, write_bench_json
+
+SPEC = ExperimentSpec.create("hotspot", metric="mae",
+                             rows=8, cols=8, iterations=2)
+CALL_ARGS = ["hotspot", "--configs", "precise|all",
+             "--rows", "8", "--iterations", "2"]
+CONFIGS = {"precise": IHWConfig.precise(), "all": IHWConfig.all_imprecise()}
+WARM_GATE_SECONDS = 0.010  # p50 warm HTTP overhead over a direct read
+
+
+def _repro(*argv, env=None, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=timeout,
+        env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+    )
+
+
+def _start_server(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_TELEMETRY"] = "metrics"
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--cache-dir", str(cache_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"serve did not announce a URL: {line!r}")
+    return process, match.group(1)
+
+
+def test_service_smoke(tmp_path):
+    cache_dir = tmp_path / "cache"
+    process, url = _start_server(cache_dir)
+    env = dict(os.environ, PYTHONPATH="src")
+    try:
+        # Cold: both configurations computed through the queue.
+        cold_json = tmp_path / "cold.json"
+        cold = _repro("call", *CALL_ARGS, "--url", url,
+                      "--json", str(cold_json), env=env)
+        assert cold.returncode == 0, cold.stderr
+        cold_doc = json.loads(cold_json.read_text())
+        assert cold_doc["served"] == {"hits": 0, "misses": 2, "errors": 0}
+
+        # Warm: identical query, entirely cache-served, p50 over repeats.
+        warm_json = tmp_path / "warm.json"
+        warm = _repro("call", *CALL_ARGS, "--url", url,
+                      "--repeats", "9", "--json", str(warm_json), env=env)
+        assert warm.returncode == 0, warm.stderr
+        warm_doc = json.loads(warm_json.read_text())
+        assert warm_doc["served"] == {"hits": 2, "misses": 0, "errors": 0}
+        assert warm_doc["results"] == cold_doc["results"]
+        warm_p50 = warm_doc["latency_p50_seconds"]
+
+        # The server accounted the hits in its Prometheus surface.
+        metrics = ServiceClient(url).metricsz()
+        hit_line = next(
+            line for line in metrics.splitlines()
+            if line.startswith("repro_service_cache_outcomes_total")
+            and 'outcome="hit"' in line
+        )
+        assert float(hit_line.rsplit(" ", 1)[1]) >= 18  # 9 repeats x 2
+
+        # Direct read baseline: the same entries straight off disk.
+        cache = ResultCache(cache_dir)
+        direct = []
+        for _ in range(9):
+            start = time.perf_counter()
+            for config in CONFIGS.values():
+                assert cache.document(SPEC, config) is not None
+            direct.append(time.perf_counter() - start)
+        direct_p50 = statistics.median(direct)
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+    overhead = warm_p50 - direct_p50
+    payload = {
+        "warm_call_p50_s": round(warm_p50, 5),
+        "direct_read_p50_s": round(direct_p50, 5),
+        "serving_overhead_p50_s": round(overhead, 5),
+        "gate_s": WARM_GATE_SECONDS,
+    }
+    path = write_bench_json("service", payload)
+    emit("Service: warm-hit serving overhead (2-config HotSpot call)", [
+        format_row("path", "p50 ms", widths=[26, 10]),
+        format_row("direct cache read", f"{direct_p50 * 1e3:.2f}",
+                   widths=[26, 10]),
+        format_row("warm HTTP call", f"{warm_p50 * 1e3:.2f}",
+                   widths=[26, 10]),
+        f"overhead: {overhead * 1e3:.2f} ms "
+        f"(gate: {WARM_GATE_SECONDS * 1e3:.0f} ms)",
+        f"written: {path}",
+    ])
+
+    assert overhead < WARM_GATE_SECONDS, (
+        f"warm-hit p50 {warm_p50 * 1e3:.2f} ms exceeds direct read "
+        f"{direct_p50 * 1e3:.2f} ms by more than "
+        f"{WARM_GATE_SECONDS * 1e3:.0f} ms"
+    )

@@ -48,6 +48,8 @@ DEFAULT_LAYER_RULES = {
     "framework": frozenset({"core", "gpu", "hardware", "telemetry"}),
     "faults": frozenset({"telemetry"}),
     "runtime": frozenset({"core", "gpu", "telemetry", "faults"}),
+    "service": frozenset({"core", "runtime", "framework", "telemetry",
+                          "faults", "gpu"}),
 }
 
 

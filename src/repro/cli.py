@@ -32,25 +32,9 @@ _CONFIG_ALIASES = ("all", "precise")
 
 
 def _parse_config(spec: str, threshold: int, multiplier: str | None, sfu_mode: str):
-    from repro.core import IHWConfig
+    from repro.core import parse_config_spec
 
-    if spec == "all":
-        config = IHWConfig.all_imprecise(adder_threshold=threshold)
-    elif spec == "precise":
-        config = IHWConfig.precise()
-    else:
-        units = tuple(u.strip() for u in spec.split(",") if u.strip())
-        config = IHWConfig.units(*units, adder_threshold=threshold)
-    if multiplier:
-        if multiplier.startswith("bt_"):
-            config = config.with_multiplier(
-                "truncated", truncation=int(multiplier[3:])
-            )
-        else:
-            config = config.with_multiplier("mitchell", config=multiplier)
-    if sfu_mode != "linear":
-        config = config.with_sfu_mode(sfu_mode)
-    return config
+    return parse_config_spec(spec, threshold, multiplier, sfu_mode)
 
 
 def _app_registry():
@@ -284,29 +268,9 @@ _SWEEP_APPS = {
 
 
 def _sweep_family(family: str, threshold: int):
-    from repro.core import IHWConfig, UNIT_NAMES
+    from repro.core import config_family
 
-    if family == "units":
-        configs = {"precise": IHWConfig.precise()}
-        configs.update(
-            {u: IHWConfig.units(u, adder_threshold=threshold) for u in UNIT_NAMES}
-        )
-        configs["all"] = IHWConfig.all_imprecise(adder_threshold=threshold)
-        return configs
-    if family == "threshold":
-        return {
-            f"th{th}": IHWConfig.all_imprecise(adder_threshold=th)
-            for th in (2, 4, 6, 8, 10, 12)
-        }
-    if family == "multiplier":
-        base = IHWConfig.units("mul")
-        configs = {}
-        for name in ("fp_tr0", "fp_tr8", "fp_tr16", "lp_tr0", "lp_tr8", "lp_tr16"):
-            configs[name] = base.with_multiplier("mitchell", config=name)
-        for tr in (8, 16):
-            configs[f"bt_{tr}"] = base.with_multiplier("truncated", truncation=tr)
-        return configs
-    raise ValueError(f"unknown family {family!r}")
+    return config_family(family, threshold)
 
 
 def cmd_sweep(args, out) -> int:
@@ -393,6 +357,13 @@ def cmd_sweep(args, out) -> int:
             print(f"  {field:24s} {doc[field]}", file=out)
         for note in doc["notes"]:
             print(f"  note: {note}", file=out)
+        if doc["signature_groups"]:
+            # Same per-group ledger the sweep service's /queuez reports.
+            print(f"  {'signature group':40s} {'hits':>5s} {'misses':>7s}",
+                  file=out)
+            for group, counts in sorted(doc["signature_groups"].items()):
+                print(f"  {group:40s} {counts['hits']:5d} "
+                      f"{counts['misses']:7d}", file=out)
         print(f"  {'task':24s} {'seconds':>9s} source", file=out)
         for task in doc["tasks"]:
             source = "cache" if task["cached"] else "run"
@@ -439,6 +410,104 @@ def cmd_sweep(args, out) -> int:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"results written to {args.json}", file=out)
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    """Run a sweep-service instance (docs/SERVICE.md)."""
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        remote_cache=args.remote_cache,
+        max_pending=args.max_pending,
+        max_configs=args.max_configs,
+        queue_workers=args.queue_workers,
+        runner_workers=args.runner_workers,
+        batch_limit=args.batch_limit,
+        retry_after=args.retry_after,
+    )
+    return run_server(config, out=out)
+
+
+def cmd_call(args, out) -> int:
+    """Query a sweep-service instance (client side of ``repro serve``)."""
+    import json as _json
+    import time as _time
+
+    from repro.service import ServiceClient, ServiceError
+
+    if args.app not in _SWEEP_APPS:
+        print(f"unknown app {args.app!r}; expected one of {sorted(_SWEEP_APPS)}",
+              file=sys.stderr)
+        return 2
+    metric, params_for = _SWEEP_APPS[args.app]
+    kwargs: dict = {
+        "params": params_for(args),
+        "metric": metric,
+        "threshold": args.threshold,
+    }
+    if args.configs:
+        kwargs["config_specs"] = {
+            part.strip(): part.strip()
+            for part in args.configs.split("|") if part.strip()
+        }
+    else:
+        kwargs["family"] = args.family
+    if args.quality_target is not None:
+        kwargs["quality_target"] = args.quality_target
+
+    client = ServiceClient(args.url, timeout=args.timeout,
+                           retries=args.retries)
+    try:
+        if args.stream:
+            for line in client.sweep_stream(args.app, **kwargs):
+                print(_json.dumps(line, sort_keys=True), file=out)
+            return 0
+        latencies = []
+        response = None
+        for _ in range(max(1, args.repeats)):
+            start = _time.perf_counter()
+            response = client.sweep(args.app, **kwargs)
+            latencies.append(_time.perf_counter() - start)
+    except ServiceError as exc:
+        print(f"service call failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"{'config':24s} {'quality':>10s} {'holistic':>9s} {'arith':>9s}",
+          file=out)
+    for name, doc in response["results"].items():
+        if "error" in doc:
+            print(f"{name:24s} ERROR: {doc['error']}", file=out)
+            continue
+        savings = doc["savings"]
+        print(f"{name:24s} {doc['quality']:10.5g} "
+              f"{savings['system_savings']:9.2%} "
+              f"{savings['arithmetic_savings']:9.2%}", file=out)
+    served = response["served"]
+    print(f"\nserved: {served['hits']} hit / {served['misses']} miss"
+          + (f" / {served['errors']} error" if served["errors"] else ""),
+          file=out)
+    if "target_met" in response:
+        met = [n for n, ok in response["target_met"].items() if ok]
+        print(f"quality target met by: {', '.join(met) if met else '(none)'}",
+              file=out)
+    if len(latencies) > 1:
+        p50 = sorted(latencies)[len(latencies) // 2]
+        print(f"latency p50 over {len(latencies)} calls: {p50 * 1e3:.2f} ms",
+              file=out)
+    if args.json:
+        payload = dict(response)
+        if len(latencies) > 1:
+            payload["latency_p50_seconds"] = sorted(latencies)[
+                len(latencies) // 2
+            ]
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"response written to {args.json}", file=out)
     return 0
 
 
@@ -729,6 +798,62 @@ def build_parser() -> argparse.ArgumentParser:
                         "compatible configurations back-to-back)")
 
     p = sub.add_parser(
+        "serve", help="serve power-quality tradeoff queries over HTTP"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 = ephemeral; default 8642)")
+    p.add_argument("--cache-dir", default=".repro_cache",
+                   help="local result-cache directory")
+    p.add_argument("--remote-cache", default=None,
+                   help="base URL of a peer instance to use as the shared "
+                        "cache backend (e.g. http://hostA:8642)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="work-queue bound; beyond it requests get 429 + "
+                        "Retry-After")
+    p.add_argument("--max-configs", type=int, default=64,
+                   help="per-request configuration bound (413 above)")
+    p.add_argument("--queue-workers", type=int, default=1,
+                   help="queue worker threads draining misses")
+    p.add_argument("--runner-workers", type=int, default=1,
+                   help="process count per queue worker's runner "
+                        "(1 = inline, deterministic)")
+    p.add_argument("--batch-limit", type=int, default=16,
+                   help="most same-experiment items one runner call batches")
+    p.add_argument("--retry-after", type=float, default=2.0,
+                   help="Retry-After hint (seconds) on 429 responses")
+
+    p = sub.add_parser(
+        "call", help="query a running sweep service (client of 'serve')"
+    )
+    p.add_argument("app", help="hotspot | srad | raytracing | cp")
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="service base URL")
+    p.add_argument("--family", default="units",
+                   choices=("units", "threshold", "multiplier"),
+                   help="preset configuration family")
+    p.add_argument("--configs", default=None,
+                   help="pipe-separated config specs (e.g. 'all|precise') "
+                        "overriding --family")
+    p.add_argument("--threshold", type=int, default=8, help="adder TH")
+    p.add_argument("--rows", type=int, default=48, help="grid rows (hotspot/srad)")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--size", type=int, default=48, help="image/grid size (ray/cp)")
+    p.add_argument("--quality-target", type=float, default=None,
+                   help="report which configurations meet this quality")
+    p.add_argument("--stream", action="store_true",
+                   help="print NDJSON progress lines as results complete")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-request socket timeout (seconds)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="client retries through 429s and torn connections")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="repeat the call N times and report p50 latency "
+                        "(warm-path probe)")
+    p.add_argument("--json", default=None,
+                   help="also write the response document to a JSON file")
+
+    p = sub.add_parser(
         "metrics", help="print the persisted telemetry metrics snapshot"
     )
     p.add_argument("--dir", default=None,
@@ -797,6 +922,8 @@ _COMMANDS = {
     "stalls": cmd_stalls,
     "sweep-app": cmd_sweep_app,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "call": cmd_call,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": cmd_lint,
@@ -805,7 +932,8 @@ _COMMANDS = {
 }
 
 #: Commands that run no experiments — never flush telemetry of their own.
-_VIEWER_COMMANDS = ("metrics", "trace", "lint", "bench")
+#: ``call`` belongs here: the experiments run (and flush) server-side.
+_VIEWER_COMMANDS = ("metrics", "trace", "lint", "bench", "call")
 
 
 def main(argv=None, out=None) -> int:

@@ -16,6 +16,7 @@ from .backends import (
 )
 from .backends.base import ComputeBackend
 from .config import (
+    CONFIG_FAMILIES,
     IHWConfig,
     MULTIPLIER_MODES,
     SFU_MODES,
@@ -23,6 +24,8 @@ from .config import (
     batch_compatible,
     batch_groups,
     batch_signature,
+    config_family,
+    parse_config_spec,
 )
 from .configurable import (
     FULL_PATH_MAX_ERROR,
@@ -80,6 +83,9 @@ __all__ = [
     "batch_compatible",
     "batch_groups",
     "batch_signature",
+    "CONFIG_FAMILIES",
+    "config_family",
+    "parse_config_spec",
     "BINARY16",
     "BINARY32",
     "BINARY64",

@@ -25,7 +25,14 @@ __all__ = [
     "batch_signature",
     "batch_compatible",
     "batch_groups",
+    "parse_config_spec",
+    "config_family",
+    "CONFIG_FAMILIES",
 ]
+
+#: Families :func:`config_family` can expand (the ``repro sweep``
+#: ``--family`` choices and the sweep-service grid names).
+CONFIG_FAMILIES = ("units", "threshold", "multiplier")
 
 #: Individually switchable imprecise units.
 UNIT_NAMES = ("add", "mul", "div", "rcp", "rsqrt", "sqrt", "log2", "fma")
@@ -130,6 +137,38 @@ class IHWConfig:
     def units(cls, *names: str, **kwargs) -> "IHWConfig":
         """Enable just the named units, e.g. ``IHWConfig.units("rcp", "add", "sqrt")``."""
         return cls(enabled=frozenset(names), **kwargs)
+
+    @classmethod
+    def from_canonical(cls, doc: dict) -> "IHWConfig":
+        """Reconstruct a configuration from its :meth:`canonical` document.
+
+        The inverse of :meth:`canonical` — round-trips exactly, including
+        the cache key — used wherever configurations cross a serialization
+        boundary (cached entry documents, sweep-service requests).  Raises
+        :class:`ValueError`/:class:`KeyError`/:class:`TypeError` on
+        malformed documents; callers at trust boundaries should catch all
+        three.
+        """
+        known = {
+            "enabled", "adder_threshold", "multiplier_mode",
+            "multiplier_path", "multiplier_path_truncation",
+            "multiplier_bt_truncation", "multiplier_bt_rounding", "sfu_mode",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        return cls(
+            enabled=frozenset(doc.get("enabled", ())),
+            adder_threshold=int(doc.get("adder_threshold", DEFAULT_THRESHOLD)),
+            multiplier_mode=doc.get("multiplier_mode", "table1"),
+            multiplier_config=MultiplierConfig(
+                path=doc.get("multiplier_path", "full"),
+                truncation=int(doc.get("multiplier_path_truncation", 0)),
+            ),
+            multiplier_truncation=int(doc.get("multiplier_bt_truncation", 0)),
+            multiplier_bt_rounding=bool(doc.get("multiplier_bt_rounding", False)),
+            sfu_mode=doc.get("sfu_mode", "linear"),
+        )
 
     # ------------------------------------------------------------------
     # Queries and functional updates
@@ -262,6 +301,72 @@ def batch_compatible(configs) -> bool:
         return False
     first = configs[0].batch_signature()
     return all(c.batch_signature() == first for c in configs[1:])
+
+
+def parse_config_spec(spec: str, threshold: int = DEFAULT_THRESHOLD,
+                      multiplier: str | None = None,
+                      sfu_mode: str = "linear") -> IHWConfig:
+    """Build a configuration from the CLI/service shorthand.
+
+    ``spec`` is ``"all"``, ``"precise"``, or a comma-separated unit list
+    (``"add,mul"``); ``multiplier`` optionally selects ``bt_N`` (truncated)
+    or a Mitchell configuration name such as ``"lp_tr8"``.  Shared by
+    ``repro run``/``repro sweep``/``repro call`` and the sweep-service
+    request parser, so every surface accepts the same vocabulary.
+    """
+    if spec == "all":
+        config = IHWConfig.all_imprecise(adder_threshold=threshold)
+    elif spec == "precise":
+        config = IHWConfig.precise()
+    else:
+        units = tuple(u.strip() for u in spec.split(",") if u.strip())
+        config = IHWConfig.units(*units, adder_threshold=threshold)
+    if multiplier:
+        if multiplier.startswith("bt_"):
+            config = config.with_multiplier(
+                "truncated", truncation=int(multiplier[3:])
+            )
+        else:
+            config = config.with_multiplier("mitchell", config=multiplier)
+    if sfu_mode != "linear":
+        config = config.with_sfu_mode(sfu_mode)
+    return config
+
+
+def config_family(family: str, threshold: int = DEFAULT_THRESHOLD) -> dict:
+    """Expand a named sweep family into ``{name: IHWConfig}``.
+
+    Families (see :data:`CONFIG_FAMILIES`): ``units`` (precise + each unit
+    solo + all), ``threshold`` (all-imprecise across TH), ``multiplier``
+    (Mitchell paths/truncations + ``bt_N`` baselines).  Used by ``repro
+    sweep --family`` and sweep-service grid requests.
+    """
+    if family == "units":
+        configs = {"precise": IHWConfig.precise()}
+        configs.update(
+            {u: IHWConfig.units(u, adder_threshold=threshold)
+             for u in UNIT_NAMES}
+        )
+        configs["all"] = IHWConfig.all_imprecise(adder_threshold=threshold)
+        return configs
+    if family == "threshold":
+        return {
+            f"th{th}": IHWConfig.all_imprecise(adder_threshold=th)
+            for th in (2, 4, 6, 8, 10, 12)
+        }
+    if family == "multiplier":
+        base = IHWConfig.units("mul")
+        configs = {}
+        for name in ("fp_tr0", "fp_tr8", "fp_tr16",
+                     "lp_tr0", "lp_tr8", "lp_tr16"):
+            configs[name] = base.with_multiplier("mitchell", config=name)
+        for tr in (8, 16):
+            configs[f"bt_{tr}"] = base.with_multiplier("truncated",
+                                                       truncation=tr)
+        return configs
+    raise ValueError(
+        f"unknown family {family!r}; expected one of {CONFIG_FAMILIES}"
+    )
 
 
 def batch_groups(named_configs: dict) -> list:

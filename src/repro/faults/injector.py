@@ -13,7 +13,8 @@ Grammar (clauses separated by ``;``)::
     clause  = "seed=" INT                 # global pseudo-randomness seed
             | KIND [":" param ("," param)*]
     KIND    = "crash" | "hang" | "transient" | "flaky-backend"
-            | "corrupt-cache"
+            | "corrupt-cache" | "slow-response" | "dropped-connection"
+            | "queue-full"
     param   = "match=" SUBSTR             # fire only for task keys
                                           # containing SUBSTR (default: all)
             | "times=" INT                # fire on the first N attempts of
@@ -40,6 +41,21 @@ Fault kinds and the recovery path each one proves:
 ``corrupt-cache``
     truncates the just-written cache entry → the next read detects the
     damage, quarantines the entry, and recomputes.
+``slow-response``
+    the sweep service delays a response by ``seconds`` → clients observe
+    latency but identical bytes (timeout handling is the client's job).
+``dropped-connection``
+    the sweep service closes the socket mid-response → the client
+    retries with an incremented attempt counter and recovers.
+``queue-full``
+    the sweep service reports 429 + ``Retry-After`` as if the work queue
+    were at capacity → the client backs off and retries.
+
+The three service kinds guard the HTTP boundary (``repro.service``), not
+worker processes; their ``key`` is the request path, and the attempt axis
+is the client's retry counter (``X-Repro-Attempt``), so ``times=N``
+clauses disturb the first N attempts and then let the retry succeed —
+recovery is provable, not probabilistic.
 
 Decisions are **deterministic**: ``crash``/``hang``/``transient``/
 ``flaky-backend`` fire iff ``attempt < times`` (and, when ``p`` is given,
@@ -77,7 +93,10 @@ __all__ = [
     "stable_fraction",
 ]
 
-FAULT_KINDS = ("crash", "hang", "transient", "flaky-backend", "corrupt-cache")
+FAULT_KINDS = (
+    "crash", "hang", "transient", "flaky-backend", "corrupt-cache",
+    "slow-response", "dropped-connection", "queue-full",
+)
 
 #: Exit code of an injected worker crash (distinguishable in core dumps
 #: and CI logs from a real interpreter abort).
@@ -251,6 +270,28 @@ class FaultInjector:
                 f"injected {backend!r} backend fault for task {key!r} "
                 f"(attempt {attempt})"
             )
+
+    def slow_response(self, key: str, attempt: int) -> float:
+        """Service guard: seconds to stall before answering (0.0 = none)."""
+        clause = self._armed("slow-response", key, attempt)
+        if clause:
+            self._record("slow-response")
+            return clause.seconds
+        return 0.0
+
+    def drop_connection(self, key: str, attempt: int) -> bool:
+        """Service guard: whether to sever the connection mid-response."""
+        if self._armed("dropped-connection", key, attempt):
+            self._record("dropped-connection")
+            return True
+        return False
+
+    def queue_full(self, key: str, attempt: int) -> bool:
+        """Service guard: whether to refuse as if the queue were full."""
+        if self._armed("queue-full", key, attempt):
+            self._record("queue-full")
+            return True
+        return False
 
     def corrupt_cache(self, key: str) -> bool:
         """Whether to corrupt the entry just written for ``key`` (stateful)."""

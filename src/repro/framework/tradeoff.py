@@ -145,28 +145,40 @@ class PowerQualityFramework:
             output=result.output,
         )
 
-    def evaluate_many(self, configs: dict, runner=None,
+    def evaluate_many(self, configs: dict, runner=None, client=None,
                       batch: bool = True) -> dict:
         """Evaluate a named set of configurations (insertion-ordered).
 
         With ``runner=None`` every configuration is evaluated here,
         sequentially.  Passing an :class:`~repro.runtime.ExperimentRunner`
         routes the sweep through the shared parallel + cached execution
-        path; that requires the framework to have been built from a spec
-        (:meth:`from_spec`), since closures cannot cross processes.
+        path; passing a :class:`~repro.service.ServiceClient` as
+        ``client`` delegates to a sweep-service instance instead (its
+        warm cache and coalescing queue), fetching the full validated
+        evaluations back through the instance's cache peer surface.
+        Both remote paths require the framework to have been built from
+        a spec (:meth:`from_spec`), since closures cannot cross
+        processes.
 
         ``batch`` (default on) lets the runner group batch-compatible
         configurations (same enabled units, multiplier mode, SFU mode)
         into homogeneous chunks — a pure scheduling choice: results,
         cache entries, and resume behavior are identical either way.
         """
-        if runner is None:
+        if runner is not None and client is not None:
+            raise ValueError("pass either runner= or client=, not both")
+        if runner is None and client is None:
             return {name: self.evaluate(cfg) for name, cfg in configs.items()}
         if self.spec is None:
             raise ValueError(
                 "parallel evaluation needs a spec-built framework; "
                 "construct it with PowerQualityFramework.from_spec(...)"
             )
+        if client is not None:
+            names = list(configs)
+            evaluations = client.evaluate_many(self.spec,
+                                               list(configs.values()))
+            return dict(zip(names, evaluations))
         return runner.sweep(self.spec, configs, batch=batch)
 
     def sweep(self, configs: dict, runner=None, batch: bool = True) -> dict:

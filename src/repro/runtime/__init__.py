@@ -37,13 +37,29 @@ from .manifest import MANIFEST_VERSION, SweepManifest
 from .policy import RetryPolicy
 from .runner import ExperimentRunner, TaskFailedError, default_worker_count
 from .spec import APP_RUNNERS, METRIC_NAMES, ExperimentSpec
-from .stats import SPEEDUP_CAP, RunnerStats, TaskTiming
+from .stats import (
+    SPEEDUP_CAP,
+    RunnerStats,
+    TaskTiming,
+    group_key,
+    record_group,
+)
+from .storage import (
+    CacheBackend,
+    CacheBackendError,
+    DirectoryBackend,
+    HTTPCacheBackend,
+)
 
 __all__ = [
     "APP_RUNNERS",
+    "CacheBackend",
+    "CacheBackendError",
     "CacheStats",
+    "DirectoryBackend",
     "ExperimentRunner",
     "ExperimentSpec",
+    "HTTPCacheBackend",
     "MANIFEST_VERSION",
     "METRIC_NAMES",
     "ResultCache",
@@ -56,4 +72,6 @@ __all__ = [
     "cache_disabled",
     "cache_from_env",
     "default_worker_count",
+    "group_key",
+    "record_group",
 ]

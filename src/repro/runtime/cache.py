@@ -1,28 +1,29 @@
-"""Content-addressed on-disk cache of power-quality evaluations.
+"""Content-addressed cache of power-quality evaluations.
 
 Every cached entry is addressed by a SHA-256 over the *content* of the
 experiment: the application name and parameters, the quality metric, the
 dtype and seed (from :class:`~repro.runtime.spec.ExperimentSpec`), and the
 canonical serialization of the :class:`~repro.core.IHWConfig`
 (:meth:`~repro.core.IHWConfig.cache_key`).  Identical (app, config) pairs —
-whether issued by the autotuner, a Pareto sweep, or a benchmark — therefore
-share one entry.
+whether issued by the autotuner, a Pareto sweep, a benchmark, or a sweep
+service request — therefore share one entry.
 
-Layout under the cache root (default ``.repro_cache/``)::
+:class:`ResultCache` owns the entry *semantics*: addressing,
+serialization, checksum validation, and quarantine policy.  The *bytes*
+live behind a :class:`~repro.runtime.storage.CacheBackend`:
 
-    <key[:2]>/<key>.json   quality, savings, breakdown, output metadata
-    <key[:2]>/<key>.npz    the output array (when the output is an ndarray)
-    <key[:2]>/<key>.lock   advisory in-flight write marker (transient)
-    quarantine/            damaged entries moved aside, never served
-    manifests/<id>.json    sweep progress records (checkpoint/resume)
+- :class:`~repro.runtime.storage.DirectoryBackend` (default) — the local
+  ``.repro_cache/`` tree, layout unchanged since PR 1 (``<key[:2]>/
+  <key>.json`` + ``.npz``, ``quarantine/``, ``manifests/``), so existing
+  cache trees stay valid byte for byte;
+- :class:`~repro.runtime.storage.HTTPCacheBackend` — a sweep-service peer
+  acting as a shared store (see ``docs/SERVICE.md``).
 
-Entries carry a schema version and an output checksum; anything that fails
-to load, verify, or parse is treated as a miss, **quarantined** (moved to
-``<root>/quarantine/`` for post-mortem, never deleted silently), and
-recomputed — never served.  Writes are crash-safe: every file lands via
-tempfile + ``os.replace``, under a per-key advisory ``.lock`` whose stale
-remains (from a crashed writer) are cleaned up after
-:data:`STALE_LOCK_SECONDS`.  Environment knobs:
+Entries carry a schema version and an output checksum; anything that
+fails to load, verify, or parse is treated as a miss, **quarantined**
+(moved aside for post-mortem, never deleted silently), and recomputed —
+never served.  Backend *transport* failures are counted and treated as
+plain misses without quarantine.  Environment knobs:
 
 - ``REPRO_CACHE=off`` (also ``0``/``no``/``false``): disable caching.
 - ``REPRO_CACHE_DIR=<path>``: relocate the cache root.
@@ -31,9 +32,9 @@ remains (from a crashed writer) are cleaned up after
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
-import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -41,15 +42,25 @@ import numpy as np
 
 from repro import telemetry
 
-__all__ = ["CacheStats", "ResultCache", "cache_from_env", "cache_disabled"]
+from .storage import (
+    QUARANTINE_DIRNAME,
+    STALE_LOCK_SECONDS,
+    CacheBackend,
+    CacheBackendError,
+    DirectoryBackend,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_from_env",
+    "cache_disabled",
+    "QUARANTINE_DIRNAME",
+    "STALE_LOCK_SECONDS",
+]
 
 SCHEMA_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
-QUARANTINE_DIRNAME = "quarantine"
-
-#: Age after which an advisory write lock (or orphaned temp file) left by
-#: a crashed writer is considered stale and removed.
-STALE_LOCK_SECONDS = 300.0
 
 _OFF_VALUES = ("off", "0", "no", "false", "disabled")
 
@@ -80,6 +91,7 @@ class CacheStats:
     quarantined: int = 0  # invalid entries moved aside for post-mortem
     lock_skips: int = 0  # writes skipped because another writer held the lock
     stale_cleaned: int = 0  # stale locks / orphaned temp files removed
+    backend_errors: int = 0  # transport failures (treated as misses)
 
     @property
     def hit_rate(self) -> float:
@@ -96,18 +108,40 @@ class ResultCache:
     Parameters
     ----------
     root:
-        Cache directory (created on first write).
+        Cache directory (created on first write).  Ignored when an
+        explicit ``backend`` is given.
     max_entries:
         Optional LRU bound; oldest entries are evicted after a write
-        pushes the count above it.
+        pushes the count above it (directory backend only).
+    backend:
+        A :class:`~repro.runtime.storage.CacheBackend` owning the bytes;
+        defaults to a :class:`DirectoryBackend` at ``root``.
     """
 
-    def __init__(self, root=None, max_entries: int | None = None):
-        self.root = Path(root or DEFAULT_CACHE_DIR)
+    def __init__(self, root=None, max_entries: int | None = None,
+                 backend: CacheBackend | None = None):
+        if backend is None:
+            backend = DirectoryBackend(Path(root or DEFAULT_CACHE_DIR))
+        self.backend = backend
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.stats = CacheStats()
+
+    @property
+    def root(self):
+        """The directory root, or the backend's description (remote URL)."""
+        local = self.backend.local_root
+        return local if local is not None else self.backend.describe()
+
+    @property
+    def local_root(self) -> Path | None:
+        """Directory root when the store is local, else None.
+
+        Sweep manifests (checkpoint/resume) and stale-artifact cleanup
+        only exist for local stores; the runner gates on this.
+        """
+        return self.backend.local_root
 
     # ------------------------------------------------------------------
     # Addressing
@@ -122,16 +156,17 @@ class ResultCache:
         payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
-    def _paths(self, key: str) -> tuple:
-        shard = self.root / key[:2]
-        return shard / f"{key}.json", shard / f"{key}.npz"
-
-    def _lock_path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.lock"
-
     def entry_paths(self, spec, config) -> tuple:
-        """The (json, npz) paths addressing one result (tooling/tests)."""
-        return self._paths(self.key(spec, config))
+        """The (json, npz) paths addressing one result (tooling/tests).
+
+        Only meaningful for directory-backed caches.
+        """
+        local = self.backend.local_root
+        if local is None:
+            raise ValueError(
+                f"cache backend {self.backend.name!r} has no local paths"
+            )
+        return self.backend.paths(self.key(spec, config))
 
     # ------------------------------------------------------------------
     # Lookup
@@ -139,15 +174,20 @@ class ResultCache:
     def get(self, spec, config):
         """The cached :class:`Evaluation`, or None (miss / invalid entry)."""
         key = self.key(spec, config)
-        json_path, npz_path = self._paths(key)
         with telemetry.span("cache.get", key=key[:12]):
-            if not json_path.exists():
+            try:
+                json_text = self.backend.read_json(key)
+            except CacheBackendError:
+                return self._backend_miss()
+            if json_text is None:
                 self.stats.misses += 1
                 telemetry.counter_inc("repro_cache_requests_total",
                                       outcome="miss")
                 return None
             try:
-                evaluation = self._load(json_path, npz_path, config)
+                evaluation = self._load(json_text, key, config)
+            except CacheBackendError:
+                return self._backend_miss()
             except Exception:
                 # Corrupted or stale entry: quarantine it (not a silent
                 # delete — the damaged bytes stay inspectable) and let the
@@ -157,18 +197,60 @@ class ResultCache:
                 self.stats.misses += 1
                 telemetry.counter_inc("repro_cache_requests_total",
                                       outcome="invalid")
-                telemetry.counter_inc("repro_cache_quarantined_total")
                 return None
             self.stats.hits += 1
             telemetry.counter_inc("repro_cache_requests_total", outcome="hit")
             return evaluation
 
-    def _load(self, json_path: Path, npz_path: Path, config):
+    def document(self, spec, config) -> dict | None:
+        """The parsed, config-validated entry document, or None.
+
+        The cheap read path of the sweep service: the document carries
+        quality, savings, breakdown, and output *metadata* (dtype, shape,
+        checksum) without deserializing the npz payload.  Damage found at
+        this level quarantines the entry just like :meth:`get`.
+        """
+        key = self.key(spec, config)
+        try:
+            json_text = self.backend.read_json(key)
+        except CacheBackendError:
+            self._backend_miss()
+            return None
+        if json_text is None:
+            self.stats.misses += 1
+            telemetry.counter_inc("repro_cache_requests_total",
+                                  outcome="miss")
+            return None
+        try:
+            doc = json.loads(json_text)
+            if doc["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {doc['schema']} != {SCHEMA_VERSION}")
+            if doc["config"] != config.canonical():
+                raise ValueError("stored config does not match the request")
+        except Exception:
+            self._quarantine(key)
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            telemetry.counter_inc("repro_cache_requests_total",
+                                  outcome="invalid")
+            return None
+        self.stats.hits += 1
+        telemetry.counter_inc("repro_cache_requests_total", outcome="hit")
+        return doc
+
+    def _backend_miss(self):
+        self.stats.backend_errors += 1
+        self.stats.misses += 1
+        telemetry.counter_inc("repro_cache_requests_total",
+                              outcome="backend-error")
+        return None
+
+    def _load(self, json_text: str, key: str, config):
         from repro.framework import Evaluation
         from repro.gpu import PowerBreakdown, SavingsReport
         from repro.gpu.simulator import KernelTiming
 
-        doc = json.loads(json_path.read_text())
+        doc = json.loads(json_text)
         if doc["schema"] != SCHEMA_VERSION:
             raise ValueError(f"schema {doc['schema']} != {SCHEMA_VERSION}")
         if doc["config"] != config.canonical():
@@ -176,7 +258,10 @@ class ResultCache:
 
         out_meta = doc["output"]
         if out_meta["kind"] == "ndarray":
-            with np.load(npz_path) as archive:
+            npz_bytes = self.backend.read_npz(key)
+            if npz_bytes is None:
+                raise ValueError("entry document present but npz payload missing")
+            with np.load(io.BytesIO(npz_bytes)) as archive:
                 output = archive["output"]
             if output.dtype.str != out_meta["dtype"]:
                 raise ValueError("output dtype mismatch")
@@ -205,49 +290,36 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Store
     # ------------------------------------------------------------------
-    def put(self, spec, config, evaluation, compute_seconds: float = 0.0) -> bool:
-        """Persist one evaluation; returns False for uncacheable outputs."""
-        with telemetry.span("cache.put"):
-            return self._put(spec, config, evaluation, compute_seconds)
+    def build_document(self, spec, config, evaluation,
+                       compute_seconds: float = 0.0) -> dict | None:
+        """The entry document :meth:`put` would persist (None: uncacheable).
 
-    def _put(self, spec, config, evaluation, compute_seconds: float) -> bool:
-        output = evaluation.output
+        Shared by the write path and the sweep service, which answers
+        requests with exactly the document a later warm read would serve.
+        """
+        out_meta, _array = self._serialize_output(evaluation.output)
+        if out_meta is None:
+            return None
+        key = self.key(spec, config)
+        return self._document(key, spec, config, evaluation, out_meta,
+                              compute_seconds)
+
+    def _serialize_output(self, output):
         if isinstance(output, np.ndarray):
             array = np.ascontiguousarray(output)
-            out_meta = {
+            return {
                 "kind": "ndarray",
                 "dtype": array.dtype.str,
                 "shape": list(array.shape),
                 "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
-            }
-        elif isinstance(output, (bool, int, float, str)) or output is None:
-            array = None
-            out_meta = {"kind": "json", "value": output}
-        else:
-            self.stats.uncacheable += 1
-            telemetry.counter_inc("repro_cache_writes_total",
-                                  outcome="uncacheable")
-            return False
+            }, array
+        if isinstance(output, (bool, int, float, str)) or output is None:
+            return {"kind": "json", "value": output}, None
+        return None, None
 
-        key = self.key(spec, config)
-        json_path, npz_path = self._paths(key)
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-        if not self._acquire_lock(key):
-            # A concurrent writer owns this entry; its bytes will be
-            # identical (content-addressed), so losing the race is free.
-            self.stats.lock_skips += 1
-            return False
-        try:
-            return self._write_entry(
-                key, json_path, npz_path, spec, config, evaluation,
-                array, out_meta, compute_seconds,
-            )
-        finally:
-            self._release_lock(key)
-
-    def _write_entry(self, key, json_path, npz_path, spec, config,
-                     evaluation, array, out_meta, compute_seconds) -> bool:
-        doc = {
+    def _document(self, key, spec, config, evaluation, out_meta,
+                  compute_seconds) -> dict:
+        return {
             "schema": SCHEMA_VERSION,
             "key": key,
             "experiment": spec.canonical(),
@@ -263,122 +335,86 @@ class ResultCache:
             "output": out_meta,
             "compute_seconds": float(compute_seconds),
         }
-        # Atomic landing: each file is fully written to a sibling temp
-        # path and renamed into place, npz before json (the json's
-        # presence is what makes the entry visible to readers), so a
-        # crash mid-write can never leave a half-entry that parses.
+
+    def put(self, spec, config, evaluation, compute_seconds: float = 0.0) -> bool:
+        """Persist one evaluation; returns False for uncacheable outputs."""
+        with telemetry.span("cache.put"):
+            return self._put(spec, config, evaluation, compute_seconds)
+
+    def _put(self, spec, config, evaluation, compute_seconds: float) -> bool:
+        out_meta, array = self._serialize_output(evaluation.output)
+        if out_meta is None:
+            self.stats.uncacheable += 1
+            telemetry.counter_inc("repro_cache_writes_total",
+                                  outcome="uncacheable")
+            return False
+
+        key = self.key(spec, config)
+        doc = self._document(key, spec, config, evaluation, out_meta,
+                             compute_seconds)
+        npz_bytes = None
         if array is not None:
-            tmp_npz = npz_path.with_name(f"{key}.tmp.npz")
-            np.savez_compressed(tmp_npz, output=array)
-            os.replace(tmp_npz, npz_path)
-        tmp_json = json_path.with_name(f"{key}.json.tmp")
-        tmp_json.write_text(json.dumps(doc, sort_keys=True, indent=1))
-        os.replace(tmp_json, json_path)
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, output=array)
+            npz_bytes = buffer.getvalue()
+        json_text = json.dumps(doc, sort_keys=True, indent=1)
+
+        try:
+            reclaimed_before = self.backend.stale_locks_reclaimed
+            acquired = self.backend.acquire_lock(key)
+            self.stats.stale_cleaned += (
+                self.backend.stale_locks_reclaimed - reclaimed_before
+            )
+            if not acquired:
+                # A concurrent writer owns this entry; its bytes will be
+                # identical (content-addressed), so losing the race is free.
+                self.stats.lock_skips += 1
+                return False
+            try:
+                self.backend.write_entry(key, json_text, npz_bytes)
+            finally:
+                self.backend.release_lock(key)
+        except CacheBackendError:
+            self.stats.backend_errors += 1
+            telemetry.counter_inc("repro_cache_writes_total",
+                                  outcome="backend-error")
+            return False
         self.stats.writes += 1
         telemetry.counter_inc("repro_cache_writes_total", outcome="stored")
         self._enforce_limit()
         return True
 
     # ------------------------------------------------------------------
-    # Advisory write locks
-    # ------------------------------------------------------------------
-    def _acquire_lock(self, key: str) -> bool:
-        """Create the per-key advisory lock; False when held by another.
-
-        The lock only signals an in-flight write to concurrent writers
-        (correctness comes from the atomic renames); a lock older than
-        :data:`STALE_LOCK_SECONDS` belongs to a crashed writer and is
-        reclaimed.
-        """
-        lock_path = self._lock_path(key)
-        for _ in range(2):  # second pass after reclaiming a stale lock
-            try:
-                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                try:
-                    age = time.time() - lock_path.stat().st_mtime
-                except OSError:
-                    continue  # lock vanished between open and stat: retry
-                if age <= STALE_LOCK_SECONDS:
-                    return False
-                lock_path.unlink(missing_ok=True)
-                self.stats.stale_cleaned += 1
-                continue
-            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
-            os.close(fd)
-            return True
-        return False
-
-    def _release_lock(self, key: str) -> None:
-        self._lock_path(key).unlink(missing_ok=True)
-
-    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def _remove(self, key: str) -> None:
-        for path in self._paths(key):
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
-
     def _quarantine(self, key: str) -> None:
-        """Move a damaged entry's files aside instead of deleting them."""
-        quarantine_dir = self.root / QUARANTINE_DIRNAME
-        quarantine_dir.mkdir(parents=True, exist_ok=True)
-        moved = False
-        for path in self._paths(key):
-            if not path.exists():
-                continue
-            try:
-                os.replace(path, quarantine_dir / path.name)
-                moved = True
-            except OSError:
-                path.unlink(missing_ok=True)  # cross-device: drop instead
-        if moved:
+        if self.backend.quarantine(key):
             self.stats.quarantined += 1
+        telemetry.counter_inc("repro_cache_quarantined_total")
 
     def quarantine_count(self) -> int:
-        return sum(
-            1 for _ in (self.root / QUARANTINE_DIRNAME).glob("*.json")
-        )
+        backend = self.backend
+        counter = getattr(backend, "quarantine_count", None)
+        return counter() if counter is not None else 0
 
     def cleanup_stale(self, max_age_seconds: float = STALE_LOCK_SECONDS) -> int:
         """Remove stale locks and orphaned temp files; returns the count.
 
-        Both are the remains of a writer that died mid-``put``; neither
-        is ever read, so removal is always safe.  Called by the runner at
-        sweep start and available as maintenance API.
+        Called by the runner at sweep start and available as maintenance
+        API; a no-op for remote backends (the peer cleans its own store).
         """
-        removed = 0
-        now = time.time()
-        for pattern in ("??/*.lock", "??/*.tmp", "??/*.tmp.npz",
-                        "manifests/*.tmp"):
-            for path in self.root.glob(pattern):
-                try:
-                    if now - path.stat().st_mtime > max_age_seconds:
-                        path.unlink()
-                        removed += 1
-                except OSError:
-                    continue  # concurrent cleanup or vanished file
+        removed = self.backend.cleanup_stale(max_age_seconds)
         self.stats.stale_cleaned += removed
         return removed
 
     def _enforce_limit(self) -> None:
         if self.max_entries is None:
             return
-        entries = sorted(self.root.glob("??/*.json"), key=lambda p: p.stat().st_mtime)
-        for stale in entries[: max(0, len(entries) - self.max_entries)]:
-            self._remove(stale.stem)
-            self.stats.evictions += 1
+        self.stats.evictions += self.backend.enforce_limit(self.max_entries)
 
     def entry_count(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return self.backend.entry_count()
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
-        removed = 0
-        for json_path in list(self.root.glob("??/*.json")):
-            self._remove(json_path.stem)
-            removed += 1
-        return removed
+        return self.backend.clear()

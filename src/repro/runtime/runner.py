@@ -54,7 +54,7 @@ from repro import faults, telemetry
 from .cache import ResultCache, cache_from_env
 from .manifest import SweepManifest
 from .policy import RetryPolicy
-from .stats import RunnerStats, TaskTiming
+from .stats import RunnerStats, TaskTiming, group_key, record_group
 
 __all__ = ["ExperimentRunner", "TaskFailedError", "default_worker_count"]
 
@@ -332,9 +332,12 @@ class ExperimentRunner:
         configs = dict(configs)
         manifest = None
         chunk_size = self._chunk_size_for(len(configs))
+        sig_groups: dict = {}
         if self.cache is not None:
             self.cache.cleanup_stale()
-            if self.checkpoint_every:
+            # Manifests live under the cache root; a remote (HTTP) backend
+            # has no local paths, so checkpoint/resume is local-only.
+            if self.checkpoint_every and self.cache.local_root is not None:
                 manifest = SweepManifest.for_sweep(self.cache, spec, configs)
         completions = 0
 
@@ -345,6 +348,7 @@ class ExperimentRunner:
                 task.key, seconds,
                 attempts=task.attempt + 1, fallback=task.fallback,
             )
+            record_group(sig_groups, group_key(configs[task.key]), hit=False)
             if task.fallback:
                 events["fallback_notes"].append(task.key)
             if self.cache:
@@ -367,6 +371,7 @@ class ExperimentRunner:
                     if cached is not None:
                         results[name] = cached
                         timings[name] = TaskTiming(name, 0.0, cached=True)
+                        record_group(sig_groups, group_key(config), hit=True)
                         if manifest is not None:
                             manifest.mark(name)
                         if resume and manifest is not None and (
@@ -423,6 +428,7 @@ class ExperimentRunner:
                 chunk_size=chunk_size,
                 tasks=[timings[name] for name in configs if name in timings],
                 events=events,
+                signature_groups=sig_groups,
             )
             telemetry.record_runner_stats(self.stats, app=spec.app)
         return {name: results[name] for name in configs}
@@ -729,7 +735,8 @@ class ExperimentRunner:
         evaluation = framework.evaluate(config)
         return evaluation, time.perf_counter() - start
 
-    def _build_stats(self, wall_seconds, chunk_size, tasks, events):
+    def _build_stats(self, wall_seconds, chunk_size, tasks, events,
+                     signature_groups=None):
         notes = list(events["notes"])
         if events["fallback_notes"]:
             fell_back = ", ".join(sorted(events["fallback_notes"]))
@@ -746,6 +753,7 @@ class ExperimentRunner:
             degraded=events["degraded"],
             resumed_skipped=events["resumed_skipped"],
             notes=notes,
+            signature_groups=signature_groups or {},
         )
 
     def _chunk_size_for(self, n_tasks: int) -> int:

@@ -1,0 +1,416 @@
+"""Pluggable storage backends of the result cache.
+
+:class:`~repro.runtime.cache.ResultCache` owns the *semantics* of a cache
+entry — content addressing, serialization, checksum validation, and
+quarantine policy — while a :class:`CacheBackend` owns the *bytes*: where
+an entry's JSON document and npz payload live and how concurrent writers
+coordinate.  The protocol is four operations (get / put / contains / lock)
+plus maintenance hooks:
+
+- :class:`DirectoryBackend` — the default local store, byte-compatible
+  with the pre-extraction on-disk layout (``<key[:2]>/<key>.json`` +
+  ``.npz`` under ``.repro_cache/``), so existing cache trees stay valid;
+- :class:`HTTPCacheBackend` — a remote store served by a sweep-service
+  peer's ``/cache/v1`` endpoints (``docs/SERVICE.md``), so N boxes share
+  one warm set.  Transport trouble raises :class:`CacheBackendError`,
+  which the cache layer treats as a plain miss (never a quarantine —
+  the peer's bytes are not damaged just because the network dropped).
+
+Both backends are safe to call from pool workers and scheduler threads;
+neither holds cross-call state beyond configuration.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import time
+import urllib.parse
+from pathlib import Path
+
+__all__ = [
+    "CacheBackend",
+    "CacheBackendError",
+    "DirectoryBackend",
+    "HTTPCacheBackend",
+    "QUARANTINE_DIRNAME",
+    "STALE_LOCK_SECONDS",
+]
+
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Age after which an advisory write lock (or orphaned temp file) left by
+#: a crashed writer is considered stale and removed.
+STALE_LOCK_SECONDS = 300.0
+
+
+class CacheBackendError(RuntimeError):
+    """Transport/storage failure distinct from a damaged entry.
+
+    Raised by backends when the store itself is unreachable or refuses the
+    operation (network down, peer returned 5xx).  The cache layer counts
+    it and treats reads as misses — it never quarantines on transport
+    errors, because the stored bytes may be perfectly fine.
+    """
+
+
+class CacheBackend:
+    """Storage protocol behind :class:`~repro.runtime.cache.ResultCache`.
+
+    Subclasses implement byte-level entry storage addressed by the cache's
+    hex SHA-256 keys.  ``read_json``/``read_npz`` return ``None`` for an
+    absent entry and raise :class:`CacheBackendError` for transport
+    failures; ``write_entry`` must make the JSON document visible only
+    after the npz payload (the document's presence is what marks an entry
+    readable).
+    """
+
+    name = "abstract"
+
+    #: Stale advisory locks reclaimed by :meth:`acquire_lock`; the cache
+    #: layer folds the delta into ``CacheStats.stale_cleaned``.
+    stale_locks_reclaimed = 0
+
+    # -- core protocol: get / put / contains / lock --------------------
+    def read_json(self, key: str) -> str | None:
+        raise NotImplementedError
+
+    def read_npz(self, key: str) -> bytes | None:
+        raise NotImplementedError
+
+    def write_entry(self, key: str, json_text: str,
+                    npz_bytes: bytes | None) -> None:
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def acquire_lock(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def release_lock(self, key: str) -> None:
+        raise NotImplementedError
+
+    # -- maintenance (optional; remote stores may no-op) ---------------
+    @property
+    def local_root(self) -> Path | None:
+        """Directory root for stores with one, else None (remote)."""
+        return None
+
+    def quarantine(self, key: str) -> bool:
+        """Move a damaged entry aside; False when unsupported/absent."""
+        return False
+
+    def remove(self, key: str) -> None:
+        pass
+
+    def entry_count(self) -> int:
+        return 0
+
+    def cleanup_stale(self, max_age_seconds: float = STALE_LOCK_SECONDS) -> int:
+        return 0
+
+    def enforce_limit(self, max_entries: int) -> int:
+        """Evict oldest entries beyond ``max_entries``; returns evictions."""
+        return 0
+
+    def clear(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return self.name
+
+
+class DirectoryBackend(CacheBackend):
+    """The default on-disk store (layout unchanged from PR 1/PR 5).
+
+    Layout under ``root``::
+
+        <key[:2]>/<key>.json   entry document
+        <key[:2]>/<key>.npz    output array payload (when present)
+        <key[:2]>/<key>.lock   advisory in-flight write marker (transient)
+        quarantine/            damaged entries moved aside, never served
+        manifests/<id>.json    sweep progress records (checkpoint/resume)
+
+    Writes are crash-safe: every file lands via a sibling temp path and
+    ``os.replace``, npz before json, so a crash mid-write can never leave
+    a half-entry that parses.
+    """
+
+    name = "directory"
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # -- addressing ----------------------------------------------------
+    def paths(self, key: str) -> tuple:
+        shard = self.root / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    def _lock_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.lock"
+
+    @property
+    def local_root(self) -> Path | None:
+        return self.root
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    # -- core protocol -------------------------------------------------
+    def read_json(self, key: str) -> str | None:
+        json_path, _ = self.paths(key)
+        try:
+            return json_path.read_text()
+        except FileNotFoundError:
+            return None
+
+    def read_npz(self, key: str) -> bytes | None:
+        _, npz_path = self.paths(key)
+        try:
+            return npz_path.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def write_entry(self, key: str, json_text: str,
+                    npz_bytes: bytes | None) -> None:
+        json_path, npz_path = self.paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic landing: npz first, json last — the json's presence is
+        # what makes the entry visible to readers.
+        if npz_bytes is not None:
+            tmp_npz = npz_path.with_name(f"{key}.tmp.npz")
+            tmp_npz.write_bytes(npz_bytes)
+            os.replace(tmp_npz, npz_path)
+        tmp_json = json_path.with_name(f"{key}.json.tmp")
+        tmp_json.write_text(json_text)
+        os.replace(tmp_json, json_path)
+
+    def contains(self, key: str) -> bool:
+        json_path, _ = self.paths(key)
+        return json_path.exists()
+
+    def acquire_lock(self, key: str) -> bool:
+        """Create the per-key advisory lock; False when held by another.
+
+        The lock only signals an in-flight write to concurrent writers
+        (correctness comes from the atomic renames); a lock older than
+        :data:`STALE_LOCK_SECONDS` belongs to a crashed writer and is
+        reclaimed.  Returns whether a second (stale-reclaim) pass also
+        found the lock held.
+        """
+        lock_path = self._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):  # second pass after reclaiming a stale lock
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # lock vanished between open and stat: retry
+                if age <= STALE_LOCK_SECONDS:
+                    return False
+                lock_path.unlink(missing_ok=True)
+                self.stale_locks_reclaimed += 1
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            return True
+        return False
+
+    def release_lock(self, key: str) -> None:
+        self._lock_path(key).unlink(missing_ok=True)
+
+    # -- maintenance ---------------------------------------------------
+    def remove(self, key: str) -> None:
+        for path in self.paths(key):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def quarantine(self, key: str) -> bool:
+        """Move a damaged entry's files aside instead of deleting them."""
+        quarantine_dir = self.root / QUARANTINE_DIRNAME
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for path in self.paths(key):
+            if not path.exists():
+                continue
+            try:
+                os.replace(path, quarantine_dir / path.name)
+                moved = True
+            except OSError:
+                path.unlink(missing_ok=True)  # cross-device: drop instead
+        return moved
+
+    def quarantine_count(self) -> int:
+        return sum(
+            1 for _ in (self.root / QUARANTINE_DIRNAME).glob("*.json")
+        )
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def cleanup_stale(self, max_age_seconds: float = STALE_LOCK_SECONDS) -> int:
+        """Remove stale locks and orphaned temp files; returns the count.
+
+        Both are the remains of a writer that died mid-write; neither is
+        ever read, so removal is always safe.
+        """
+        removed = 0
+        now = time.time()
+        for pattern in ("??/*.lock", "??/*.tmp", "??/*.tmp.npz",
+                        "manifests/*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    if now - path.stat().st_mtime > max_age_seconds:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # concurrent cleanup or vanished file
+        return removed
+
+    def enforce_limit(self, max_entries: int) -> int:
+        entries = sorted(self.root.glob("??/*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        evicted = 0
+        for stale in entries[: max(0, len(entries) - max_entries)]:
+            self.remove(stale.stem)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> int:
+        removed = 0
+        for json_path in list(self.root.glob("??/*.json")):
+            self.remove(json_path.stem)
+            removed += 1
+        return removed
+
+
+class HTTPCacheBackend(CacheBackend):
+    """Remote store served by a sweep-service peer (``/cache/v1``).
+
+    Point one box's cache at another box's ``repro serve`` instance and
+    the two share a warm set: reads come from the peer's directory store,
+    writes push freshly computed entries to it.  Every operation is one
+    short-lived HTTP request (stdlib ``http.client``; no connection
+    pooling — the entry payloads dwarf the handshake).
+
+    Status mapping: 404 → entry absent (``None``/False), 2xx → success,
+    anything else (and any socket error) → :class:`CacheBackendError`.
+    """
+
+    name = "http"
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(
+                f"HTTPCacheBackend needs an http://host:port URL, "
+                f"got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    def describe(self) -> str:
+        return self.base_url
+
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        """One request; returns (status, body bytes) or raises."""
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=body,
+                             headers={"Content-Type": "application/octet-stream"}
+                             if body is not None else {})
+                response = conn.getresponse()
+                payload = response.read()
+                return response.status, payload
+            finally:
+                conn.close()
+        except OSError as exc:
+            raise CacheBackendError(
+                f"cache peer {self.base_url} unreachable: {exc}"
+            ) from exc
+
+    def _get(self, path: str) -> bytes | None:
+        status, payload = self._request("GET", path)
+        if status == 404:
+            return None
+        if status != 200:
+            raise CacheBackendError(
+                f"cache peer {self.base_url} returned {status} for {path}"
+            )
+        return payload
+
+    # -- core protocol -------------------------------------------------
+    def read_json(self, key: str) -> str | None:
+        payload = self._get(f"/cache/v1/{key}")
+        return payload.decode("utf-8") if payload is not None else None
+
+    def read_npz(self, key: str) -> bytes | None:
+        return self._get(f"/cache/v1/{key}/npz")
+
+    def write_entry(self, key: str, json_text: str,
+                    npz_bytes: bytes | None) -> None:
+        # Same visibility order as the directory store: npz first, the
+        # json document last.
+        if npz_bytes is not None:
+            status, _ = self._request("PUT", f"/cache/v1/{key}/npz", npz_bytes)
+            if status not in (200, 201, 204):
+                raise CacheBackendError(
+                    f"cache peer rejected npz for {key[:12]}: {status}"
+                )
+        status, _ = self._request("PUT", f"/cache/v1/{key}",
+                                  json_text.encode("utf-8"))
+        if status not in (200, 201, 204):
+            raise CacheBackendError(
+                f"cache peer rejected entry {key[:12]}: {status}"
+            )
+
+    def contains(self, key: str) -> bool:
+        status, _ = self._request("HEAD", f"/cache/v1/{key}")
+        if status == 200:
+            return True
+        if status == 404:
+            return False
+        raise CacheBackendError(
+            f"cache peer {self.base_url} returned {status} for HEAD {key[:12]}"
+        )
+
+    def acquire_lock(self, key: str) -> bool:
+        status, _ = self._request("POST", f"/cache/v1/{key}/lock")
+        if status == 200:
+            return True
+        if status == 409:
+            return False
+        raise CacheBackendError(
+            f"cache peer {self.base_url} returned {status} acquiring lock"
+        )
+
+    def release_lock(self, key: str) -> None:
+        try:
+            self._request("DELETE", f"/cache/v1/{key}/lock")
+        except CacheBackendError:
+            pass  # the peer reclaims stale locks on its own
+
+    # -- maintenance ---------------------------------------------------
+    def entry_count(self) -> int:
+        try:
+            payload = self._get("/cache/v1/statz")
+        except CacheBackendError:
+            return 0
+        if payload is None:
+            return 0
+        import json
+
+        try:
+            return int(json.loads(payload).get("entries", 0))
+        except (ValueError, AttributeError):
+            return 0

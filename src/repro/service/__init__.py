@@ -1,0 +1,71 @@
+"""Sweep service: power-quality tradeoff queries as a served API.
+
+The batch surfaces (``repro sweep``, the framework, the autotuner) answer
+one process's questions; this subsystem serves *fleets* of them.  A
+service instance (``repro serve``) exposes:
+
+- ``POST /v1/sweep`` — "what does app X lose under configuration C?" —
+  answered from the content-addressed result cache when warm, computed
+  through a coalescing, bounded work queue when cold, optionally
+  streamed as NDJSON progress;
+- ``/cache/v1/...`` — the shared-cache peer surface: another instance
+  pointed at this one (``--remote-cache``) reads and writes this
+  instance's warm set through
+  :class:`~repro.runtime.HTTPCacheBackend`, so N boxes converge on one
+  cache with zero recomputation;
+- ``/healthz`` / ``/queuez`` / ``/metricsz`` — liveness, queue and
+  per-signature-group accounting (the same ledger ``repro sweep
+  --stats`` reports), and Prometheus metrics.
+
+Guarantees, in one line each:
+
+- **Bit-identical answers**: every response document is the sanitized
+  cache entry (volatile timing dropped) serialized canonically — warm,
+  cold, coalesced, local, or remote paths all produce identical bytes.
+- **Exactly-once compute**: identical in-flight work (by cache key)
+  coalesces to one execution with all waiters notified
+  (``repro_service_coalesced_total``).
+- **Bounded**: the queue admits at most ``max_pending`` distinct items
+  (429 + ``Retry-After`` beyond) and at most ``max_configs``
+  configurations per request (413).
+
+See ``docs/SERVICE.md`` for the schema and topology recipes.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    DEFAULT_METRICS,
+    HIGHER_IS_BETTER,
+    ProtocolError,
+    SweepRequest,
+    canonical_json,
+    meets_target,
+    sanitize_document,
+)
+from .queue import QueueFullError, SweepQueue
+from .server import (
+    ServerHandle,
+    ServiceConfig,
+    SweepService,
+    run_server,
+    serve_in_thread,
+)
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "HIGHER_IS_BETTER",
+    "ProtocolError",
+    "QueueFullError",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepQueue",
+    "SweepRequest",
+    "SweepService",
+    "canonical_json",
+    "meets_target",
+    "run_server",
+    "sanitize_document",
+    "serve_in_thread",
+]

@@ -1,0 +1,265 @@
+"""HTTP client of the sweep service (stdlib ``http.client``).
+
+:class:`ServiceClient` is what ``repro call`` and
+:func:`repro.framework.evaluate_many` (``client=`` routing) use: it
+speaks the ``/v1/sweep`` protocol, retries through the service's
+backpressure and fault semantics (429 + ``Retry-After``, torn
+connections), and advertises its retry count in the ``X-Repro-Attempt``
+header — the attempt axis deterministic service faults key on, so a
+``dropped-connection:times=1`` injection disturbs exactly the first
+attempt and the retry provably recovers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+from repro import telemetry
+
+from .protocol import canonical_json
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request that failed after exhausting retries; carries ``status``
+    (0 for transport-level failures)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Client of one sweep-service instance.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the instance.
+    timeout:
+        Per-request socket timeout (seconds).
+    retries:
+        Additional attempts after the first (429s and torn connections
+        are retried; 4xx protocol errors are not).
+    backoff:
+        Base sleep between retries when the server sends no
+        ``Retry-After`` hint.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0,
+                 retries: int = 3, backoff: float = 0.2):
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme != "http" or not parts.netloc:
+            raise ValueError(
+                f"base_url must be http://host:port, got {base_url!r}"
+            )
+        self.base_url = f"http://{parts.netloc}"
+        self.netloc = parts.netloc
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, body: bytes | None = None,
+                content_type: str = "application/json") -> tuple:
+        """One request with retry/backoff -> (status, headers, body bytes)."""
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self._delay(last_error, attempt))
+            try:
+                status, headers, payload = self._once(
+                    method, path, body, content_type, attempt
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                telemetry.counter_inc("repro_service_client_retries_total",
+                                      reason="connection")
+                last_error = exc
+                continue
+            if status == 429:
+                telemetry.counter_inc("repro_service_client_retries_total",
+                                      reason="backpressure")
+                last_error = ServiceError(
+                    _error_text(payload) or "service is at capacity",
+                    status=429,
+                )
+                last_error.retry_after = _retry_after(headers)
+                continue
+            return status, headers, payload
+        raise ServiceError(
+            f"{method} {path} failed after {self.retries + 1} attempts: "
+            f"{last_error}",
+            status=getattr(last_error, "status", 0),
+        )
+
+    def _once(self, method, path, body, content_type, attempt):
+        connection = http.client.HTTPConnection(self.netloc,
+                                                timeout=self.timeout)
+        try:
+            headers = {
+                "Content-Type": content_type,
+                "X-Repro-Attempt": str(attempt),
+                "Connection": "close",
+            }
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()
+
+    def _delay(self, last_error, attempt) -> float:
+        hinted = getattr(last_error, "retry_after", None)
+        if hinted:
+            return min(float(hinted), 30.0)
+        return self.backoff * attempt
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def queuez(self) -> dict:
+        return self._get_json("/queuez")
+
+    def metricsz(self) -> str:
+        status, _headers, payload = self.request("GET", "/metricsz")
+        if status != 200:
+            raise ServiceError(f"/metricsz returned {status}", status=status)
+        return payload.decode("utf-8")
+
+    def _get_json(self, path: str) -> dict:
+        status, _headers, payload = self.request("GET", path)
+        if status != 200:
+            raise ServiceError(
+                f"GET {path} returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        return json.loads(payload)
+
+    def sweep(self, app: str, *, configs=None, config_specs=None,
+              family=None, params=None, metric=None, seed=0,
+              threshold=None, quality_target=None) -> dict:
+        """One ``POST /v1/sweep`` query -> the parsed response document.
+
+        ``configs`` is ``{name: IHWConfig}`` (serialized canonically);
+        ``config_specs``/``family`` pass the shorthand forms through.
+        """
+        doc = self._request_doc(app, configs, config_specs, family, params,
+                                metric, seed, threshold, quality_target)
+        status, _headers, payload = self.request(
+            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8")
+        )
+        if status != 200:
+            raise ServiceError(
+                f"sweep returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        return json.loads(payload)
+
+    def sweep_stream(self, app: str, **kwargs):
+        """Streaming variant: yields one parsed NDJSON document per line."""
+        doc = self._request_doc(
+            app, kwargs.pop("configs", None), kwargs.pop("config_specs", None),
+            kwargs.pop("family", None), kwargs.pop("params", None),
+            kwargs.pop("metric", None), kwargs.pop("seed", 0),
+            kwargs.pop("threshold", None), kwargs.pop("quality_target", None),
+        )
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        doc["stream"] = True
+        status, _headers, payload = self.request(
+            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8")
+        )
+        if status != 200:
+            raise ServiceError(
+                f"sweep returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        for line in payload.decode("utf-8").splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+    @staticmethod
+    def _request_doc(app, configs, config_specs, family, params, metric,
+                     seed, threshold, quality_target) -> dict:
+        doc: dict = {"app": app, "seed": int(seed)}
+        if params:
+            doc["params"] = dict(params)
+        if metric:
+            doc["metric"] = metric
+        if configs:
+            doc["configs"] = {
+                name: cfg.canonical() for name, cfg in configs.items()
+            }
+        if config_specs:
+            doc["config_specs"] = dict(config_specs)
+        if family:
+            doc["family"] = family
+        if threshold is not None:
+            doc["threshold"] = int(threshold)
+        if quality_target is not None:
+            doc["quality_target"] = float(quality_target)
+        return doc
+
+    # ------------------------------------------------------------------
+    # Framework entry
+    # ------------------------------------------------------------------
+    def evaluate_many(self, spec, configs) -> list:
+        """Full :class:`~repro.framework.Evaluation` objects via the service.
+
+        Ensures every configuration is computed (one coalesced sweep
+        request), then reconstructs validated evaluations — including the
+        output arrays — by reading the instance's cache peer surface
+        through :class:`~repro.runtime.HTTPCacheBackend`, so checksums
+        are verified client-side exactly as for a local cache.
+        """
+        from repro.runtime import HTTPCacheBackend, ResultCache
+
+        configs = list(configs)
+        named = {f"cfg{i:03d}": cfg for i, cfg in enumerate(configs)}
+        response = self.sweep(
+            spec.app, configs=named, params=spec.params_dict(),
+            metric=spec.metric, seed=spec.seed,
+        )
+        failures = {
+            name: doc["error"]
+            for name, doc in response["results"].items() if "error" in doc
+        }
+        if failures:
+            raise ServiceError(f"service failed to evaluate: {failures}")
+        remote = ResultCache(backend=HTTPCacheBackend(self.base_url))
+        evaluations = []
+        for name, config in named.items():
+            evaluation = remote.get(spec, config)
+            if evaluation is None:
+                raise ServiceError(
+                    f"service reported {name} computed but its cache "
+                    "entry could not be fetched"
+                )
+            evaluations.append(evaluation)
+        return evaluations
+
+
+def _retry_after(headers: dict) -> float | None:
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def _error_text(payload: bytes) -> str:
+    try:
+        return json.loads(payload).get("error", "")
+    except Exception:
+        return payload.decode("utf-8", "replace")[:200]

@@ -1,0 +1,308 @@
+"""Bounded work queue with request coalescing for the sweep service.
+
+Cache misses become queue items, one per (experiment, configuration) pair,
+addressed by the same content key the result cache uses.  That shared
+address is what makes coalescing exact: a request for work already
+in flight — queued *or* executing — attaches a waiter to the existing
+item instead of enqueuing a duplicate, so N concurrent identical requests
+cost exactly one computation and one cache write
+(``repro_service_coalesced_total`` counts the other N-1).
+
+Worker threads drain the queue; each pops one item, then gathers every
+other pending item of the *same experiment* (up to ``batch_limit``) and
+evaluates them as one :meth:`~repro.runtime.ExperimentRunner.sweep` call,
+so the runner's batch-signature grouping still applies.  Results are
+re-read through the cache (:meth:`~repro.runtime.cache.ResultCache.document`)
+and delivered to waiters as sanitized entry documents — the identical
+bytes a warm request would have been served, which is what makes service
+answers bit-identical across the cold/warm/coalesced paths.
+
+The queue is deliberately asyncio-free: waiters are plain callbacks
+``(doc, error)`` invoked on the worker thread, and the HTTP layer bridges
+them onto its event loop.  Backpressure is a hard bound on distinct
+in-flight items — :class:`QueueFullError` carries the ``Retry-After``
+hint the server turns into a 429.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro import telemetry
+from repro.runtime import group_key, record_group
+
+from .protocol import sanitize_document
+
+__all__ = ["QueueFullError", "SweepQueue"]
+
+
+class QueueFullError(RuntimeError):
+    """The queue's in-flight bound is reached; retry after a delay."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"work queue is full; retry after {retry_after:.0f}s"
+        )
+        self.retry_after = retry_after
+
+
+class _Item:
+    """One in-flight (spec, config) computation and its waiters."""
+
+    __slots__ = ("key", "spec", "config", "waiters", "parent_span_id",
+                 "running")
+
+    def __init__(self, key, spec, config, parent_span_id=None):
+        self.key = key
+        self.spec = spec
+        self.config = config
+        self.waiters: list = []  # callables (doc, error) -> None
+        self.parent_span_id = parent_span_id
+        self.running = False
+
+
+class SweepQueue:
+    """Work-queue scheduler sharding misses across runner workers.
+
+    Parameters
+    ----------
+    cache:
+        The service's :class:`~repro.runtime.ResultCache`; results are
+        written here and re-read for delivery.
+    runner_factory:
+        Zero-argument callable producing the
+        :class:`~repro.runtime.ExperimentRunner` a worker thread uses
+        (each thread builds its own — runners are not thread-safe).
+    workers:
+        Worker-thread count (each drains whole same-experiment batches).
+    max_pending:
+        Bound on distinct in-flight items; beyond it :meth:`submit`
+        raises :class:`QueueFullError` (coalescing onto existing items
+        is always admitted — it adds no work).
+    batch_limit:
+        Most same-experiment items one runner call may gather.
+    retry_after:
+        The backoff hint (seconds) carried by :class:`QueueFullError`.
+    """
+
+    def __init__(self, cache, runner_factory, workers: int = 1,
+                 max_pending: int = 64, batch_limit: int = 16,
+                 retry_after: float = 2.0):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.cache = cache
+        self.runner_factory = runner_factory
+        self.max_pending = max_pending
+        self.batch_limit = max(1, batch_limit)
+        self.retry_after = retry_after
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: deque = deque()  # _Item, FIFO
+        self._inflight: dict = {}  # key -> _Item (pending or running)
+        self._groups: dict = {}  # group_key -> {"hits": n, "misses": n}
+        self._paused = threading.Event()
+        self._paused.set()  # set = running; cleared = paused
+        self._stopping = False
+
+        self.executions = 0  # runner.sweep calls
+        self.completed = 0  # items delivered successfully
+        self.failed = 0  # items delivered with an error
+        self.coalesced = 0  # submits that attached to existing items
+
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"sweep-queue-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (HTTP handlers)
+    # ------------------------------------------------------------------
+    def submit(self, spec, config, waiter, parent_span_id=None) -> str:
+        """Enqueue one (spec, config) computation, coalescing duplicates.
+
+        ``waiter(doc, error)`` fires exactly once from a worker thread:
+        with the sanitized entry document on success, or with the failure
+        exception.  Returns ``"queued"`` or ``"coalesced"``.
+        """
+        key = self.cache.key(spec, config)
+        with self._not_empty:
+            item = self._inflight.get(key)
+            if item is not None:
+                item.waiters.append(waiter)
+                self.coalesced += 1
+                telemetry.counter_inc("repro_service_coalesced_total")
+                return "coalesced"
+            if self._stopping:
+                raise RuntimeError("queue is shut down")
+            if len(self._inflight) >= self.max_pending:
+                telemetry.counter_inc("repro_service_rejected_total",
+                                      reason="queue-full")
+                raise QueueFullError(self.retry_after)
+            item = _Item(key, spec, config, parent_span_id=parent_span_id)
+            item.waiters.append(waiter)
+            self._inflight[key] = item
+            self._pending.append(item)
+            record_group(self._groups, group_key(config), hit=False)
+            telemetry.counter_inc("repro_service_enqueued_total")
+            telemetry.gauge_set("repro_service_queue_depth",
+                                len(self._pending))
+            self._not_empty.notify()
+            return "queued"
+
+    def record_cache_outcome(self, config, hit: bool) -> None:
+        """Fold a warm-path cache outcome into the per-group accounting.
+
+        The server calls this for requests answered without enqueuing, so
+        ``/queuez`` and ``repro sweep --stats`` (which uses the same
+        :func:`~repro.runtime.record_group` helper) agree on the shape.
+        """
+        with self._lock:
+            record_group(self._groups, group_key(config), hit=hit)
+
+    # ------------------------------------------------------------------
+    # Introspection / test hooks
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/queuez`` view: depths, bounds, counters, group ledger."""
+        with self._lock:
+            running = sum(1 for i in self._inflight.values() if i.running)
+            return {
+                "pending": len(self._pending),
+                "running": running,
+                "inflight": len(self._inflight),
+                "max_pending": self.max_pending,
+                "executions": self.executions,
+                "completed": self.completed,
+                "failed": self.failed,
+                "coalesced": self.coalesced,
+                "paused": not self._paused.is_set(),
+                "groups": {k: dict(v) for k, v in self._groups.items()},
+            }
+
+    def pause(self) -> None:
+        """Hold workers before their next pop (deterministic coalescing
+        tests: pause, fire N identical requests, then resume)."""
+        self._paused.clear()
+
+    def resume(self) -> None:
+        self._paused.set()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until nothing is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            time.sleep(0.01)
+        with self._lock:
+            return not self._inflight
+
+    def shutdown(self) -> None:
+        """Refuse new work and unblock idle workers (daemon threads)."""
+        with self._not_empty:
+            self._stopping = True
+            self._not_empty.notify_all()
+        self._paused.set()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        runner = self.runner_factory()
+        while True:
+            self._paused.wait()
+            with self._not_empty:
+                while not self._pending and not self._stopping:
+                    self._not_empty.wait(timeout=0.5)
+                    if not self._paused.is_set():
+                        break
+                if self._stopping:
+                    return
+                if not self._paused.is_set() or not self._pending:
+                    continue
+                batch = self._take_batch()
+                telemetry.gauge_set("repro_service_queue_depth",
+                                    len(self._pending))
+            self._execute_batch(runner, batch)
+
+    def _take_batch(self) -> list:
+        """Pop the head item plus same-experiment followers (lock held)."""
+        first = self._pending.popleft()
+        first.running = True
+        batch = [first]
+        spec_id = first.spec
+        kept: deque = deque()
+        while self._pending and len(batch) < self.batch_limit:
+            item = self._pending.popleft()
+            if item.spec == spec_id:
+                item.running = True
+                batch.append(item)
+            else:
+                kept.append(item)
+        # Items of other experiments go back in arrival order.
+        self._pending.extendleft(reversed(kept))
+        return batch
+
+    def _execute_batch(self, runner, batch) -> None:
+        spec = batch[0].spec
+        configs = {item.key: item.config for item in batch}
+        with self._lock:
+            self.executions += 1
+        telemetry.counter_inc("repro_service_executions_total")
+        error = None
+        start = time.perf_counter()
+        with telemetry.span(
+            "service.execute", app=spec.app, configs=len(batch)
+        ) as span_doc:
+            if span_doc is not None and batch[0].parent_span_id:
+                # Re-parent under the span of the request that enqueued
+                # the work: the trace crosses the queue boundary intact.
+                span_doc["parent"] = batch[0].parent_span_id
+            try:
+                runner.sweep(spec, configs, batch=True)
+            except Exception as exc:  # delivered to waiters, not raised
+                error = exc
+        telemetry.histogram_observe("repro_service_execute_seconds",
+                                    time.perf_counter() - start)
+        for item in batch:
+            self._deliver(item, error)
+
+    def _deliver(self, item, error) -> None:
+        doc = None
+        if error is None:
+            doc = self.cache.document(item.spec, item.config)
+            if doc is None:
+                error = RuntimeError(
+                    f"computed result for {item.key[:12]} did not land in "
+                    "the cache (uncacheable output or storage failure)"
+                )
+            else:
+                doc = sanitize_document(doc)
+        with self._lock:
+            self._inflight.pop(item.key, None)
+            if error is None:
+                self.completed += 1
+            else:
+                self.failed += 1
+            waiters = list(item.waiters)
+            item.waiters.clear()
+        telemetry.counter_inc(
+            "repro_service_items_total",
+            outcome="completed" if error is None else "failed",
+        )
+        for waiter in waiters:
+            try:
+                waiter(doc, error)
+            except Exception:
+                # A broken waiter (e.g. its connection already dropped)
+                # must not poison delivery to the remaining waiters.
+                telemetry.counter_inc("repro_service_waiter_errors_total")

@@ -1,0 +1,618 @@
+"""Async HTTP server of the sweep service (stdlib asyncio streams).
+
+``repro serve`` binds this server; the dependency posture matches the
+rest of the project (no third-party HTTP stack — plain ``asyncio``
+stream handling of HTTP/1.1 with ``Connection: close`` semantics, which
+sidesteps keep-alive and chunked-encoding state machines entirely).
+
+Endpoints (schema in ``docs/SERVICE.md``):
+
+- ``POST /v1/sweep`` — the tradeoff query; warm configurations answer
+  from the result cache, misses go through the coalescing work queue.
+  ``"stream": true`` switches the response to NDJSON progress lines.
+- ``GET /healthz`` / ``GET /queuez`` / ``GET /metricsz`` — liveness,
+  queue introspection (shared accounting with ``repro sweep --stats``),
+  and Prometheus-format metrics.
+- ``/cache/v1/...`` — the shared-cache peer surface consumed by
+  :class:`~repro.runtime.HTTPCacheBackend`, so one instance's warm store
+  can back another's reads (N boxes, one warm set).
+
+Deterministic service faults (``REPRO_FAULTS`` kinds ``slow-response``,
+``dropped-connection``, ``queue-full``) are injected at the request
+boundary, keyed by request path with the client's ``X-Repro-Attempt``
+header as the attempt axis — so ``times=N`` clauses disturb exactly the
+first N attempts and provably recover on retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import faults, telemetry
+from repro.runtime import (
+    DirectoryBackend,
+    ExperimentRunner,
+    HTTPCacheBackend,
+    ResultCache,
+    RetryPolicy,
+)
+
+from .protocol import (
+    ProtocolError,
+    SweepRequest,
+    canonical_json,
+    meets_target,
+    sanitize_document,
+)
+from .queue import QueueFullError, SweepQueue
+
+__all__ = ["ServiceConfig", "SweepService", "ServerHandle",
+           "serve_in_thread", "run_server"]
+
+#: Largest accepted request body (a sweep request is a few KiB of JSON;
+#: cache-peer npz payload PUTs are the big legitimate writes).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+
+_JSON = "application/json"
+_BINARY = "application/octet-stream"
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    cache_dir: str = ".repro_cache"
+    remote_cache: str | None = None  # peer base URL -> shared warm set
+    max_pending: int = 64
+    max_configs: int = 64  # per-request configuration bound (413 above)
+    queue_workers: int = 1
+    runner_workers: int = 1
+    batch_limit: int = 16
+    retry_after: float = 2.0
+    request_timeout: float = 300.0
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method, path, headers, body):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def attempt(self) -> int:
+        try:
+            return int(self.headers.get("x-repro-attempt", "0"))
+        except ValueError:
+            return 0
+
+
+class SweepService:
+    """The application behind the HTTP surface (transport-independent)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        if config.remote_cache:
+            backend = HTTPCacheBackend(config.remote_cache)
+            self.cache = ResultCache(backend=backend)
+        else:
+            self.cache = ResultCache(
+                backend=DirectoryBackend(config.cache_dir)
+            )
+        self.queue = SweepQueue(
+            cache=self.cache,
+            runner_factory=self._make_runner,
+            workers=config.queue_workers,
+            max_pending=config.max_pending,
+            batch_limit=config.batch_limit,
+            retry_after=config.retry_after,
+        )
+        self.started = time.time()
+        # npz payloads a cache peer staged ahead of the entry document
+        # (the backend protocol writes npz-before-json for crash safety).
+        self._staged_npz: dict = {}
+        self._staged_lock = threading.Lock()
+
+    def _make_runner(self) -> ExperimentRunner:
+        # Per-queue-thread runner: inline (max_workers=1) keeps execution
+        # deterministic and fork-free inside server threads; manifests
+        # are disabled — the queue is its own progress authority.
+        return ExperimentRunner(
+            max_workers=self.config.runner_workers,
+            cache=self.cache,
+            policy=RetryPolicy(),
+            checkpoint_every=0,
+        )
+
+    def close(self) -> None:
+        self.queue.shutdown()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def handle(self, request: _Request, respond) -> None:
+        """Dispatch one request; ``respond`` is the transport's writer."""
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz" and request.method == "GET":
+            await respond(200, self._healthz())
+        elif path == "/queuez" and request.method == "GET":
+            await respond(200, self.queue.snapshot())
+        elif path == "/metricsz" and request.method == "GET":
+            text = telemetry.get_registry().prometheus_text() + "\n"
+            await respond(200, text.encode("utf-8"),
+                          content_type="text/plain; charset=utf-8")
+        elif path == "/v1/sweep" and request.method == "POST":
+            await self._handle_sweep(request, respond)
+        elif path.startswith("/cache/v1/"):
+            await self._handle_cache(request, path, respond)
+        else:
+            await respond(404, {"error": f"no route for "
+                                         f"{request.method} {path}"})
+
+    def _healthz(self) -> dict:
+        snapshot = self.queue.snapshot()
+        return {
+            "status": "ok",
+            "service": "repro-sweep-service",
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "cache": str(self.cache.root),
+            "pending": snapshot["pending"],
+            "inflight": snapshot["inflight"],
+        }
+
+    # ------------------------------------------------------------------
+    # Sweep queries
+    # ------------------------------------------------------------------
+    async def _handle_sweep(self, request: _Request, respond) -> None:
+        try:
+            body = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await respond(400, {"error": f"request body is not JSON: {exc}"})
+            return
+        try:
+            sweep = SweepRequest.from_document(
+                body, max_configs=self.config.max_configs
+            )
+        except ProtocolError as exc:
+            await respond(exc.status, {"error": str(exc)})
+            return
+
+        loop = asyncio.get_running_loop()
+        with telemetry.span(
+            "service.request", app=sweep.spec.app,
+            configs=len(sweep.configs),
+        ) as request_span:
+            parent_id = request_span["id"] if request_span else None
+            hits = 0
+            warm: dict = {}
+            futures: dict = {}
+            try:
+                for name, config in sweep.configs.items():
+                    doc = self.cache.document(sweep.spec, config)
+                    if doc is not None:
+                        warm[name] = sanitize_document(doc)
+                        self.queue.record_cache_outcome(config, hit=True)
+                        hits += 1
+                        continue
+                    future = loop.create_future()
+                    self.queue.submit(
+                        sweep.spec, config,
+                        waiter=_future_waiter(loop, future),
+                        parent_span_id=parent_id,
+                    )
+                    futures[name] = future
+            except QueueFullError as exc:
+                for future in futures.values():
+                    future.cancel()
+                await respond(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": f"{exc.retry_after:.0f}"},
+                )
+                return
+            telemetry.counter_inc("repro_service_requests_total",
+                                  endpoint="sweep")
+            telemetry.counter_inc("repro_service_cache_outcomes_total",
+                                  outcome="hit", amount=float(hits))
+            telemetry.counter_inc("repro_service_cache_outcomes_total",
+                                  outcome="miss", amount=float(len(futures)))
+            if sweep.stream:
+                await self._respond_stream(sweep, warm, futures, respond)
+            else:
+                await self._respond_unary(sweep, warm, futures, respond,
+                                          hits)
+
+    async def _gather(self, futures: dict) -> tuple:
+        """Await every pending future -> (results, errors) by name."""
+        results: dict = {}
+        errors: dict = {}
+        for name, future in futures.items():
+            try:
+                results[name] = await asyncio.wait_for(
+                    asyncio.shield(future), self.config.request_timeout
+                )
+            except asyncio.TimeoutError:
+                errors[name] = "computation timed out"
+            except Exception as exc:
+                errors[name] = str(exc)
+        return results, errors
+
+    async def _respond_unary(self, sweep, warm, futures, respond,
+                             hits) -> None:
+        computed, errors = await self._gather(futures)
+        results = {}
+        for name in sweep.configs:
+            if name in warm:
+                results[name] = warm[name]
+            elif name in computed:
+                results[name] = computed[name]
+            else:
+                results[name] = {"error": errors[name]}
+        payload = {
+            "app": sweep.spec.app,
+            "experiment": sweep.spec.canonical(),
+            "results": results,
+            "served": {
+                "hits": hits,
+                "misses": len(futures),
+                "errors": len(errors),
+            },
+        }
+        if sweep.quality_target is not None:
+            payload["target_met"] = {
+                name: meets_target(sweep.spec.metric,
+                                   doc["quality"], sweep.quality_target)
+                for name, doc in results.items() if "quality" in doc
+            }
+        await respond(200, payload)
+
+    async def _respond_stream(self, sweep, warm, futures, respond) -> None:
+        """NDJSON progress: one line per configuration, then a summary."""
+        stream = await respond(200, None, content_type="application/x-ndjson",
+                               stream=True)
+        errors = 0
+        for name in sweep.configs:
+            if name in warm:
+                await stream({"name": name, "status": "hit",
+                              "result": warm[name]})
+        for name, future in futures.items():
+            try:
+                doc = await asyncio.wait_for(
+                    asyncio.shield(future), self.config.request_timeout
+                )
+                await stream({"name": name, "status": "computed",
+                              "result": doc})
+            except asyncio.TimeoutError:
+                errors += 1
+                await stream({"name": name, "status": "error",
+                              "error": "computation timed out"})
+            except Exception as exc:
+                errors += 1
+                await stream({"name": name, "status": "error",
+                              "error": str(exc)})
+        await stream({"done": True, "served": {
+            "hits": len(warm), "misses": len(futures), "errors": errors,
+        }})
+
+    # ------------------------------------------------------------------
+    # Cache peer surface
+    # ------------------------------------------------------------------
+    async def _handle_cache(self, request: _Request, path, respond) -> None:
+        backend = self.cache.backend
+        parts = path[len("/cache/v1/"):].split("/")
+        method = request.method
+
+        if parts == ["statz"] and method == "GET":
+            await respond(200, {"entries": backend.entry_count()})
+            return
+        if not parts or not parts[0]:
+            await respond(404, {"error": "missing cache key"})
+            return
+        key = parts[0]
+        if not _valid_key(key):
+            await respond(400, {"error": f"malformed cache key {key!r}"})
+            return
+        sub = parts[1] if len(parts) > 1 else None
+        if len(parts) > 2 or sub not in (None, "npz", "lock"):
+            await respond(404, {"error": f"no cache route {path!r}"})
+            return
+
+        handler = {
+            (None, "GET"): self._cache_get_json,
+            (None, "HEAD"): self._cache_head,
+            (None, "PUT"): self._cache_put_json,
+            ("npz", "GET"): self._cache_get_npz,
+            ("npz", "PUT"): self._cache_put_npz,
+            ("lock", "POST"): self._cache_lock,
+            ("lock", "DELETE"): self._cache_unlock,
+        }.get((sub, method))
+        if handler is None:
+            await respond(405, {"error": f"{method} not supported on {path}"})
+            return
+        await handler(backend, key, request, respond)
+
+    async def _cache_get_json(self, backend, key, request, respond):
+        text = backend.read_json(key)
+        if text is None:
+            await respond(404, {"error": "no such entry"})
+        else:
+            await respond(200, text.encode("utf-8"), content_type=_JSON)
+
+    async def _cache_head(self, backend, key, request, respond):
+        status = 200 if backend.contains(key) else 404
+        await respond(status, b"", head=True)
+
+    async def _cache_put_json(self, backend, key, request, respond):
+        with self._staged_lock:
+            npz = self._staged_npz.pop(key, None)
+        backend.write_entry(key, request.body.decode("utf-8"), npz)
+        telemetry.counter_inc("repro_service_peer_writes_total")
+        await respond(200, {"stored": key})
+
+    async def _cache_get_npz(self, backend, key, request, respond):
+        data = backend.read_npz(key)
+        if data is None:
+            await respond(404, {"error": "no such payload"})
+        else:
+            await respond(200, data, content_type=_BINARY)
+
+    async def _cache_put_npz(self, backend, key, request, respond):
+        # Staged until the entry document lands: the backend contract
+        # writes npz-before-json so a torn write can never parse.
+        with self._staged_lock:
+            self._staged_npz[key] = request.body
+        await respond(200, {"staged": key})
+
+    async def _cache_lock(self, backend, key, request, respond):
+        if backend.acquire_lock(key):
+            await respond(200, {"locked": key})
+        else:
+            await respond(409, {"error": "entry is locked"})
+
+    async def _cache_unlock(self, backend, key, request, respond):
+        backend.release_lock(key)
+        await respond(200, {"unlocked": key})
+
+
+def _valid_key(key: str) -> bool:
+    return (0 < len(key) <= 64 and
+            all(c in "0123456789abcdef" for c in key))
+
+
+def _future_waiter(loop, future):
+    """Bridge a queue delivery (worker thread) onto the event loop."""
+
+    def waiter(doc, error):
+        def resolve():
+            if future.cancelled() or future.done():
+                return
+            if error is not None:
+                future.set_exception(
+                    error if isinstance(error, Exception)
+                    else RuntimeError(str(error))
+                )
+            else:
+                future.set_result(doc)
+        loop.call_soon_threadsafe(resolve)
+
+    return waiter
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+async def _read_request(reader) -> _Request | None:
+    """Parse one HTTP/1.1 request from the stream (None on EOF/garbage)."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    except asyncio.LimitOverrunError:
+        return None
+    if len(header_blob) > MAX_HEADER_BYTES:
+        return None
+    lines = header_blob.decode("latin-1").split("\r\n")
+    request_parts = lines[0].split(" ")
+    if len(request_parts) != 3:
+        return None
+    method, path, _version = request_parts
+    headers: dict = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            return None
+        if n < 0 or n > MAX_BODY_BYTES:
+            return None
+        try:
+            body = await reader.readexactly(n)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return _Request(method.upper(), path, headers, body)
+
+
+def _render_response(status: int, body: bytes, content_type: str,
+                     extra_headers: dict | None = None,
+                     stream: bool = False, head: bool = False) -> bytes:
+    reason = {
+        200: "OK", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict",
+        413: "Payload Too Large", 429: "Too Many Requests",
+        500: "Internal Server Error",
+    }.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if not stream:
+        lines.append(f"Content-Length: {0 if head else len(body)}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head_bytes = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head_bytes if head else head_bytes + body
+
+
+async def _handle_connection(service: SweepService, reader, writer) -> None:
+    request = await _read_request(reader)
+    if request is None:
+        writer.close()
+        return
+    injector = faults.active()
+    attempt = request.attempt
+    responded = False
+
+    async def respond(status, payload, content_type=None, headers=None,
+                      stream=False, head=False):
+        nonlocal responded
+        responded = True
+        if injector is not None:
+            delay = injector.slow_response(request.path, attempt)
+            if delay:
+                await asyncio.sleep(delay)
+            if injector.drop_connection(request.path, attempt):
+                # Sever mid-exchange: the client sees a torn connection
+                # and must retry with an incremented attempt header.
+                writer.transport.abort()
+                raise ConnectionResetError("injected dropped connection")
+        if isinstance(payload, (dict, list)):
+            body = (canonical_json(payload) + "\n").encode("utf-8")
+            content_type = content_type or _JSON
+        else:
+            body = payload if payload is not None else b""
+            content_type = content_type or _BINARY
+        writer.write(_render_response(status, body, content_type,
+                                      extra_headers=headers,
+                                      stream=stream, head=head))
+        await writer.drain()
+        if stream:
+            async def send_line(doc):
+                writer.write(
+                    (canonical_json(doc) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+            return send_line
+        return None
+
+    try:
+        if injector is not None and injector.queue_full(request.path,
+                                                       attempt):
+            await respond(
+                429,
+                {"error": "injected queue-full",
+                 "retry_after": service.config.retry_after},
+                headers={"Retry-After":
+                         f"{service.config.retry_after:.0f}"},
+            )
+        else:
+            await service.handle(request, respond)
+    except ConnectionResetError:
+        pass
+    except Exception as exc:  # one request must not take the server down
+        telemetry.counter_inc("repro_service_errors_total")
+        if not responded:
+            try:
+                await respond(500, {"error": f"internal error: {exc}"})
+            except ConnectionResetError:
+                pass
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+class ServerHandle:
+    """A running service instance (own thread + event loop)."""
+
+    def __init__(self, service, host, port, loop, thread, server):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.base_url = f"http://{host}:{port}"
+        self._loop = loop
+        self._thread = thread
+        self._server = server
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+
+        def _shutdown():
+            self._server.close()
+            loop.stop()
+
+        loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout)
+        self.service.close()
+
+
+def serve_in_thread(config: ServiceConfig) -> ServerHandle:
+    """Start a service on a daemon thread; returns once it accepts."""
+    service = SweepService(config)
+    started = threading.Event()
+    box: dict = {}
+
+    def runner():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def start():
+            return await asyncio.start_server(
+                lambda r, w: _handle_connection(service, r, w),
+                config.host, config.port,
+            )
+
+        server = loop.run_until_complete(start())
+        box["loop"] = loop
+        box["server"] = server
+        box["port"] = server.sockets[0].getsockname()[1]
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                loop.run_until_complete(server.wait_closed())
+            except Exception:
+                pass
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="sweep-service",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("sweep service failed to start within 30s")
+    return ServerHandle(service, config.host, box["port"],
+                        box["loop"], thread, box["server"])
+
+
+def run_server(config: ServiceConfig, out=None) -> int:
+    """Blocking entry point of ``repro serve`` (Ctrl-C to stop)."""
+    import sys
+
+    out = out or sys.stdout
+    handle = serve_in_thread(config)
+    print(f"sweep service listening on {handle.base_url} "
+          f"(cache: {handle.service.cache.root})", file=out)
+    try:
+        while handle._thread.is_alive():
+            handle._thread.join(timeout=0.5)
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        handle.stop()
+    return 0
