@@ -25,6 +25,8 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
+from .callgraph import Program, build_program
+from .dataflow import Summary, compute_summaries
 from .engine import (
     DEFAULT_LAYER_RULES,
     AnalysisConfig,
@@ -33,6 +35,7 @@ from .engine import (
     run_analysis,
 )
 from .findings import AnalysisReport, Finding, RawFinding, make_fingerprint
+from .sarif import to_sarif
 from .suppressions import HOST_SIDE_CODE, SuppressionIndex
 
 __all__ = [
@@ -44,11 +47,16 @@ __all__ = [
     "Finding",
     "HOST_SIDE_CODE",
     "ModuleInfo",
+    "Program",
     "RawFinding",
+    "Summary",
     "SuppressionIndex",
+    "build_program",
+    "compute_summaries",
     "discover_modules",
     "load_baseline",
     "make_fingerprint",
     "run_analysis",
+    "to_sarif",
     "write_baseline",
 ]

@@ -3,11 +3,25 @@
 Each checker module exposes ``check(module, config) -> list[RawFinding]``.
 The engine iterates :data:`ALL_CHECKERS` in order; the dict key is the
 checker id that findings carry and suppressions can name.
+
+The first five are intra-module (PR 3); the last four are the
+interprocedural layer and read the whole-program view the engine plants
+on ``config.program`` (call graph + dataflow summaries).
 """
 
 from __future__ import annotations
 
-from . import cachekey, forksafety, hygiene, imports, opcoverage
+from . import (
+    asyncsafety,
+    batchcontract,
+    cachekey,
+    forksafety,
+    hygiene,
+    imports,
+    interproc,
+    opcoverage,
+    workerstate,
+)
 
 __all__ = ["ALL_CHECKERS"]
 
@@ -17,4 +31,8 @@ ALL_CHECKERS = {
     "layer-imports": imports.check,
     "fork-safety": forksafety.check,
     "hygiene": hygiene.check,
+    "interproc-op-coverage": interproc.check,
+    "async-safety": asyncsafety.check,
+    "batch-contract": batchcontract.check,
+    "worker-state": workerstate.check,
 }

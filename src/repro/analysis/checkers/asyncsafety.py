@@ -1,0 +1,101 @@
+"""Async-safety: no blocking work on the event loop, no dropped coroutines.
+
+The sweep service (``repro.service``) runs a single asyncio event loop;
+one blocking call inside any coroutine stalls *every* connection and
+corrupts the latency numbers the service exists to produce.  Two codes:
+
+``async-safety-blocking`` (error)
+    A call inside an ``async def`` that blocks the thread — directly
+    (``time.sleep``, sync file/socket IO, ``subprocess``, the ``.sweep``
+    runner surface) or through a *sync* callee whose whole-program
+    summary carries a ``may_block`` witness chain.  The sanctioned fix
+    is an executor hop (``await loop.run_in_executor(None, fn, ...)`` /
+    ``asyncio.to_thread``): the callable is then an *argument*, not a
+    call, so no flagged edge forms.  Calls to blocking *async* targets
+    are not re-flagged at the await site — the callee is flagged at its
+    own definition.
+
+``async-safety-unawaited`` (error)
+    A statement-level bare call that creates a coroutine and drops it:
+    ``self._notify(req)`` where ``_notify`` is ``async def``, or a bare
+    ``asyncio.sleep(...)``.  Assigned/gathered futures are fine — only
+    expression statements are checked.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import RawFinding
+
+__all__ = ["check"]
+
+CODE = "async-safety"
+
+
+def _end(node) -> int:
+    return getattr(node, "end_lineno", node.lineno) or node.lineno
+
+
+def check(module, config) -> list:
+    """Async-safety findings for every coroutine defined in ``module``."""
+    program = config.program
+    if program is None:
+        return []
+    from ..dataflow import direct_block
+
+    findings = []
+    for fn in program.functions_in(module):
+        if not fn.is_async:
+            continue
+        edges = program.calls.get(fn.fid, ())
+        edge_by_node = {id(edge.node): edge for edge in edges}
+        for edge in edges:
+            witness = direct_block(edge, config)
+            if not witness:
+                for tid in edge.targets:
+                    target = program.functions[tid]
+                    chain = program.summaries[tid].may_block
+                    if chain and not target.is_async:
+                        witness = f"{target.display} -> {chain}" \
+                            if chain != target.display else chain
+                        break
+            if witness:
+                findings.append(RawFinding(
+                    code=f"{CODE}-blocking",
+                    severity="error",
+                    line=edge.node.lineno,
+                    col=edge.node.col_offset,
+                    message=(
+                        f"blocking call in coroutine `{fn.qualname}`: "
+                        f"`{edge.chain or witness}` blocks the event loop "
+                        f"(witness: {witness}) — hop through "
+                        "`loop.run_in_executor` / `asyncio.to_thread`"
+                    ),
+                    end_line=_end(edge.node),
+                ))
+        # Dropped coroutines: statement-level bare calls only.
+        for stmt in ast.walk(fn.node):
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            edge = edge_by_node.get(id(stmt.value))
+            if edge is None or edge.awaited:
+                continue
+            makes_coroutine = edge.external in config.async_externals or any(
+                program.functions[tid].is_async for tid in edge.targets
+            )
+            if makes_coroutine:
+                findings.append(RawFinding(
+                    code=f"{CODE}-unawaited",
+                    severity="error",
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"coroutine `{edge.chain}` created in "
+                        f"`{fn.qualname}` but never awaited — the call "
+                        "body never runs"
+                    ),
+                    end_line=_end(stmt),
+                ))
+    return findings

@@ -1,0 +1,57 @@
+"""Interprocedural op-coverage: kernel taint across call boundaries.
+
+The intra-procedural checker (:mod:`.opcoverage`) cannot see a device
+value *returned from a helper*: ``blocks = _matmul(ctx, a, b)`` looks
+like any other call, so a raw ``np.add(blocks, bias)`` in the caller
+passes silently — exactly the silently-precise failure mode the contract
+exists to prevent.  This checker re-runs the same taint with the
+whole-program summaries plugged in (``call_taints`` hook +
+``tainted_params`` seeds from :mod:`repro.analysis.dataflow`) and emits
+only the findings the intra-procedural pass missed, annotated with the
+call-boundary provenance.
+
+Findings carry the plain ``op-coverage`` code, so the documented
+``# precise: host-side`` escape hatch suppresses them identically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+
+from ..findings import RawFinding
+from .opcoverage import _KernelTaint
+
+__all__ = ["check"]
+
+CODE = "op-coverage"
+
+
+def check(module, config) -> list:
+    """Op-coverage findings visible only with call-boundary taint."""
+    program = config.program
+    if program is None or module.layer not in config.kernel_layers:
+        return []
+    from ..dataflow import run_kernel_taint
+
+    findings = []
+    for fn in program.functions_in(module):
+        interproc, _ = run_kernel_taint(
+            program, fn, program.summaries, config
+        )
+        if not interproc.findings:
+            continue
+        intra = _KernelTaint(fn.node, config.context_names)
+        intra.run()
+        seen = {(f.line, f.col) for f in intra.findings}
+        for item in interproc.findings:
+            if (item.line, item.col) in seen:
+                continue  # already reported by the intra-procedural pass
+            findings.append(replace(
+                item,
+                message=item.message.replace(
+                    "context-derived value",
+                    "device value that crossed a helper-call boundary",
+                ),
+            ))
+    return findings

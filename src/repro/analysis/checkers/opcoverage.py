@@ -121,12 +121,24 @@ def _np_arith_name(func) -> str:
 
 
 class _KernelTaint:
-    """Taint analysis over one function body."""
+    """Taint analysis over one function body.
 
-    def __init__(self, func, context_names):
+    The interprocedural pass (:mod:`repro.analysis.dataflow`) reuses this
+    class with two extension points: ``initial_tainted`` seeds parameter
+    taint learned from call sites, and ``call_taints`` is consulted for
+    calls the intra-procedural rules say are clean — it returns True when
+    the whole-program summary of a resolved callee says the call returns
+    a device value.  ``returns_tainted`` records whether any ``return``
+    statement returned taint, which is how device-ness escapes a helper.
+    """
+
+    def __init__(self, func, context_names, initial_tainted=(),
+                 call_taints=None):
         self.func = func
         self.contexts = set(context_names)
-        self.tainted: set = set()
+        self.tainted: set = set(initial_tainted)
+        self.call_taints = call_taints
+        self.returns_tainted = False
         self.findings: list = []
         # End line of the statement being scanned, so a suppression after
         # the closing parenthesis of a multi-line expression still covers
@@ -184,9 +196,13 @@ class _KernelTaint:
         if isinstance(func, ast.Attribute) and self.is_tainted(func.value):
             return True
         # Any call fed a tainted argument conservatively returns taint.
-        return any(self.is_tainted(arg) for arg in node.args) or any(
+        if any(self.is_tainted(arg) for arg in node.args) or any(
             self.is_tainted(kw.value) for kw in node.keywords
-        )
+        ):
+            return True
+        # Whole-program hook: a resolved callee whose summary says it
+        # returns a device value taints the call even with clean args.
+        return self.call_taints is not None and self.call_taints(node)
 
     # -- one pass ------------------------------------------------------
     def _bind(self, target, tainted: bool) -> None:
@@ -270,6 +286,8 @@ class _KernelTaint:
             self._scan(stmt.finalbody, emit)
         elif isinstance(stmt, (ast.Return, ast.Expr)):
             if stmt.value is not None:
+                if isinstance(stmt, ast.Return) and self.is_tainted(stmt.value):
+                    self.returns_tainted = True
                 self._visit_expr(stmt.value, emit)
         # Nested function/class defs are analyzed as their own kernels by
         # the module walk; skip them here.

@@ -74,6 +74,25 @@ class AnalysisConfig:
         Variable names treated a-priori as an :class:`ArithmeticContext`;
         names assigned from ``make_context(...)`` / ``ArithmeticContext(...)``
         are added per function.
+    backend_base_names:
+        Class names rooting the backend registry family; methods called on
+        unresolvable receivers dispatch to every implementation in the
+        family (mirrors ``get_backend(...)``), and the batch-contract
+        checker audits exactly these classes.
+    batch_axis_plurals:
+        ``{scalar param: batch param}`` for the config axis a ``*_batch``
+        entry point vectorizes over.
+    blocking_calls / blocking_modules / blocking_attrs /
+    blocking_method_names / blocking_qualnames:
+        The async-safety classifier: external calls, module prefixes
+        (``subprocess``), unresolved-receiver attribute and method names,
+        and package qualnames that block the calling thread.
+    worker_entrypoint_names:
+        Function names the process-pool runner submits to workers;
+        roots of the worker-state reachability query.
+    worker_state_layers:
+        Layers whose module-level mutable containers the worker-state
+        checker audits for worker-reachable writes without a reset hook.
     """
 
     package: str = "repro"
@@ -84,8 +103,48 @@ class AnalysisConfig:
         "framework", "runtime", "faults",
     )
     context_names: tuple = ("ctx", "context")
+    backend_base_names: tuple = ("ComputeBackend",)
+    batch_axis_plurals: dict = field(default_factory=lambda: {
+        "threshold": "thresholds",
+        "config": "configs",
+        "truncation": "truncations",
+    })
+    blocking_calls: tuple = (
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "os.system",
+        "os.waitpid",
+        "select.select",
+        "shutil.copyfile",
+        "shutil.copytree",
+        "shutil.rmtree",
+    )
+    blocking_modules: tuple = ("subprocess",)
+    blocking_attrs: tuple = (
+        "read_text", "write_text", "read_bytes", "write_bytes",
+    )
+    blocking_method_names: tuple = ("sweep",)
+    blocking_qualnames: tuple = ("ExperimentRunner.sweep",)
+    #: Statement-level bare calls to these externals create a coroutine
+    #: that is dropped unawaited.
+    async_externals: tuple = (
+        "asyncio.sleep", "asyncio.gather", "asyncio.wait",
+        "asyncio.wait_for", "asyncio.open_connection",
+        "asyncio.start_server", "asyncio.to_thread",
+    )
+    worker_entrypoint_names: tuple = (
+        "_evaluate_chunk", "_evaluate_batch_chunk", "_call_chunk",
+    )
+    worker_state_layers: tuple = ("core", "runtime")
     #: Populated by the engine: every layer directory found under the root.
     known_layers: frozenset = frozenset()
+    #: Populated by the engine: the resolved whole-program view
+    #: (:class:`repro.analysis.callgraph.Program` with ``summaries``).
+    program: object = None
 
 
 @dataclass
@@ -138,7 +197,8 @@ def discover_modules(root) -> list:
 
 
 def run_analysis(root, config=None, checkers=None,
-                 baseline_fingerprints=frozenset()) -> AnalysisReport:
+                 baseline_fingerprints=frozenset(),
+                 restrict_paths=None) -> AnalysisReport:
     """Run every checker over the package at ``root``.
 
     Parameters
@@ -152,8 +212,15 @@ def run_analysis(root, config=None, checkers=None,
         :data:`repro.analysis.checkers.ALL_CHECKERS`.
     baseline_fingerprints:
         Accepted fingerprints (see :mod:`repro.analysis.baseline`).
+    restrict_paths:
+        Optional set of package-relative posix paths; findings are only
+        *emitted* for these modules.  The whole package is still parsed
+        and summarized — the interprocedural checkers need the complete
+        call graph even when reporting on a changed-file subset.
     """
+    from .callgraph import build_program
     from .checkers import ALL_CHECKERS
+    from .dataflow import compute_summaries
 
     root = Path(root)
     if not root.is_dir():
@@ -166,11 +233,16 @@ def run_analysis(root, config=None, checkers=None,
         known_layers=frozenset(m.layer for m in modules if m.layer)
         | frozenset(config.layer_rules),
     )
+    program = build_program(modules, config)
+    program.summaries = compute_summaries(program, config)
+    config = replace(config, program=program)
 
     findings = []
     suppressed = 0
     occurrences: dict = {}  # (code, relpath, normalized line) -> count
     for module in modules:
+        if restrict_paths is not None and module.relpath not in restrict_paths:
+            continue
         raw = []
         for checker_id, check in checkers.items():
             for item in check(module, config):

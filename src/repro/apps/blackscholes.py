@@ -55,7 +55,8 @@ def _erf_poly(ctx, x):
     poly = ctx.mul(
         t, ctx.add(a1, ctx.mul(t, ctx.add(a2, ctx.mul(a3, t))))
     )
-    # exp is host-evaluated (the SFU exp unit is outside the paper's set).
+    # precise: host-side — exp is host-evaluated (the SFU exp unit is
+    # outside the paper's set).
     gauss = np.exp(-np.asarray(ax, dtype=np.float64) ** 2).astype(ctx.dtype)
     magnitude = ctx.sub(np.float32(1.0), ctx.mul(poly, gauss))
     return np.where(np.asarray(x) < 0, -magnitude, magnitude).astype(ctx.dtype)

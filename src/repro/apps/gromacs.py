@@ -44,9 +44,9 @@ def _pair_terms(ctx, positions, box):
     """LJ potential sum and per-particle forces over all pairs (counted)."""
     n = len(positions)
     iu, ju = np.triu_indices(n, k=1)
-    delta = positions[iu] - positions[ju]
+    delta = positions[iu] - positions[ju]  # precise: host-side (pair deltas)
     # Minimum image (host-side box logic, like the neighbor search).
-    delta -= box * np.round(delta / box)
+    delta -= box * np.round(delta / box)  # precise: host-side
     dx = ctx.array(delta[:, 0])
     dy = ctx.array(delta[:, 1])
     dz = ctx.array(delta[:, 2])

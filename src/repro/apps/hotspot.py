@@ -112,8 +112,8 @@ def initial_temperature(
             + (north + south - 2.0 * temp) * float(coeff["ry_inv"])
             + (east + west - 2.0 * temp) * float(coeff["rx_inv"])
             + (_AMBIENT - temp) * float(coeff["rz_inv"])
-        )
-        temp = temp + float(coeff["step_div_cap"]) * flux
+        )  # precise: host-side (settling the precise starting trace)
+        temp = temp + float(coeff["step_div_cap"]) * flux  # precise: host-side
     result = temp.astype(np.float32)
     if len(_INITIAL_CACHE) > 8:
         _INITIAL_CACHE.clear()

@@ -555,24 +555,95 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def _changed_lint_paths(root: Path):
+    """Package-relative paths changed vs ``merge-base HEAD origin/main``.
+
+    Returns ``None`` (meaning: full scan) when ``root`` is not inside a
+    git work tree or git itself is unavailable — ``--changed-only`` is a
+    fast-path convenience, never a correctness gate.
+    """
+    import subprocess
+
+    root = root.resolve()
+
+    def git(*argv):
+        try:
+            return subprocess.run(
+                ["git", *argv], cwd=root, capture_output=True, text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+
+    top = git("rev-parse", "--show-toplevel")
+    if top is None or top.returncode != 0:
+        return None
+    repo = Path(top.stdout.strip())
+    base = git("merge-base", "HEAD", "origin/main")
+    base_ref = base.stdout.strip() if base and base.returncode == 0 \
+        else "HEAD"
+    diff = git("diff", "--name-only", base_ref)
+    if diff is None or diff.returncode != 0:
+        return None
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    lines = diff.stdout.splitlines()
+    if untracked is not None and untracked.returncode == 0:
+        lines += untracked.stdout.splitlines()
+    changed = set()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rel = (repo / line).resolve().relative_to(root)
+        except ValueError:
+            continue  # changed file outside the scanned package
+        changed.add(rel.as_posix())
+    return changed
+
+
 def cmd_lint(args, out) -> int:
     """Contract-enforcing static analysis (see docs/ANALYSIS.md)."""
     import json as _json
 
     import repro
-    from repro.analysis import load_baseline, run_analysis, write_baseline
+    from repro.analysis import (
+        load_baseline,
+        run_analysis,
+        to_sarif,
+        write_baseline,
+    )
 
     root = Path(args.path) if args.path else Path(repro.__file__).parent
+    if not root.is_dir():
+        print(f"repro lint: package path {root} is not a directory\n"
+              "usage: repro lint [--path PACKAGE_DIR]", file=sys.stderr)
+        return 2
+    if args.changed_only and (args.write_baseline or args.update_baseline):
+        print("repro lint: --changed-only scans a subset and cannot "
+              "rewrite the baseline (drop --write-baseline/"
+              "--update-baseline)", file=sys.stderr)
+        return 2
     baseline_path = Path(args.baseline)
     try:
         baseline = load_baseline(baseline_path)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    restrict = None
+    if args.changed_only:
+        restrict = _changed_lint_paths(root)
+        if restrict is not None:
+            restrict = {p for p in restrict if p.endswith(".py")}
     try:
-        report = run_analysis(root, baseline_fingerprints=baseline)
+        report = run_analysis(root, baseline_fingerprints=baseline,
+                              restrict_paths=restrict)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if report.modules_scanned == 0:
+        print(f"repro lint: no python modules found under {root}\n"
+              "usage: repro lint [--path PACKAGE_DIR]", file=sys.stderr)
         return 2
 
     if args.write_baseline:
@@ -580,11 +651,33 @@ def cmd_lint(args, out) -> int:
         print(f"baseline of {len(report.findings)} findings written to "
               f"{baseline_path}", file=out)
         return 0
+    if args.update_baseline:
+        # Keep only baselined findings that still exist: stale entries
+        # are pruned, new findings are NOT silently accepted.
+        kept = report.baselined_findings
+        write_baseline(baseline_path, kept)
+        print(f"baseline rewritten: {len(kept)} kept, "
+              f"{len(report.stale_fingerprints)} stale pruned "
+              f"({baseline_path})", file=out)
+        if not report.ok:
+            print(f"{len(report.new_findings)} new findings remain "
+                  "(fix them or use --write-baseline to accept)", file=out)
+        return 0 if report.ok else 1
+
+    prefix = "" if root.name == str(root) else f"{root}/"
     if args.format == "json":
-        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+        rendered = _json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        rendered = _json.dumps(to_sarif(report, path_prefix=prefix),
+                               indent=2, sort_keys=True)
     else:
-        prefix = "" if root.name == str(root) else f"{root}/"
-        print(report.format_text(path_prefix=prefix), file=out)
+        rendered = report.format_text(path_prefix=prefix)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"{args.format} report written to {args.output}", file=out)
+        print(report.summary(), file=out)
+    else:
+        print(rendered, file=out)
     return 0 if report.ok else 1
 
 
@@ -876,11 +969,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--path", default=None,
                    help="package directory to scan (default: the installed "
                         "repro package)")
-    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"))
+    p.add_argument("--output", default=None,
+                   help="write the rendered report to a file instead of "
+                        "stdout (stdout gets the one-line summary)")
     p.add_argument("--baseline", default=".repro-lint-baseline.json",
                    help="accepted-findings baseline file (need not exist)")
     p.add_argument("--write-baseline", action="store_true",
                    help="accept the current findings into the baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline pruning stale entries "
+                        "(does not accept new findings)")
+    p.add_argument("--changed-only", action="store_true",
+                   help="report findings only for files changed since "
+                        "merge-base with origin/main (full scan outside "
+                        "a git repo); the whole package is still parsed")
 
     p = sub.add_parser(
         "bench", help="benchmark the compute backends (parity-checked)"

@@ -199,7 +199,11 @@ class SweepService:
             futures: dict = {}
             try:
                 for name, config in sweep.configs.items():
-                    doc = self.cache.document(sweep.spec, config)
+                    # Cache reads hit the filesystem (or an HTTP peer);
+                    # keep them off the event loop.
+                    doc = await loop.run_in_executor(
+                        None, self.cache.document, sweep.spec, config
+                    )
                     if doc is not None:
                         warm[name] = sanitize_document(doc)
                         self.queue.record_cache_outcome(config, hit=True)

@@ -508,3 +508,495 @@ class TestLintCli:
         baseline.write_text("{not json")
         assert main(["lint", "--baseline", str(baseline)]) == 2
         assert "baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Interprocedural op-coverage (call-graph taint)
+# ----------------------------------------------------------------------
+ESCAPING_TAINT = """\
+import numpy as np
+
+
+def _scale(ctx, image):
+    return ctx.mul(image, np.float32(2.0))
+
+
+def run(ctx, image):
+    blocks = _scale(ctx, image)
+    return np.add(blocks, np.float32(1.0))
+"""
+
+METHOD_ESCAPING_TAINT = """\
+class Kernel:
+    def _scale(self, ctx, image):
+        return ctx.mul(image, 2.0)
+
+    def run(self, ctx, image):
+        blocks = self._scale(ctx, image)
+        return blocks * 2
+"""
+
+
+class TestInterprocOpCoverage:
+    def test_taint_escaping_helper_is_caught(self, tmp_path, config):
+        root = make_package(tmp_path, {"apps/k.py": ESCAPING_TAINT})
+        report = run_analysis(root, config)
+        interproc = [f for f in report.findings
+                     if f.checker == "interproc-op-coverage"]
+        assert len(interproc) >= 1
+        assert interproc[0].line == 10
+        assert "helper-call boundary" in interproc[0].message
+        assert not report.ok
+
+    def test_method_resolution_via_self(self, tmp_path, config):
+        root = make_package(tmp_path, {"apps/k.py": METHOD_ESCAPING_TAINT})
+        report = run_analysis(root, config)
+        interproc = [f for f in report.findings
+                     if f.checker == "interproc-op-coverage"]
+        assert len(interproc) == 1
+        assert interproc[0].line == 7
+
+    def test_no_double_report_with_intra(self, tmp_path, config):
+        # A site the intra-procedural checker already flags must not be
+        # reported a second time by the interprocedural pass.
+        root = make_package(tmp_path, {"apps/k.py": BAD_KERNEL})
+        report = run_analysis(root, config)
+        assert not any(f.checker == "interproc-op-coverage"
+                       for f in report.findings)
+
+    def test_host_side_suppression_round_trip(self, tmp_path, config):
+        suppressed = ESCAPING_TAINT.replace(
+            "return np.add(blocks, np.float32(1.0))",
+            "return np.add(blocks, np.float32(1.0))  # precise: host-side",
+        )
+        root = make_package(tmp_path, {"apps/k.py": suppressed})
+        report = run_analysis(root, config)
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_param_untainted_without_tainted_caller(self, tmp_path, config):
+        # A helper taking plain host arrays stays clean even though a
+        # second kernel passes it device values under a different param.
+        source = (
+            "def _shift(image, bias):\n"
+            "    return image + bias\n"
+            "\n"
+            "\n"
+            "def host_entry(image):\n"
+            "    return _shift(image, 1.0)\n"
+        )
+        root = make_package(tmp_path, {"apps/k.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# Async-safety
+# ----------------------------------------------------------------------
+BLOCKING_SERVICE = """\
+import asyncio
+import time
+
+
+def _lookup(key):
+    return open(key).read()
+
+
+async def handle(request):
+    time.sleep(0.1)
+    data = _lookup(request)
+    return data
+
+
+async def notify(request):
+    asyncio.sleep(0.0)
+"""
+
+EXECUTOR_HOP_SERVICE = """\
+import asyncio
+
+
+def _lookup(key):
+    return open(key).read()
+
+
+async def handle(request):
+    loop = asyncio.get_running_loop()
+    data = await loop.run_in_executor(None, _lookup, request)
+    await asyncio.sleep(0)
+    return data
+"""
+
+ATTR_BLOCKING_SERVICE = """\
+class Store:
+    def read(self, key):
+        return key.read_text()
+
+
+class Service:
+    def __init__(self):
+        self.store = Store()
+
+    async def handle(self, key):
+        return self.store.read(key)
+"""
+
+
+class TestAsyncSafety:
+    def test_blocking_coroutine_flagged(self, tmp_path, config):
+        root = make_package(tmp_path, {"service/api.py": BLOCKING_SERVICE})
+        report = run_analysis(root, config)
+        codes = [f.code for f in report.findings]
+        assert codes.count("async-safety-blocking") == 2  # sleep + _lookup
+        assert codes.count("async-safety-unawaited") == 1
+        blocking = [f for f in report.findings
+                    if f.code == "async-safety-blocking"]
+        assert {f.line for f in blocking} == {10, 11}
+        # The summary witness names the blocking chain through the helper.
+        helper = next(f for f in blocking if f.line == 11)
+        assert "_lookup" in helper.message and "open" in helper.message
+
+    def test_executor_hop_passes(self, tmp_path, config):
+        root = make_package(tmp_path, {"service/api.py": EXECUTOR_HOP_SERVICE})
+        report = run_analysis(root, config)
+        assert report.ok
+
+    def test_blocking_through_attribute_type(self, tmp_path, config):
+        # self.store is typed from __init__; Store.read blocks via
+        # key.read_text() — the chain must surface in the coroutine.
+        root = make_package(tmp_path, {"service/api.py": ATTR_BLOCKING_SERVICE})
+        report = run_analysis(root, config)
+        assert [f.code for f in report.findings] == ["async-safety-blocking"]
+        assert "read_text" in report.findings[0].message
+
+    def test_suppression_round_trip(self, tmp_path, config):
+        source = BLOCKING_SERVICE.replace(
+            "    time.sleep(0.1)",
+            "    time.sleep(0.1)  # repro-lint: disable=async-safety -- startup settle",
+        )
+        root = make_package(tmp_path, {"service/api.py": source})
+        report = run_analysis(root, config)
+        assert "async-safety-blocking" not in {
+            f.code for f in report.findings if f.line == 10
+        }
+        assert report.suppressed == 1
+
+    def test_real_service_is_async_clean(self):
+        root = Path(repro.__file__).parent
+        report = run_analysis(root)
+        assert not any(f.code.startswith("async-safety")
+                       for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# Batch-contract
+# ----------------------------------------------------------------------
+BACKEND_MISSING_BATCH = """\
+class ComputeBackend:
+    def imprecise_add(self, a, b, threshold, dtype):
+        return a
+
+    def imprecise_add_batch(self, a, b, thresholds, dtype):
+        return a
+
+
+class FastBackend(ComputeBackend):
+    def configurable_multiply(self, a, b, config, dtype):
+        return a
+"""
+
+BACKEND_MISMATCHED_BATCH = """\
+class ComputeBackend:
+    def truncated_multiply(self, a, b, truncation, dtype):
+        return a
+
+    def truncated_multiply_batch(self, a, b, truncation, dtype):
+        return a
+"""
+
+BACKEND_INHERITED_BATCH = """\
+class ComputeBackend:
+    def imprecise_add(self, a, b, threshold, dtype):
+        return a
+
+    def imprecise_add_batch(self, a, b, thresholds, dtype):
+        return a
+
+
+class NumbaLike(ComputeBackend):
+    def imprecise_add(self, a, b, threshold, dtype):
+        return b
+"""
+
+
+class TestBatchContract:
+    def test_missing_batch_counterpart_flagged(self, tmp_path, config):
+        root = make_package(tmp_path, {"core/backends.py": BACKEND_MISSING_BATCH})
+        report = run_analysis(root, config)
+        assert [f.code for f in report.findings] == ["batch-contract-missing"]
+        assert "configurable_multiply" in report.findings[0].message
+
+    def test_mismatched_signature_flagged(self, tmp_path, config):
+        root = make_package(tmp_path,
+                            {"core/backends.py": BACKEND_MISMATCHED_BATCH})
+        report = run_analysis(root, config)
+        assert [f.code for f in report.findings] == ["batch-contract-mismatch"]
+        assert "truncations" in report.findings[0].message
+
+    def test_inherited_batch_satisfies_contract(self, tmp_path, config):
+        root = make_package(tmp_path,
+                            {"core/backends.py": BACKEND_INHERITED_BATCH})
+        report = run_analysis(root, config)
+        assert report.ok
+
+    def test_orphan_batch_flagged(self, tmp_path, config):
+        source = (
+            "class ComputeBackend:\n"
+            "    def scaled_add_batch(self, a, b, thresholds):\n"
+            "        return a\n"
+        )
+        root = make_package(tmp_path, {"core/backends.py": source})
+        report = run_analysis(root, config)
+        assert [f.code for f in report.findings] == ["batch-contract-orphan"]
+
+    def test_axis_free_entry_point_exempt(self, tmp_path, config):
+        source = (
+            "class ComputeBackend:\n"
+            "    def imprecise_sqrt(self, a, dtype):\n"
+            "        return a\n"
+        )
+        root = make_package(tmp_path, {"core/backends.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+
+    def test_opt_out_via_suppression(self, tmp_path, config):
+        source = BACKEND_MISSING_BATCH.replace(
+            "    def configurable_multiply(self, a, b, config, dtype):",
+            "    def configurable_multiply(self, a, b, config, dtype):"
+            "  # repro-lint: disable=batch-contract -- scalar-only op",
+        )
+        root = make_package(tmp_path, {"core/backends.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+        assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Worker-state
+# ----------------------------------------------------------------------
+WORKER_GLOBAL = """\
+_MEMO = {}
+
+
+def _evaluate_chunk(items):
+    return [_eval(i) for i in items]
+
+
+def _eval(item):
+    if item not in _MEMO:
+        _MEMO[item] = item + item
+    return _MEMO[item]
+"""
+
+WORKER_GLOBAL_ALIASED = """\
+_FRAMEWORKS = {}
+
+
+def _evaluate_chunk(spec):
+    return _memo(_FRAMEWORKS, spec)
+
+
+def _memo(memo, spec):
+    if spec not in memo:
+        memo[spec] = spec
+    return memo[spec]
+"""
+
+
+class TestWorkerState:
+    def test_worker_written_global_flagged(self, tmp_path, config):
+        root = make_package(tmp_path, {"runtime/state.py": WORKER_GLOBAL})
+        report = run_analysis(root, config)
+        ws = [f for f in report.findings if f.code == "worker-state"]
+        assert len(ws) == 1
+        assert "_MEMO" in ws[0].message
+        assert "_evaluate_chunk" in ws[0].message
+
+    def test_mutation_through_argument_aliasing(self, tmp_path, config):
+        # The `_memo_framework(_WORKER_FRAMEWORKS, spec)` idiom: the
+        # global is written through a parameter of the callee.
+        root = make_package(tmp_path,
+                            {"runtime/state.py": WORKER_GLOBAL_ALIASED})
+        report = run_analysis(root, config)
+        ws = [f for f in report.findings if f.code == "worker-state"]
+        assert len(ws) == 1
+        assert "_FRAMEWORKS" in ws[0].message
+
+    def test_reset_hook_accepts_worker_state(self, tmp_path, config):
+        source = WORKER_GLOBAL + "\n\ndef reset():\n    _MEMO.clear()\n"
+        root = make_package(tmp_path, {"runtime/state.py": source})
+        report = run_analysis(root, config)
+        assert "worker-state" not in {f.code for f in report.findings}
+
+    def test_unwritten_container_not_flagged(self, tmp_path, config):
+        # A container nobody worker-reachable writes is a static table
+        # (fork-safety may still warn; worker-state must not).
+        source = "_TABLE = {}\n\n\ndef _evaluate_chunk(items):\n    return _TABLE\n"
+        root = make_package(tmp_path, {"runtime/state.py": source})
+        report = run_analysis(root, config)
+        assert "worker-state" not in {f.code for f in report.findings}
+
+    def test_suppression_round_trip(self, tmp_path, config):
+        source = WORKER_GLOBAL.replace(
+            "_MEMO = {}",
+            "_MEMO = {}  # repro-lint: disable=worker-state,fork-safety -- per-process memo",
+        )
+        root = make_package(tmp_path, {"runtime/state.py": source})
+        report = run_analysis(root, config)
+        assert report.ok
+        assert report.suppressed == 2
+
+
+# ----------------------------------------------------------------------
+# Fingerprint stability for the interprocedural checkers
+# ----------------------------------------------------------------------
+class TestInterprocFingerprints:
+    @pytest.mark.parametrize("relpath,source", [
+        ("apps/k.py", ESCAPING_TAINT),
+        ("service/api.py", BLOCKING_SERVICE),
+        ("core/backends.py", BACKEND_MISSING_BATCH),
+        ("runtime/state.py", WORKER_GLOBAL),
+    ])
+    def test_fingerprints_survive_line_shift(self, tmp_path, config,
+                                             relpath, source):
+        before = make_package(tmp_path / "a", {relpath: source})
+        shifted = make_package(
+            tmp_path / "b", {relpath: "# moved\n# down\n\n" + source}
+        )
+        fp_before = {f.fingerprint
+                     for f in run_analysis(before, config).findings}
+        fp_after = {f.fingerprint
+                    for f in run_analysis(shifted, config).findings}
+        assert fp_before
+        assert fp_before == fp_after
+
+
+# ----------------------------------------------------------------------
+# CLI satellites: sarif, --output, --changed-only, --update-baseline,
+# path validation
+# ----------------------------------------------------------------------
+class TestLintCliSatellites:
+    def test_nonexistent_path_is_usage_error(self, tmp_path, capsys):
+        code = main(["lint", "--path", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "usage" in err
+
+    def test_empty_package_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["lint", "--path", str(empty)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no python modules" in err
+
+    def test_sarif_format(self, tmp_path, capsys):
+        root = make_package(tmp_path / "pkg", {"apps/k.py": BAD_KERNEL})
+        code = main([
+            "lint", "--path", str(root), "--format", "sarif",
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert len(results) == 3
+        assert all("reproLint/v1" in r["partialFingerprints"]
+                   for r in results)
+        rule_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert "op-coverage" in rule_ids
+
+    def test_output_file(self, tmp_path, capsys):
+        root = make_package(tmp_path / "pkg", {"apps/k.py": GOOD_KERNEL})
+        out_path = tmp_path / "report.sarif"
+        code = main([
+            "lint", "--path", str(root), "--format", "sarif",
+            "--output", str(out_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["runs"][0]["results"] == []
+        assert "written to" in capsys.readouterr().out
+
+    def test_update_baseline_prunes_stale(self, tmp_path, capsys):
+        root = make_package(tmp_path / "pkg", {"apps/k.py": BAD_KERNEL})
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", "--path", str(root), "--baseline", str(baseline),
+            "--write-baseline",
+        ]) == 0
+        # Fix the findings; the baseline entries go stale.
+        (root / "apps" / "k.py").write_text(GOOD_KERNEL)
+        capsys.readouterr()
+        assert main([
+            "lint", "--path", str(root), "--baseline", str(baseline),
+            "--update-baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stale pruned" in out
+        assert load_baseline(baseline) == frozenset()
+
+    def test_update_baseline_does_not_accept_new(self, tmp_path, capsys):
+        root = make_package(tmp_path / "pkg", {"apps/k.py": BAD_KERNEL})
+        baseline = tmp_path / "baseline.json"
+        code = main([
+            "lint", "--path", str(root), "--baseline", str(baseline),
+            "--update-baseline",
+        ])
+        assert code == 1
+        assert "new findings remain" in capsys.readouterr().out
+        assert load_baseline(baseline) == frozenset()
+
+    def test_changed_only_incompatible_with_baseline_writes(self, capsys):
+        assert main(["lint", "--changed-only", "--write-baseline"]) == 2
+        assert "changed-only" in capsys.readouterr().err
+
+    def test_changed_only_outside_git_falls_back_to_full_scan(
+            self, tmp_path, capsys):
+        root = make_package(tmp_path / "pkg", {"apps/k.py": BAD_KERNEL})
+        code = main([
+            "lint", "--path", str(root), "--changed-only",
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "op-coverage" in out
+
+    def test_changed_only_restricts_to_diff(self, tmp_path, capsys):
+        import subprocess
+
+        root = make_package(tmp_path / "pkg", {
+            "apps/bad.py": BAD_KERNEL,
+            "apps/good.py": GOOD_KERNEL,
+        })
+
+        def git(*argv):
+            return subprocess.run(
+                ["git", "-c", "user.email=t@example.com",
+                 "-c", "user.name=t", *argv],
+                cwd=root, capture_output=True, text=True, check=True,
+            )
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        # Touch only the clean file: the buggy one is out of scope.
+        (root / "apps" / "good.py").write_text(GOOD_KERNEL + "\n# edited\n")
+        code = main([
+            "lint", "--path", str(root), "--changed-only",
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new" in out
