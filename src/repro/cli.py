@@ -689,10 +689,23 @@ def cmd_bench(args, out) -> int:
 
     from repro.core.backends import available_backend_names, backend_names
     from repro.core.backends.bench import run_benchmarks
+    from repro.core.backends.threads import cpu_count
 
     size = 65536 if args.quick else args.size
     repeats = 2 if args.quick else args.repeats
     dtype = np.float64 if args.dtype == "float64" else np.float32
+    if args.threads is not None:
+        if args.threads < 1:
+            print(f"--threads must be >= 1, got {args.threads}",
+                  file=sys.stderr)
+            return 2
+        cores = cpu_count()
+        if args.threads > cores:
+            print(f"--threads {args.threads} exceeds the {cores} core(s) "
+                  "available on this machine; oversubscribing threads only "
+                  f"slows the kernels down — use --threads {cores} or less",
+                  file=sys.stderr)
+            return 2
     if args.backends:
         names = tuple(n.strip() for n in args.backends.split(",") if n.strip())
         unknown = [n for n in names if n not in backend_names()]
@@ -704,7 +717,8 @@ def cmd_bench(args, out) -> int:
         names = available_backend_names()
 
     payload = run_benchmarks(size=size, repeats=repeats, dtype=dtype,
-                             backends=names, batch=args.batch)
+                             backends=names, batch=args.batch,
+                             parallel=args.parallel, threads=args.threads)
 
     failed_parity = []
     print(f"size={payload['size']} repeats={payload['repeats']} "
@@ -742,6 +756,31 @@ def cmd_bench(args, out) -> int:
             if headline:
                 print(f"batch      {n}-config threshold sweep: "
                       f"{headline:5.2f}x vs per-config fused", file=out)
+
+    parallel_section = payload.get("parallel")
+    if parallel_section is not None:
+        threads = parallel_section["threads"]
+        for name, entry in parallel_section["backends"].items():
+            if not entry["available"]:
+                print(f"{name:<14} unavailable: {entry.get('error', '')}",
+                      file=out)
+                continue
+            if not entry["parity_ok"]:
+                failed_parity.append(name)
+                print(f"{name:<14} PARITY FAILED: "
+                      f"{entry.get('parity_failures')}", file=out)
+                continue
+            for op, record in entry["ops"].items():
+                ms = record["seconds"] * 1e3
+                speedup = record.get("speedup_vs_fused")
+                suffix = (f"  {speedup:5.2f}x vs fused ({threads} threads)"
+                          if speedup else "")
+                print(f"{name:<14} {op:<17} {ms:9.2f} ms{suffix}", file=out)
+            compile_seconds = entry.get("compile_seconds")
+            if compile_seconds:
+                total = sum(compile_seconds.values())
+                print(f"{name:<14} one-time JIT compile: {total:.2f} s "
+                      f"({len(compile_seconds)} kernels)", file=out)
 
     if failed_parity:
         print(f"parity failures in: {', '.join(failed_parity)} — "
@@ -1007,6 +1046,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(one decompose, N configs; on by default)")
     p.add_argument("--no-batch", dest="batch", action="store_false",
                    help="skip the batched sweep section")
+    p.add_argument("--parallel", dest="parallel", action="store_true",
+                   default=True,
+                   help="include the multi-core backend section vs the "
+                        "fused baseline (on by default)")
+    p.add_argument("--no-parallel", dest="parallel", action="store_false",
+                   help="skip the multi-core backend section")
+    p.add_argument("--threads", type=int, default=None,
+                   help="worker threads for the parallel backends "
+                        "(default: REPRO_THREADS or the machine core "
+                        "count; values above the core count are refused)")
 
     p = sub.add_parser("report", help="generate the full markdown report")
     p.add_argument("--fast", action="store_true", help="smoke-test scale")

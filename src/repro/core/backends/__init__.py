@@ -5,8 +5,16 @@ One semantic contract, several interchangeable execution engines:
 - ``reference`` — the original vectorized NumPy units (the default);
 - ``fused`` — single-pass kernels with preallocated scratch buffers,
   in-place ufuncs, and lazy special-case handling (~2-3x on large arrays);
+- ``threaded`` — the fused kernels tiled across a thread pool (multi-core
+  without any compiled dependency);
 - ``numba`` — JIT-compiled scalar integer datapaths; optional, gracefully
-  absent when numba is not installed.
+  absent when numba is not installed;
+- ``numba-parallel`` — the numba datapaths under ``prange``, with batched
+  element x config kernels; optional like ``numba``.
+
+The parallel backends accept a thread count (``get_backend(name,
+threads=N)``); resolution and the runner-worker oversubscription contract
+live in :mod:`repro.core.backends.threads`.
 
 Backends are **contractually bit-identical**: the parity harness
 (:mod:`repro.core.backends.parity`, run by ``tests/test_backends.py`` and
@@ -36,6 +44,7 @@ __all__ = [
     "BackendUnavailableError",
     "backend_names",
     "backend_available",
+    "backend_accepts_threads",
     "available_backend_names",
     "default_backend_name",
     "get_backend",
@@ -91,11 +100,33 @@ def _make_numba():
     return NumbaBackend()
 
 
+def _make_threaded(threads=None):
+    from .threaded import ThreadedFusedBackend
+
+    return ThreadedFusedBackend(threads=threads)
+
+
+def _make_numba_parallel(threads=None):
+    from .numba_backend import NumbaParallelBackend
+
+    return NumbaParallelBackend(threads=threads)
+
+
 _FACTORIES = {
     "reference": _make_reference,
     "fused": _make_fused,
+    "threaded": _make_threaded,
     "numba": _make_numba,
+    "numba-parallel": _make_numba_parallel,
 }
+
+#: Backends whose factory accepts a ``threads`` count.
+_THREADED_BACKENDS = ("threaded", "numba-parallel")
+
+
+def backend_accepts_threads(name: str) -> bool:
+    """Whether the named backend's factory takes a thread count."""
+    return name in _THREADED_BACKENDS
 
 
 def backend_names() -> tuple:
@@ -107,7 +138,7 @@ def backend_available(name: str) -> bool:
     """Whether ``name`` can actually be constructed in this environment."""
     if name not in _FACTORIES:
         return False
-    if name == "numba":
+    if name in ("numba", "numba-parallel"):
         return importlib.util.find_spec("numba") is not None
     return True
 
@@ -134,13 +165,15 @@ def default_backend_name() -> str:
     return name
 
 
-def get_backend(name=None):
+def get_backend(name=None, threads=None):
     """Resolve a backend selection to a fresh :class:`ComputeBackend`.
 
     ``name`` may be a backend name, an existing backend instance (returned
     as-is), or ``None`` for the environment/default resolution.  Each call
     returns a fresh instance because backends may hold per-context scratch
-    state.
+    state.  ``threads`` is forwarded to the parallel backends' factories;
+    requesting threads from a backend without a thread pool is an error
+    (``None`` is always accepted and means "resolve the default").
     """
     from .base import ComputeBackend
 
@@ -156,5 +189,12 @@ def get_backend(name=None):
         raise BackendUnavailableError(
             f"backend {name!r} is registered but not available here "
             "(missing optional dependency)"
+        )
+    if name in _THREADED_BACKENDS:
+        return _FACTORIES[name](threads=threads)
+    if threads is not None:
+        raise ValueError(
+            f"backend {name!r} does not take a thread count; "
+            f"threads applies to {_THREADED_BACKENDS}"
         )
     return _FACTORIES[name]()

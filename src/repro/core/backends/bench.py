@@ -21,11 +21,14 @@ import numpy as np
 from ..adder import DEFAULT_THRESHOLD
 from ..configurable import MultiplierConfig
 from ..floatops import format_for_dtype
-from . import available_backend_names, backend_names, get_backend
+from . import (available_backend_names, backend_accepts_threads,
+               backend_available, backend_names, get_backend)
 from .parity import check_batch_parity, check_parity
+from .threads import resolve_thread_count
 
-__all__ = ["BENCH_OPS", "BATCH_SWEEP_THRESHOLDS", "run_benchmarks",
-           "run_batch_benchmarks"]
+__all__ = ["BENCH_OPS", "BATCH_SWEEP_THRESHOLDS", "PARALLEL_BACKENDS",
+           "run_benchmarks", "run_batch_benchmarks",
+           "run_parallel_benchmarks"]
 
 #: Operations timed by :func:`run_benchmarks`.
 BENCH_OPS = ("add", "mul", "fma", "rcp", "sqrt")
@@ -33,6 +36,23 @@ BENCH_OPS = ("add", "mul", "fma", "rcp", "sqrt")
 #: The 8-configuration adder-threshold sweep timed by the ``batch``
 #: section: one batched call against eight per-config fused calls.
 BATCH_SWEEP_THRESHOLDS = (1, 2, 4, 6, 8, 12, 16, 23)
+
+#: Backends timed by the ``parallel`` section against the fused baseline.
+PARALLEL_BACKENDS = ("threaded", "numba-parallel")
+
+#: The Mitchell multiplier-configuration sweep shared by the ``batch``
+#: and ``parallel`` sections (filtered to ``truncation <= mantissa_bits``).
+_MITCHELL_SWEEP_NAMES = ("fp_tr0", "lp_tr0", "fp_tr4", "lp_tr4",
+                         "fp_tr8", "lp_tr8", "fp_tr12", "lp_tr16")
+
+
+def _mitchell_sweep(fmt) -> list:
+    mbits = fmt.mantissa_bits
+    return [
+        MultiplierConfig.from_name(name)
+        for name in _MITCHELL_SWEEP_NAMES
+        if MultiplierConfig.from_name(name).truncation <= mbits
+    ]
 
 
 def _operands(size: int, dtype, seed: int = 11):
@@ -55,8 +75,8 @@ def _time_best(fn, repeats: int) -> float:
     return best
 
 
-def _machine_metadata() -> dict:
-    return {
+def _machine_metadata(threads=None) -> dict:
+    meta = {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": sys.version.split()[0],
@@ -64,6 +84,9 @@ def _machine_metadata() -> dict:
         "cpu_count": os.cpu_count(),
         "numba_available": "numba" in available_backend_names(),
     }
+    if threads is not None:
+        meta["threads"] = int(threads)
+    return meta
 
 
 def _batch_section(size: int, repeats: int, fmt, parity_samples: int) -> dict:
@@ -94,12 +117,7 @@ def _batch_section(size: int, repeats: int, fmt, parity_samples: int) -> dict:
     a, b, c = _operands(size, fmt.dtype)
     thresholds = list(BATCH_SWEEP_THRESHOLDS)
     mbits = fmt.mantissa_bits
-    mitchell = [
-        MultiplierConfig.from_name(name)
-        for name in ("fp_tr0", "lp_tr0", "fp_tr4", "lp_tr4",
-                     "fp_tr8", "lp_tr8", "fp_tr12", "lp_tr16")
-        if MultiplierConfig.from_name(name).truncation <= mbits
-    ]
+    mitchell = _mitchell_sweep(fmt)
     truncations = [t for t in (0, 2, 4, 6, 8, 10, 12, 16) if t <= mbits]
     dt = fmt.dtype
     sweeps = {
@@ -169,6 +187,92 @@ def _batch_section(size: int, repeats: int, fmt, parity_samples: int) -> dict:
     return section
 
 
+def _parallel_section(size: int, repeats: int, fmt, parity_samples: int,
+                      threads=None) -> dict:
+    """Time the multi-core backends against the single-core fused baseline.
+
+    For each parallel backend (``threaded`` always, ``numba-parallel``
+    when numba is installed) this times the scalar ``add``/``mul``/``fma``
+    datapaths and the batched Mitchell configuration sweep on the same
+    large operand vectors as the fused baseline, reporting per-op speedup
+    vs fused.  Like every other section, a backend must pass both the
+    scalar and the batched parity harness before its numbers are
+    published.  JIT backends additionally report per-kernel one-time
+    compile times (``compile_seconds``) so steady-state throughput is
+    never conflated with warm-up cost.
+    """
+    threads = resolve_thread_count(threads)
+    section = {
+        "baseline": "fused",
+        "threads": threads,
+        "size": int(size),
+        "backends": {},
+    }
+    dt = fmt.dtype
+    a, b, c = _operands(size, dt)
+    mitchell = _mitchell_sweep(fmt)
+    runs = {
+        "add": lambda be: be.imprecise_add(a, b, DEFAULT_THRESHOLD,
+                                           dtype=dt),
+        "mul": lambda be: be.imprecise_multiply(a, b, dtype=dt),
+        "fma": lambda be: be.imprecise_fma(a, b, c, DEFAULT_THRESHOLD,
+                                           dtype=dt),
+        "mul_mitchell_batch": lambda be: be.configurable_multiply_batch(
+            a, b, mitchell, dtype=dt),
+    }
+
+    fused = get_backend("fused")
+    fused_times = {}
+    for op, fn in runs.items():
+        fn(fused)  # warm-up
+        fused_times[op] = _time_best(lambda f=fn: f(fused), repeats)
+    section["fused_seconds"] = fused_times
+
+    for name in PARALLEL_BACKENDS:
+        entry = {"available": backend_available(name), "parity_ok": None,
+                 "ops": {}}
+        section["backends"][name] = entry
+        if not entry["available"]:
+            entry["error"] = "missing optional dependency numba"
+            continue
+        try:
+            backend = get_backend(name, threads=threads)
+        except Exception as exc:
+            entry["available"] = False
+            entry["error"] = str(exc)
+            continue
+        compile_seconds = getattr(backend, "compile_seconds", None)
+        if compile_seconds:
+            entry["compile_seconds"] = dict(compile_seconds)
+        failures = check_parity(backend, dtype=dt, n_random=parity_samples)
+        failures = failures + check_batch_parity(backend, dtype=dt,
+                                                 n_random=parity_samples)
+        entry["parity_ok"] = not failures
+        if failures:
+            entry["parity_failures"] = failures
+            continue
+        for op, fn in runs.items():
+            fn(backend)  # warm-up
+            seconds = _time_best(lambda f=fn: f(backend), repeats)
+            record = {"seconds": seconds}
+            if seconds > 0:
+                record["speedup_vs_fused"] = fused_times[op] / seconds
+            entry["ops"][op] = record
+    return section
+
+
+def run_parallel_benchmarks(size: int = 1_000_000, repeats: int = 5,
+                            dtype=np.float32, parity_samples: int = 4096,
+                            threads=None) -> dict:
+    """Just the ``parallel`` section of the payload.
+
+    The standalone entry point behind ``benchmarks/test_parallel_backend.py``;
+    equivalent to the ``parallel`` key that :func:`run_benchmarks` embeds.
+    """
+    return _parallel_section(size, repeats, format_for_dtype(dtype),
+                             parity_samples, threads=threads)
+
+
 def run_batch_benchmarks(size: int = 1_000_000, repeats: int = 5,
                          dtype=np.float32,
                          parity_samples: int = 4096) -> dict:
@@ -184,7 +288,8 @@ def run_batch_benchmarks(size: int = 1_000_000, repeats: int = 5,
 
 def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
                    dtype=np.float32, backends=None,
-                   parity_samples: int = 4096, batch: bool = True) -> dict:
+                   parity_samples: int = 4096, batch: bool = True,
+                   parallel: bool = True, threads=None) -> dict:
     """Benchmark ``backends`` against ``reference`` on ``size`` elements.
 
     Returns a payload dict with machine metadata, per-backend parity
@@ -195,7 +300,12 @@ def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
     With ``batch=True`` (default) the payload also carries a ``batch``
     section comparing the fused backend's batched entry points against
     eight per-config fused calls (see :func:`_batch_section`); pass
-    ``batch=False`` to skip it (``repro bench --no-batch``).
+    ``batch=False`` to skip it (``repro bench --no-batch``).  With
+    ``parallel=True`` (default) it carries a ``parallel`` section timing
+    the multi-core backends against the fused baseline (see
+    :func:`_parallel_section`).  ``threads`` caps the parallel backends'
+    worker count (``repro bench --threads N``); ``None`` resolves via
+    ``REPRO_THREADS`` / the machine core count.
     """
     fmt = format_for_dtype(dtype)
     if backends is None:
@@ -208,13 +318,14 @@ def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
         )
     if "reference" not in backends:
         backends = ("reference",) + tuple(backends)
+    resolved_threads = resolve_thread_count(threads)
 
     a, b, c = _operands(size, fmt.dtype)
     abs_a = np.abs(a)
 
     payload = {
-        "schema": "repro-bench-core/2",
-        "machine": _machine_metadata(),
+        "schema": "repro-bench-core/3",
+        "machine": _machine_metadata(threads=resolved_threads),
         "size": int(size),
         "repeats": int(repeats),
         "dtype": fmt.name,
@@ -223,17 +334,26 @@ def run_benchmarks(size: int = 1_000_000, repeats: int = 5,
     }
     if batch and "fused" in available_backend_names():
         payload["batch"] = _batch_section(size, repeats, fmt, parity_samples)
+    if parallel and "fused" in available_backend_names():
+        payload["parallel"] = _parallel_section(size, repeats, fmt,
+                                                parity_samples,
+                                                threads=resolved_threads)
 
     reference_times = {}
     for name in backends:
         entry = {"available": True, "parity_ok": None, "ops": {}}
         payload["backends"][name] = entry
         try:
-            backend = get_backend(name)
+            kwargs = ({"threads": resolved_threads}
+                      if backend_accepts_threads(name) else {})
+            backend = get_backend(name, **kwargs)
         except Exception as exc:  # registered but unavailable
             entry["available"] = False
             entry["error"] = str(exc)
             continue
+        compile_seconds = getattr(backend, "compile_seconds", None)
+        if compile_seconds:
+            entry["compile_seconds"] = dict(compile_seconds)
         if name == "reference":
             entry["parity_ok"] = True
         else:

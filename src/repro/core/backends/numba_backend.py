@@ -1,35 +1,59 @@
-"""Optional ``numba`` backend: JIT-compiled scalar integer datapaths.
+"""Optional ``numba`` backends: JIT-compiled scalar integer datapaths.
 
-When numba is installed, the threshold adder and the Table-1 multiplier run
-as ``@njit`` scalar loops over the raw IEEE bit patterns — the same integer
-datapath as the reference, one element at a time, with no intermediate
-arrays at all.  Every other operation inherits the reference
-implementation from :class:`~repro.core.backends.base.ComputeBackend`.
+When numba is installed, the hot unit operations run as ``@njit`` scalar
+loops over the raw IEEE bit patterns — the same integer datapath as the
+reference, one element at a time, with no intermediate arrays at all.
+Two backends share the kernel bodies:
 
-When numba is *not* installed the module still imports cleanly;
-constructing :class:`NumbaBackend` raises
+- ``numba`` — serial loops (:class:`NumbaBackend`);
+- ``numba-parallel`` — the same per-element helpers inside
+  ``@njit(parallel=True)`` / ``prange`` loops (:class:`NumbaParallelBackend`),
+  including 2-D ``*_batch`` kernels that parallelize over elements with an
+  inner per-configuration loop, so one field decode serves every config.
+
+Every per-element helper mirrors its reference unit operation for
+operation, in the same order, on the same float64 dyadic intermediates —
+that (not testing alone) is what makes the kernels bit-identical; the
+parity harness then asserts it.  Anything not overridden inherits the
+reference implementation from
+:class:`~repro.core.backends.base.ComputeBackend`.
+
+First construction of a backend runs a one-time tiny-array warm-up per
+kernel, so JIT compilation happens at a predictable time instead of
+polluting the first timed call; per-kernel compile seconds are kept on the
+class (``compile_seconds``) and published by ``repro bench``.
+
+When numba is *not* installed the module still imports cleanly (the
+kernels stay plain Python functions, which is how the no-numba test leg
+exercises their logic); constructing either backend raises
 :class:`~repro.core.backends.BackendUnavailableError`, and the registry
-reports the backend as registered-but-unavailable.  Nothing in this
-repository requires numba — CI exercises this backend on a single matrix
-leg only.
+reports them as registered-but-unavailable.
 """
 
 from __future__ import annotations
 
+import math
+import time
+
 import numpy as np
 
 from ..adder import DEFAULT_THRESHOLD, max_threshold
+from ..configurable import MultiplierConfig
 from ..floatops import format_for_dtype
-from .base import ComputeBackend
+from .base import ComputeBackend, _rounding_flags
+from .threads import resolve_thread_count
 
-__all__ = ["NumbaBackend", "NUMBA_AVAILABLE"]
+__all__ = ["NumbaBackend", "NumbaParallelBackend", "NUMBA_AVAILABLE"]
 
 try:
-    from numba import njit
+    from numba import config as _numba_config
+    from numba import njit, prange, set_num_threads
 
     NUMBA_AVAILABLE = True
 except ImportError:  # pragma: no cover - exercised on the no-numba CI leg
     NUMBA_AVAILABLE = False
+    _numba_config = None
+    prange = range
 
     def njit(*args, **kwargs):
         """Stand-in decorator so the kernels below still parse."""
@@ -37,9 +61,36 @@ except ImportError:  # pragma: no cover - exercised on the no-numba CI leg
             return fn
         return wrap
 
+    def set_num_threads(n):
+        return None
+
+
+def _numba_thread_limit() -> int:
+    """Upper bound numba accepts for ``set_num_threads``."""
+    if _numba_config is None:
+        return 1
+    return int(_numba_config.NUMBA_NUM_THREADS)
+
+
+# ----------------------------------------------------------------------
+# Per-element datapaths.  Each helper takes and returns int64 bit
+# patterns; binary64 patterns with the sign bit set ride along as
+# negative int64 values (two's complement), which every shift/mask below
+# is written to tolerate — exactly like the original kernels.
+# ----------------------------------------------------------------------
+@njit(cache=False)
+def _msb64(v):
+    """MSB bit index of a positive int64 value."""
+    msb = np.int64(0)
+    t = v
+    while t > 1:
+        t >>= 1
+        msb += 1
+    return msb
+
 
 @njit(cache=False)
-def _add_kernel(bits_a, bits_b, out, p, exponent_bits, threshold, nan_bits):
+def _add_one(ba, bb, p, exponent_bits, threshold, nan_bits):
     emask = (np.int64(1) << exponent_bits) - 1
     fmask = (np.int64(1) << p) - 1
     implicit = np.int64(1) << p
@@ -48,132 +99,416 @@ def _add_kernel(bits_a, bits_b, out, p, exponent_bits, threshold, nan_bits):
     max_exp = emask - 1
     keep_mask = ~((np.int64(1) << (p + guard - threshold)) - 1)
     inf_exp = emask << p
-    for i in range(bits_a.size):
-        ba = bits_a[i]
-        bb = bits_b[i]
-        sa = ba >> sign_shift
-        sb = bb >> sign_shift
-        ea = (ba >> p) & emask
-        eb = (bb >> p) & emask
-        fa = ba & fmask
-        fb = bb & fmask
-        a_special = ea == emask
-        b_special = eb == emask
-        if a_special or b_special:
-            a_nan = a_special and fa != 0
-            b_nan = b_special and fb != 0
-            a_inf = a_special and fa == 0
-            b_inf = b_special and fb == 0
-            if a_nan or b_nan or (a_inf and b_inf and sa != sb):
-                out[i] = nan_bits
-            elif a_inf:
-                out[i] = (sa << sign_shift) | inf_exp
-            else:
-                out[i] = (sb << sign_shift) | inf_exp
-            continue
-        # Swap so x has the larger magnitude (ties keep a in x).
-        if (ba & ((np.int64(1) << sign_shift) - 1)) >= (
-            bb & ((np.int64(1) << sign_shift) - 1)
-        ):
-            ex, fx, sx, xz = ea, fa, sa, ea == 0
-            ey, fy, sy, yz = eb, fb, sb, eb == 0
-        else:
-            ex, fx, sx, xz = eb, fb, sb, eb == 0
-            ey, fy, sy, yz = ea, fa, sa, ea == 0
-        d = ex - ey
-        mx = np.int64(0) if xz else (implicit + fx) << guard
-        my = np.int64(0) if yz else (implicit + fy) << guard
-        shift = d if d < p + guard + 1 else p + guard + 1
-        my = (my >> shift) & keep_mask
-        if d > threshold:
-            my = np.int64(0)
-        total = mx - my if sx != sy else mx + my
-        if total < 0:
-            total = -total
-        if total == 0:
-            # Exact cancellation yields +0.
-            out[i] = 0
-            continue
-        msb = np.int64(0)
-        t = total
-        while t > 1:
-            t >>= 1
-            msb += 1
-        norm_shift = msb - (p + guard)
-        ez = ex + norm_shift
-        if norm_shift < 0:
-            mant = total << (-norm_shift)
-        else:
-            mant = total >> norm_shift
-        fz = (mant >> guard) & fmask
-        if ez > max_exp:
-            out[i] = (sx << sign_shift) | inf_exp
-        elif ez < 1:
-            out[i] = sx << sign_shift  # subnormal result flushes to +-0
-        else:
-            out[i] = (sx << sign_shift) | (ez << p) | fz
+    sa = ba >> sign_shift
+    sb = bb >> sign_shift
+    ea = (ba >> p) & emask
+    eb = (bb >> p) & emask
+    fa = ba & fmask
+    fb = bb & fmask
+    a_special = ea == emask
+    b_special = eb == emask
+    if a_special or b_special:
+        a_nan = a_special and fa != 0
+        b_nan = b_special and fb != 0
+        a_inf = a_special and fa == 0
+        b_inf = b_special and fb == 0
+        if a_nan or b_nan or (a_inf and b_inf and sa != sb):
+            return nan_bits
+        if a_inf:
+            return (sa << sign_shift) | inf_exp
+        return (sb << sign_shift) | inf_exp
+    # Swap so x has the larger magnitude (ties keep a in x).
+    if (ba & ((np.int64(1) << sign_shift) - 1)) >= (
+        bb & ((np.int64(1) << sign_shift) - 1)
+    ):
+        ex, fx, sx, xz = ea, fa, sa, ea == 0
+        ey, fy, sy, yz = eb, fb, sb, eb == 0
+    else:
+        ex, fx, sx, xz = eb, fb, sb, eb == 0
+        ey, fy, sy, yz = ea, fa, sa, ea == 0
+    d = ex - ey
+    mx = np.int64(0) if xz else (implicit + fx) << guard
+    my = np.int64(0) if yz else (implicit + fy) << guard
+    shift = d if d < p + guard + 1 else p + guard + 1
+    my = (my >> shift) & keep_mask
+    if d > threshold:
+        my = np.int64(0)
+    total = mx - my if sx != sy else mx + my
+    if total < 0:
+        total = -total
+    if total == 0:
+        # Exact cancellation yields +0.
+        return np.int64(0)
+    msb = _msb64(total)
+    norm_shift = msb - (p + guard)
+    ez = ex + norm_shift
+    if norm_shift < 0:
+        mant = total << (-norm_shift)
+    else:
+        mant = total >> norm_shift
+    fz = (mant >> guard) & fmask
+    if ez > max_exp:
+        return (sx << sign_shift) | inf_exp
+    if ez < 1:
+        return sx << sign_shift  # subnormal result flushes to +-0
+    return (sx << sign_shift) | (ez << p) | fz
 
 
 @njit(cache=False)
-def _mul_kernel(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits):
+def _mul_one(ba, bb, p, exponent_bits, bias, nan_bits):
     emask = (np.int64(1) << exponent_bits) - 1
     fmask = (np.int64(1) << p) - 1
     sign_shift = exponent_bits + p
     max_exp = emask - 1
     inf_exp = emask << p
+    ea = (ba >> p) & emask
+    eb = (bb >> p) & emask
+    fa = ba & fmask
+    fb = bb & fmask
+    sz = (ba >> sign_shift) ^ (bb >> sign_shift)
+    a_nan = ea == emask and fa != 0
+    b_nan = eb == emask and fb != 0
+    a_inf = ea == emask and fa == 0
+    b_inf = eb == emask and fb == 0
+    a_zero = ea == 0  # true zero or flushed subnormal
+    b_zero = eb == 0
+    if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
+        return nan_bits
+    if a_inf or b_inf:
+        return (sz << sign_shift) | inf_exp
+    if a_zero or b_zero:
+        return sz << sign_shift
+    frac_sum = fa + fb
+    carry = frac_sum >> p
+    if carry != 0:
+        fz = (frac_sum & fmask) >> 1
+    else:
+        fz = frac_sum
+    fz &= fmask
+    ez = ea + eb - bias + carry
+    if ez > max_exp:
+        return (sz << sign_shift) | inf_exp
+    if ez < 1:
+        return sz << sign_shift
+    return (sz << sign_shift) | (ez << p) | fz
+
+
+@njit(cache=False)
+def _mitchell_one(ba, bb, p, exponent_bits, bias, nan_bits, log_path,
+                  truncation):
+    """Accuracy-configurable (Mitchell) multiply of one element.
+
+    Mirrors ``configurable_multiply``: the float64 datapath computes the
+    same dyadic intermediates in the same order, so results agree bit for
+    bit even where a float64 addition rounds (binary64 operands).
+    """
+    emask = (np.int64(1) << exponent_bits) - 1
+    fmask = (np.int64(1) << p) - 1
+    sign_shift = exponent_bits + p
+    max_exp = emask - 1
+    inf_exp = emask << p
+    ea = (ba >> p) & emask
+    eb = (bb >> p) & emask
+    fa = ba & fmask
+    fb = bb & fmask
+    sz = (ba >> sign_shift) ^ (bb >> sign_shift)
+    a_nan = ea == emask and fa != 0
+    b_nan = eb == emask and fb != 0
+    a_inf = ea == emask and fa == 0
+    b_inf = eb == emask and fb == 0
+    a_zero = ea == 0  # true zero or flushed subnormal
+    b_zero = eb == 0
+    if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
+        return nan_bits
+    if a_inf or b_inf:
+        return (sz << sign_shift) | inf_exp
+    if a_zero or b_zero:
+        return sz << sign_shift
+    # Operand truncation before the MA datapath.
+    if truncation > 0:
+        cut = ~((np.int64(1) << truncation) - 1)
+        fa = fa & cut
+        fb = fb & cut
+    # Exact dyadic mantissa fractions in float64.
+    ma = math.ldexp(float(fa), int(-p))
+    mb = math.ldexp(float(fb), int(-p))
+    if log_path != 0:
+        # MA of (1+Ma)(1+Mb): k = 0, x = M exactly.
+        x_sum = ma + mb
+        if x_sum < 1.0:
+            mant = 1.0 + x_sum
+        else:
+            mant = 2.0 * x_sum
+    else:
+        # Cross term MA(Ma, Mb); a zero fraction makes it zero.
+        if fa == 0 or fb == 0:
+            cross = 0.0
+        else:
+            m1 = _msb64(fa)
+            m2 = _msb64(fb)
+            x1 = math.ldexp(float(fa), int(-m1)) - 1.0
+            x2 = math.ldexp(float(fb), int(-m2)) - 1.0
+            x_sum = x1 + x2
+            scale = math.ldexp(1.0, int(m1 + m2 - 2 * p))
+            if x_sum < 1.0:
+                cross = scale * (1.0 + x_sum)
+            else:
+                cross = 2.0 * scale * x_sum
+        mant = 1.0 + ma + mb + cross
+    carry = np.int64(0)
+    if mant >= 2.0:
+        carry = np.int64(1)
+        mant = mant * 0.5
+    fz = np.int64(np.floor((mant - 1.0) * math.ldexp(1.0, int(p))))
+    if fz < 0:
+        fz = np.int64(0)
+    if fz > fmask:
+        fz = fmask
+    ez = ea + eb - bias + carry
+    if ez > max_exp:
+        return (sz << sign_shift) | inf_exp
+    if ez < 1:
+        return sz << sign_shift
+    return (sz << sign_shift) | (ez << p) | fz
+
+
+@njit(cache=False)
+def _bt_one(ba, bb, p, exponent_bits, bias, nan_bits, truncation, rounding):
+    """Bit-truncation baseline (``bt_N``) multiply of one element.
+
+    Mirrors ``truncated_multiply``: subnormal flush, operand mantissa
+    reduction on the raw bits (round-half-up or truncate, specials pass
+    through), exact float64 product, round to the target format, flush.
+    The NaN / inf x 0 branches reproduce what the reference's float64
+    multiply produces in hardware (first-operand NaN propagation with the
+    quiet bit set; the signed "indefinite" NaN for inf x 0).
+    """
+    emask = (np.int64(1) << exponent_bits) - 1
+    fmask = (np.int64(1) << p) - 1
+    sign_shift = exponent_bits + p
+    quiet = np.int64(1) << (p - 1)
+    inf_exp = emask << p
+    sa = ba >> sign_shift
+    sb = bb >> sign_shift
+    sz = sa ^ sb
+    ea = (ba >> p) & emask
+    eb = (bb >> p) & emask
+    # Subnormal operands flush to the signed zero pattern.
+    if ea == 0:
+        ba = sa << sign_shift
+    if eb == 0:
+        bb = sb << sign_shift
+    # Operand mantissa reduction on the raw bit pattern; carries propagate
+    # into the exponent naturally (possibly up to infinity).
+    if truncation > 0:
+        mask = ~((np.int64(1) << truncation) - 1)
+        if ea != emask:
+            if rounding != 0:
+                ba = ba + (np.int64(1) << (truncation - 1))
+            ba = ba & mask
+        if eb != emask:
+            if rounding != 0:
+                bb = bb + (np.int64(1) << (truncation - 1))
+            bb = bb & mask
+    ea = (ba >> p) & emask
+    eb = (bb >> p) & emask
+    fa = ba & fmask
+    fb = bb & fmask
+    if ea == emask and fa != 0:
+        return ba | quiet
+    if eb == emask and fb != 0:
+        return bb | quiet
+    a_inf = ea == emask
+    b_inf = eb == emask
+    a_zero = ea == 0 and fa == 0
+    b_zero = eb == 0 and fb == 0
+    if (a_inf and b_zero) or (b_inf and a_zero):
+        # inf * 0 in float64 is the hardware indefinite: -NaN(quiet, 0).
+        return (np.int64(-1) << sign_shift) | nan_bits
+    if a_inf or b_inf:
+        return (sz << sign_shift) | inf_exp
+    if a_zero or b_zero:
+        return sz << sign_shift
+    # Exact float64 magnitudes of the reduced operands.
+    va = math.ldexp(float((np.int64(1) << p) + fa), int(ea - bias - p))
+    vb = math.ldexp(float((np.int64(1) << p) + fb), int(eb - bias - p))
+    product = va * vb
+    if p == 23:
+        product = float(np.float32(product))  # round to binary32
+    if math.isinf(product):
+        return (sz << sign_shift) | inf_exp
+    if product < math.ldexp(1.0, int(1 - bias)):
+        return sz << sign_shift  # zero or subnormal result flushes
+    fr, e = math.frexp(product)
+    ez = np.int64(e) - 1 + bias
+    fz = np.int64((fr * 2.0 - 1.0) * math.ldexp(1.0, int(p)))
+    return (sz << sign_shift) | (ez << p) | fz
+
+
+# ----------------------------------------------------------------------
+# Serial kernels (the ``numba`` backend)
+# ----------------------------------------------------------------------
+@njit(cache=False)
+def _add_kernel(bits_a, bits_b, out, p, exponent_bits, threshold, nan_bits):
     for i in range(bits_a.size):
+        out[i] = _add_one(bits_a[i], bits_b[i], p, exponent_bits, threshold,
+                          nan_bits)
+
+
+@njit(cache=False)
+def _mul_kernel(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits):
+    for i in range(bits_a.size):
+        out[i] = _mul_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                          nan_bits)
+
+
+@njit(cache=False)
+def _mitchell_kernel(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits,
+                     log_path, truncation):
+    for i in range(bits_a.size):
+        out[i] = _mitchell_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                               nan_bits, log_path, truncation)
+
+
+@njit(cache=False)
+def _bt_kernel(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits,
+               truncation, rounding):
+    for i in range(bits_a.size):
+        out[i] = _bt_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                         nan_bits, truncation, rounding)
+
+
+# ----------------------------------------------------------------------
+# Parallel kernels (the ``numba-parallel`` backend): prange over elements;
+# the batch variants add an inner per-configuration loop so one bit decode
+# serves the whole element x config product.
+# ----------------------------------------------------------------------
+@njit(cache=False, parallel=True)
+def _add_kernel_par(bits_a, bits_b, out, p, exponent_bits, threshold,
+                    nan_bits):
+    for i in prange(bits_a.size):
+        out[i] = _add_one(bits_a[i], bits_b[i], p, exponent_bits, threshold,
+                          nan_bits)
+
+
+@njit(cache=False, parallel=True)
+def _mul_kernel_par(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits):
+    for i in prange(bits_a.size):
+        out[i] = _mul_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                          nan_bits)
+
+
+@njit(cache=False, parallel=True)
+def _mitchell_kernel_par(bits_a, bits_b, out, p, exponent_bits, bias,
+                         nan_bits, log_path, truncation):
+    for i in prange(bits_a.size):
+        out[i] = _mitchell_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                               nan_bits, log_path, truncation)
+
+
+@njit(cache=False, parallel=True)
+def _bt_kernel_par(bits_a, bits_b, out, p, exponent_bits, bias, nan_bits,
+                   truncation, rounding):
+    for i in prange(bits_a.size):
+        out[i] = _bt_one(bits_a[i], bits_b[i], p, exponent_bits, bias,
+                         nan_bits, truncation, rounding)
+
+
+@njit(cache=False, parallel=True)
+def _add_batch_kernel_par(bits_a, bits_b, out, p, exponent_bits, thresholds,
+                          nan_bits):
+    n_cfg = thresholds.size
+    for i in prange(bits_a.size):
         ba = bits_a[i]
         bb = bits_b[i]
-        ea = (ba >> p) & emask
-        eb = (bb >> p) & emask
-        fa = ba & fmask
-        fb = bb & fmask
-        sz = (ba >> sign_shift) ^ (bb >> sign_shift)
-        a_nan = ea == emask and fa != 0
-        b_nan = eb == emask and fb != 0
-        a_inf = ea == emask and fa == 0
-        b_inf = eb == emask and fb == 0
-        a_zero = ea == 0  # true zero or flushed subnormal
-        b_zero = eb == 0
-        if a_nan or b_nan or (a_inf and b_zero) or (b_inf and a_zero):
-            out[i] = nan_bits
-            continue
-        if a_inf or b_inf:
-            out[i] = (sz << sign_shift) | inf_exp
-            continue
-        if a_zero or b_zero:
-            out[i] = sz << sign_shift
-            continue
-        frac_sum = fa + fb
-        carry = frac_sum >> p
-        if carry != 0:
-            fz = (frac_sum & fmask) >> 1
-        else:
-            fz = frac_sum
-        fz &= fmask
-        ez = ea + eb - bias + carry
-        if ez > max_exp:
-            out[i] = (sz << sign_shift) | inf_exp
-        elif ez < 1:
-            out[i] = sz << sign_shift
-        else:
-            out[i] = (sz << sign_shift) | (ez << p) | fz
+        for j in range(n_cfg):
+            out[j, i] = _add_one(ba, bb, p, exponent_bits, thresholds[j],
+                                 nan_bits)
+
+
+@njit(cache=False, parallel=True)
+def _mitchell_batch_kernel_par(bits_a, bits_b, out, p, exponent_bits, bias,
+                               nan_bits, log_paths, truncations):
+    n_cfg = truncations.size
+    for i in prange(bits_a.size):
+        ba = bits_a[i]
+        bb = bits_b[i]
+        for j in range(n_cfg):
+            out[j, i] = _mitchell_one(ba, bb, p, exponent_bits, bias,
+                                      nan_bits, log_paths[j], truncations[j])
+
+
+@njit(cache=False, parallel=True)
+def _bt_batch_kernel_par(bits_a, bits_b, out, p, exponent_bits, bias,
+                         nan_bits, truncations, roundings):
+    n_cfg = truncations.size
+    for i in prange(bits_a.size):
+        ba = bits_a[i]
+        bb = bits_b[i]
+        for j in range(n_cfg):
+            out[j, i] = _bt_one(ba, bb, p, exponent_bits, bias, nan_bits,
+                                truncations[j], roundings[j])
 
 
 class NumbaBackend(ComputeBackend):
-    """Scalar JIT datapaths for add/sub/mul/fma; reference for the rest."""
+    """Serial JIT datapaths for the hot ops; reference for the rest."""
 
     name = "numba"
+
+    #: One-time warm-up guard and per-kernel compile seconds, per class
+    #: (the parallel subclass shadows both with its own).
+    _warmed = False
+    compile_seconds: dict = {}
 
     def __init__(self):
         if not NUMBA_AVAILABLE:
             from . import BackendUnavailableError
 
             raise BackendUnavailableError(
-                "the 'numba' backend requires the numba package; "
-                "install numba or select REPRO_BACKEND=reference|fused"
+                f"the {self.name!r} backend requires the numba package; "
+                "install numba or select REPRO_BACKEND=reference|fused|threaded"
             )
+        type(self)._warm_up()
 
+    # ------------------------------------------------------------------
+    # JIT warm-up
+    # ------------------------------------------------------------------
+    @classmethod
+    def _warm_kernels(cls):
+        """(name, thunk) pairs compiling every kernel this class uses.
+
+        All bit arrays are int64 regardless of dtype and the remaining
+        arguments are Python ints, so one compilation per kernel covers
+        both binary32 and binary64 calls.
+        """
+        za = np.zeros(2, dtype=np.int64)
+        zb = np.zeros(2, dtype=np.int64)
+        out = np.empty(2, dtype=np.int64)
+        return [
+            ("add", lambda: _add_kernel(za, zb, out, 23, 8, 8, 0)),
+            ("mul", lambda: _mul_kernel(za, zb, out, 23, 8, 127, 0)),
+            ("mul_mitchell",
+             lambda: _mitchell_kernel(za, zb, out, 23, 8, 127, 0, 0, 0)),
+            ("mul_truncated",
+             lambda: _bt_kernel(za, zb, out, 23, 8, 127, 0, 0, 1)),
+        ]
+
+    @classmethod
+    def _warm_up(cls):
+        """Compile every kernel once on tiny arrays, recording the cost."""
+        if cls._warmed:
+            return
+        seconds = {}
+        for kernel_name, thunk in cls._warm_kernels():
+            start = time.perf_counter()
+            thunk()
+            seconds[kernel_name] = time.perf_counter() - start
+        cls.compile_seconds = seconds
+        cls._warmed = True
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
     @staticmethod
     def _bits(values, fmt):
         """Flat int64 bit patterns of the broadcast operands."""
@@ -185,21 +520,53 @@ class NumbaBackend(ComputeBackend):
     def _nan_bits(fmt) -> int:
         return int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
 
-    def imprecise_add(self, a, b, threshold: int = DEFAULT_THRESHOLD,
-                      dtype=np.float32) -> np.ndarray:
-        fmt = format_for_dtype(dtype)
+    def _operands(self, a, b, fmt):
+        a = np.asarray(a, dtype=fmt.dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return np.broadcast_arrays(a, b)
+
+    @staticmethod
+    def _check_threshold(threshold, dtype, fmt):
         if not 1 <= threshold <= max_threshold(dtype):
             raise ValueError(
                 f"threshold must be in [1, {max_threshold(dtype)}] for "
                 f"{fmt.name}, got {threshold}"
             )
-        a = np.asarray(a, dtype=fmt.dtype)
-        b = np.asarray(b, dtype=fmt.dtype)
-        a, b = np.broadcast_arrays(a, b)
+
+    @staticmethod
+    def _check_mitchell(config: MultiplierConfig, fmt) -> None:
+        if config.truncation > fmt.mantissa_bits:
+            raise ValueError(
+                f"truncation {config.truncation} exceeds the "
+                f"{fmt.mantissa_bits}-bit mantissa of {fmt.name}"
+            )
+
+    @staticmethod
+    def _check_bt(truncation: int, fmt) -> None:
+        if not 0 <= truncation <= fmt.mantissa_bits:
+            raise ValueError(
+                f"truncation must be in [0, {fmt.mantissa_bits}], "
+                f"got {truncation}"
+            )
+
+    # Kernel selection points the parallel subclass overrides.
+    _ADD_KERNEL = staticmethod(_add_kernel)
+    _MUL_KERNEL = staticmethod(_mul_kernel)
+    _MITCHELL_KERNEL = staticmethod(_mitchell_kernel)
+    _BT_KERNEL = staticmethod(_bt_kernel)
+
+    # ------------------------------------------------------------------
+    # Scalar entry points
+    # ------------------------------------------------------------------
+    def imprecise_add(self, a, b, threshold: int = DEFAULT_THRESHOLD,
+                      dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        self._check_threshold(threshold, dtype, fmt)
+        a, b = self._operands(a, b, fmt)
         out = np.empty(a.size, dtype=np.int64)
-        _add_kernel(self._bits(a, fmt), self._bits(b, fmt), out,
-                    fmt.mantissa_bits, fmt.exponent_bits, threshold,
-                    self._nan_bits(fmt))
+        self._ADD_KERNEL(self._bits(a, fmt), self._bits(b, fmt), out,
+                         fmt.mantissa_bits, fmt.exponent_bits, threshold,
+                         self._nan_bits(fmt))
         return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
 
     def imprecise_subtract(self, a, b, threshold: int = DEFAULT_THRESHOLD,
@@ -210,16 +577,182 @@ class NumbaBackend(ComputeBackend):
 
     def imprecise_multiply(self, a, b, dtype=np.float32) -> np.ndarray:
         fmt = format_for_dtype(dtype)
-        a = np.asarray(a, dtype=fmt.dtype)
-        b = np.asarray(b, dtype=fmt.dtype)
-        a, b = np.broadcast_arrays(a, b)
+        a, b = self._operands(a, b, fmt)
         out = np.empty(a.size, dtype=np.int64)
-        _mul_kernel(self._bits(a, fmt), self._bits(b, fmt), out,
-                    fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
-                    self._nan_bits(fmt))
+        self._MUL_KERNEL(self._bits(a, fmt), self._bits(b, fmt), out,
+                         fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                         self._nan_bits(fmt))
+        return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
+
+    def configurable_multiply(self, a, b, config: MultiplierConfig,
+                              dtype=np.float32) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        self._check_mitchell(config, fmt)
+        a, b = self._operands(a, b, fmt)
+        out = np.empty(a.size, dtype=np.int64)
+        self._MITCHELL_KERNEL(self._bits(a, fmt), self._bits(b, fmt), out,
+                              fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                              self._nan_bits(fmt),
+                              1 if config.path == "log" else 0,
+                              int(config.truncation))
+        return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
+
+    def truncated_multiply(self, a, b, truncation: int = 0, dtype=np.float32,
+                           rounding: bool = True) -> np.ndarray:
+        fmt = format_for_dtype(dtype)
+        self._check_bt(truncation, fmt)
+        a, b = self._operands(a, b, fmt)
+        out = np.empty(a.size, dtype=np.int64)
+        self._BT_KERNEL(self._bits(a, fmt), self._bits(b, fmt), out,
+                        fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                        self._nan_bits(fmt), int(truncation),
+                        1 if rounding else 0)
         return out.astype(fmt.uint).view(fmt.dtype).reshape(a.shape)
 
     def imprecise_fma(self, a, b, c, threshold: int = DEFAULT_THRESHOLD,
                       dtype=np.float32) -> np.ndarray:
         product = self.imprecise_multiply(a, b, dtype=dtype)
         return self.imprecise_add(product, c, threshold=threshold, dtype=dtype)
+
+
+class NumbaParallelBackend(NumbaBackend):
+    """``prange`` datapaths over elements, batch kernels over element x config.
+
+    ``threads`` resolves through
+    :func:`~repro.core.backends.threads.resolve_thread_count` (explicit
+    argument, else 1 inside runner pool workers, else ``REPRO_THREADS``,
+    else the CPU count) and is applied with ``numba.set_num_threads``,
+    clamped to numba's own launch-time maximum.
+    """
+
+    name = "numba-parallel"
+
+    _warmed = False
+    compile_seconds: dict = {}
+
+    _ADD_KERNEL = staticmethod(_add_kernel_par)
+    _MUL_KERNEL = staticmethod(_mul_kernel_par)
+    _MITCHELL_KERNEL = staticmethod(_mitchell_kernel_par)
+    _BT_KERNEL = staticmethod(_bt_kernel_par)
+
+    def __init__(self, threads: int | None = None):
+        super().__init__()
+        self.threads = resolve_thread_count(threads)
+        set_num_threads(min(self.threads, _numba_thread_limit()))
+
+    @classmethod
+    def _warm_kernels(cls):
+        za = np.zeros(2, dtype=np.int64)
+        zb = np.zeros(2, dtype=np.int64)
+        out = np.empty(2, dtype=np.int64)
+        out2 = np.empty((2, 2), dtype=np.int64)
+        cfg = np.zeros(2, dtype=np.int64)
+        ths = np.ones(2, dtype=np.int64)
+        return [
+            ("add", lambda: _add_kernel_par(za, zb, out, 23, 8, 8, 0)),
+            ("mul", lambda: _mul_kernel_par(za, zb, out, 23, 8, 127, 0)),
+            ("mul_mitchell",
+             lambda: _mitchell_kernel_par(za, zb, out, 23, 8, 127, 0, 0, 0)),
+            ("mul_truncated",
+             lambda: _bt_kernel_par(za, zb, out, 23, 8, 127, 0, 0, 1)),
+            ("add_batch",
+             lambda: _add_batch_kernel_par(za, zb, out2, 23, 8, ths, 0)),
+            ("mul_mitchell_batch",
+             lambda: _mitchell_batch_kernel_par(za, zb, out2, 23, 8, 127, 0,
+                                                cfg, cfg)),
+            ("mul_truncated_batch",
+             lambda: _bt_batch_kernel_par(za, zb, out2, 23, 8, 127, 0, cfg,
+                                          ths)),
+        ]
+
+    # ------------------------------------------------------------------
+    # Batched entry points: one decode, element x config in one launch
+    # ------------------------------------------------------------------
+    def _split(self, out2d, fmt, shape) -> list:
+        return [row.astype(fmt.uint).view(fmt.dtype).reshape(shape)
+                for row in out2d]
+
+    def imprecise_add_batch(self, a, b, thresholds,
+                            dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        thresholds = [int(th) for th in thresholds]
+        if not thresholds:
+            return []
+        for th in thresholds:
+            self._check_threshold(th, dtype, fmt)
+        a, b = self._operands(a, b, fmt)
+        out = np.empty((len(thresholds), a.size), dtype=np.int64)
+        _add_batch_kernel_par(self._bits(a, fmt), self._bits(b, fmt), out,
+                              fmt.mantissa_bits, fmt.exponent_bits,
+                              np.asarray(thresholds, dtype=np.int64),
+                              self._nan_bits(fmt))
+        return self._split(out, fmt, a.shape)
+
+    def imprecise_subtract_batch(self, a, b, thresholds,
+                                 dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        b = np.asarray(b, dtype=fmt.dtype)
+        return self.imprecise_add_batch(a, -b, thresholds, dtype=dtype)
+
+    def imprecise_fma_batch(self, a, b, c, thresholds,
+                            dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        thresholds = [int(th) for th in thresholds]
+        if not thresholds:
+            return []
+        for th in thresholds:
+            self._check_threshold(th, dtype, fmt)
+        # The Table-1 product is threshold-invariant: compute its bit
+        # patterns once and feed them straight to the batched adder.
+        a, b = self._operands(a, b, fmt)
+        product = np.empty(a.size, dtype=np.int64)
+        _mul_kernel_par(self._bits(a, fmt), self._bits(b, fmt), product,
+                        fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                        self._nan_bits(fmt))
+        c = np.broadcast_to(np.asarray(c, dtype=fmt.dtype), a.shape)
+        out = np.empty((len(thresholds), a.size), dtype=np.int64)
+        _add_batch_kernel_par(product, self._bits(c, fmt), out,
+                              fmt.mantissa_bits, fmt.exponent_bits,
+                              np.asarray(thresholds, dtype=np.int64),
+                              self._nan_bits(fmt))
+        return self._split(out, fmt, a.shape)
+
+    def configurable_multiply_batch(self, a, b, configs,
+                                    dtype=np.float32) -> list:
+        fmt = format_for_dtype(dtype)
+        configs = list(configs)
+        if not configs:
+            return []
+        for cfg in configs:
+            self._check_mitchell(cfg, fmt)
+        a, b = self._operands(a, b, fmt)
+        out = np.empty((len(configs), a.size), dtype=np.int64)
+        log_paths = np.asarray(
+            [1 if cfg.path == "log" else 0 for cfg in configs],
+            dtype=np.int64)
+        truncations = np.asarray([cfg.truncation for cfg in configs],
+                                 dtype=np.int64)
+        _mitchell_batch_kernel_par(self._bits(a, fmt), self._bits(b, fmt),
+                                   out, fmt.mantissa_bits, fmt.exponent_bits,
+                                   fmt.bias, self._nan_bits(fmt), log_paths,
+                                   truncations)
+        return self._split(out, fmt, a.shape)
+
+    def truncated_multiply_batch(self, a, b, truncations, dtype=np.float32,
+                                 rounding=True) -> list:
+        fmt = format_for_dtype(dtype)
+        truncations = [int(t) for t in truncations]
+        roundings = _rounding_flags(rounding, len(truncations))
+        if not truncations:
+            return []
+        for t in truncations:
+            self._check_bt(t, fmt)
+        a, b = self._operands(a, b, fmt)
+        out = np.empty((len(truncations), a.size), dtype=np.int64)
+        _bt_batch_kernel_par(self._bits(a, fmt), self._bits(b, fmt), out,
+                             fmt.mantissa_bits, fmt.exponent_bits, fmt.bias,
+                             self._nan_bits(fmt),
+                             np.asarray(truncations, dtype=np.int64),
+                             np.asarray([1 if r else 0 for r in roundings],
+                                        dtype=np.int64))
+        return self._split(out, fmt, a.shape)

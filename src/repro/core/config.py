@@ -78,11 +78,17 @@ class IHWConfig:
         default) or ``"quadratic"`` (the higher-accuracy extension point).
     backend:
         Compute backend executing the unit operations (``"reference"``,
-        ``"fused"``, ``"numba"``), or ``None`` to defer to the
-        ``REPRO_BACKEND`` environment variable.  Backends are contractually
-        bit-identical, so this is a pure execution-speed knob: it does not
-        participate in :meth:`canonical` or :meth:`cache_key`, and cached
-        results are shared across backends.
+        ``"fused"``, ``"threaded"``, ``"numba"``, ``"numba-parallel"``), or
+        ``None`` to defer to the ``REPRO_BACKEND`` environment variable.
+        Backends are contractually bit-identical, so this is a pure
+        execution-speed knob: it does not participate in :meth:`canonical`
+        or :meth:`cache_key`, and cached results are shared across
+        backends.
+    backend_threads:
+        Thread count for the parallel backends, or ``None`` to defer to
+        the resolution chain in :mod:`repro.core.backends.threads` (worker
+        pin, ``REPRO_THREADS``, CPU count).  Like ``backend``, it cannot
+        change results and is excluded from the cache key.
     """
 
     enabled: frozenset = field(default_factory=frozenset)
@@ -93,11 +99,13 @@ class IHWConfig:
     multiplier_bt_rounding: bool = False
     sfu_mode: str = "linear"
     backend: str | None = None
+    backend_threads: int | None = None
 
     #: Fields deliberately excluded from :meth:`canonical` / :meth:`cache_key`.
-    #: ``backend`` never changes results (parity-enforced bit equality), so
-    #: keying on it would only fragment the cache.
-    _CACHE_KEY_EXEMPT = ("backend",)
+    #: ``backend`` and ``backend_threads`` never change results
+    #: (parity-enforced bit equality), so keying on them would only
+    #: fragment the cache.
+    _CACHE_KEY_EXEMPT = ("backend", "backend_threads")
 
     def __post_init__(self):
         enabled = frozenset(self.enabled)
@@ -118,6 +126,11 @@ class IHWConfig:
             raise ValueError(
                 f"backend must be one of {backend_names()} or None, "
                 f"got {self.backend!r}"
+            )
+        if self.backend_threads is not None and self.backend_threads < 1:
+            raise ValueError(
+                f"backend_threads must be >= 1 or None, "
+                f"got {self.backend_threads!r}"
             )
 
     # ------------------------------------------------------------------
@@ -210,9 +223,11 @@ class IHWConfig:
         """A copy using the given SFU approximation order."""
         return dataclasses.replace(self, sfu_mode=mode)
 
-    def with_backend(self, name: str | None) -> "IHWConfig":
+    def with_backend(self, name: str | None,
+                     threads: int | None = None) -> "IHWConfig":
         """A copy pinned to the given compute backend (``None`` = default)."""
-        return dataclasses.replace(self, backend=name)
+        return dataclasses.replace(self, backend=name,
+                                   backend_threads=threads)
 
     def canonical(self) -> dict:
         """Order-independent JSON-able form covering every switch.
@@ -280,6 +295,8 @@ class IHWConfig:
                 parts.append("table1")
         if self.backend is not None:
             parts.append(f"backend={self.backend}")
+        if self.backend_threads is not None:
+            parts.append(f"threads={self.backend_threads}")
         return " ".join(parts)
 
 

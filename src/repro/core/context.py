@@ -35,7 +35,8 @@ from collections import Counter
 
 import numpy as np
 
-from .backends import get_backend
+from .backends import backend_accepts_threads, default_backend_name, \
+    get_backend
 from .config import IHWConfig, batch_compatible
 from .quadratic import (
     quadratic_log2,
@@ -83,6 +84,20 @@ _OP_UNIT_SWITCH = {
 }
 
 
+def _config_backend(config: IHWConfig):
+    """Construct the backend a configuration selects.
+
+    ``config.backend_threads`` reaches the factory only when the resolved
+    backend actually has a thread pool, so a thread count riding along
+    with a serial backend (or the default) is ignored rather than fatal.
+    """
+    name = config.backend if config.backend is not None \
+        else default_backend_name()
+    threads = config.backend_threads if backend_accepts_threads(name) \
+        else None
+    return get_backend(name, threads=threads)
+
+
 class ArithmeticContext:
     """Counted, configuration-dispatched floating point arithmetic.
 
@@ -110,10 +125,13 @@ class ArithmeticContext:
         ):
             raise TypeError(f"unsupported dtype: {self.dtype}")
         #: backend executing the imprecise unit operations (explicit argument
-        #: wins over ``config.backend``, which wins over ``REPRO_BACKEND``)
-        self.backend = get_backend(
-            backend if backend is not None else self.config.backend
-        )
+        #: wins over ``config.backend``, which wins over ``REPRO_BACKEND``);
+        #: an explicit instance keeps its own thread count, otherwise
+        #: ``config.backend_threads`` reaches the parallel factories
+        if backend is not None:
+            self.backend = get_backend(backend)
+        else:
+            self.backend = _config_backend(self.config)
         #: scalar-operation counts keyed by (op, "imprecise" | "precise")
         self.counts: Counter = Counter()
         #: optional :class:`~repro.telemetry.DriftProbe` observing imprecise
@@ -432,9 +450,10 @@ class ContextBatch:
                 "(thresholds and multiplier parameters may vary per lane)"
             )
         self.configs = configs
-        shared = get_backend(
-            backend if backend is not None else configs[0].backend
-        )
+        if backend is not None:
+            shared = get_backend(backend)
+        else:
+            shared = _config_backend(configs[0])
         #: one full ArithmeticContext per configuration, all sharing a
         #: single backend instance; per-lane performance counters live here
         self.lanes = [

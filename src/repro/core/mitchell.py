@@ -28,12 +28,48 @@ import numpy as np
 
 __all__ = [
     "MITCHELL_MAX_ERROR",
+    "POW2_RANGE",
     "mitchell_multiply_int",
     "mitchell_mantissa_product",
+    "pow2",
+    "pow2_table",
 ]
 
 #: Analytic maximum relative error magnitude of Mitchell's algorithm.
 MITCHELL_MAX_ERROR = 1.0 / 9.0
+
+#: Half-width of the shared power-of-two table: index = exponent + POW2_RANGE.
+POW2_RANGE = 1100
+
+# Lazily-built shared table; read-only once published (no reset needed).
+_POW2_TABLE = None
+
+
+def pow2_table() -> np.ndarray:
+    """Shared read-only table of ``2.0**k`` for ``k`` in ±:data:`POW2_RANGE`.
+
+    The log-domain decode multiplies by exact powers of two (``2^{k1+k2}``
+    and ``2^{-msb}``); batching evaluates them once per element *per
+    config*, so a shared table turns every per-lane ``np.ldexp`` into an
+    indexed gather.  Entries beyond float64's exponent range hold the same
+    ``0.0`` / ``inf`` that ``np.ldexp`` produces, which makes clamped
+    lookups (:func:`pow2`) exact for every int64 exponent.
+    """
+    global _POW2_TABLE
+    if _POW2_TABLE is None:
+        exponents = np.arange(-POW2_RANGE, POW2_RANGE + 1, dtype=np.int32)
+        with np.errstate(under="ignore"):
+            table = np.ldexp(1.0, exponents)
+        table.setflags(write=False)
+        _POW2_TABLE = table
+    return _POW2_TABLE
+
+
+def pow2(exponents) -> np.ndarray:
+    """Exact ``2.0**exponents`` for integer exponents via the shared table."""
+    idx = np.clip(np.asarray(exponents, dtype=np.int64) + POW2_RANGE,
+                  0, 2 * POW2_RANGE)
+    return pow2_table()[idx]
 
 
 def _msb_index(values: np.ndarray) -> np.ndarray:
@@ -109,6 +145,6 @@ def mitchell_mantissa_product(m1: np.ndarray, m2: np.ndarray) -> np.ndarray:
     x2 = 2.0 * frac2 - 1.0
 
     x_sum = x1 + x2
-    scale = np.ldexp(1.0, k1 + k2)
+    scale = pow2(k1 + k2)
     product = np.where(x_sum < 1.0, scale * (1.0 + x_sum), 2.0 * scale * x_sum)
     return np.where(zero, 0.0, product)

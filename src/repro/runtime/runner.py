@@ -128,6 +128,21 @@ def _error_summary(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: fresh telemetry, single-threaded backends.
+
+    The pin keeps a parallel backend inside a pool worker from multiplying
+    the pool's process parallelism into ``workers x threads``
+    oversubscription: with the pin, a sweep over N workers uses N cores
+    total no matter which backend the configurations select.  An explicit
+    ``backend_threads`` still wins over the pin, by design.
+    """
+    telemetry.reset()
+    from repro.core.backends import threads as backend_threads
+
+    backend_threads.pin_worker_threads()
+
+
 def _reclaim_scratch() -> int:
     """Record and release backend scratch pools between tasks.
 
@@ -276,6 +291,12 @@ class ExperimentRunner:
         self.checkpoint_every = checkpoint_every
         self.stats = RunnerStats(max_workers=self.max_workers)
         self._frameworks: dict = {}
+        # Parent-process thread resolution for the parallel backends; pool
+        # workers are pinned to 1 by _worker_init, so workers x threads
+        # stays bounded by max(workers, threads).
+        from repro.core.backends.threads import resolve_thread_count
+
+        telemetry.gauge_set("repro_backend_threads", resolve_thread_count())
 
     # ------------------------------------------------------------------
     # Public API
@@ -548,7 +569,7 @@ class ExperimentRunner:
                     continue
                 if pool is None:
                     pool = ProcessPoolExecutor(
-                        max_workers=workers, initializer=telemetry.reset
+                        max_workers=workers, initializer=_worker_init
                     )
                 while queue:
                     chunk = [queue.popleft()]

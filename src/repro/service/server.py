@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 
 from repro import faults, telemetry
+from repro.core.backends.threads import resolve_thread_count
 from repro.runtime import (
     DirectoryBackend,
     ExperimentRunner,
@@ -119,6 +120,11 @@ class SweepService:
             retry_after=config.retry_after,
         )
         self.started = time.time()
+        # What a parallel backend would resolve to in this process: lets
+        # /metricsz distinguish a service running wide from one whose
+        # sweeps execute single-threaded.
+        telemetry.gauge_set("repro_backend_threads",
+                            resolve_thread_count())
         # npz payloads a cache peer staged ahead of the entry document
         # (the backend protocol writes npz-before-json for crash safety).
         self._staged_npz: dict = {}

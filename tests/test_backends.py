@@ -32,11 +32,13 @@ from repro.core.floatops import format_for_dtype
 # ----------------------------------------------------------------------
 class TestRegistry:
     def test_registered_names(self):
-        assert backend_names() == ("reference", "fused", "numba")
+        assert backend_names() == ("reference", "fused", "threaded",
+                                   "numba", "numba-parallel")
 
     def test_reference_and_fused_always_available(self):
         assert "reference" in available_backend_names()
         assert "fused" in available_backend_names()
+        assert "threaded" in available_backend_names()
 
     def test_default_is_reference_when_env_unset(self, monkeypatch):
         monkeypatch.delenv(ENV_VAR, raising=False)
@@ -268,9 +270,11 @@ class TestBench:
     def test_run_benchmarks_payload(self):
         payload = run_benchmarks(size=2048, repeats=1,
                                  backends=("reference", "fused"),
-                                 parity_samples=512)
-        assert payload["schema"] == "repro-bench-core/2"
+                                 parity_samples=512, parallel=False)
+        assert payload["schema"] == "repro-bench-core/3"
         assert payload["machine"]["numpy"]
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["machine"]["threads"] >= 1
         assert payload["backends"]["fused"]["parity_ok"] is True
         for op in ("add", "mul", "fma", "rcp", "sqrt"):
             assert payload["backends"]["reference"]["ops"][op]["seconds"] > 0
@@ -285,8 +289,10 @@ class TestBench:
     def test_run_benchmarks_no_batch(self):
         payload = run_benchmarks(size=2048, repeats=1,
                                  backends=("reference",),
-                                 parity_samples=256, batch=False)
+                                 parity_samples=256, batch=False,
+                                 parallel=False)
         assert "batch" not in payload
+        assert "parallel" not in payload
 
     def test_run_benchmarks_rejects_unknown(self):
         with pytest.raises(ValueError, match="turbo"):
@@ -316,7 +322,7 @@ class TestBench:
         """The committed BENCH_core.json must match this tree's schema."""
         path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-core/2"
+        assert payload["schema"] == "repro-bench-core/3"
         fused = payload["backends"]["fused"]
         assert fused["parity_ok"] is True
         assert fused["ops"]["add"]["speedup_vs_reference"] >= 2.0
@@ -326,6 +332,14 @@ class TestBench:
         assert batch["parity_ok"] is True
         assert batch["n_configs"] >= 8
         assert batch["threshold_sweep"]["speedup"] > 1.0
+        # The parallel section carries its own parity gate and records
+        # the machine it ran on (speedup floors are relaxed on
+        # cpu-starved runners, so only structure is asserted here).
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["machine"]["threads"] >= 1
+        parallel = payload["parallel"]
+        assert parallel["baseline"] == "fused"
+        assert parallel["backends"]["threaded"]["parity_ok"] is True
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,417 @@
+"""The multi-core backend leg: thread policy, tiled parity, pool pinning.
+
+Covers the four layers of the parallel contract:
+
+- policy: :mod:`repro.core.backends.threads` resolution order (explicit >
+  worker pin > ``REPRO_THREADS`` > CPU count) and clamping rules;
+- backend: the ``threaded`` tiling machinery stays bit-identical to the
+  fused/reference kernels even with a forced tiny tile width, and the
+  numba scalar datapaths match reference element-for-element (exercised
+  through the pure-Python stubs when numba is absent, through the JIT
+  when present);
+- config/registry: ``backend_threads`` plumbs through ``IHWConfig`` and
+  ``get_backend`` without ever reaching a serial backend or the cache key;
+- runtime: a sweep through a ``ProcessPoolExecutor`` pins worker-side
+  backends to one thread and stays bit-identical to the sequential path,
+  and the ``repro_backend_threads`` gauge / per-backend op counters are
+  published.
+"""
+
+import io
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import ArithmeticContext, IHWConfig
+from repro.core.backends import (
+    BackendUnavailableError,
+    backend_accepts_threads,
+    backend_available,
+    get_backend,
+)
+from repro.core.backends import threads as threads_mod
+from repro.core.backends.bench import run_parallel_benchmarks
+from repro.core.backends.numba_backend import (
+    NUMBA_AVAILABLE,
+    NumbaBackend,
+    _add_kernel,
+    _bt_kernel,
+    _mitchell_kernel,
+    _mul_kernel,
+)
+from repro.core.backends.parity import (
+    adversarial_operands,
+    check_batch_parity,
+    check_parity,
+)
+from repro.core.backends.threaded import MIN_TILE_ELEMENTS, ThreadedFusedBackend
+from repro.core.configurable import MultiplierConfig
+from repro.core.floatops import format_for_dtype
+from repro.runtime import ExperimentRunner, ExperimentSpec, ResultCache
+
+SPEC = ExperimentSpec.create(
+    "hotspot", metric="mae", rows=16, cols=16, iterations=3
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_thread_policy(monkeypatch):
+    monkeypatch.delenv(threads_mod.ENV_VAR, raising=False)
+    threads_mod.reset()
+    yield
+    threads_mod.reset()
+
+
+def _assert_identical(a, b):
+    __tracebackhide__ = True
+    fmt_uint = {4: np.uint32, 8: np.uint64}[np.asarray(a).dtype.itemsize]
+    assert np.array_equal(np.asarray(a).view(fmt_uint),
+                          np.asarray(b).view(fmt_uint))
+
+
+# ----------------------------------------------------------------------
+# Thread-count policy
+# ----------------------------------------------------------------------
+class TestThreadPolicy:
+    def test_default_is_cpu_count(self):
+        assert threads_mod.resolve_thread_count() == threads_mod.cpu_count()
+
+    def test_explicit_wins_and_is_not_clamped(self):
+        big = threads_mod.cpu_count() + 7
+        assert threads_mod.resolve_thread_count(big) == big
+
+    def test_explicit_below_one_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            threads_mod.resolve_thread_count(0)
+
+    def test_env_var_honored(self, monkeypatch):
+        monkeypatch.setenv(threads_mod.ENV_VAR, "1")
+        assert threads_mod.resolve_thread_count() == 1
+
+    def test_env_var_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(threads_mod.ENV_VAR,
+                           str(threads_mod.cpu_count() + 100))
+        assert threads_mod.resolve_thread_count() == threads_mod.cpu_count()
+
+    def test_env_var_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(threads_mod.ENV_VAR, "lots")
+        with pytest.raises(ValueError, match="REPRO_THREADS"):
+            threads_mod.resolve_thread_count()
+        monkeypatch.setenv(threads_mod.ENV_VAR, "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            threads_mod.resolve_thread_count()
+
+    def test_worker_pin_forces_one_thread(self, monkeypatch):
+        monkeypatch.setenv(threads_mod.ENV_VAR, "4")
+        threads_mod.pin_worker_threads()
+        assert threads_mod.worker_pinned()
+        assert threads_mod.resolve_thread_count() == 1
+        # An explicit request still beats the pin (deliberate nesting).
+        assert threads_mod.resolve_thread_count(3) == 3
+        threads_mod.reset()
+        assert not threads_mod.worker_pinned()
+
+
+# ----------------------------------------------------------------------
+# Registry and config plumbing
+# ----------------------------------------------------------------------
+class TestThreadsPlumbing:
+    def test_accepts_threads_predicate(self):
+        assert backend_accepts_threads("threaded")
+        assert backend_accepts_threads("numba-parallel")
+        assert not backend_accepts_threads("reference")
+        assert not backend_accepts_threads("fused")
+        assert not backend_accepts_threads("numba")
+
+    def test_get_backend_forwards_threads(self):
+        assert get_backend("threaded", threads=2).threads == 2
+        assert get_backend("threaded").threads == threads_mod.cpu_count()
+
+    def test_get_backend_rejects_threads_for_serial_backends(self):
+        for name in ("reference", "fused"):
+            with pytest.raises(ValueError, match="does not take a thread"):
+                get_backend(name, threads=2)
+
+    def test_numba_parallel_availability_follows_numba(self):
+        assert backend_available("numba-parallel") == NUMBA_AVAILABLE
+        if not NUMBA_AVAILABLE:
+            with pytest.raises(BackendUnavailableError):
+                get_backend("numba-parallel")
+
+    def test_config_backend_threads_validation(self):
+        assert IHWConfig(backend_threads=2).backend_threads == 2
+        with pytest.raises(ValueError, match="backend_threads"):
+            IHWConfig(backend_threads=0)
+
+    def test_config_with_backend_sets_threads(self):
+        cfg = IHWConfig.all_imprecise().with_backend("threaded", threads=2)
+        assert cfg.backend == "threaded"
+        assert cfg.backend_threads == 2
+        assert "threads=2" in cfg.describe()
+
+    def test_backend_threads_never_changes_cache_key(self):
+        base = IHWConfig.all_imprecise()
+        pinned = base.with_backend("threaded", threads=8)
+        assert pinned.cache_key() == base.cache_key()
+        assert pinned.canonical() == base.canonical()
+
+    def test_context_uses_config_threads(self):
+        ctx = ArithmeticContext(
+            IHWConfig(backend="threaded", backend_threads=2))
+        assert ctx.backend.name == "threaded"
+        assert ctx.backend.threads == 2
+
+    def test_context_ignores_threads_for_serial_backend(self):
+        # backend_threads set but the resolved backend is serial: the
+        # count must be dropped, not passed (which would raise).
+        ctx = ArithmeticContext(IHWConfig(backend_threads=4))
+        assert ctx.backend.name == "reference"
+
+
+# ----------------------------------------------------------------------
+# Threaded backend: tiling machinery and bit identity
+# ----------------------------------------------------------------------
+class TestThreadedBackend:
+    def test_bounds_partition_the_range(self):
+        bounds = ThreadedFusedBackend._bounds(10, 3)
+        assert bounds == [0, 4, 7, 10]
+        for n, tiles in ((1, 1), (100, 7), (64, 64)):
+            b = ThreadedFusedBackend._bounds(n, tiles)
+            assert b[0] == 0 and b[-1] == n and len(b) == tiles + 1
+            assert all(hi > lo for lo, hi in zip(b, b[1:]))
+
+    def test_small_arrays_stay_inline(self):
+        backend = ThreadedFusedBackend(threads=4)
+        assert backend._tile_count(MIN_TILE_ELEMENTS) == 1
+        assert backend._tile_count(4 * MIN_TILE_ELEMENTS) == 4
+        assert backend._tile_count(10**9) == 4
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_forced_tiling_parity(self, dtype):
+        """Bit identity with real multi-tile execution on small vectors."""
+        backend = ThreadedFusedBackend(threads=4)
+        backend._min_tile = 64  # force the tiled path in the harness
+        with np.errstate(all="ignore"):
+            assert check_parity(backend, dtype=dtype, n_random=1024) == []
+            assert check_batch_parity(backend, dtype=dtype,
+                                      n_random=1024) == []
+
+    def test_tiled_matches_untiled_2d(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(64, 64)).astype(np.float32)
+        b = rng.normal(size=(64, 64)).astype(np.float32)
+        tiled = ThreadedFusedBackend(threads=3)
+        tiled._min_tile = 128
+        inline = ThreadedFusedBackend(threads=1)
+        out = tiled.imprecise_add(a, b, 8)
+        assert out.shape == a.shape
+        _assert_identical(out, inline.imprecise_add(a, b, 8))
+
+    def test_scratch_accounting_aggregates_shards(self):
+        backend = ThreadedFusedBackend(threads=2)
+        backend._min_tile = 64
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=512).astype(np.float32)
+        backend.imprecise_add(a, a, 8)
+        assert len(backend._shards) == 2
+        assert backend.scratch_nbytes() > 0
+        assert backend.release_scratch() > 0
+        assert backend.scratch_nbytes() == 0
+
+
+# ----------------------------------------------------------------------
+# Numba scalar datapaths (pure-Python stubs when numba is absent)
+# ----------------------------------------------------------------------
+def _run_kernel(kernel, a, b, fmt, extra):
+    bits_a = np.ascontiguousarray(a.view(fmt.uint).reshape(-1)).astype(np.int64)
+    bits_b = np.ascontiguousarray(b.view(fmt.uint).reshape(-1)).astype(np.int64)
+    out = np.empty(a.size, dtype=np.int64)
+    kernel(bits_a, bits_b, out, fmt.mantissa_bits, fmt.exponent_bits, *extra)
+    return out.astype(fmt.uint).view(fmt.dtype)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestNumbaKernels:
+    """Element loops vs reference on adversarial operands.
+
+    These run in every environment: without numba the ``@njit`` stub makes
+    the kernels plain Python (slow but exact), with numba they are the
+    compiled dispatchers the backend ships.
+    """
+
+    def _operands(self, dtype):
+        fmt = format_for_dtype(dtype)
+        a, b = adversarial_operands(dtype, n_random=96)
+        return fmt, a, b
+
+    def test_add_kernel(self, dtype):
+        fmt, a, b = self._operands(dtype)
+        ref = get_backend("reference")
+        nan_bits = int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
+        with np.errstate(all="ignore"):
+            got = _run_kernel(_add_kernel, a, b, fmt, (8, nan_bits))
+            _assert_identical(got, ref.imprecise_add(a, b, 8, dtype=dtype))
+
+    def test_mul_kernel(self, dtype):
+        fmt, a, b = self._operands(dtype)
+        ref = get_backend("reference")
+        nan_bits = int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
+        with np.errstate(all="ignore"):
+            got = _run_kernel(_mul_kernel, a, b, fmt, (fmt.bias, nan_bits))
+            _assert_identical(got, ref.imprecise_multiply(a, b, dtype=dtype))
+
+    def test_mitchell_kernel(self, dtype):
+        fmt, a, b = self._operands(dtype)
+        ref = get_backend("reference")
+        nan_bits = int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
+        for name in ("fp_tr0", "lp_tr0", "fp_tr8", "lp_tr16"):
+            config = MultiplierConfig.from_name(name)
+            if config.truncation > fmt.mantissa_bits:
+                continue
+            with np.errstate(all="ignore"):
+                got = _run_kernel(
+                    _mitchell_kernel, a, b, fmt,
+                    (fmt.bias, nan_bits, 1 if config.path == "log" else 0,
+                     int(config.truncation)))
+                _assert_identical(
+                    got, ref.configurable_multiply(a, b, config, dtype=dtype))
+
+    def test_bt_kernel(self, dtype):
+        fmt, a, b = self._operands(dtype)
+        ref = get_backend("reference")
+        nan_bits = int(np.asarray(np.nan, fmt.dtype).view(fmt.uint))
+        for truncation, rounding in ((0, True), (8, True), (8, False)):
+            with np.errstate(all="ignore"):
+                got = _run_kernel(
+                    _bt_kernel, a, b, fmt,
+                    (fmt.bias, nan_bits, truncation, 1 if rounding else 0))
+                _assert_identical(
+                    got, ref.truncated_multiply(a, b, truncation, dtype=dtype,
+                                                rounding=rounding))
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestNumbaWarmup:
+    def test_warm_up_records_compile_seconds(self):
+        backend = get_backend("numba")
+        assert set(backend.compile_seconds) >= {
+            "add", "mul", "mul_mitchell", "mul_truncated"}
+        assert all(v >= 0.0 for v in backend.compile_seconds.values())
+
+    def test_warm_up_runs_once_per_class(self):
+        first = get_backend("numba").compile_seconds
+        second = get_backend("numba").compile_seconds
+        assert first is second  # the classmethod guard, not a re-time
+
+    def test_parallel_backend_has_own_compile_table(self):
+        serial = get_backend("numba")
+        parallel = get_backend("numba-parallel")
+        assert parallel.compile_seconds is not serial.compile_seconds
+        assert "add_batch" in parallel.compile_seconds
+
+
+@pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+def test_numba_backends_raise_without_numba():
+    for name in ("numba", "numba-parallel"):
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            get_backend(name)
+    assert not NumbaBackend._warmed
+
+
+# ----------------------------------------------------------------------
+# Runtime: pool pinning and telemetry
+# ----------------------------------------------------------------------
+def _pool_probe(_):
+    from repro.core.backends import threads as t
+
+    return t.worker_pinned(), t.resolve_thread_count()
+
+
+class TestRunnerIntegration:
+    def test_worker_init_pins_threads(self):
+        from repro.runtime.runner import _worker_init
+
+        with ProcessPoolExecutor(max_workers=1,
+                                 initializer=_worker_init) as pool:
+            pinned, threads = list(pool.map(_pool_probe, [None]))[0]
+        assert pinned is True
+        assert threads == 1
+        # The parent process stays unpinned.
+        assert not threads_mod.worker_pinned()
+
+    def test_pooled_threaded_sweep_matches_sequential(self, tmp_path):
+        """Workers x threads never oversubscribes, results stay identical."""
+        configs = {
+            f"th{t}": IHWConfig.all_imprecise(adder_threshold=t).with_backend(
+                "threaded")
+            for t in (4, 8, 12, 16)
+        }
+        pooled = ExperimentRunner(
+            max_workers=2, chunk_size=1,
+            cache=ResultCache(tmp_path / "pool"),
+        ).sweep(SPEC, configs)
+        sequential = ExperimentRunner(max_workers=1, cache=None).sweep(
+            SPEC, configs)
+        for name in configs:
+            assert pooled[name].quality == sequential[name].quality
+            assert np.array_equal(pooled[name].output,
+                                  sequential[name].output)
+
+    def test_runner_publishes_thread_gauge(self):
+        with telemetry.override("metrics"):
+            telemetry.get_registry().clear()
+            ExperimentRunner(max_workers=1, cache=None)
+            text = telemetry.get_registry().prometheus_text()
+        assert "repro_backend_threads" in text
+
+    def test_op_counters_carry_new_backend_names(self):
+        with telemetry.override("metrics"):
+            telemetry.get_registry().clear()
+            ctx = ArithmeticContext(
+                IHWConfig.all_imprecise().with_backend("threaded"))
+            ctx.op_timer = telemetry.make_op_timer()
+            ctx.mul(np.float32(1.5), np.float32(2.5))
+            telemetry.record_kernel("parallel-test", ctx)
+            text = telemetry.get_registry().prometheus_text()
+        assert 'backend="threaded"' in text
+        assert "repro_backend_op_calls_total" in text
+
+
+# ----------------------------------------------------------------------
+# Bench: the parallel section
+# ----------------------------------------------------------------------
+class TestParallelBench:
+    def test_parallel_section_structure(self):
+        section = run_parallel_benchmarks(size=4096, repeats=1,
+                                          parity_samples=256, threads=1)
+        assert section["baseline"] == "fused"
+        assert section["threads"] == 1
+        threaded = section["backends"]["threaded"]
+        assert threaded["parity_ok"] is True
+        for op in ("add", "mul", "fma", "mul_mitchell_batch"):
+            assert section["fused_seconds"][op] > 0
+            assert threaded["ops"][op]["seconds"] > 0
+            assert "speedup_vs_fused" in threaded["ops"][op]
+        numba_entry = section["backends"]["numba-parallel"]
+        assert numba_entry["available"] == NUMBA_AVAILABLE
+        if NUMBA_AVAILABLE:
+            assert numba_entry["parity_ok"] is True
+            assert "compile_seconds" in numba_entry
+
+    def test_cli_refuses_oversubscription(self):
+        from repro.cli import main
+
+        over = threads_mod.cpu_count() + 1
+        err = io.StringIO()
+        code = main(["bench", "--quick", "--no-write",
+                     "--threads", str(over)], out=err)
+        assert code == 2
+
+    def test_cli_refuses_nonpositive_threads(self):
+        from repro.cli import main
+
+        code = main(["bench", "--quick", "--no-write", "--threads", "0"],
+                    out=io.StringIO())
+        assert code == 2
