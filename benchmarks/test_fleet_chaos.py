@@ -1,0 +1,157 @@
+"""Fleet chaos smoke: three ``repro serve`` nodes, one killed mid-sweep.
+
+Exercises the shipped resilience surface end to end the way an operator
+outage would: node C (sharing node A's cache store) admits a sweep it
+never finishes — an injected ``node-crash`` fault kills the process
+mid-batch, exactly as a power cut would, leaving orphaned admits in its
+queue journal.  A fleet ``repro call`` across all three members then
+routes around the dead node and must produce results bit-identical to a
+clean single-node run on a fresh cache.  Finally the killed node is
+restarted on its old cache dir: journal replay must find every orphan
+already computed on the shared store and recompute **zero**
+configurations.  Numbers land in ``BENCH_fleet_chaos.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.service import QueueJournal, ServiceClient
+
+from report import emit, format_row, write_bench_json
+
+# Heavy enough that the batch is still executing when the crash lands
+# (~0.4 s per imprecise configuration), light enough for a smoke job.
+CALL_ARGS = ["hotspot", "--configs", "precise|add|all",
+             "--rows", "64", "--iterations", "100"]
+CRASH_EXIT_CODE = 91  # repro.faults.injector.CRASH_EXIT_CODE
+ROOT = os.path.dirname(os.path.dirname(__file__))
+
+
+def _repro(*argv, timeout=300):
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_FAULTS", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=timeout,
+        env=env, cwd=ROOT,
+    )
+
+
+def _start_server(cache_dir, *extra, faults=None):
+    import re
+
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--cache-dir", str(cache_dir), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=ROOT,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"serve did not announce a URL: {line!r}")
+    return process, match.group(1)
+
+
+def test_fleet_chaos(tmp_path):
+    started = time.perf_counter()
+    a_proc, a_url = _start_server(tmp_path / "a")
+    b_proc, b_url = _start_server(tmp_path / "b", "--remote-cache", a_url)
+    c_proc, c_url = _start_server(tmp_path / "c", "--remote-cache", a_url,
+                                  faults="node-crash:match=?boom,times=1")
+    procs = [a_proc, b_proc, c_proc]
+    try:
+        # 1. C admits a full sweep it will never deliver: the client
+        #    gives up after 0.3 s while the batch is still computing.
+        stranded = _repro("call", *CALL_ARGS, "--url", c_url,
+                          "--timeout", "0.3", "--retries", "0")
+        assert stranded.returncode == 1, stranded.stderr
+
+        # 2. Kill the node mid-batch (no cleanup, no goodbye).
+        try:
+            urllib.request.urlopen(f"{c_url}/healthz?boom", timeout=10)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        assert c_proc.wait(timeout=15) == CRASH_EXIT_CODE
+        journal_path = tmp_path / "c" / "manifests" / "queue.journal"
+        orphans = QueueJournal(journal_path).replay()
+        assert orphans, "the killed node left no journaled orphans"
+
+        # 3. A fleet call across all three members (one dead) must
+        #    succeed, routed entirely around the crashed node.
+        fleet_json = tmp_path / "fleet.json"
+        fleet = _repro("call", *CALL_ARGS,
+                       "--fleet", ",".join((a_url, b_url, c_url)),
+                       "--timeout", "120", "--json", str(fleet_json))
+        assert fleet.returncode == 0, fleet.stderr
+        fleet_doc = json.loads(fleet_json.read_text())
+        assert fleet_doc["served"]["errors"] == 0
+        c_netloc = c_url.split("//", 1)[1]
+        placed_on = set(fleet_doc["fleet"]["placement"].values())
+        assert c_netloc not in placed_on
+
+        # 4. Bit-identity: a clean single-node run on a fresh cache
+        #    produces byte-for-byte the same result documents.
+        g_proc, g_url = _start_server(tmp_path / "ground")
+        procs.append(g_proc)
+        gt_json = tmp_path / "ground.json"
+        ground = _repro("call", *CALL_ARGS, "--url", g_url,
+                        "--json", str(gt_json))
+        assert ground.returncode == 0, ground.stderr
+        gt_doc = json.loads(gt_json.read_text())
+        assert fleet_doc["results"] == gt_doc["results"]
+
+        # 5. Restart the killed node on its old cache dir: every orphan
+        #    is already on the shared store, so replay recomputes zero
+        #    configurations.
+        c2_proc, c2_url = _start_server(tmp_path / "c",
+                                        "--remote-cache", a_url)
+        procs.append(c2_proc)
+        client = ServiceClient(c2_url)
+        recovered = client.readyz()["recovered"]
+        assert recovered["requeued"] == 0
+        assert recovered["invalid"] == 0
+        assert recovered["complete"] == len(orphans)
+        assert client.queuez()["executions"] == 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    elapsed = time.perf_counter() - started
+    payload = {
+        "orphans_at_crash": len(orphans),
+        "replayed_complete": recovered["complete"],
+        "replayed_requeued": recovered["requeued"],
+        "recomputed_executions": 0,
+        "fleet_members_placed_on": len(placed_on),
+        "wall_seconds": round(elapsed, 2),
+    }
+    path = write_bench_json("fleet_chaos", payload)
+    emit("Fleet chaos: 3 nodes, one killed mid-sweep (HotSpot 64x64)", [
+        format_row("stage", "outcome", widths=[30, 24]),
+        format_row("orphans journaled at crash", str(len(orphans)),
+                   widths=[30, 24]),
+        format_row("fleet result vs single node", "bit-identical",
+                   widths=[30, 24]),
+        format_row("replay: complete / requeued",
+                   f"{recovered['complete']} / {recovered['requeued']}",
+                   widths=[30, 24]),
+        f"wall: {elapsed:.1f} s",
+        f"written: {path}",
+    ])

@@ -428,6 +428,7 @@ def cmd_serve(args, out) -> int:
         runner_workers=args.runner_workers,
         batch_limit=args.batch_limit,
         retry_after=args.retry_after,
+        journal=not args.no_journal,
     )
     return run_server(config, out=out)
 
@@ -437,7 +438,12 @@ def cmd_call(args, out) -> int:
     import json as _json
     import time as _time
 
-    from repro.service import ServiceClient, ServiceError
+    from repro.service import (
+        FleetClient,
+        FleetError,
+        ServiceClient,
+        ServiceError,
+    )
 
     if args.app not in _SWEEP_APPS:
         print(f"unknown app {args.app!r}; expected one of {sorted(_SWEEP_APPS)}",
@@ -459,20 +465,34 @@ def cmd_call(args, out) -> int:
     if args.quality_target is not None:
         kwargs["quality_target"] = args.quality_target
 
-    client = ServiceClient(args.url, timeout=args.timeout,
-                           retries=args.retries)
+    if args.fleet:
+        if args.stream:
+            print("--stream is not supported with --fleet",
+                  file=sys.stderr)
+            return 2
+        client = FleetClient(args.fleet, timeout=args.timeout,
+                             retries=args.retries,
+                             hedge_after=args.hedge_after)
+    else:
+        client = ServiceClient(args.url, timeout=args.timeout,
+                               retries=args.retries)
     try:
         if args.stream:
-            for line in client.sweep_stream(args.app, **kwargs):
+            for line in client.sweep_stream(args.app,
+                                            timeout=args.timeout,
+                                            **kwargs):
                 print(_json.dumps(line, sort_keys=True), file=out)
             return 0
         latencies = []
         response = None
         for _ in range(max(1, args.repeats)):
             start = _time.perf_counter()
-            response = client.sweep(args.app, **kwargs)
+            # The per-request timeout knob, explicitly: every repeat is
+            # bounded on its own, not by an ambient socket default.
+            response = client.sweep(args.app, timeout=args.timeout,
+                                    **kwargs)
             latencies.append(_time.perf_counter() - start)
-    except ServiceError as exc:
+    except (ServiceError, FleetError) as exc:
         print(f"service call failed: {exc}", file=sys.stderr)
         return 1
 
@@ -494,21 +514,45 @@ def cmd_call(args, out) -> int:
         met = [n for n, ok in response["target_met"].items() if ok]
         print(f"quality target met by: {', '.join(met) if met else '(none)'}",
               file=out)
+    if "fleet" in response:
+        fleet = response["fleet"]
+        extras = []
+        if fleet["hedges"]:
+            extras.append(f"{fleet['hedges']} hedged")
+        if fleet["failovers"]:
+            extras.append(f"{fleet['failovers']} failed over")
+        print(f"fleet: {len(fleet['members'])} members"
+              + (f" ({', '.join(extras)})" if extras else ""), file=out)
     if len(latencies) > 1:
-        p50 = sorted(latencies)[len(latencies) // 2]
-        print(f"latency p50 over {len(latencies)} calls: {p50 * 1e3:.2f} ms",
-              file=out)
+        ordered = sorted(latencies)
+        p50 = _percentile(ordered, 0.50)
+        p95 = _percentile(ordered, 0.95)
+        p99 = _percentile(ordered, 0.99)
+        print(f"latency over {len(latencies)} calls: "
+              f"p50 {p50 * 1e3:.2f} ms / p95 {p95 * 1e3:.2f} ms / "
+              f"p99 {p99 * 1e3:.2f} ms", file=out)
     if args.json:
         payload = dict(response)
         if len(latencies) > 1:
-            payload["latency_p50_seconds"] = sorted(latencies)[
-                len(latencies) // 2
-            ]
+            ordered = sorted(latencies)
+            payload["latency_p50_seconds"] = _percentile(ordered, 0.50)
+            payload["latency_p95_seconds"] = _percentile(ordered, 0.95)
+            payload["latency_p99_seconds"] = _percentile(ordered, 0.99)
         with open(args.json, "w") as handle:
             _json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"response written to {args.json}", file=out)
     return 0
+
+
+def _percentile(ordered, q: float):
+    """Nearest-rank percentile of an ascending-sorted non-empty list.
+
+    ``q=0.50`` reproduces the historical p50 (``[n // 2]``) exactly, so
+    the smoke benchmark's warm-latency gate keeps its semantics.
+    """
+    index = min(len(ordered) - 1, int(len(ordered) * q))
+    return ordered[index]
 
 
 def cmd_metrics(args, out) -> int:
@@ -954,6 +998,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="most same-experiment items one runner call batches")
     p.add_argument("--retry-after", type=float, default=2.0,
                    help="Retry-After hint (seconds) on 429 responses")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the durable queue journal (crash "
+                        "recovery of admitted work)")
 
     p = sub.add_parser(
         "call", help="query a running sweep service (client of 'serve')"
@@ -961,6 +1008,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app", help="hotspot | srad | raytracing | cp")
     p.add_argument("--url", default="http://127.0.0.1:8642",
                    help="service base URL")
+    p.add_argument("--fleet", default=None,
+                   help="comma-separated member URLs (host:port,...); "
+                        "place the sweep across a fleet instead of --url")
+    p.add_argument("--hedge-after", type=float, default=None,
+                   help="with --fleet: hedge a straggling sub-request to "
+                        "a second node after this many seconds")
     p.add_argument("--family", default="units",
                    choices=("units", "threshold", "multiplier"),
                    help="preset configuration family")
@@ -980,8 +1033,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=3,
                    help="client retries through 429s and torn connections")
     p.add_argument("--repeats", type=int, default=1,
-                   help="repeat the call N times and report p50 latency "
-                        "(warm-path probe)")
+                   help="repeat the call N times and report p50/p95/p99 "
+                        "latency (warm-path probe)")
     p.add_argument("--json", default=None,
                    help="also write the response document to a JSON file")
 
@@ -1110,9 +1163,13 @@ def main(argv=None, out=None) -> int:
     except BrokenPipeError:
         # Downstream closed early (e.g. piped into head); exit quietly.
         # Point stdout at devnull so the interpreter's shutdown flush
-        # doesn't raise a second time.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+        # doesn't raise a second time.  Streams without a real fd
+        # (captured/redirected) have nothing to redirect — skip.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
         return 0
     return code
 

@@ -32,8 +32,14 @@ Quick start::
 Failure semantics are documented in ``docs/RELIABILITY.md``.
 """
 
-from .cache import CacheStats, ResultCache, cache_disabled, cache_from_env
-from .manifest import MANIFEST_VERSION, SweepManifest
+from .cache import (
+    CacheStats,
+    ResultCache,
+    cache_disabled,
+    cache_from_env,
+    entry_key,
+)
+from .manifest import MANIFEST_VERSION, SweepManifest, atomic_write_text
 from .policy import RetryPolicy
 from .runner import ExperimentRunner, TaskFailedError, default_worker_count
 from .spec import APP_RUNNERS, METRIC_NAMES, ExperimentSpec
@@ -69,9 +75,11 @@ __all__ = [
     "SweepManifest",
     "TaskFailedError",
     "TaskTiming",
+    "atomic_write_text",
     "cache_disabled",
     "cache_from_env",
     "default_worker_count",
+    "entry_key",
     "group_key",
     "record_group",
 ]

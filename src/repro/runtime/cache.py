@@ -55,12 +55,29 @@ __all__ = [
     "ResultCache",
     "cache_from_env",
     "cache_disabled",
+    "entry_key",
     "QUARANTINE_DIRNAME",
     "STALE_LOCK_SECONDS",
 ]
 
 SCHEMA_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def entry_key(spec, config) -> str:
+    """The content address of one (experiment, configuration) result.
+
+    Module-level so clients that never touch a store — the fleet client
+    places work by cache key — can compute addresses identical to the
+    server's without instantiating a :class:`ResultCache`.
+    """
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "experiment": spec.canonical(),
+        "config": config.cache_key(),
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 _OFF_VALUES = ("off", "0", "no", "false", "disabled")
 
@@ -148,13 +165,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def key(self, spec, config) -> str:
         """The content address of one (experiment, configuration) result."""
-        doc = {
-            "schema": SCHEMA_VERSION,
-            "experiment": spec.canonical(),
-            "config": config.cache_key(),
-        }
-        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+        return entry_key(spec, config)
 
     def entry_paths(self, spec, config) -> tuple:
         """The (json, npz) paths addressing one result (tooling/tests).

@@ -28,10 +28,25 @@ import os
 import time
 from pathlib import Path
 
-__all__ = ["SweepManifest", "MANIFEST_VERSION"]
+__all__ = ["SweepManifest", "MANIFEST_VERSION", "atomic_write_text"]
 
 MANIFEST_VERSION = 1
 MANIFEST_DIRNAME = "manifests"
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tempfile + ``os.replace``).
+
+    The idiom every durable cache artifact uses — manifests, quarantine
+    records, and the service queue journal's compaction all funnel
+    through it so crash-safety lives in one place.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
 
 
 class SweepManifest:
@@ -104,8 +119,6 @@ class SweepManifest:
 
     def flush(self) -> Path:
         """Atomically persist the current progress; returns the path."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
-        return self.path
+        return atomic_write_text(
+            self.path, json.dumps(self.to_dict(), indent=1, sort_keys=True)
+        )

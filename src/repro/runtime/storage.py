@@ -334,7 +334,12 @@ class HTTPCacheBackend(CacheBackend):
                 return response.status, payload
             finally:
                 conn.close()
-        except OSError as exc:
+        except (OSError, http.client.HTTPException) as exc:
+            # OSError covers refused connections and socket timeouts;
+            # HTTPException covers a peer that dies mid-body (IncompleteRead)
+            # or speaks garbage.  All of them are transport trouble, never
+            # entry damage — surface as CacheBackendError so the cache
+            # counts a miss instead of quarantining.
             raise CacheBackendError(
                 f"cache peer {self.base_url} unreachable: {exc}"
             ) from exc

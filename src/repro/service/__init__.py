@@ -13,9 +13,19 @@ service instance (``repro serve``) exposes:
   instance's warm set through
   :class:`~repro.runtime.HTTPCacheBackend`, so N boxes converge on one
   cache with zero recomputation;
-- ``/healthz`` / ``/queuez`` / ``/metricsz`` — liveness, queue and
-  per-signature-group accounting (the same ledger ``repro sweep
-  --stats`` reports), and Prometheus metrics.
+- ``/healthz`` / ``/readyz`` / ``/drainz`` — liveness, readiness
+  (queue depth, draining, degraded backends — what fleet placement
+  routes on), and graceful drain;
+- ``/queuez`` / ``/metricsz`` — queue and per-signature-group
+  accounting (the same ledger ``repro sweep --stats`` reports), and
+  Prometheus metrics.
+
+Across instances, :class:`FleetClient` (``repro call --fleet``) turns N
+nodes into one resilient endpoint: rendezvous-hash placement by cache
+key, per-member circuit breakers, hedged retries for stragglers, and
+failover that re-routes a dead node's keys — while each node's durable
+queue journal (:mod:`repro.service.journal`) guarantees a killed node
+recomputes zero completed configs on restart.
 
 Guarantees, in one line each:
 
@@ -33,6 +43,14 @@ See ``docs/SERVICE.md`` for the schema and topology recipes.
 """
 
 from .client import ServiceClient, ServiceError
+from .fleet import (
+    BreakerOpen,
+    CircuitBreaker,
+    FleetClient,
+    FleetError,
+    rendezvous_rank,
+)
+from .journal import JOURNAL_FILENAME, QueueJournal
 from .protocol import (
     DEFAULT_METRICS,
     HIGHER_IS_BETTER,
@@ -42,7 +60,7 @@ from .protocol import (
     meets_target,
     sanitize_document,
 )
-from .queue import QueueFullError, SweepQueue
+from .queue import DrainingError, QueueFullError, SweepQueue
 from .server import (
     ServerHandle,
     ServiceConfig,
@@ -52,10 +70,17 @@ from .server import (
 )
 
 __all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
     "DEFAULT_METRICS",
+    "DrainingError",
+    "FleetClient",
+    "FleetError",
     "HIGHER_IS_BETTER",
+    "JOURNAL_FILENAME",
     "ProtocolError",
     "QueueFullError",
+    "QueueJournal",
     "ServerHandle",
     "ServiceClient",
     "ServiceConfig",
@@ -65,6 +90,7 @@ __all__ = [
     "SweepService",
     "canonical_json",
     "meets_target",
+    "rendezvous_rank",
     "run_server",
     "sanitize_document",
     "serve_in_thread",

@@ -8,6 +8,11 @@ connections), and advertises its retry count in the ``X-Repro-Attempt``
 header — the attempt axis deterministic service faults key on, so a
 ``dropped-connection:times=1`` injection disturbs exactly the first
 attempt and the retry provably recovers.
+
+Every endpoint accepts an explicit per-request ``timeout=`` overriding
+the client-wide socket default — a health probe should give up in a
+second while a cold sweep on the same client may wait minutes; the fleet
+client leans on this for its short probes and hedge deadlines.
 """
 
 from __future__ import annotations
@@ -67,15 +72,20 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
     def request(self, method: str, path: str, body: bytes | None = None,
-                content_type: str = "application/json") -> tuple:
-        """One request with retry/backoff -> (status, headers, body bytes)."""
+                content_type: str = "application/json",
+                timeout: float | None = None) -> tuple:
+        """One request with retry/backoff -> (status, headers, body bytes).
+
+        ``timeout`` overrides the client-wide socket timeout for this
+        request only (applied to connect and each read).
+        """
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self._delay(last_error, attempt))
             try:
                 status, headers, payload = self._once(
-                    method, path, body, content_type, attempt
+                    method, path, body, content_type, attempt, timeout
                 )
             except (OSError, http.client.HTTPException) as exc:
                 telemetry.counter_inc("repro_service_client_retries_total",
@@ -98,9 +108,12 @@ class ServiceClient:
             status=getattr(last_error, "status", 0),
         )
 
-    def _once(self, method, path, body, content_type, attempt):
-        connection = http.client.HTTPConnection(self.netloc,
-                                                timeout=self.timeout)
+    def _once(self, method, path, body, content_type, attempt,
+              timeout=None):
+        connection = http.client.HTTPConnection(
+            self.netloc,
+            timeout=self.timeout if timeout is None else timeout,
+        )
         try:
             headers = {
                 "Content-Type": content_type,
@@ -123,20 +136,56 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def healthz(self) -> dict:
-        return self._get_json("/healthz")
+    def healthz(self, timeout: float | None = None) -> dict:
+        return self._get_json("/healthz", timeout=timeout)
 
-    def queuez(self) -> dict:
-        return self._get_json("/queuez")
+    def readyz(self, timeout: float | None = None) -> dict:
+        """The readiness document; 503 (not ready) is a valid answer,
+        not an error — ``doc["ready"]`` carries the verdict."""
+        status, _headers, payload = self.request("GET", "/readyz",
+                                                 timeout=timeout)
+        if status not in (200, 503):
+            raise ServiceError(
+                f"GET /readyz returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        return json.loads(payload)
 
-    def metricsz(self) -> str:
-        status, _headers, payload = self.request("GET", "/metricsz")
+    def drain(self, timeout: float | None = None) -> dict:
+        """``POST /drainz``: ask the node to stop admitting new work."""
+        status, _headers, payload = self.request("POST", "/drainz",
+                                                 timeout=timeout)
+        if status != 200:
+            raise ServiceError(
+                f"POST /drainz returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        return json.loads(payload)
+
+    def undrain(self, timeout: float | None = None) -> dict:
+        """``DELETE /drainz``: resume admissions."""
+        status, _headers, payload = self.request("DELETE", "/drainz",
+                                                 timeout=timeout)
+        if status != 200:
+            raise ServiceError(
+                f"DELETE /drainz returned {status}: {_error_text(payload)}",
+                status=status,
+            )
+        return json.loads(payload)
+
+    def queuez(self, timeout: float | None = None) -> dict:
+        return self._get_json("/queuez", timeout=timeout)
+
+    def metricsz(self, timeout: float | None = None) -> str:
+        status, _headers, payload = self.request("GET", "/metricsz",
+                                                 timeout=timeout)
         if status != 200:
             raise ServiceError(f"/metricsz returned {status}", status=status)
         return payload.decode("utf-8")
 
-    def _get_json(self, path: str) -> dict:
-        status, _headers, payload = self.request("GET", path)
+    def _get_json(self, path: str, timeout: float | None = None) -> dict:
+        status, _headers, payload = self.request("GET", path,
+                                                 timeout=timeout)
         if status != 200:
             raise ServiceError(
                 f"GET {path} returned {status}: {_error_text(payload)}",
@@ -146,7 +195,8 @@ class ServiceClient:
 
     def sweep(self, app: str, *, configs=None, config_specs=None,
               family=None, params=None, metric=None, seed=0,
-              threshold=None, quality_target=None) -> dict:
+              threshold=None, quality_target=None,
+              timeout: float | None = None) -> dict:
         """One ``POST /v1/sweep`` query -> the parsed response document.
 
         ``configs`` is ``{name: IHWConfig}`` (serialized canonically);
@@ -154,8 +204,18 @@ class ServiceClient:
         """
         doc = self._request_doc(app, configs, config_specs, family, params,
                                 metric, seed, threshold, quality_target)
+        return self.sweep_document(doc, timeout=timeout)
+
+    def sweep_document(self, doc: dict,
+                       timeout: float | None = None) -> dict:
+        """``POST /v1/sweep`` with a prebuilt request document.
+
+        The fleet client resolves configurations once and fans subsets
+        of the same document out to its members through this entry.
+        """
         status, _headers, payload = self.request(
-            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8")
+            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8"),
+            timeout=timeout,
         )
         if status != 200:
             raise ServiceError(
@@ -166,6 +226,7 @@ class ServiceClient:
 
     def sweep_stream(self, app: str, **kwargs):
         """Streaming variant: yields one parsed NDJSON document per line."""
+        timeout = kwargs.pop("timeout", None)
         doc = self._request_doc(
             app, kwargs.pop("configs", None), kwargs.pop("config_specs", None),
             kwargs.pop("family", None), kwargs.pop("params", None),
@@ -176,7 +237,8 @@ class ServiceClient:
             raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
         doc["stream"] = True
         status, _headers, payload = self.request(
-            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8")
+            "POST", "/v1/sweep", canonical_json(doc).encode("utf-8"),
+            timeout=timeout,
         )
         if status != 200:
             raise ServiceError(

@@ -1,0 +1,598 @@
+"""Fleet client: N sweep-service instances behind one resilient endpoint.
+
+The paper's power-quality sweeps are embarrassingly parallel and every
+answer is a canonical cache-entry document, which makes multi-node
+serving unusually safe: any node can answer any key, answers are
+bit-identical wherever they were computed, and recomputing a key is
+wasteful but never wrong.  :class:`FleetClient` exploits exactly those
+properties:
+
+- **Placement** is rendezvous (highest-random-weight) hashing of the
+  result's *cache key* over the ready members — every client maps the
+  same (spec, config) to the same node without coordination, so the
+  server-side coalescing queue keeps collapsing duplicate work
+  fleet-wide, and losing a member only re-routes that member's keys.
+- **Health-probed member table**: members are probed on ``/readyz``
+  (liveness is deliberately ignored — a draining node is alive but must
+  not receive new work) with a short per-request timeout, refreshed at
+  ``probe_interval``.
+- **Circuit breakers** (per member): ``breaker_threshold`` consecutive
+  request failures open the breaker; after ``breaker_cooldown`` seconds
+  a single half-open probe request is admitted — success closes the
+  breaker, failure re-opens it.  Breaker state is published on the
+  ``repro_fleet_breaker_state`` gauge (0 closed / 1 half-open / 2 open).
+- **Hedged retries**: when a sub-request outlives ``hedge_after``
+  seconds, the same work is fired at the next member in rendezvous
+  order and the first answer wins (``repro_fleet_hedges_total`` /
+  ``repro_fleet_hedge_wins_total``).  Bit-identity of answers is what
+  makes racing safe; the shared cache store is what makes the loser's
+  effort cheap (it lands as a warm entry, not a conflict).
+- **Failover**: a member that fails a sub-request is excluded and its
+  configurations are re-placed over the surviving members
+  (``repro_fleet_failovers_total``), which answer warm from the shared
+  cache when the dead node had already computed them.
+
+The deterministic ``partition`` fault kind (``REPRO_FAULTS``) guards
+this client: matching members are treated as unreachable without a
+packet leaving the box, keyed by ``host:port`` with the per-member
+contact counter as the attempt axis — ``partition:match=:PORT,times=2``
+refuses the first two contacts and then heals.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import threading
+import time
+import urllib.parse
+
+from repro import faults, telemetry
+from repro.runtime import entry_key
+
+from .client import ServiceClient, ServiceError
+from .protocol import SweepRequest
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FleetClient",
+    "FleetError",
+    "rendezvous_rank",
+]
+
+#: Statuses that indict the *request*, not the member: every node would
+#: answer the same way, so failover and breaker penalties don't apply.
+_PERMANENT_STATUSES = frozenset({400, 404, 413})
+
+_BREAKER_GAUGE = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class FleetError(RuntimeError):
+    """Every eligible fleet member failed to serve the request."""
+
+
+class BreakerOpen(RuntimeError):
+    """A member was skipped because its circuit breaker is open."""
+
+    def __init__(self, netloc: str):
+        super().__init__(f"circuit breaker open for {netloc}")
+        self.netloc = netloc
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    States: ``closed`` (normal) → ``open`` after ``threshold``
+    consecutive failures → ``half-open`` once ``cooldown`` seconds have
+    passed, admitting exactly one probe — whose outcome either closes or
+    re-opens the breaker.  Thread-safe; ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._resolve()
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def admittable(self) -> bool:
+        """Non-mutating check for placement decisions (no probe slot
+        is consumed — :meth:`allow` does that at request time)."""
+        with self._lock:
+            state = self._resolve()
+            if state == "closed":
+                return True
+            return state == "half-open" and not self._probing
+
+    def allow(self) -> bool:
+        """Whether a request may proceed now; in the half-open state the
+        first caller takes the single probe slot."""
+        with self._lock:
+            state = self._resolve()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._resolve()
+            if state == "half-open":
+                # The probe failed: straight back to open, restart the
+                # cooldown clock.
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+                return
+            self._failures += 1
+            if self._failures >= self.threshold and state == "closed":
+                self._state = "open"
+                self._opened_at = self._clock()
+
+    def _resolve(self) -> str:
+        """Promote open -> half-open when the cooldown elapsed (lock held)."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown):
+            self._state = "half-open"
+            self._probing = False
+        return self._state
+
+
+def rendezvous_rank(key: str, members: list) -> list:
+    """Members sorted by highest-random-weight for ``key`` (best first).
+
+    Every client computes the same ranking from the key and the member
+    identity alone — no shared state, and removing a member only
+    re-routes the keys it owned (the defining property of rendezvous
+    hashing).  ``members`` may be any objects with a ``netloc``
+    attribute, or plain strings.
+    """
+    def weight(member):
+        identity = getattr(member, "netloc", member)
+        digest = hashlib.sha256(f"{key}|{identity}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    return sorted(members, key=lambda m: (weight(m),
+                                          getattr(m, "netloc", m)),
+                  reverse=True)
+
+
+class _Member:
+    """One fleet member: its client, breaker, and probe verdict."""
+
+    __slots__ = ("netloc", "base_url", "client", "breaker", "ready",
+                 "probed_at", "contacts")
+
+    def __init__(self, base_url: str, client: ServiceClient,
+                 breaker: CircuitBreaker):
+        self.base_url = client.base_url
+        self.netloc = client.netloc
+        self.client = client
+        self.breaker = breaker
+        self.ready = True  # optimistic until the first probe says otherwise
+        self.probed_at: float | None = None
+        self.contacts = 0  # attempt axis of the partition fault kind
+
+
+class FleetClient:
+    """Client of a fleet of sweep-service instances.
+
+    Parameters
+    ----------
+    members:
+        Base URLs (``http://host:port`` or bare ``host:port``), one per
+        instance; a comma-separated string is accepted (the CLI form).
+    timeout:
+        Default per-request socket timeout for sweep sub-requests.
+    retries / backoff:
+        Per-member :class:`ServiceClient` retry posture.  The default of
+        one retry absorbs a single torn connection on-node; anything
+        worse becomes a breaker failure and a fleet-level failover.
+    probe_timeout / probe_interval:
+        Readiness-probe socket timeout and refresh period.
+    hedge_after:
+        Latency deadline (seconds) after which a straggling sub-request
+        is hedged to the next member in rendezvous order; ``None``
+        disables hedging.
+    breaker_threshold / breaker_cooldown:
+        Circuit-breaker tuning (see :class:`CircuitBreaker`).
+    """
+
+    def __init__(self, members, timeout: float = 300.0,
+                 retries: int = 1, backoff: float = 0.2,
+                 probe_timeout: float = 2.0, probe_interval: float = 1.0,
+                 hedge_after: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 5.0):
+        if isinstance(members, str):
+            members = [part for part in members.split(",") if part.strip()]
+        urls = [_normalize_url(text) for text in members]
+        if not urls:
+            raise ValueError("a fleet needs at least one member")
+        if len(set(urls)) != len(urls):
+            raise ValueError(f"duplicate fleet members in {urls}")
+        self.timeout = timeout
+        self.probe_timeout = probe_timeout
+        self.probe_interval = probe_interval
+        self.hedge_after = hedge_after
+        self._members = [
+            _Member(
+                url,
+                ServiceClient(url, timeout=timeout, retries=retries,
+                              backoff=backoff),
+                CircuitBreaker(threshold=breaker_threshold,
+                               cooldown=breaker_cooldown),
+            )
+            for url in urls
+        ]
+        self._lock = threading.Lock()
+        for member in self._members:
+            self._publish_breaker(member)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> list:
+        return [member.netloc for member in self._members]
+
+    def status(self) -> dict:
+        """Per-member table: probe verdict, breaker state, contact count."""
+        self._probe_members()
+        return {
+            member.netloc: {
+                "ready": member.ready,
+                "breaker": member.breaker.state,
+                "contacts": member.contacts,
+            }
+            for member in self._members
+        }
+
+    def healthz(self) -> dict:
+        """Liveness of every member (``repro call --fleet`` with no app)."""
+        report = {}
+        for member in self._members:
+            try:
+                report[member.netloc] = member.client.healthz(
+                    timeout=self.probe_timeout
+                )
+            except Exception as exc:
+                report[member.netloc] = {"status": "unreachable",
+                                         "error": str(exc)}
+        return report
+
+    # ------------------------------------------------------------------
+    # The sweep query
+    # ------------------------------------------------------------------
+    def sweep(self, app: str, *, configs=None, config_specs=None,
+              family=None, params=None, metric=None, seed=0,
+              threshold=None, quality_target=None,
+              timeout: float | None = None) -> dict:
+        """One fleet-placed sweep -> a merged response document.
+
+        The same signature as :meth:`ServiceClient.sweep`; the response
+        has the same shape plus a ``fleet`` section recording placement,
+        hedges, and failovers.  Configurations are resolved locally (the
+        exact server-side rules, via :class:`SweepRequest`) because
+        placement needs each result's cache key before any node is
+        contacted.
+        """
+        doc = ServiceClient._request_doc(app, configs, config_specs,
+                                         family, params, metric, seed,
+                                         threshold, quality_target)
+        request = SweepRequest.from_document(doc)
+        spec = request.spec
+        base = {
+            "app": spec.app,
+            "metric": spec.metric,
+            "dtype": spec.dtype,
+            "seed": spec.seed,
+            "params": spec.params_dict(),
+        }
+        if request.quality_target is not None:
+            base["quality_target"] = request.quality_target
+
+        self._probe_members()
+        results: dict = {}
+        placement: dict = {}
+        target_met: dict = {}
+        served = {"hits": 0, "misses": 0, "errors": 0}
+        stats = {"hedges": 0, "failovers": 0}
+        remaining = dict(request.configs)
+        keys = {name: entry_key(spec, config)
+                for name, config in remaining.items()}
+        excluded: set = set()
+        last_error: Exception | None = None
+
+        # Each round places the remaining configurations over the
+        # not-yet-excluded members and issues one sub-request per owner;
+        # a failed owner is excluded and its keys re-placed next round.
+        # len(members) rounds bound the loop: every round that makes no
+        # progress excludes at least one member.
+        for _round in range(len(self._members)):
+            if not remaining:
+                break
+            groups = self._place(remaining, keys, excluded)
+            if not groups:
+                break
+            failed, last_error = self._issue(
+                groups, base, timeout, stats,
+                results, placement, target_met, served, remaining,
+            )
+            if not failed and remaining:
+                break  # no member to blame: the errors are per-config
+            excluded |= failed
+
+        if remaining and not results:
+            raise FleetError(
+                f"every fleet member failed to serve the request: "
+                f"{last_error}"
+            )
+        for name in remaining:
+            results[name] = {"error": f"no fleet member could serve "
+                                      f"this configuration: {last_error}"}
+            served["errors"] += 1
+
+        payload = {
+            "app": spec.app,
+            "experiment": spec.canonical(),
+            "results": results,
+            "served": served,
+            "fleet": {
+                "members": self.members,
+                "placement": placement,
+                "hedges": stats["hedges"],
+                "failovers": stats["failovers"],
+            },
+        }
+        if request.quality_target is not None:
+            payload["target_met"] = target_met
+        return payload
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, remaining: dict, keys: dict, excluded: set) -> dict:
+        """Group configurations by owner -> {netloc: (member, fallbacks,
+        {name: config})}; rendezvous order per cache key."""
+        candidates = [m for m in self._members if m.netloc not in excluded]
+        eligible = [m for m in candidates
+                    if m.ready and m.breaker.admittable()]
+        if not eligible:
+            # Nothing looks healthy: try every non-excluded member
+            # anyway — a stale probe must not strand the request.
+            eligible = candidates
+        if not eligible:
+            return {}  # every member excluded: nothing left to place on
+        groups: dict = {}
+        for name, config in remaining.items():
+            ranked = rendezvous_rank(keys[name], eligible)
+            owner = ranked[0]
+            entry = groups.setdefault(
+                owner.netloc, (owner, ranked[1:], {})
+            )
+            entry[2][name] = config
+        return groups
+
+    def _probe_members(self) -> None:
+        now = time.monotonic()
+        for member in self._members:
+            if (member.probed_at is not None
+                    and now - member.probed_at < self.probe_interval):
+                continue
+            member.probed_at = now
+            try:
+                doc = member.client.readyz(timeout=self.probe_timeout)
+            except Exception:
+                # Probe failures make the member unattractive for
+                # placement; only *request* failures feed the breaker.
+                member.ready = False
+                continue
+            member.ready = bool(doc.get("ready"))
+
+    # ------------------------------------------------------------------
+    # Sub-request fan-out
+    # ------------------------------------------------------------------
+    def _issue(self, groups, base, timeout, stats,
+               results, placement, target_met, served, remaining):
+        """Run one round of sub-requests; merge what succeeds.
+
+        Returns (failed member netlocs, last failover error).
+        """
+        failed: set = set()
+        last_error: Exception | None = None
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(groups)
+        ) as pool:
+            futures = {
+                pool.submit(self._member_sweep, member, fallbacks,
+                            dict(base), group, timeout,
+                            stats): (member, group)
+                for member, fallbacks, group in groups.values()
+            }
+            for future in concurrent.futures.as_completed(futures):
+                member, group = futures[future]
+                try:
+                    response, served_by = future.result()
+                except ServiceError as exc:
+                    if exc.status in _PERMANENT_STATUSES:
+                        raise  # every member would refuse identically
+                    failed.add(member.netloc)
+                    last_error = exc
+                    self._count_failover(member, group, stats)
+                    continue
+                # Thread-pool futures over HTTP sub-requests: no worker
+                # process exists to lose, and *any* member failure means
+                # the same thing — fail over its configurations.
+                # repro-lint: disable=hygiene-pool-swallow -- ThreadPoolExecutor, not a process pool
+                except Exception as exc:
+                    failed.add(member.netloc)
+                    last_error = exc
+                    self._count_failover(member, group, stats)
+                    continue
+                self._merge(response, served_by, group, results,
+                            placement, target_met, served, remaining)
+        return failed, last_error
+
+    def _count_failover(self, member, group, stats) -> None:
+        stats["failovers"] += len(group)
+        telemetry.counter_inc("repro_fleet_failovers_total",
+                              amount=float(len(group)),
+                              member=member.netloc)
+
+    @staticmethod
+    def _merge(response, served_by, group, results, placement,
+               target_met, served, remaining) -> None:
+        for name in group:
+            doc = response.get("results", {}).get(name)
+            if doc is None:
+                doc = {"error": "member response omitted this "
+                                "configuration"}
+            results[name] = doc
+            placement[name] = served_by
+            remaining.pop(name, None)
+        sub = response.get("served", {})
+        for field in served:
+            served[field] += int(sub.get(field, 0))
+        target_met.update(response.get("target_met", {}))
+
+    def _member_sweep(self, member, fallbacks, base, group, timeout,
+                      stats):
+        """One sub-request with optional hedging -> (response, netloc)."""
+        subdoc = dict(base)
+        subdoc["configs"] = {
+            name: config.canonical() for name, config in group.items()
+        }
+        if self.hedge_after is None or not fallbacks:
+            return self._request_member(member, subdoc, timeout), \
+                member.netloc
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=2)
+        try:
+            primary = pool.submit(self._request_member, member, subdoc,
+                                  timeout)
+            done, _pending = concurrent.futures.wait(
+                {primary}, timeout=self.hedge_after
+            )
+            if primary in done:
+                return primary.result(), member.netloc
+            # The primary is straggling past the deadline: race the next
+            # member in rendezvous order.  First answer wins — safe
+            # because both would return identical canonical documents.
+            hedge_member = fallbacks[0]
+            with self._lock:
+                # stats is shared across concurrently-issued groups.
+                stats["hedges"] += 1
+            telemetry.counter_inc("repro_fleet_hedges_total",
+                                  member=member.netloc)
+            hedge = pool.submit(self._request_member, hedge_member,
+                                subdoc, timeout)
+            waiting = {primary: member, hedge: hedge_member}
+            last_error: Exception | None = None
+            while waiting:
+                done, _pending = concurrent.futures.wait(
+                    set(waiting),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    winner = waiting.pop(future)
+                    try:
+                        response = future.result()
+                    # Hedge race over thread-pool HTTP futures: a loser
+                    # failing is expected, only the winner's bytes count.
+                    # repro-lint: disable=hygiene-pool-swallow -- ThreadPoolExecutor, not a process pool
+                    except Exception as exc:
+                        last_error = exc
+                        continue
+                    for loser in waiting:
+                        loser.cancel()  # still-queued loser never runs
+                    telemetry.counter_inc(
+                        "repro_fleet_hedge_wins_total",
+                        winner="primary" if future is primary
+                        else "hedge",
+                    )
+                    return response, winner.netloc
+            raise last_error if last_error is not None else RuntimeError(
+                "hedged request produced no outcome"
+            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _request_member(self, member, subdoc, timeout):
+        """One guarded request to one member (breaker + partition fault)."""
+        with self._lock:
+            contact = member.contacts
+            member.contacts += 1
+        injector = faults.active()
+        if injector is not None and injector.partition(member.netloc,
+                                                       contact):
+            member.breaker.record_failure()
+            self._publish_breaker(member)
+            raise ConnectionError(
+                f"injected network partition to {member.netloc}"
+            )
+        if not member.breaker.allow():
+            raise BreakerOpen(member.netloc)
+        try:
+            response = member.client.sweep_document(
+                subdoc, timeout=self.timeout if timeout is None else timeout
+            )
+        except ServiceError as exc:
+            if exc.status in _PERMANENT_STATUSES:
+                # The member answered; the request is at fault.  Don't
+                # punish the breaker for it.
+                raise
+            member.breaker.record_failure()
+            self._publish_breaker(member)
+            raise
+        member.breaker.record_success()
+        self._publish_breaker(member)
+        member.ready = True
+        return response
+
+    def _publish_breaker(self, member) -> None:
+        telemetry.gauge_set("repro_fleet_breaker_state",
+                            float(_BREAKER_GAUGE[member.breaker.state]),
+                            member=member.netloc)
+
+
+def _normalize_url(text: str) -> str:
+    text = text.strip()
+    if not text:
+        raise ValueError("empty fleet member")
+    if "//" not in text:
+        text = f"http://{text}"
+    parts = urllib.parse.urlsplit(text)
+    if parts.scheme != "http" or not parts.netloc:
+        raise ValueError(
+            f"fleet member must be http://host:port or host:port, "
+            f"got {text!r}"
+        )
+    return f"http://{parts.netloc}"

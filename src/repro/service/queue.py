@@ -22,6 +22,18 @@ The queue is deliberately asyncio-free: waiters are plain callbacks
 them onto its event loop.  Backpressure is a hard bound on distinct
 in-flight items — :class:`QueueFullError` carries the ``Retry-After``
 hint the server turns into a 429.
+
+Two fleet-facing extensions ride on the same admission path:
+
+- **Durability** — when a :class:`~repro.service.journal.QueueJournal`
+  is attached, every admission appends an ``admit`` record before
+  :meth:`submit` returns and every delivery appends ``done``, so a node
+  killed mid-sweep can replay its orphans on restart (see the journal's
+  module docstring for the recovery contract).
+- **Draining** — :meth:`start_draining` stops admitting *new* work
+  (:class:`DrainingError` → 503) while coalescing onto in-flight items
+  and warm cache reads continue; readiness (``/readyz``) flips so fleet
+  placement routes around the node while it finishes what it owns.
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ from repro.runtime import group_key, record_group
 
 from .protocol import sanitize_document
 
-__all__ = ["QueueFullError", "SweepQueue"]
+__all__ = ["DrainingError", "QueueFullError", "SweepQueue"]
 
 
 class QueueFullError(RuntimeError):
@@ -46,6 +58,13 @@ class QueueFullError(RuntimeError):
             f"work queue is full; retry after {retry_after:.0f}s"
         )
         self.retry_after = retry_after
+
+
+class DrainingError(RuntimeError):
+    """The queue is draining and admits no new work (route elsewhere)."""
+
+    def __init__(self):
+        super().__init__("queue is draining; no new work admitted")
 
 
 class _Item:
@@ -85,11 +104,14 @@ class SweepQueue:
         Most same-experiment items one runner call may gather.
     retry_after:
         The backoff hint (seconds) carried by :class:`QueueFullError`.
+    journal:
+        Optional :class:`~repro.service.journal.QueueJournal` making
+        admissions durable across a node crash.
     """
 
     def __init__(self, cache, runner_factory, workers: int = 1,
                  max_pending: int = 64, batch_limit: int = 16,
-                 retry_after: float = 2.0):
+                 retry_after: float = 2.0, journal=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_pending < 1:
@@ -99,6 +121,7 @@ class SweepQueue:
         self.max_pending = max_pending
         self.batch_limit = max(1, batch_limit)
         self.retry_after = retry_after
+        self.journal = journal
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -108,6 +131,8 @@ class SweepQueue:
         self._paused = threading.Event()
         self._paused.set()  # set = running; cleared = paused
         self._stopping = False
+        self._draining = False
+        self._degraded = False  # any runner finished on the inline path
 
         self.executions = 0  # runner.sweep calls
         self.completed = 0  # items delivered successfully
@@ -142,6 +167,10 @@ class SweepQueue:
                 return "coalesced"
             if self._stopping:
                 raise RuntimeError("queue is shut down")
+            if self._draining:
+                telemetry.counter_inc("repro_service_rejected_total",
+                                      reason="draining")
+                raise DrainingError()
             if len(self._inflight) >= self.max_pending:
                 telemetry.counter_inc("repro_service_rejected_total",
                                       reason="queue-full")
@@ -150,6 +179,10 @@ class SweepQueue:
             item.waiters.append(waiter)
             self._inflight[key] = item
             self._pending.append(item)
+            if self.journal is not None:
+                # Durable before submit returns: a crash after this point
+                # can re-create the item from the journal alone.
+                self.journal.admit(key, spec.canonical(), config.canonical())
             record_group(self._groups, group_key(config), hit=False)
             telemetry.counter_inc("repro_service_enqueued_total")
             telemetry.gauge_set("repro_service_queue_depth",
@@ -184,8 +217,31 @@ class SweepQueue:
                 "failed": self.failed,
                 "coalesced": self.coalesced,
                 "paused": not self._paused.is_set(),
+                "draining": self._draining,
+                "degraded": self._degraded,
+                "journal": self.journal is not None,
                 "groups": {k: dict(v) for k, v in self._groups.items()},
             }
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
+    def start_draining(self) -> None:
+        """Stop admitting new work; in-flight items run to completion."""
+        with self._lock:
+            self._draining = True
+
+    def stop_draining(self) -> None:
+        """Resume admissions (operator changed their mind / tests)."""
+        with self._lock:
+            self._draining = False
 
     def pause(self) -> None:
         """Hold workers before their next pop (deterministic coalescing
@@ -273,6 +329,13 @@ class SweepQueue:
                 error = exc
         telemetry.histogram_observe("repro_service_execute_seconds",
                                     time.perf_counter() - start)
+        if runner.stats is not None and runner.stats.degraded:
+            # The pool was lost and this sweep finished on the sequential
+            # inline path.  Results stay bit-identical, but the node's
+            # throughput is compromised — readiness reports it so fleet
+            # placement can prefer healthy peers.
+            with self._lock:
+                self._degraded = True
         for item in batch:
             self._deliver(item, error)
 
@@ -295,6 +358,11 @@ class SweepQueue:
                 self.failed += 1
             waiters = list(item.waiters)
             item.waiters.clear()
+        if self.journal is not None:
+            # Both outcomes retire the item: a completed result lives in
+            # the cache, and a failed one was *delivered* (the client saw
+            # the error) — neither is an orphan to replay.
+            self.journal.done(item.key)
         telemetry.counter_inc(
             "repro_service_items_total",
             outcome="completed" if error is None else "failed",

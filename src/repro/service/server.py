@@ -10,38 +10,61 @@ Endpoints (schema in ``docs/SERVICE.md``):
 - ``POST /v1/sweep`` — the tradeoff query; warm configurations answer
   from the result cache, misses go through the coalescing work queue.
   ``"stream": true`` switches the response to NDJSON progress lines.
-- ``GET /healthz`` / ``GET /queuez`` / ``GET /metricsz`` — liveness,
-  queue introspection (shared accounting with ``repro sweep --stats``),
-  and Prometheus-format metrics.
+- ``GET /healthz`` — pure liveness: the process is up and answering.
+- ``GET /readyz`` — readiness: 200 only when the node should receive
+  *new* work (not draining, queue below capacity, backends healthy);
+  503 otherwise, with the reasons in the body.  Fleet placement routes
+  on this, never on liveness.
+- ``POST /drainz`` — graceful drain: stop admitting cache-miss work,
+  finish everything in flight, flip readiness.  ``DELETE /drainz``
+  resumes admissions.
+- ``GET /queuez`` / ``GET /metricsz`` — queue introspection (shared
+  accounting with ``repro sweep --stats``) and Prometheus metrics.
 - ``/cache/v1/...`` — the shared-cache peer surface consumed by
   :class:`~repro.runtime.HTTPCacheBackend`, so one instance's warm store
   can back another's reads (N boxes, one warm set).
+
+Admitted cache-miss work is journaled (``<cache dir>/manifests/
+queue.journal``) and replayed at startup: orphans already present in the
+(possibly shared) cache are recovered without recomputation, the rest are
+re-enqueued — see :mod:`repro.service.journal`.
 
 Deterministic service faults (``REPRO_FAULTS`` kinds ``slow-response``,
 ``dropped-connection``, ``queue-full``) are injected at the request
 boundary, keyed by request path with the client's ``X-Repro-Attempt``
 header as the attempt axis — so ``times=N`` clauses disturb exactly the
-first N attempts and provably recover on retry.
+first N attempts and provably recover on retry.  The fleet kinds
+``node-crash`` and ``slow-node`` guard the same boundary keyed by
+``"<host:port><path>"`` so one member of an in-process fleet can be
+targeted by port (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro import faults, telemetry
+from repro.core import IHWConfig
 from repro.core.backends.threads import resolve_thread_count
+from repro.faults.injector import CRASH_EXIT_CODE
 from repro.runtime import (
+    CacheBackendError,
     DirectoryBackend,
     ExperimentRunner,
+    ExperimentSpec,
     HTTPCacheBackend,
     ResultCache,
     RetryPolicy,
 )
+from repro.runtime.manifest import MANIFEST_DIRNAME
 
+from .journal import QueueJournal
 from .protocol import (
     ProtocolError,
     SweepRequest,
@@ -49,7 +72,7 @@ from .protocol import (
     meets_target,
     sanitize_document,
 )
-from .queue import QueueFullError, SweepQueue
+from .queue import DrainingError, QueueFullError, SweepQueue
 
 __all__ = ["ServiceConfig", "SweepService", "ServerHandle",
            "serve_in_thread", "run_server"]
@@ -78,6 +101,7 @@ class ServiceConfig:
     batch_limit: int = 16
     retry_after: float = 2.0
     request_timeout: float = 300.0
+    journal: bool = True  # durable queue journal under cache_dir
 
 
 class _Request:
@@ -111,6 +135,22 @@ class SweepService:
             self.cache = ResultCache(
                 backend=DirectoryBackend(config.cache_dir)
             )
+        #: Set by the transport once the socket is bound ("host:port");
+        #: the node-targeted fault kinds key on it.
+        self.node_id = ""
+        self.journal = None
+        orphans: list = []
+        if config.journal:
+            # Node-local state even when the *store* is a remote peer:
+            # the journal records what this node's queue owes, and the
+            # (possibly shared) cache is consulted at replay to decide
+            # what still needs computing.
+            self.journal = QueueJournal(
+                Path(config.cache_dir) / MANIFEST_DIRNAME
+                / "queue.journal"
+            )
+            orphans = self.journal.replay()
+            self.journal.reset()
         self.queue = SweepQueue(
             cache=self.cache,
             runner_factory=self._make_runner,
@@ -118,7 +158,12 @@ class SweepService:
             max_pending=config.max_pending,
             batch_limit=config.batch_limit,
             retry_after=config.retry_after,
+            journal=self.journal,
         )
+        #: Replay accounting, surfaced by /readyz and ``repro serve``.
+        self.recovered = {"complete": 0, "requeued": 0, "invalid": 0}
+        if orphans:
+            self._recover(orphans)
         self.started = time.time()
         # What a parallel backend would resolve to in this process: lets
         # /metricsz distinguish a service running wide from one whose
@@ -129,6 +174,37 @@ class SweepService:
         # (the backend protocol writes npz-before-json for crash safety).
         self._staged_npz: dict = {}
         self._staged_lock = threading.Lock()
+
+    def _recover(self, orphans: list) -> None:
+        """Resolve journal orphans: cache-present keys are already done
+        (computed by this node pre-crash or by a peer on the shared
+        store); the rest re-enter the queue through normal admission.
+        The invariant this enforces is the acceptance criterion of the
+        journal: a killed node recomputes **zero** completed configs.
+        """
+        for record in orphans:
+            try:
+                spec = ExperimentSpec.from_canonical(record["spec"])
+                config = IHWConfig.from_canonical(record["config"])
+            except (KeyError, TypeError, ValueError):
+                self.recovered["invalid"] += 1
+                telemetry.counter_inc("repro_service_journal_replayed_total",
+                                      outcome="invalid")
+                continue
+            try:
+                present = self.cache.backend.contains(
+                    self.cache.key(spec, config))
+            except CacheBackendError:
+                present = False  # unreachable peer: recompute (idempotent)
+            if present:
+                self.recovered["complete"] += 1
+                telemetry.counter_inc("repro_service_journal_replayed_total",
+                                      outcome="complete")
+                continue
+            self.queue.submit(spec, config, waiter=_discard_waiter)
+            self.recovered["requeued"] += 1
+            telemetry.counter_inc("repro_service_journal_replayed_total",
+                                  outcome="requeued")
 
     def _make_runner(self) -> ExperimentRunner:
         # Per-queue-thread runner: inline (max_workers=1) keeps execution
@@ -143,6 +219,8 @@ class SweepService:
 
     def close(self) -> None:
         self.queue.shutdown()
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # Routing
@@ -152,6 +230,22 @@ class SweepService:
         path = request.path.split("?", 1)[0]
         if path == "/healthz" and request.method == "GET":
             await respond(200, self._healthz())
+        elif path == "/readyz" and request.method == "GET":
+            doc = self._readyz()
+            await respond(200 if doc["ready"] else 503, doc)
+        elif path == "/drainz" and request.method == "POST":
+            self.queue.start_draining()
+            telemetry.counter_inc("repro_service_requests_total",
+                                  endpoint="drainz")
+            snapshot = self.queue.snapshot()
+            await respond(200, {
+                "draining": True,
+                "pending": snapshot["pending"],
+                "inflight": snapshot["inflight"],
+            })
+        elif path == "/drainz" and request.method == "DELETE":
+            self.queue.stop_draining()
+            await respond(200, {"draining": False})
         elif path == "/queuez" and request.method == "GET":
             await respond(200, self.queue.snapshot())
         elif path == "/metricsz" and request.method == "GET":
@@ -167,6 +261,9 @@ class SweepService:
                                          f"{request.method} {path}"})
 
     def _healthz(self) -> dict:
+        # Liveness only: "the process is up".  Everything that should
+        # steer *placement* — draining, capacity, degradation — lives in
+        # /readyz, so a drained node still answers health probes.
         snapshot = self.queue.snapshot()
         return {
             "status": "ok",
@@ -175,6 +272,26 @@ class SweepService:
             "cache": str(self.cache.root),
             "pending": snapshot["pending"],
             "inflight": snapshot["inflight"],
+        }
+
+    def _readyz(self) -> dict:
+        snapshot = self.queue.snapshot()
+        reasons = []
+        if snapshot["draining"]:
+            reasons.append("draining")
+        if snapshot["inflight"] >= snapshot["max_pending"]:
+            reasons.append("queue-full")
+        if snapshot["degraded"]:
+            reasons.append("degraded-backend")
+        return {
+            "ready": not reasons,
+            "reasons": reasons,
+            "draining": snapshot["draining"],
+            "degraded": snapshot["degraded"],
+            "pending": snapshot["pending"],
+            "inflight": snapshot["inflight"],
+            "max_pending": snapshot["max_pending"],
+            "recovered": dict(self.recovered),
         }
 
     # ------------------------------------------------------------------
@@ -216,10 +333,11 @@ class SweepService:
                         hits += 1
                         continue
                     future = loop.create_future()
-                    self.queue.submit(
-                        sweep.spec, config,
-                        waiter=_future_waiter(loop, future),
-                        parent_span_id=parent_id,
+                    # submit() appends to the queue journal (file IO)
+                    # before returning — keep it off the event loop too.
+                    await loop.run_in_executor(
+                        None, self.queue.submit, sweep.spec, config,
+                        _future_waiter(loop, future), parent_id,
                     )
                     futures[name] = future
             except QueueFullError as exc:
@@ -230,6 +348,14 @@ class SweepService:
                     {"error": str(exc), "retry_after": exc.retry_after},
                     headers={"Retry-After": f"{exc.retry_after:.0f}"},
                 )
+                return
+            except DrainingError as exc:
+                # The request needed new computation and this node is
+                # winding down: refuse the whole sweep so the client
+                # (or fleet placement) routes it to a ready peer.
+                for future in futures.values():
+                    future.cancel()
+                await respond(503, {"error": str(exc), "draining": True})
                 return
             telemetry.counter_inc("repro_service_requests_total",
                                   endpoint="sweep")
@@ -400,6 +526,11 @@ def _valid_key(key: str) -> bool:
             all(c in "0123456789abcdef" for c in key))
 
 
+def _discard_waiter(doc, error) -> None:
+    """Waiter for journal-replayed work: nobody is on the socket for it —
+    the result lands in the cache, which is the whole point."""
+
+
 def _future_waiter(loop, future):
     """Bridge a queue delivery (worker thread) onto the event loop."""
 
@@ -465,7 +596,7 @@ def _render_response(status: int, body: bytes, content_type: str,
         200: "OK", 400: "Bad Request", 404: "Not Found",
         405: "Method Not Allowed", 409: "Conflict",
         413: "Payload Too Large", 429: "Too Many Requests",
-        500: "Internal Server Error",
+        500: "Internal Server Error", 503: "Service Unavailable",
     }.get(status, "Unknown")
     lines = [f"HTTP/1.1 {status} {reason}",
              f"Content-Type: {content_type}",
@@ -520,6 +651,18 @@ async def _handle_connection(service: SweepService, reader, writer) -> None:
         return None
 
     try:
+        if injector is not None:
+            # Node-targeted fleet faults: keyed by "<host:port><path>" so
+            # a clause can match one member of an in-process fleet by
+            # port, one endpoint by path, or both.
+            node_key = f"{service.node_id}{request.path}"
+            if injector.node_crash(node_key, attempt):
+                # Die exactly as a power cut would: no cleanup, no
+                # journal compaction, no goodbye on the socket.
+                os._exit(CRASH_EXIT_CODE)
+            stall = injector.slow_node(node_key, attempt)
+            if stall > 0:
+                await asyncio.sleep(stall)
         if injector is not None and injector.queue_full(request.path,
                                                        attempt):
             await respond(
@@ -606,6 +749,7 @@ def serve_in_thread(config: ServiceConfig) -> ServerHandle:
     thread.start()
     if not started.wait(timeout=30.0):
         raise RuntimeError("sweep service failed to start within 30s")
+    service.node_id = f"{config.host}:{box['port']}"
     return ServerHandle(service, config.host, box["port"],
                         box["loop"], thread, box["server"])
 
@@ -618,6 +762,11 @@ def run_server(config: ServiceConfig, out=None) -> int:
     handle = serve_in_thread(config)
     print(f"sweep service listening on {handle.base_url} "
           f"(cache: {handle.service.cache.root})", file=out)
+    recovered = handle.service.recovered
+    if any(recovered.values()):
+        print(f"journal replay: {recovered['complete']} complete, "
+              f"{recovered['requeued']} requeued, "
+              f"{recovered['invalid']} invalid", file=out)
     try:
         while handle._thread.is_alive():
             handle._thread.join(timeout=0.5)

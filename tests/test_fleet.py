@@ -1,0 +1,742 @@
+"""Tests for fleet-grade resilience: placement, breakers, hedging,
+failover, draining, readiness, and the durable queue journal.
+
+The contract under test mirrors docs/SERVICE.md's fleet section: a
+:class:`~repro.service.FleetClient` over N ``repro serve`` instances
+answers bit-identically to a clean single-node run — through rendezvous
+placement, through a partitioned member, through a hedged straggler, and
+through a node killed mid-sweep — and a restarted node's journal replay
+recomputes zero completed configurations.
+"""
+
+import io
+import socket
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.core import IHWConfig
+from repro.runtime import (
+    DirectoryBackend,
+    ExperimentSpec,
+    ResultCache,
+    entry_key,
+)
+from repro.service import (
+    CircuitBreaker,
+    FleetClient,
+    FleetError,
+    QueueJournal,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    SweepService,
+    canonical_json,
+    rendezvous_rank,
+    serve_in_thread,
+)
+
+TINY = ExperimentSpec.create("hotspot", metric="mae",
+                             rows=8, cols=8, iterations=2)
+TINY_PARAMS = {"rows": 8, "cols": 8, "iterations": 2}
+
+CONFIGS = {
+    "precise": IHWConfig.precise(),
+    "add": IHWConfig.units("add"),
+    "all": IHWConfig.all_imprecise(),
+}
+
+
+def start_node(cache_dir, **overrides):
+    return serve_in_thread(ServiceConfig(cache_dir=str(cache_dir),
+                                         **overrides))
+
+
+def tiny_sweep(client, configs=None, **kwargs):
+    configs = CONFIGS if configs is None else configs
+    return client.sweep("hotspot", configs=configs, params=TINY_PARAMS,
+                        metric="mae", **kwargs)
+
+
+def ground_truth(tmp_path, seed=0, configs=None):
+    """Results of a clean single-node run on a fresh cache."""
+    handle = start_node(tmp_path / "ground_truth")
+    try:
+        return tiny_sweep(ServiceClient(handle.base_url),
+                          configs=configs, seed=seed)["results"]
+    finally:
+        handle.stop()
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.admittable()
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert not breaker.admittable()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        # admittable() is non-mutating: asking twice consumes nothing.
+        assert breaker.admittable()
+        assert breaker.admittable()
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert breaker.state == "open"  # cooldown restarted at the probe
+        clock.advance(0.1)
+        assert breaker.state == "half-open"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Rendezvous placement
+# ----------------------------------------------------------------------
+class TestRendezvous:
+    MEMBERS = ["10.0.0.1:8642", "10.0.0.2:8642", "10.0.0.3:8642"]
+
+    def test_deterministic(self):
+        first = rendezvous_rank("somekey", self.MEMBERS)
+        assert first == rendezvous_rank("somekey", self.MEMBERS)
+
+    def test_order_independent_of_input_order(self):
+        forward = rendezvous_rank("somekey", self.MEMBERS)
+        backward = rendezvous_rank("somekey", list(reversed(self.MEMBERS)))
+        assert forward == backward
+
+    def test_removing_a_loser_never_moves_other_keys(self):
+        # The defining rendezvous property: dropping one member only
+        # re-routes the keys that member owned.
+        keys = [f"key{i}" for i in range(50)]
+        owners = {k: rendezvous_rank(k, self.MEMBERS)[0] for k in keys}
+        survivors = self.MEMBERS[:-1]
+        dead = self.MEMBERS[-1]
+        for key in keys:
+            new_owner = rendezvous_rank(key, survivors)[0]
+            if owners[key] != dead:
+                assert new_owner == owners[key]
+
+    def test_accepts_objects_with_netloc(self):
+        class Node:
+            def __init__(self, netloc):
+                self.netloc = netloc
+
+        nodes = [Node(n) for n in self.MEMBERS]
+        ranked = rendezvous_rank("somekey", nodes)
+        assert [n.netloc for n in ranked] == \
+            rendezvous_rank("somekey", self.MEMBERS)
+
+    def test_spreads_keys_across_members(self):
+        owners = {rendezvous_rank(f"key{i}", self.MEMBERS)[0]
+                  for i in range(100)}
+        assert owners == set(self.MEMBERS)
+
+
+# ----------------------------------------------------------------------
+# Fleet member parsing
+# ----------------------------------------------------------------------
+class TestFleetMembers:
+    def test_comma_string_and_bare_netlocs(self):
+        fleet = FleetClient("127.0.0.1:1001, http://127.0.0.1:1002")
+        assert fleet.members == ["127.0.0.1:1001", "127.0.0.1:1002"]
+
+    def test_list_input(self):
+        fleet = FleetClient(["http://127.0.0.1:1001"])
+        assert fleet.members == ["127.0.0.1:1001"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            FleetClient("")
+        with pytest.raises(ValueError, match="at least one member"):
+            FleetClient([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetClient("127.0.0.1:1001,http://127.0.0.1:1001")
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            FleetClient(["https://127.0.0.1:1001"])
+
+
+# ----------------------------------------------------------------------
+# Queue journal (unit)
+# ----------------------------------------------------------------------
+class TestQueueJournal:
+    def journal(self, tmp_path, **kwargs):
+        return QueueJournal(tmp_path / "queue.journal", **kwargs)
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert self.journal(tmp_path).replay() == []
+
+    def test_done_retires_admits(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.admit("k1", {"app": "a"}, {"c": 1})
+        journal.admit("k2", {"app": "a"}, {"c": 2})
+        journal.done("k1")
+        journal.close()
+        orphans = self.journal(tmp_path).replay()
+        assert [record["key"] for record in orphans] == ["k2"]
+        assert orphans[0]["spec"] == {"app": "a"}
+        assert orphans[0]["config"] == {"c": 2}
+
+    def test_replay_survives_torn_tail(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.admit("k1", {}, {})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"v":1,"op":"admit","key":"torn')  # no newline
+        orphans = self.journal(tmp_path).replay()
+        assert [record["key"] for record in orphans] == ["k1"]
+
+    def test_reset_truncates(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.admit("k1", {}, {})
+        journal.reset()
+        assert journal.path.read_text() == ""
+        assert self.journal(tmp_path).replay() == []
+
+    def test_compaction_keeps_only_live_records(self, tmp_path):
+        journal = self.journal(tmp_path, compact_every=2)
+        for key in ("k1", "k2", "k3"):
+            journal.admit(key, {}, {})
+        journal.done("k1")
+        journal.done("k2")  # triggers compaction
+        journal.close()
+        lines = [line for line in journal.path.read_text().splitlines()
+                 if line.strip()]
+        assert len(lines) == 1
+        orphans = self.journal(tmp_path).replay()
+        assert [record["key"] for record in orphans] == ["k3"]
+
+    def test_live_counts_undelivered(self, tmp_path):
+        journal = self.journal(tmp_path)
+        assert journal.live == 0
+        journal.admit("k1", {}, {})
+        journal.admit("k2", {}, {})
+        assert journal.live == 2
+        journal.done("k1")
+        assert journal.live == 1
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="compact_every"):
+            self.journal(tmp_path, compact_every=0)
+
+
+# ----------------------------------------------------------------------
+# Journal wired into a service instance
+# ----------------------------------------------------------------------
+class TestServiceJournal:
+    def test_miss_is_journaled_then_retired(self, tmp_path):
+        cache_dir = tmp_path / "svc_cache"
+        handle = start_node(cache_dir)
+        try:
+            tiny_sweep(ServiceClient(handle.base_url),
+                       configs={"precise": CONFIGS["precise"]})
+            journal = handle.service.journal
+            assert journal is not None
+            assert journal.live == 0  # admitted, computed, retired
+            key = entry_key(TINY, CONFIGS["precise"])
+            text = journal.path.read_text()
+            assert f'"key":"{key}"' in text
+            assert '"op":"admit"' in text and '"op":"done"' in text
+            assert ServiceClient(handle.base_url).queuez()["journal"]
+        finally:
+            handle.stop()
+
+    def test_no_journal_flag(self, tmp_path):
+        cache_dir = tmp_path / "svc_cache"
+        handle = start_node(cache_dir, journal=False)
+        try:
+            client = ServiceClient(handle.base_url)
+            tiny_sweep(client, configs={"precise": CONFIGS["precise"]})
+            assert not client.queuez()["journal"]
+            assert not (cache_dir / "manifests" / "queue.journal").exists()
+        finally:
+            handle.stop()
+
+    def test_replay_recovers_orphans(self, tmp_path):
+        cache_dir = tmp_path / "svc_cache"
+        handle = start_node(cache_dir)
+        tiny_sweep(ServiceClient(handle.base_url),
+                   configs={"precise": CONFIGS["precise"]})
+        handle.stop()
+
+        # Forge the journal a crashed node would leave behind: one orphan
+        # already computed (the crash hit between cache write and the
+        # done append), one never computed, one unparsable record, and a
+        # torn final line.
+        journal = QueueJournal(cache_dir / "manifests" / "queue.journal")
+        journal.admit(entry_key(TINY, CONFIGS["precise"]),
+                      TINY.canonical(), CONFIGS["precise"].canonical())
+        journal.admit(entry_key(TINY, CONFIGS["add"]),
+                      TINY.canonical(), CONFIGS["add"].canonical())
+        journal.admit("feedface", {"app": "no-such-app", "metric": "mae"},
+                      CONFIGS["add"].canonical())
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"op":"admit","key":"torn')
+
+        restarted = start_node(cache_dir)
+        try:
+            assert restarted.service.recovered == {
+                "complete": 1, "requeued": 1, "invalid": 1,
+            }
+            assert restarted.service.queue.drain(timeout=30.0)
+            # The orphan landed in the cache through normal execution...
+            local = ResultCache(backend=DirectoryBackend(cache_dir))
+            assert local.document(TINY, CONFIGS["add"]) is not None
+            # ...and the already-complete one was NOT recomputed.
+            assert restarted.service.queue.executions == 1
+            assert restarted.service.journal.live == 0
+            doc = ServiceClient(restarted.base_url).readyz()
+            assert doc["recovered"] == {
+                "complete": 1, "requeued": 1, "invalid": 1,
+            }
+        finally:
+            restarted.stop()
+
+
+# ----------------------------------------------------------------------
+# Readiness and draining
+# ----------------------------------------------------------------------
+class TestReadyAndDrain:
+    def test_readyz_initially_ready(self, tmp_path):
+        handle = start_node(tmp_path / "svc")
+        try:
+            doc = ServiceClient(handle.base_url).readyz()
+            assert doc["ready"] is True
+            assert doc["reasons"] == []
+            assert doc["draining"] is False
+            assert doc["recovered"] == {"complete": 0, "requeued": 0,
+                                        "invalid": 0}
+        finally:
+            handle.stop()
+
+    def test_drain_rejects_cold_work_but_serves_warm(self, tmp_path):
+        handle = start_node(tmp_path / "svc")
+        client = ServiceClient(handle.base_url, retries=0)
+        try:
+            warm = tiny_sweep(client,
+                              configs={"precise": CONFIGS["precise"]})
+            assert client.drain()["draining"] is True
+            ready = client.readyz()
+            assert ready["ready"] is False
+            assert "draining" in ready["reasons"]
+            # Cold admissions are refused with a routable 503...
+            with pytest.raises(ServiceError) as excinfo:
+                tiny_sweep(client, configs={"add": CONFIGS["add"]})
+            assert excinfo.value.status == 503
+            # ...while warm reads keep flowing.
+            again = tiny_sweep(client,
+                               configs={"precise": CONFIGS["precise"]})
+            assert canonical_json(again["results"]) == \
+                canonical_json(warm["results"])
+            # Undrain restores admissions.
+            assert client.undrain()["draining"] is False
+            assert client.readyz()["ready"] is True
+            cold = tiny_sweep(client, configs={"add": CONFIGS["add"]})
+            assert "error" not in cold["results"]["add"]
+        finally:
+            handle.stop()
+
+    def test_drain_still_coalesces_onto_inflight_work(self, tmp_path):
+        import concurrent.futures
+
+        handle = start_node(tmp_path / "svc")
+        queue = handle.service.queue
+        client = ServiceClient(handle.base_url)
+        try:
+            queue.pause()
+            with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+                first = pool.submit(tiny_sweep, client,
+                                    {"all": CONFIGS["all"]})
+                deadline = time.monotonic() + 10.0
+                while (queue.snapshot()["pending"] < 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert queue.snapshot()["pending"] == 1
+                queue.start_draining()
+                # The identical request attaches to the in-flight item
+                # instead of being refused: coalescing adds no work.
+                second = pool.submit(tiny_sweep, client,
+                                     {"all": CONFIGS["all"]})
+                deadline = time.monotonic() + 10.0
+                while (queue.snapshot()["coalesced"] < 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert queue.snapshot()["coalesced"] == 1
+                queue.resume()
+                first_doc = first.result(timeout=30.0)
+                second_doc = second.result(timeout=30.0)
+            assert canonical_json(first_doc["results"]) == \
+                canonical_json(second_doc["results"])
+            assert queue.executions == 1
+        finally:
+            queue.resume()
+            handle.stop()
+
+    def test_readyz_reports_queue_full(self, tmp_path):
+        service = SweepService(ServiceConfig(
+            cache_dir=str(tmp_path / "svc"), max_pending=1, journal=False,
+        ))
+        try:
+            service.queue.pause()
+            service.queue.submit(TINY, CONFIGS["precise"],
+                                 waiter=lambda doc, error: None)
+            doc = service._readyz()
+            assert doc["ready"] is False
+            assert "queue-full" in doc["reasons"]
+            service.queue.resume()
+            assert service.queue.drain(timeout=30.0)
+            assert service._readyz()["ready"] is True
+        finally:
+            service.queue.resume()
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Fleet sweeps over live instances
+# ----------------------------------------------------------------------
+class TestFleetSweep:
+    def test_three_nodes_bit_identical_with_rendezvous_placement(
+            self, tmp_path):
+        a = start_node(tmp_path / "a")
+        b = start_node(tmp_path / "b", remote_cache=a.base_url)
+        c = start_node(tmp_path / "c", remote_cache=a.base_url)
+        try:
+            fleet = FleetClient([a.base_url, b.base_url, c.base_url],
+                                timeout=60.0)
+            response = tiny_sweep(fleet)
+            expected = ground_truth(tmp_path)
+            assert canonical_json(response["results"]) == \
+                canonical_json(expected)
+            # Every configuration landed on its rendezvous owner.
+            for name, config in CONFIGS.items():
+                owner = rendezvous_rank(entry_key(TINY, config),
+                                        fleet.members)[0]
+                assert response["fleet"]["placement"][name] == owner
+            assert response["fleet"]["hedges"] == 0
+            assert response["fleet"]["failovers"] == 0
+            served = response["served"]
+            assert served["errors"] == 0
+            assert served["hits"] + served["misses"] == len(CONFIGS)
+            # A second identical sweep answers warm fleet-wide (the
+            # members share one store through the cache peer surface).
+            again = tiny_sweep(fleet)
+            assert canonical_json(again["results"]) == \
+                canonical_json(expected)
+            assert again["served"]["hits"] == len(CONFIGS)
+        finally:
+            for handle in (a, b, c):
+                handle.stop()
+
+    def test_partitioned_member_fails_over_bit_identically(self, tmp_path):
+        a = start_node(tmp_path / "a")
+        b = start_node(tmp_path / "b", remote_cache=a.base_url)
+        try:
+            fleet = FleetClient([a.base_url, b.base_url], timeout=60.0,
+                                breaker_threshold=1)
+            a_netloc = f"{a.host}:{a.port}"
+            b_netloc = f"{b.host}:{b.port}"
+            # Ports are ephemeral, so ownership varies run to run: pick a
+            # seed that places at least one configuration on the member
+            # we are about to partition away.
+            for seed in range(30):
+                spec = ExperimentSpec.create("hotspot", metric="mae",
+                                             seed=seed, **TINY_PARAMS)
+                owned = [
+                    name for name, config in CONFIGS.items()
+                    if rendezvous_rank(entry_key(spec, config),
+                                       fleet.members)[0] == b_netloc
+                ]
+                if owned:
+                    break
+            assert owned, "no seed placed work on the partitioned member"
+            with faults.injection(f"partition:match=:{b.port},times=100"):
+                response = tiny_sweep(fleet, seed=seed)
+            expected = ground_truth(tmp_path, seed=seed)
+            assert canonical_json(response["results"]) == \
+                canonical_json(expected)
+            # The partitioned member's keys were re-placed on the survivor.
+            assert set(response["fleet"]["placement"].values()) == \
+                {a_netloc}
+            assert response["fleet"]["failovers"] == len(owned)
+            assert fleet.status()[b_netloc]["breaker"] == "open"
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_hedged_request_beats_a_slow_node(self, tmp_path):
+        a = start_node(tmp_path / "a")
+        b = start_node(tmp_path / "b", remote_cache=a.base_url)
+        try:
+            # Warm the shared store so the hedge answers instantly.
+            direct = tiny_sweep(ServiceClient(a.base_url),
+                                configs={"precise": CONFIGS["precise"]})
+            fleet = FleetClient([a.base_url, b.base_url], timeout=30.0,
+                                hedge_after=0.25)
+            owner = rendezvous_rank(entry_key(TINY, CONFIGS["precise"]),
+                                    fleet.members)[0]
+            other = next(n for n in fleet.members if n != owner)
+            owner_port = owner.rsplit(":", 1)[1]
+            # The owner stalls on /v1/sweep only: readiness probes are
+            # unaffected, so placement still targets it and the hedge
+            # deadline is what rescues the request.
+            spec = (f"slow-node:match=:{owner_port}/v1/sweep,"
+                    f"seconds=5,times=100")
+            with faults.injection(spec):
+                start = time.monotonic()
+                response = tiny_sweep(
+                    fleet, configs={"precise": CONFIGS["precise"]})
+                elapsed = time.monotonic() - start
+            assert elapsed < 4.0  # did not wait out the 5s straggler
+            assert response["fleet"]["hedges"] == 1
+            assert response["fleet"]["placement"]["precise"] == other
+            assert canonical_json(response["results"]) == \
+                canonical_json(direct["results"])
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_all_members_unreachable_raises_fleet_error(self):
+        fleet = FleetClient(
+            [f"127.0.0.1:{free_port()}", f"127.0.0.1:{free_port()}"],
+            retries=0, probe_timeout=0.2, timeout=1.0,
+        )
+        with pytest.raises(FleetError, match="every fleet member"):
+            tiny_sweep(fleet)
+
+    def test_permanent_errors_propagate_without_failover(self, tmp_path):
+        # A 413 means every member would refuse identically; retrying it
+        # around the fleet would be noise, so it surfaces as-is.
+        handle = start_node(tmp_path / "svc", max_configs=1)
+        try:
+            fleet = FleetClient([handle.base_url], timeout=30.0)
+            with pytest.raises(ServiceError) as excinfo:
+                tiny_sweep(fleet)
+            assert excinfo.value.status == 413
+        finally:
+            handle.stop()
+
+    def test_killed_node_fails_over_and_replays_zero_recompute(
+            self, tmp_path):
+        """The acceptance flow: 3 nodes, one dies mid-sweep, the fleet
+        answer stays bit-identical, and the restarted node's journal
+        replay recomputes nothing already on the shared store."""
+        a = start_node(tmp_path / "a")
+        b = start_node(tmp_path / "b", remote_cache=a.base_url)
+        c = start_node(tmp_path / "c", remote_cache=a.base_url)
+        a_netloc = f"{a.host}:{a.port}"
+        b_netloc = f"{b.host}:{b.port}"
+
+        # 1. C admits a full sweep it will never deliver: its queue is
+        #    held, so the admits are journaled and then the node "dies".
+        c.service.queue.pause()
+        impatient = ServiceClient(c.base_url, timeout=0.5, retries=0)
+        with pytest.raises(ServiceError):
+            tiny_sweep(impatient)
+        deadline = time.monotonic() + 10.0
+        while (c.service.journal.live < len(CONFIGS)
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert c.service.journal.live == len(CONFIGS)
+        c.stop()
+
+        try:
+            # 2. The fleet routes around the dead member; the merged
+            #    answer is bit-identical to a clean single-node run.
+            fleet = FleetClient([a.base_url, b.base_url, c.base_url],
+                                timeout=60.0, probe_timeout=0.5)
+            response = tiny_sweep(fleet)
+            expected = ground_truth(tmp_path)
+            assert canonical_json(response["results"]) == \
+                canonical_json(expected)
+            assert set(response["fleet"]["placement"].values()) <= \
+                {a_netloc, b_netloc}
+
+            # 3. Restart on C's cache dir: every orphan is already on the
+            #    shared store, so replay recomputes zero configurations.
+            restarted = start_node(tmp_path / "c",
+                                   remote_cache=a.base_url)
+            try:
+                assert restarted.service.recovered == {
+                    "complete": len(CONFIGS), "requeued": 0, "invalid": 0,
+                }
+                assert restarted.service.queue.executions == 0
+                assert restarted.service.journal.live == 0
+            finally:
+                restarted.stop()
+        finally:
+            a.stop()
+            b.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI surface: repro call --fleet / --repeats / broken pipes
+# ----------------------------------------------------------------------
+def run_cli(*argv):
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestFleetCLI:
+    def test_call_fleet_places_across_members(self, tmp_path):
+        a = start_node(tmp_path / "a")
+        b = start_node(tmp_path / "b", remote_cache=a.base_url)
+        try:
+            code, out = run_cli(
+                "call", "hotspot",
+                "--fleet", f"{a.base_url},{b.base_url}",
+                "--configs", "precise|add", "--rows", "8",
+                "--iterations", "2",
+            )
+            assert code == 0
+            assert "fleet: 2 members" in out
+            assert "served:" in out
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_call_fleet_rejects_stream(self):
+        code, _out = run_cli(
+            "call", "hotspot", "--fleet", "127.0.0.1:1,127.0.0.1:2",
+            "--stream",
+        )
+        assert code == 2
+
+    def test_call_repeats_reports_percentiles(self, tmp_path):
+        import json
+
+        handle = start_node(tmp_path / "svc")
+        try:
+            json_path = tmp_path / "response.json"
+            code, out = run_cli(
+                "call", "hotspot", "--url", handle.base_url,
+                "--configs", "precise", "--rows", "8",
+                "--iterations", "2", "--repeats", "4",
+                "--json", str(json_path),
+            )
+            assert code == 0
+            assert "p50" in out and "p95" in out and "p99" in out
+            payload = json.loads(json_path.read_text())
+            for key in ("latency_p50_seconds", "latency_p95_seconds",
+                        "latency_p99_seconds"):
+                assert key in payload
+                assert payload[key] >= 0.0
+            assert payload["latency_p50_seconds"] <= \
+                payload["latency_p95_seconds"] <= \
+                payload["latency_p99_seconds"]
+        finally:
+            handle.stop()
+
+    def test_call_survives_broken_pipe(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        class BrokenOut:
+            def write(self, text):
+                raise BrokenPipeError()
+
+            def flush(self):
+                pass
+
+        handle = start_node(tmp_path / "svc")
+        try:
+            # stdout without a real fd, as under a closed pipe's dup2
+            # fallback: the handler must cope with both.
+            monkeypatch.setattr(sys, "stdout", io.StringIO())
+            code = main(
+                ["call", "hotspot", "--url", handle.base_url,
+                 "--configs", "precise", "--rows", "8",
+                 "--iterations", "2", "--repeats", "3"],
+                out=BrokenOut(),
+            )
+            assert code == 0
+        finally:
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Per-request timeout knob (ServiceClient)
+# ----------------------------------------------------------------------
+class TestPerRequestTimeout:
+    def test_request_timeout_overrides_client_default(self, tmp_path):
+        handle = start_node(tmp_path / "svc")
+        client = ServiceClient(handle.base_url, timeout=30.0, retries=0)
+        try:
+            with faults.injection(
+                "slow-response:match=/healthz,seconds=0.5,times=100"
+            ):
+                # A 0.1s probe gives up on the stalled response...
+                with pytest.raises(ServiceError):
+                    client.healthz(timeout=0.1)
+                # ...while the client-wide 30s default rides it out.
+                assert client.healthz()["status"] == "ok"
+        finally:
+            handle.stop()

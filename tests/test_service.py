@@ -10,6 +10,8 @@ retryable statuses.
 
 import concurrent.futures
 import json
+import socket
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -245,6 +247,103 @@ class TestCacheBackends:
         assert cache.local_root is None
         with pytest.raises(ValueError, match="no local paths"):
             cache.entry_paths(TINY, IHWConfig.precise())
+
+
+class _ScriptedPeer:
+    """Raw TCP server whose per-connection behavior is a callable — the
+    transport-fault shapes (truncation, stalls) a real HTTP stack won't
+    produce on demand."""
+
+    def __init__(self, behavior):
+        self._behavior = behavior
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        self._sock.settimeout(0.1)
+        self.base_url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            try:
+                conn.settimeout(2.0)
+                try:
+                    conn.recv(65536)  # the request line; content irrelevant
+                except OSError:
+                    pass
+                self._behavior(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+
+class TestHTTPBackendTransportFaults:
+    """Every transport-level failure shape is a counted miss
+    (``CacheStats.backend_errors``), never a quarantine — the peer's
+    bytes are not damaged just because the network is."""
+
+    def test_connection_refused_is_counted_backend_error(self):
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        cache = ResultCache(
+            backend=HTTPCacheBackend(f"http://127.0.0.1:{port}")
+        )
+        assert cache.get(TINY, IHWConfig.precise()) is None
+        assert cache.stats.backend_errors == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.quarantined == 0
+
+    def test_mid_body_truncation_is_miss_not_quarantine(self):
+        def truncate(conn):
+            # Promise 4096 body bytes, deliver 5, sever: the client's
+            # read raises IncompleteRead (an HTTPException, not OSError).
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 4096\r\n"
+                         b"Connection: close\r\n\r\n"
+                         b'{"tr')
+
+        peer = _ScriptedPeer(truncate)
+        try:
+            cache = ResultCache(backend=HTTPCacheBackend(peer.base_url))
+            assert cache.get(TINY, IHWConfig.precise()) is None
+            assert cache.stats.backend_errors == 1
+            assert cache.stats.misses == 1
+            assert cache.stats.quarantined == 0
+        finally:
+            peer.close()
+
+    def test_slow_peer_times_out_as_backend_error(self):
+        def stall(conn):
+            time.sleep(1.0)  # never answer within the client's budget
+
+        peer = _ScriptedPeer(stall)
+        try:
+            cache = ResultCache(
+                backend=HTTPCacheBackend(peer.base_url, timeout=0.2)
+            )
+            start = time.monotonic()
+            assert cache.document(TINY, IHWConfig.precise()) is None
+            assert time.monotonic() - start < 5.0
+            assert cache.stats.backend_errors == 1
+            assert cache.stats.quarantined == 0
+        finally:
+            peer.close()
 
 
 # ----------------------------------------------------------------------
